@@ -1,0 +1,111 @@
+// Command lds-node runs one LDS server -- an edge-layer (L1) or back-end
+// (L2) process -- over TCP, for deploying the protocol across machines.
+//
+// Example: a 4+5 cluster on one machine (run each in its own terminal):
+//
+//	peers='L1/0=:7100,L1/1=:7101,L1/2=:7102,L1/3=:7103,L2/0=:7200,L2/1=:7201,L2/2=:7202,L2/3=:7203,L2/4=:7204'
+//	lds-node -id L1/0 -listen :7100 -peers "$peers" -n1 4 -n2 5 -f1 1 -f2 1
+//	... (one per server) ...
+//
+// then write and read with lds-cli using the same -peers string.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/transport/tcpnet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		idStr   = flag.String("id", "", "process id, e.g. L1/0 or L2/3")
+		listen  = flag.String("listen", "", "listen address, e.g. :7100")
+		peers   = flag.String("peers", "", "address book: id=addr,id=addr,...")
+		n1      = flag.Int("n1", 4, "edge layer size")
+		n2      = flag.Int("n2", 5, "back-end layer size")
+		f1      = flag.Int("f1", 1, "edge layer fault tolerance")
+		f2      = flag.Int("f2", 1, "back-end layer fault tolerance")
+		initial = flag.String("initial", "", "initial object value (L2 servers)")
+	)
+	flag.Parse()
+	if *idStr == "" || *listen == "" || *peers == "" {
+		flag.Usage()
+		return fmt.Errorf("lds-node: -id, -listen and -peers are required")
+	}
+
+	id, err := tcpnet.ParseProcID(*idStr)
+	if err != nil {
+		return err
+	}
+	book, err := tcpnet.ParseAddressBook(*peers)
+	if err != nil {
+		return err
+	}
+	params, err := lds.NewParams(*n1, *n2, *f1, *f2)
+	if err != nil {
+		return err
+	}
+	code, err := params.NewCode()
+	if err != nil {
+		return err
+	}
+
+	net, err := tcpnet.New(*listen, book)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+
+	var handler func(env wire.Envelope)
+	switch id.Role {
+	case wire.RoleL1:
+		srv, err := lds.NewL1Server(params, int(id.Index), code)
+		if err != nil {
+			return err
+		}
+		node, err := net.Register(id, srv.Handle)
+		if err != nil {
+			return err
+		}
+		if err := srv.Bind(node); err != nil {
+			return err
+		}
+		handler = srv.Handle
+	case wire.RoleL2:
+		srv, err := lds.NewL2Server(params, int(id.Index), code, []byte(*initial))
+		if err != nil {
+			return err
+		}
+		node, err := net.Register(id, srv.Handle)
+		if err != nil {
+			return err
+		}
+		srv.Bind(node)
+		handler = srv.Handle
+	default:
+		return fmt.Errorf("lds-node: id %v must be an L1 or L2 server", id)
+	}
+	_ = handler
+
+	log.Printf("lds-node %v listening on %s (n1=%d f1=%d n2=%d f2=%d k=%d d=%d)",
+		id, net.Addr(), params.N1, params.F1, params.N2, params.F2, params.K, params.D)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("lds-node %v shutting down", id)
+	return nil
+}

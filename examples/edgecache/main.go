@@ -1,0 +1,95 @@
+// Command edgecache demonstrates the paper's edge-computing story: the
+// edge layer L1 is close to clients (fast links) while the back-end L2 is
+// far away (slow links). During write activity, reads are served full
+// values straight from L1 -- the edge acting as a proxy cache -- while
+// quiescent reads pay a couple of (cheap, coded) L2 round trips.
+//
+// The program measures both regimes and prints the communication bill next
+// to the paper's Lemma V.2 predictions.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/lds-storage/lds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params, err := lds.NewParams(6, 8, 1, 2) // k = 4, d = 4
+	if err != nil {
+		return err
+	}
+	acc := lds.NewAccountant()
+	cluster, err := lds.NewCluster(lds.Config{
+		Params: params,
+		Latency: lds.LatencyModel{
+			Tau0: 200 * time.Microsecond, // edge-internal gossip
+			Tau1: 200 * time.Microsecond, // client to edge
+			Tau2: 20 * time.Millisecond,  // edge to distant back-end
+		},
+		Accountant: acc,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	writer, err := cluster.Writer(1)
+	if err != nil {
+		return err
+	}
+	reader, err := cluster.Reader(1)
+	if err != nil {
+		return err
+	}
+
+	const valueSize = 3240 // one stripe at k = d = 4 is 10 bytes; any size works
+	value := make([]byte, valueSize)
+
+	// Regime 1: read while the write's offload to the distant L2 is still
+	// in flight. The edge has the value and serves it immediately.
+	if _, err := writer.Write(ctx, value); err != nil {
+		return err
+	}
+	acc.Reset()
+	start := time.Now()
+	if _, _, err := reader.Read(ctx); err != nil {
+		return err
+	}
+	hotLatency := time.Since(start)
+	hotCost := acc.Snapshot().NormalizedPayload(valueSize)
+
+	// Regime 2: let the system quiesce (value offloaded to L2, edge copies
+	// garbage-collected), then read again -- the regeneration path.
+	if err := cluster.WaitIdle(60 * time.Second); err != nil {
+		return err
+	}
+	acc.Reset()
+	start = time.Now()
+	if _, _, err := reader.Read(ctx); err != nil {
+		return err
+	}
+	coldLatency := time.Since(start)
+	coldCost := acc.Snapshot().NormalizedPayload(valueSize)
+
+	fmt.Println("edge-cache behaviour (n1=6, n2=8, k=d=4, tau2 = 100 * tau1):")
+	fmt.Printf("  hot read  (concurrent with write): %7.2f value-units, %8v  <= paper delta>0 worst case %.2f\n",
+		hotCost, hotLatency.Round(time.Millisecond), lds.ReadCost(params.N1, params.N2, params.K, params.D, true))
+	fmt.Printf("  cold read (regenerated from L2):   %7.2f value-units, %8v  == paper delta=0 cost %.2f\n",
+		coldCost, coldLatency.Round(time.Millisecond), lds.ReadCost(params.N1, params.N2, params.K, params.D, false))
+	fmt.Println()
+	fmt.Println("the hot read never waits on the slow back-end link; the cold read")
+	fmt.Println("moves only coded bytes: both are the paper's Section I claims.")
+	return nil
+}

@@ -1,0 +1,57 @@
+// Command multiobject reruns the experiment behind the paper's Fig. 6 at
+// laptop scale: N independent LDS object instances under a write process of
+// theta concurrent writes per tau1, with temporary (L1) and permanent (L2)
+// storage sampled throughout. It prints the measured series next to the
+// analytic curves, including the paper's original parameters
+// (n1 = n2 = 100, k = d = 80, mu = 10, theta = 100).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/lds-storage/lds/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Analytic curves at the paper's exact parameters.
+	fmt.Println("Fig. 6, analytic (n1=n2=100, k=d=80, mu=10, theta=100), units of one value:")
+	fmt.Printf("  %10s  %14s  %14s\n", "N", "L1 bound", "L2 storage")
+	for _, pt := range experiments.Fig6Analytic(100, 100, 80, 100, 10,
+		[]int{1000, 10_000, 100_000, 1_000_000}) {
+		fmt.Printf("  %10d  %14.0f  %14.0f\n", pt.Objects, pt.L1Bound, pt.L2)
+	}
+	fmt.Println("  (L1 bound is flat; L2 grows ~2.47 per object and dominates for large N,")
+	fmt.Println("   versus 100 per object had L2 used replication)")
+	fmt.Println()
+
+	// Live rerun, scaled down, same structure: symmetric geometry, mu = 10.
+	cfg := experiments.DefaultFig6Config()
+	fmt.Printf("live rerun (n1=n2=%d, k=d=%d, mu=%.0f, theta=%d, %d ticks):\n",
+		cfg.Params.N1, cfg.Params.K, cfg.Mu, cfg.Theta, cfg.Ticks)
+	fmt.Printf("  %6s  %12s  %12s  %12s  %12s  %8s\n",
+		"N", "peak L1", "L1 bound", "settled L2", "paper L2", "writes")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	points, err := experiments.MeasureFig6(ctx, cfg, []int{2, 4, 8, 16})
+	if err != nil {
+		return err
+	}
+	for _, pt := range points {
+		fmt.Printf("  %6d  %12.1f  %12.1f  %12.1f  %12.1f  %8d\n",
+			pt.Objects, pt.PeakL1, pt.L1Bound, pt.SettledL2, pt.PaperL2, pt.Writes)
+	}
+	fmt.Println()
+	fmt.Println("peak L1 stays under the Lemma V.5 bound and flat in N; settled L2 grows")
+	fmt.Println("linearly with N: the overall storage cost is Theta(N), dominated by L2.")
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command quickstart is the smallest possible LDS program: build an
+// in-process two-layer cluster, write a value, read it back.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/lds-storage/lds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A two-layer cluster: n1 = 6 edge servers tolerating f1 = 1 crash,
+	// n2 = 8 back-end servers tolerating f2 = 2; the MBR code parameters
+	// k = n1-2*f1 = 4 and d = n2-2*f2 = 4 follow from the geometry.
+	params, err := lds.NewParams(6, 8, 1, 2)
+	if err != nil {
+		return err
+	}
+	cluster, err := lds.NewCluster(lds.Config{Params: params})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	writer, err := cluster.Writer(1)
+	if err != nil {
+		return err
+	}
+	reader, err := cluster.Reader(1)
+	if err != nil {
+		return err
+	}
+
+	tag, err := writer.Write(ctx, []byte("hello, layered storage"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote under tag %v\n", tag)
+
+	value, rtag, err := reader.Read(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read %q (tag %v)\n", value, rtag)
+
+	// Wait for the asynchronous offload to L2, then show where the data
+	// lives: nothing in the edge layer, one coded element per L2 server.
+	if err := cluster.WaitIdle(10 * time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("temporary (L1) storage after offload: %d bytes\n", cluster.TemporaryStorageBytes())
+	fmt.Printf("permanent (L2) storage: %d bytes across %d servers\n",
+		cluster.PermanentStorageBytes(), params.N2)
+
+	// A read after the offload regenerates coded elements from L2.
+	value, _, err = reader.Read(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read after offload (regenerated from L2): %q\n", value)
+	return nil
+}

@@ -1,0 +1,236 @@
+// Package abd implements the multi-writer multi-reader atomic register of
+// Attiya, Bar-Noy and Dolev (reference [3] of the LDS paper) over a single
+// layer of n replicated servers tolerating f < n/2 crashes.
+//
+// It is the replication baseline the paper compares against throughout:
+// every phase of every operation moves whole values to or from a majority,
+// so write cost, read cost and per-object storage are all Theta(n) -- the
+// numbers the LDS benchmarks hold their Theta(1)/Theta(n1) results against.
+package abd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// Params is the single-layer geometry.
+type Params struct {
+	N int // servers
+	F int // crash tolerance, f < n/2
+}
+
+// Validate checks f < n/2.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("abd: n = %d, want >= 1", p.N)
+	}
+	if p.F < 0 || 2*p.F >= p.N {
+		return fmt.Errorf("abd: f = %d, want 0 <= f < n/2 = %d/2", p.F, p.N)
+	}
+	return nil
+}
+
+// Quorum returns the majority size every phase waits for.
+func (p Params) Quorum() int { return p.N/2 + 1 }
+
+// ServerIDs lists the server process ids. Servers reuse RoleL1 so the cost
+// accountant classifies client-server traffic the same way as for LDS.
+func (p Params) ServerIDs() []wire.ProcID {
+	ids := make([]wire.ProcID, p.N)
+	for i := range ids {
+		ids[i] = wire.ProcID{Role: wire.RoleL1, Index: int32(i)}
+	}
+	return ids
+}
+
+// Server is one ABD replica: state is a single (tag, value) pair.
+type Server struct {
+	params Params
+	id     wire.ProcID
+	node   transport.Node
+	tag    tag.Tag
+	value  []byte
+}
+
+// NewServer creates replica i holding the initial value.
+func NewServer(params Params, index int, initialValue []byte) (*Server, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= params.N {
+		return nil, fmt.Errorf("abd: index %d out of range [0, %d)", index, params.N)
+	}
+	return &Server{
+		params: params,
+		id:     wire.ProcID{Role: wire.RoleL1, Index: int32(index)},
+		value:  initialValue,
+	}, nil
+}
+
+// ID returns the server's process id.
+func (s *Server) ID() wire.ProcID { return s.id }
+
+// Bind attaches the transport node.
+func (s *Server) Bind(node transport.Node) { s.node = node }
+
+// StoredBytes returns the server's storage footprint (one full value:
+// replication stores n copies system-wide).
+func (s *Server) StoredBytes() int { return len(s.value) }
+
+// Handle dispatches one message; transport handler.
+func (s *Server) Handle(env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.ABDQuery:
+		resp := wire.ABDQueryResp{OpID: m.OpID, Tag: s.tag}
+		if m.WantValue {
+			resp.Value = s.value
+		}
+		s.send(env.From, resp)
+	case wire.ABDUpdate:
+		if s.tag.Less(m.Tag) {
+			s.tag = m.Tag
+			s.value = m.Value
+		}
+		s.send(env.From, wire.ABDUpdateAck{OpID: m.OpID})
+	default:
+	}
+}
+
+func (s *Server) send(to wire.ProcID, msg wire.Message) {
+	if s.node == nil {
+		return
+	}
+	_ = s.node.Send(to, msg)
+}
+
+// Client performs ABD reads and writes; one operation at a time.
+type Client struct {
+	params Params
+	id     wire.ProcID
+	node   transport.Node
+	inbox  chan wire.Envelope
+	opSeq  uint64
+	cid    int32
+}
+
+// NewClient creates a client with a positive unique id.
+func NewClient(params Params, cid int32, role wire.Role) (*Client, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cid <= 0 {
+		return nil, fmt.Errorf("abd: client id %d, want positive", cid)
+	}
+	if role != wire.RoleWriter && role != wire.RoleReader {
+		return nil, fmt.Errorf("abd: client role %v, want writer or reader", role)
+	}
+	return &Client{
+		params: params,
+		id:     wire.ProcID{Role: role, Index: cid},
+		inbox:  make(chan wire.Envelope, 4*(params.N+1)),
+		cid:    cid,
+	}, nil
+}
+
+// ID returns the client's process id.
+func (c *Client) ID() wire.ProcID { return c.id }
+
+// Bind attaches the transport node.
+func (c *Client) Bind(node transport.Node) { c.node = node }
+
+// Handle is the transport handler.
+func (c *Client) Handle(env wire.Envelope) { c.inbox <- env }
+
+// Write performs an ABD write: query majority for tags, then propagate
+// (t+1, v) to a majority.
+func (c *Client) Write(ctx context.Context, value []byte) (tag.Tag, error) {
+	maxTag, _, err := c.query(ctx, false)
+	if err != nil {
+		return tag.Tag{}, fmt.Errorf("abd write query: %w", err)
+	}
+	t := maxTag.Next(c.cid)
+	if err := c.update(ctx, t, value); err != nil {
+		return tag.Tag{}, fmt.Errorf("abd write update: %w", err)
+	}
+	return t, nil
+}
+
+// Read performs an ABD read: query majority for (tag, value), write the
+// maximum pair back to a majority, return it.
+func (c *Client) Read(ctx context.Context) ([]byte, tag.Tag, error) {
+	maxTag, value, err := c.query(ctx, true)
+	if err != nil {
+		return nil, tag.Tag{}, fmt.Errorf("abd read query: %w", err)
+	}
+	if err := c.update(ctx, maxTag, value); err != nil {
+		return nil, tag.Tag{}, fmt.Errorf("abd read write-back: %w", err)
+	}
+	return value, maxTag, nil
+}
+
+func (c *Client) query(ctx context.Context, wantValue bool) (tag.Tag, []byte, error) {
+	if c.node == nil {
+		return tag.Tag{}, nil, errors.New("abd: client not bound")
+	}
+	c.opSeq++
+	op := c.opSeq
+	for _, id := range c.params.ServerIDs() {
+		if err := c.node.Send(id, wire.ABDQuery{OpID: op, WantValue: wantValue}); err != nil {
+			return tag.Tag{}, nil, err
+		}
+	}
+	var (
+		best      tag.Tag
+		bestValue []byte
+		responded = make(map[int32]bool, c.params.Quorum())
+	)
+	for len(responded) < c.params.Quorum() {
+		select {
+		case env := <-c.inbox:
+			m, ok := env.Msg.(wire.ABDQueryResp)
+			if !ok || m.OpID != op || responded[env.From.Index] {
+				continue
+			}
+			responded[env.From.Index] = true
+			if best.Less(m.Tag) || len(responded) == 1 {
+				best = m.Tag
+				bestValue = m.Value
+			}
+		case <-ctx.Done():
+			return tag.Tag{}, nil, ctx.Err()
+		}
+	}
+	return best, bestValue, nil
+}
+
+func (c *Client) update(ctx context.Context, t tag.Tag, value []byte) error {
+	if c.node == nil {
+		return errors.New("abd: client not bound")
+	}
+	c.opSeq++
+	op := c.opSeq
+	for _, id := range c.params.ServerIDs() {
+		if err := c.node.Send(id, wire.ABDUpdate{OpID: op, Tag: t, Value: value}); err != nil {
+			return err
+		}
+	}
+	acked := make(map[int32]bool, c.params.Quorum())
+	for len(acked) < c.params.Quorum() {
+		select {
+		case env := <-c.inbox:
+			m, ok := env.Msg.(wire.ABDUpdateAck)
+			if !ok || m.OpID != op || acked[env.From.Index] {
+				continue
+			}
+			acked[env.From.Index] = true
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

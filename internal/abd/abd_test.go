@@ -1,0 +1,231 @@
+package abd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/cost"
+	"github.com/lds-storage/lds/internal/history"
+	"github.com/lds-storage/lds/internal/transport"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		n, f    int
+		wantErr bool
+	}{
+		{3, 1, false},
+		{5, 2, false},
+		{1, 0, false},
+		{4, 2, true}, // 2f = n
+		{0, 0, true},
+		{3, -1, true},
+	}
+	for _, tt := range tests {
+		err := (Params{N: tt.n, F: tt.f}).Validate()
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Validate(n=%d, f=%d) = %v, wantErr %v", tt.n, tt.f, err, tt.wantErr)
+		}
+	}
+	if (Params{N: 5, F: 2}).Quorum() != 3 {
+		t.Error("Quorum(5) != 3")
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	ctx := testCtx(t)
+	c, err := NewCluster(Config{Params: Params{N: 5, F: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w, _ := c.Writer(1)
+	r, _ := c.Reader(1)
+	if _, err := w.Write(ctx, []byte("abd value")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, _, err := r.Read(ctx)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("abd value")) {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	ctx := testCtx(t)
+	c, err := NewCluster(Config{Params: Params{N: 3, F: 1}, InitialValue: []byte("init")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, _ := c.Reader(1)
+	got, tg, err := r.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "init" || !tg.IsZero() {
+		t.Errorf("Read = %q tag %v", got, tg)
+	}
+}
+
+func TestLivenessWithCrashes(t *testing.T) {
+	ctx := testCtx(t)
+	c, err := NewCluster(Config{Params: Params{N: 5, F: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Crash(0)
+	c.Crash(4)
+	w, _ := c.Writer(1)
+	r, _ := c.Reader(1)
+	if _, err := w.Write(ctx, []byte("survives")); err != nil {
+		t.Fatalf("Write with crashes: %v", err)
+	}
+	got, _, err := r.Read(ctx)
+	if err != nil {
+		t.Fatalf("Read with crashes: %v", err)
+	}
+	if string(got) != "survives" {
+		t.Errorf("Read = %q", got)
+	}
+}
+
+func TestAtomicityUnderChaos(t *testing.T) {
+	ctx := testCtx(t)
+	c, err := NewCluster(Config{
+		Params:  Params{N: 5, F: 2},
+		Latency: transport.LatencyModel{ChaosMax: time.Millisecond},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rec := history.NewRecorder()
+	var wg sync.WaitGroup
+	for wid := 1; wid <= 3; wid++ {
+		w, err := c.Writer(int32(wid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(wid int32) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				v := fmt.Sprintf("w%d-%d", wid, i)
+				start := time.Now()
+				tg, err := w.Write(ctx, []byte(v))
+				if err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				rec.Add(history.Op{Kind: history.OpWrite, Client: wid, Start: start, End: time.Now(), Tag: tg, Value: v})
+			}
+		}(int32(wid))
+	}
+	for rid := 1; rid <= 3; rid++ {
+		r, err := c.Reader(int32(rid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rid int32) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				start := time.Now()
+				v, tg, err := r.Read(ctx)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				rec.Add(history.Op{Kind: history.OpRead, Client: rid, Start: start, End: time.Now(), Tag: tg, Value: string(v)})
+			}
+		}(int32(rid))
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for _, v := range history.Verify(rec.Ops()) {
+		t.Errorf("atomicity violation: %v", v)
+	}
+	for _, v := range history.VerifyUniqueValues(rec.Ops(), "") {
+		t.Errorf("value violation: %v", v)
+	}
+}
+
+func TestStorageIsNCopies(t *testing.T) {
+	ctx := testCtx(t)
+	c, err := NewCluster(Config{Params: Params{N: 7, F: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w, _ := c.Writer(1)
+	value := make([]byte, 100)
+	if _, err := w.Write(ctx, value); err != nil {
+		t.Fatal(err)
+	}
+	// Write waits for a majority only; drain the rest before counting.
+	if err := c.WaitIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StorageBytes(); got != 700 {
+		t.Errorf("storage = %d bytes, want n*|v| = 700 (replication)", got)
+	}
+}
+
+func TestCommunicationCostIsThetaN(t *testing.T) {
+	// ABD moves whole values in every phase: write cost n, read cost 2n
+	// normalized. This is the baseline number for the LDS comparison bench.
+	ctx := testCtx(t)
+	acc := cost.NewAccountant()
+	c, err := NewCluster(Config{Params: Params{N: 9, F: 4}, Accountant: acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w, _ := c.Writer(1)
+	r, _ := c.Reader(1)
+	const valueSize = 1 << 12
+	value := make([]byte, valueSize)
+
+	if _, err := w.Write(ctx, value); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	writeCost := acc.Snapshot().NormalizedPayload(valueSize)
+	if writeCost != 9 { // update phase carries the value to all n servers
+		t.Errorf("write cost = %.2f, want n = 9", writeCost)
+	}
+
+	acc.Reset()
+	if _, _, err := r.Read(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitIdle(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	readCost := acc.Snapshot().NormalizedPayload(valueSize)
+	// Query phase returns n values, write-back sends n more.
+	if readCost != 18 {
+		t.Errorf("read cost = %.2f, want 2n = 18", readCost)
+	}
+}

@@ -1,0 +1,114 @@
+package abd
+
+import (
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/cost"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/transport/channet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// Config describes an ABD cluster to build on the simulated network.
+type Config struct {
+	Params       Params
+	Latency      transport.LatencyModel
+	Seed         int64
+	InitialValue []byte
+	Accountant   *cost.Accountant
+}
+
+// Cluster is a running single-layer ABD system; the benchmark baseline.
+type Cluster struct {
+	cfg     Config
+	net     *channet.Network
+	servers []*Server
+
+	mu      sync.Mutex
+	clients map[wire.ProcID]*Client
+}
+
+// NewCluster builds and starts an ABD cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	var observer channet.Observer
+	if cfg.Accountant != nil {
+		observer = cfg.Accountant.Observe
+	}
+	net := channet.New(channet.Options{
+		Latency:  cfg.Latency,
+		Seed:     cfg.Seed,
+		Observer: observer,
+	})
+	c := &Cluster{cfg: cfg, net: net, clients: make(map[wire.ProcID]*Client)}
+	for i := 0; i < cfg.Params.N; i++ {
+		srv, err := NewServer(cfg.Params, i, cfg.InitialValue)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		node, err := net.Register(srv.ID(), srv.Handle)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		srv.Bind(node)
+		c.servers = append(c.servers, srv)
+	}
+	return c, nil
+}
+
+// Writer returns (creating on first use) the writer with the given id.
+func (c *Cluster) Writer(wid int32) (*Client, error) {
+	return c.client(wid, wire.RoleWriter)
+}
+
+// Reader returns (creating on first use) the reader with the given id.
+func (c *Cluster) Reader(rid int32) (*Client, error) {
+	return c.client(rid, wire.RoleReader)
+}
+
+func (c *Cluster) client(id int32, role wire.Role) (*Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pid := wire.ProcID{Role: role, Index: id}
+	if cl, ok := c.clients[pid]; ok {
+		return cl, nil
+	}
+	cl, err := NewClient(c.cfg.Params, id, role)
+	if err != nil {
+		return nil, err
+	}
+	node, err := c.net.Register(cl.ID(), cl.Handle)
+	if err != nil {
+		return nil, err
+	}
+	cl.Bind(node)
+	c.clients[pid] = cl
+	return cl, nil
+}
+
+// Crash crash-fails server i.
+func (c *Cluster) Crash(i int) {
+	c.net.Crash(wire.ProcID{Role: wire.RoleL1, Index: int32(i)})
+}
+
+// StorageBytes sums the replicated value bytes across all servers.
+func (c *Cluster) StorageBytes() int64 {
+	// Servers mutate their value only inside the actor loop; callers use
+	// this after WaitIdle, matching the other diagnostics in this repo.
+	var total int64
+	for _, s := range c.servers {
+		total += int64(s.StoredBytes())
+	}
+	return total
+}
+
+// WaitIdle blocks until the network drains.
+func (c *Cluster) WaitIdle(timeout time.Duration) error { return c.net.WaitIdle(timeout) }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error { return c.net.Close() }

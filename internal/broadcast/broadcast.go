@@ -1,0 +1,106 @@
+// Package broadcast implements the reliable metadata broadcast primitive the
+// LDS algorithm uses for COMMIT-TAG messages (paper, Section III, citing the
+// construction of Konwar et al., IPDPS 2016 [17]).
+//
+// The primitive's contract: if any non-faulty L1 server consumes a broadcast
+// message, every non-faulty L1 server eventually consumes it, exactly once.
+// The implementation is the paper's: the origin sends the message to a fixed
+// set S_{f1+1} of f1+1 relay servers; each relay, on first reception,
+// forwards it to all n1 servers before consuming it itself. With at most f1
+// crashes, if anyone consumed then at least one relay forwarded to everyone.
+//
+// A Broadcaster is owned by a single L1 server actor and must only be used
+// from that actor's goroutine; it holds no locks.
+package broadcast
+
+import (
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// SendFunc transmits a message to a peer; provided by the owning server.
+type SendFunc func(to wire.ProcID, msg wire.Message) error
+
+// Broadcaster runs the relay protocol for one L1 server.
+type Broadcaster struct {
+	self   wire.ProcID
+	peers  []wire.ProcID // all n1 L1 servers, including self
+	relays []wire.ProcID // the fixed relay set S_{f1+1}
+	send   SendFunc
+
+	isRelay bool
+	nextSeq uint64
+	seen    map[instanceKey]bool
+}
+
+type instanceKey struct {
+	origin wire.ProcID
+	seq    uint64
+}
+
+// New creates a broadcaster for the server self. peers must list all L1
+// servers; the relay set is the first relayCount of them (a fixed set known
+// to everyone, per the paper).
+func New(self wire.ProcID, peers []wire.ProcID, relayCount int, send SendFunc) (*Broadcaster, error) {
+	if relayCount < 1 || relayCount > len(peers) {
+		return nil, fmt.Errorf("broadcast: relay count %d out of range (1..%d)", relayCount, len(peers))
+	}
+	if send == nil {
+		return nil, fmt.Errorf("broadcast: nil send function")
+	}
+	b := &Broadcaster{
+		self:   self,
+		peers:  append([]wire.ProcID(nil), peers...),
+		relays: append([]wire.ProcID(nil), peers[:relayCount]...),
+		send:   send,
+		seen:   make(map[instanceKey]bool),
+	}
+	for _, r := range b.relays {
+		if r == self {
+			b.isRelay = true
+		}
+	}
+	return b, nil
+}
+
+// Broadcast initiates a broadcast of inner: the origin sends it to the f1+1
+// relay servers (possibly including itself; the copy then loops back through
+// the network like any other message).
+func (b *Broadcaster) Broadcast(inner wire.Message) error {
+	b.nextSeq++
+	msg := wire.Broadcast{Origin: b.self, Seq: b.nextSeq, Inner: inner}
+	var firstErr error
+	for _, r := range b.relays {
+		if err := b.send(r, msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Handle processes an incoming wire.Broadcast. It returns the inner message
+// and consume=true exactly once per broadcast instance; duplicate receptions
+// return consume=false. When this server is a relay seeing the instance for
+// the first time, it forwards to all peers before consuming (the ordering
+// the primitive's guarantee depends on).
+func (b *Broadcaster) Handle(msg wire.Broadcast) (inner wire.Message, consume bool) {
+	key := instanceKey{origin: msg.Origin, seq: msg.Seq}
+	if b.seen[key] {
+		return nil, false
+	}
+	b.seen[key] = true
+	if b.isRelay {
+		for _, p := range b.peers {
+			// Best effort per peer: a failed send to one peer must not stop
+			// the relay to the others (crashed peers are unreachable anyway).
+			_ = b.send(p, msg)
+		}
+	}
+	return msg.Inner, true
+}
+
+// SeenCount reports how many broadcast instances have been consumed or
+// relayed; exposed for tests and storage accounting (the dedup set is
+// metadata).
+func (b *Broadcaster) SeenCount() int { return len(b.seen) }

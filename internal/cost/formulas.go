@@ -1,0 +1,111 @@
+package cost
+
+import (
+	"math"
+	"time"
+)
+
+// This file holds the closed-form cost and latency expressions of Section V
+// of the paper. The benchmark harness evaluates these next to the measured
+// numbers so each table/figure can print a paper-vs-measured pair.
+
+// MBRFileSizeSymbols returns B = k*d - k*(k-1)/2 = k*(2d-k+1)/2, the MBR
+// file size in symbols per stripe.
+func MBRFileSizeSymbols(k, d int) int { return k*d - k*(k-1)/2 }
+
+// WriteCostLDS returns the normalized communication cost of a write
+// (Lemma V.2): n1 + n1*n2 * 2d / (k*(2d-k+1)); the first term is the
+// put-data fan-out, the second the internal write-to-L2 traffic.
+func WriteCostLDS(n1, n2, k, d int) float64 {
+	alphaOverB := float64(2*d) / float64(k*(2*d-k+1))
+	return float64(n1) + float64(n1)*float64(n2)*alphaOverB
+}
+
+// ReadCostLDS returns the normalized communication cost of a read
+// (Lemma V.2): n1*(1 + n2/d) * 2d/(k*(2d-k+1)) + n1 * I(delta > 0).
+// The first term covers regeneration helper traffic plus coded elements
+// relayed to the reader; the last appears only when the read overlaps
+// concurrent (extended) writes and servers answer with full values.
+func ReadCostLDS(n1, n2, k, d int, concurrent bool) float64 {
+	alphaOverB := float64(2*d) / float64(k*(2*d-k+1))
+	c := float64(n1) * (1 + float64(n2)/float64(d)) * alphaOverB
+	if concurrent {
+		c += float64(n1)
+	}
+	return c
+}
+
+// StorageCostL2MBR returns the normalized permanent storage cost per object
+// (Lemma V.3): n2 * alpha/B = 2*d*n2 / (k*(2d-k+1)).
+func StorageCostL2MBR(n2, k, d int) float64 {
+	return float64(2*d*n2) / float64(k*(2*d-k+1))
+}
+
+// StorageCostL2MSR returns the per-object L2 storage cost had MSR codes been
+// used instead (Remark 2): n2/k.
+func StorageCostL2MSR(n2, k int) float64 { return float64(n2) / float64(k) }
+
+// StorageCostL2Replication returns the per-object L2 storage cost under
+// n2-way replication, the comparison made in the Fig. 6 discussion.
+func StorageCostL2Replication(n2 int) float64 { return float64(n2) }
+
+// MBROverMSRStorageRatio returns the MBR/MSR storage ratio
+// 2d/(2d-k+1), which Remark 2 bounds by 2.
+func MBROverMSRStorageRatio(k, d int) float64 {
+	return float64(2*d) / float64(2*d-k+1)
+}
+
+// WriteLatencyBound returns the Lemma V.4 bound on a successful write:
+// 4*tau1 + 2*tau0.
+func WriteLatencyBound(tau0, tau1 time.Duration) time.Duration {
+	return 4*tau1 + 2*tau0
+}
+
+// ExtendedWriteLatencyBound returns the Lemma V.4 bound on the extended
+// write: max(3*tau1 + 2*tau0 + 2*tau2, 4*tau1 + 2*tau0).
+func ExtendedWriteLatencyBound(tau0, tau1, tau2 time.Duration) time.Duration {
+	a := 3*tau1 + 2*tau0 + 2*tau2
+	b := 4*tau1 + 2*tau0
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ReadLatencyBound returns the Lemma V.4 bound on a successful read:
+// max(6*tau1 + 2*tau2, 5*tau1 + 2*tau0 + tau2).
+func ReadLatencyBound(tau0, tau1, tau2 time.Duration) time.Duration {
+	a := 6*tau1 + 2*tau2
+	b := 5*tau1 + 2*tau0 + tau2
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// L1StorageBoundMultiObject returns the Lemma V.5 bound on total temporary
+// storage in L1: ceil(5 + 2*mu) * theta * n1, where mu = tau2/tau1 and theta
+// bounds the writes arriving per tau1.
+func L1StorageBoundMultiObject(theta, n1 int, mu float64) float64 {
+	return math.Ceil(5+2*mu) * float64(theta) * float64(n1)
+}
+
+// L2StorageMultiObject returns the Lemma V.5 total permanent storage for N
+// objects in the symmetric system (k = d): 2*N*n2/(k+1).
+func L2StorageMultiObject(nObjects, n2, k int) float64 {
+	return 2 * float64(nObjects) * float64(n2) / float64(k+1)
+}
+
+// ReadCostMSRSubstitution returns the normalized read cost when the MSR code
+// replaces MBR in the regeneration path (Remark 1). At the MSR point
+// alpha/B = 1/k and beta/B = 1/(k*(d-k+1)), so the L1->reader coded traffic
+// alone is n1*alpha/B = n1/k = Omega(n1) for constant-rate codes.
+func ReadCostMSRSubstitution(n1, n2, k, d int, concurrent bool) float64 {
+	alphaOverB := 1 / float64(k)
+	betaOverB := 1 / float64(k*(d-k+1))
+	c := float64(n1)*alphaOverB + float64(n1)*float64(n2)*betaOverB
+	if concurrent {
+		c += float64(n1)
+	}
+	return c
+}

@@ -1,0 +1,139 @@
+// Package erasure defines the interfaces shared by the storage codes used in
+// the LDS reproduction: the product-matrix MBR regenerating code the paper
+// stores in the back-end layer, the product-matrix MSR code used for the
+// Remark 1/2 ablations, and a classic Reed-Solomon code as the baseline
+// erasure code the paper compares against in its related-work discussion.
+//
+// All codes share a striping model: a value of arbitrary length is padded to
+// a whole number of stripes of StripeSize (the code's file size B, in bytes,
+// since symbols are GF(2^8) elements). Each of the n nodes stores
+// NodeSymbols bytes per stripe; a repair helper contributes HelperSymbols
+// bytes per stripe.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by the code implementations.
+var (
+	ErrShortShards   = errors.New("erasure: not enough shards to decode")
+	ErrShortHelpers  = errors.New("erasure: not enough helpers to regenerate")
+	ErrIndexRange    = errors.New("erasure: node index out of range")
+	ErrDuplicateItem = errors.New("erasure: duplicate node index")
+	ErrShardSize     = errors.New("erasure: shard has wrong size")
+)
+
+// Params carries the regenerating-code parameters {(n, k, d)}. For codes
+// without a repair procedure (Reed-Solomon), D is conventionally set to K.
+type Params struct {
+	N int // number of storage nodes
+	K int // any K node contents suffice to decode
+	D int // number of helpers contacted during repair
+}
+
+// Validate checks the standard parameter constraints k <= d <= n-1 and
+// n <= 256 (the field size bounds the number of distinct code symbols).
+func (p Params) Validate() error {
+	switch {
+	case p.K < 1:
+		return fmt.Errorf("erasure: k = %d, want >= 1", p.K)
+	case p.D < p.K:
+		return fmt.Errorf("erasure: d = %d < k = %d", p.D, p.K)
+	case p.N <= p.D:
+		return fmt.Errorf("erasure: n = %d, want > d = %d", p.N, p.D)
+	case p.N > 256:
+		return fmt.Errorf("erasure: n = %d exceeds GF(2^8) limit of 256", p.N)
+	}
+	return nil
+}
+
+// Shard is one node's stored content, tagged with the node index in [0, n).
+type Shard struct {
+	Index int
+	Data  []byte
+}
+
+// Helper is the repair data one helper node contributes, tagged with the
+// helper's node index.
+type Helper struct {
+	Index int
+	Data  []byte
+}
+
+// Code is the interface common to all storage codes.
+type Code interface {
+	// Params returns the code parameters.
+	Params() Params
+	// StripeSize returns B, the number of value bytes per stripe.
+	StripeSize() int
+	// NodeSymbols returns alpha, the bytes stored per node per stripe.
+	NodeSymbols() int
+	// Stripes returns the number of stripes used for a value of the given
+	// length (at least 1; zero-length values still occupy one stripe).
+	Stripes(valueLen int) int
+	// ShardSize returns the per-node storage in bytes for a value of the
+	// given length.
+	ShardSize(valueLen int) int
+	// Encode splits a value into n shards. The value is padded internally;
+	// callers must remember the original length to decode.
+	Encode(value []byte) ([][]byte, error)
+	// Decode recovers a value of the given original length from at least k
+	// shards with distinct indices.
+	Decode(valueLen int, shards []Shard) ([]byte, error)
+}
+
+// Regenerating extends Code with the node-repair procedure of the
+// regenerating-code framework. The construction used here guarantees that a
+// helper's output depends only on the failed node's index, never on the
+// identity of the other helpers -- the property the LDS algorithm requires
+// (paper, Section II-c).
+type Regenerating interface {
+	Code
+	// HelperSymbols returns beta, the bytes a helper sends per stripe.
+	HelperSymbols() int
+	// HelperSize returns the total helper payload for a value of the given
+	// length.
+	HelperSize(valueLen int) int
+	// Helper computes the repair data node helperIdx (owning shard) sends
+	// toward the repair of node failedIdx.
+	Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error)
+	// Regenerate rebuilds the shard of failedIdx from at least d helpers
+	// with distinct indices, none of which may be failedIdx itself.
+	Regenerate(failedIdx int, helpers []Helper) ([]byte, error)
+}
+
+// PadToStripes returns value padded with zeros to stripes*stripeSize bytes.
+// A nil or empty value still occupies one stripe.
+func PadToStripes(value []byte, stripeSize int) []byte {
+	stripes := StripeCount(len(value), stripeSize)
+	padded := make([]byte, stripes*stripeSize)
+	copy(padded, value)
+	return padded
+}
+
+// StripeCount returns the number of stripes a value of the given length
+// occupies (at least 1).
+func StripeCount(valueLen, stripeSize int) int {
+	if valueLen <= 0 {
+		return 1
+	}
+	return (valueLen + stripeSize - 1) / stripeSize
+}
+
+// CheckDistinct verifies that shard/helper indices are distinct and within
+// [0, n).
+func CheckDistinct(indices []int, n int) error {
+	seen := make(map[int]bool, len(indices))
+	for _, idx := range indices {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("%w: %d (n = %d)", ErrIndexRange, idx, n)
+		}
+		if seen[idx] {
+			return fmt.Errorf("%w: %d", ErrDuplicateItem, idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+// Package mbr implements the product-matrix minimum-bandwidth-regenerating
+// (MBR) code of Rashmi, Shah and Kumar ("Optimal Exact-Regenerating Codes
+// for Distributed Storage at the MSR and MBR Points via a Product-Matrix
+// Construction", IEEE Trans. IT 2011) -- reference [25] of the LDS paper.
+//
+// Parameters are {(n, k, d)(alpha = d*beta, beta = 1)} per stripe, with file
+// size B = k*d - k*(k-1)/2 = k*(2d-k+1)/2 symbols. The construction encodes
+// a symmetric (d x d) message matrix M with a Vandermonde encoding matrix
+// Psi; node i stores psi_i * M.
+//
+// Two properties matter to the LDS algorithm:
+//
+//  1. Exact repair with helper data that depends only on the failed node's
+//     index: helper i sends psi_i * M * psi_f^T, computable from its own
+//     shard and f alone (paper Section II-c insists on this).
+//  2. Operating at the MBR point, beta/B = 2/(k(2d-k+1)), which is what
+//     drives the Theta(1) read cost of Lemma V.2.
+package mbr
+
+import (
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/gf"
+	"github.com/lds-storage/lds/internal/matrix"
+)
+
+// Code is a product-matrix MBR code. It is immutable after construction and
+// safe for concurrent use.
+type Code struct {
+	params erasure.Params
+	b      int            // stripe size B in bytes
+	psi    *matrix.Matrix // n x d encoding matrix [Phi | Delta]
+	phi    *matrix.Matrix // n x k left block of psi
+}
+
+var _ erasure.Regenerating = (*Code)(nil)
+
+// New constructs an MBR code for the given parameters.
+func New(p erasure.Params) (*Code, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]byte, p.N)
+	for i := range points {
+		points[i] = byte(i)
+	}
+	psi := matrix.Vandermonde(points, p.D)
+	return &Code{
+		params: p,
+		b:      p.K*p.D - p.K*(p.K-1)/2,
+		psi:    psi,
+		phi:    psi.ColRange(0, p.K),
+	}, nil
+}
+
+// Params returns the code parameters.
+func (c *Code) Params() erasure.Params { return c.params }
+
+// StripeSize returns B = k*(2d-k+1)/2 bytes.
+func (c *Code) StripeSize() int { return c.b }
+
+// NodeSymbols returns alpha = d bytes per stripe.
+func (c *Code) NodeSymbols() int { return c.params.D }
+
+// HelperSymbols returns beta = 1 byte per stripe.
+func (c *Code) HelperSymbols() int { return 1 }
+
+// Stripes returns the stripe count for a value of the given length.
+func (c *Code) Stripes(valueLen int) int { return erasure.StripeCount(valueLen, c.b) }
+
+// ShardSize returns alpha * stripes bytes.
+func (c *Code) ShardSize(valueLen int) int { return c.Stripes(valueLen) * c.params.D }
+
+// HelperSize returns beta * stripes bytes.
+func (c *Code) HelperSize(valueLen int) int { return c.Stripes(valueLen) }
+
+// messageMatrix builds the symmetric d x d matrix M for one stripe:
+//
+//	M = | S   T |
+//	    | T^t 0 |
+//
+// where S is k x k symmetric (k(k+1)/2 symbols) and T is k x (d-k)
+// (k(d-k) symbols). data must be exactly B bytes.
+func (c *Code) messageMatrix(data []byte) *matrix.Matrix {
+	k, d := c.params.K, c.params.D
+	m := matrix.New(d, d)
+	p := 0
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			m.Set(i, j, data[p])
+			m.Set(j, i, data[p])
+			p++
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := k; j < d; j++ {
+			m.Set(i, j, data[p])
+			m.Set(j, i, data[p])
+			p++
+		}
+	}
+	return m
+}
+
+// extractMessage is the inverse of messageMatrix.
+func (c *Code) extractMessage(m *matrix.Matrix, out []byte) {
+	k, d := c.params.K, c.params.D
+	p := 0
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			out[p] = m.At(i, j)
+			p++
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := k; j < d; j++ {
+			out[p] = m.At(i, j)
+			p++
+		}
+	}
+}
+
+// Encode splits value into n shards of ShardSize(len(value)) bytes each.
+// Shard layout is stripe-major: stripe s occupies bytes [s*alpha, (s+1)*alpha).
+func (c *Code) Encode(value []byte) ([][]byte, error) {
+	n, d := c.params.N, c.params.D
+	padded := erasure.PadToStripes(value, c.b)
+	stripes := len(padded) / c.b
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, stripes*d)
+	}
+	for s := 0; s < stripes; s++ {
+		m := c.messageMatrix(padded[s*c.b : (s+1)*c.b])
+		coded := c.psi.Mul(m) // n x d
+		for i := 0; i < n; i++ {
+			copy(shards[i][s*d:(s+1)*d], coded.Row(i))
+		}
+	}
+	return shards, nil
+}
+
+// EncodeNode computes only node's shard; used where a single coded element
+// is needed without materializing all n.
+func (c *Code) EncodeNode(value []byte, node int) ([]byte, error) {
+	if node < 0 || node >= c.params.N {
+		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, node)
+	}
+	d := c.params.D
+	padded := erasure.PadToStripes(value, c.b)
+	stripes := len(padded) / c.b
+	shard := make([]byte, stripes*d)
+	row := c.psi.Row(node)
+	for s := 0; s < stripes; s++ {
+		m := c.messageMatrix(padded[s*c.b : (s+1)*c.b])
+		out := shard[s*d : (s+1)*d]
+		for i, coeff := range row {
+			gf.AddMulSlice(coeff, m.Row(i), out)
+		}
+	}
+	return shard, nil
+}
+
+// EncodeNodes computes the shards of only the listed nodes; the LDS edge
+// servers use it to produce the C2 restriction (the n2 back-end elements)
+// without materializing the full codeword.
+func (c *Code) EncodeNodes(value []byte, nodes []int) ([][]byte, error) {
+	if err := erasure.CheckDistinct(nodes, c.params.N); err != nil {
+		return nil, err
+	}
+	d := c.params.D
+	padded := erasure.PadToStripes(value, c.b)
+	stripes := len(padded) / c.b
+	shards := make([][]byte, len(nodes))
+	for i := range shards {
+		shards[i] = make([]byte, stripes*d)
+	}
+	for s := 0; s < stripes; s++ {
+		m := c.messageMatrix(padded[s*c.b : (s+1)*c.b])
+		for si, node := range nodes {
+			out := shards[si][s*d : (s+1)*d]
+			for i, coeff := range c.psi.Row(node) {
+				gf.AddMulSlice(coeff, m.Row(i), out)
+			}
+		}
+	}
+	return shards, nil
+}
+
+// Helper computes the repair data node helperIdx sends toward the repair of
+// node failedIdx: one byte per stripe, h = c_i . psi_f.
+func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
+	n, d := c.params.N, c.params.D
+	if helperIdx < 0 || helperIdx >= n || failedIdx < 0 || failedIdx >= n {
+		return nil, fmt.Errorf("%w: helper %d, failed %d", erasure.ErrIndexRange, helperIdx, failedIdx)
+	}
+	if helperIdx == failedIdx {
+		return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
+	}
+	if len(shard)%d != 0 || len(shard) == 0 {
+		return nil, fmt.Errorf("%w: %d bytes, want multiple of alpha = %d", erasure.ErrShardSize, len(shard), d)
+	}
+	stripes := len(shard) / d
+	psiF := c.psi.Row(failedIdx)
+	out := make([]byte, stripes)
+	for s := 0; s < stripes; s++ {
+		out[s] = gf.Dot(shard[s*d:(s+1)*d], psiF)
+	}
+	return out, nil
+}
+
+// Regenerate rebuilds the shard of failedIdx from at least d helpers with
+// distinct indices. With Psi_rep the d selected helper rows, the helpers
+// satisfy Psi_rep * (M psi_f^T) = h, so inverting Psi_rep recovers
+// M psi_f^T, whose transpose is psi_f M (M is symmetric) -- the lost shard.
+func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, error) {
+	n, d := c.params.N, c.params.D
+	if failedIdx < 0 || failedIdx >= n {
+		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, failedIdx)
+	}
+	if len(helpers) < d {
+		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortHelpers, len(helpers), d)
+	}
+	helpers = helpers[:d]
+	idx := make([]int, d)
+	stripes := -1
+	for i, h := range helpers {
+		if h.Index == failedIdx {
+			return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
+		}
+		idx[i] = h.Index
+		if stripes < 0 {
+			stripes = len(h.Data)
+		} else if len(h.Data) != stripes {
+			return nil, fmt.Errorf("%w: helper %d has %d bytes, want %d", erasure.ErrShardSize, h.Index, len(h.Data), stripes)
+		}
+	}
+	if stripes <= 0 {
+		return nil, fmt.Errorf("%w: empty helper data", erasure.ErrShardSize)
+	}
+	if err := erasure.CheckDistinct(idx, n); err != nil {
+		return nil, err
+	}
+	inv, err := c.psi.SelectRows(idx).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: repair matrix for helpers %v: %w", idx, err)
+	}
+	shard := make([]byte, stripes*d)
+	rhs := make([]byte, d)
+	for s := 0; s < stripes; s++ {
+		for i, h := range helpers {
+			rhs[i] = h.Data[s]
+		}
+		copy(shard[s*d:(s+1)*d], inv.MulVec(rhs))
+	}
+	return shard, nil
+}
+
+// Decode recovers a value of the given original length from at least k
+// shards with distinct indices. With Psi_DC = [Phi_DC | Delta_DC] the k
+// selected rows, the stacked shards equal
+//
+//	C = Psi_DC M = [Phi_DC S + Delta_DC T^t | Phi_DC T],
+//
+// so T = Phi_DC^-1 * C_right and S = Phi_DC^-1 * (C_left - Delta_DC T^t).
+func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
+	k, d, n := c.params.K, c.params.D, c.params.N
+	if len(shards) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortShards, len(shards), k)
+	}
+	shards = shards[:k]
+	idx := make([]int, k)
+	stripes := c.Stripes(valueLen)
+	for i, sh := range shards {
+		idx[i] = sh.Index
+		if len(sh.Data) != stripes*d {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, sh.Index, len(sh.Data), stripes*d)
+		}
+	}
+	if err := erasure.CheckDistinct(idx, n); err != nil {
+		return nil, err
+	}
+	phiInv, err := c.phi.SelectRows(idx).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode matrix for shards %v: %w", idx, err)
+	}
+	var delta *matrix.Matrix
+	if d > k {
+		delta = c.psi.SelectRows(idx).ColRange(k, d)
+	}
+
+	out := make([]byte, stripes*c.b)
+	for s := 0; s < stripes; s++ {
+		rows := make([][]byte, k)
+		for i, sh := range shards {
+			rows[i] = sh.Data[s*d : (s+1)*d]
+		}
+		coded, err := matrix.FromRows(rows)
+		if err != nil {
+			return nil, err
+		}
+		m := matrix.New(d, d)
+		var tmat *matrix.Matrix
+		if d > k {
+			tmat = phiInv.Mul(coded.ColRange(k, d)) // k x (d-k)
+			left := coded.ColRange(0, k).Add(delta.Mul(tmat.Transpose()))
+			smat := phiInv.Mul(left)
+			fillSym(m, smat, tmat, k, d)
+		} else {
+			smat := phiInv.Mul(coded)
+			fillSym(m, smat, nil, k, d)
+		}
+		c.extractMessage(m, out[s*c.b:(s+1)*c.b])
+	}
+	if valueLen > len(out) {
+		return nil, fmt.Errorf("erasure: value length %d exceeds decoded data %d", valueLen, len(out))
+	}
+	return out[:valueLen], nil
+}
+
+// fillSym writes the recovered S (k x k) and T (k x (d-k)) blocks into the
+// symmetric message matrix m.
+func fillSym(m, smat, tmat *matrix.Matrix, k, d int) {
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			m.Set(i, j, smat.At(i, j))
+		}
+	}
+	if tmat == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		for j := k; j < d; j++ {
+			m.Set(i, j, tmat.At(i, j-k))
+			m.Set(j, i, tmat.At(i, j-k))
+		}
+	}
+}

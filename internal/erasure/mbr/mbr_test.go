@@ -1,0 +1,446 @@
+package mbr
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lds-storage/lds/internal/erasure"
+)
+
+func mustNew(t *testing.T, n, k, d int) *Code {
+	t.Helper()
+	c, err := New(erasure.Params{N: n, K: k, D: d})
+	if err != nil {
+		t.Fatalf("New(%d,%d,%d): %v", n, k, d, err)
+	}
+	return c
+}
+
+func randValue(rng *rand.Rand, size int) []byte {
+	v := make([]byte, size)
+	rng.Read(v)
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, k, d int
+		wantErr bool
+	}{
+		{"valid small", 5, 2, 3, false},
+		{"valid k=d", 10, 4, 4, false},
+		{"paper example", 200, 80, 80, false},
+		{"k too small", 5, 0, 3, true},
+		{"d < k", 5, 3, 2, true},
+		{"n <= d", 4, 2, 4, true},
+		{"n too large", 300, 5, 10, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(erasure.Params{N: tt.n, K: tt.k, D: tt.d})
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStripeSizeMatchesMBRFileSize(t *testing.T) {
+	tests := []struct {
+		k, d, want int
+	}{
+		{1, 1, 1},
+		{2, 3, 5},  // k*(2d-k+1)/2 = 2*5/2
+		{4, 4, 10}, // 4*5/2
+		{80, 80, 3240},
+		{5, 8, 30},
+	}
+	for _, tt := range tests {
+		c := mustNew(t, tt.d+2, tt.k, tt.d)
+		if got := c.StripeSize(); got != tt.want {
+			t.Errorf("k=%d d=%d: StripeSize = %d, want %d", tt.k, tt.d, got, tt.want)
+		}
+		if got := c.NodeSymbols(); got != tt.d {
+			t.Errorf("k=%d d=%d: NodeSymbols = %d, want alpha = d = %d", tt.k, tt.d, got, tt.d)
+		}
+		if got := c.HelperSymbols(); got != 1 {
+			t.Errorf("HelperSymbols = %d, want 1", got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripAllSubsets(t *testing.T) {
+	c := mustNew(t, 6, 2, 3)
+	rng := rand.New(rand.NewSource(42))
+	value := randValue(rng, c.StripeSize()) // exactly one stripe
+	shards, err := c.Encode(value)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("Encode returned %d shards, want 6", len(shards))
+	}
+	// Every pair of shards must decode the value (k = 2).
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			got, err := c.Decode(len(value), []erasure.Shard{
+				{Index: i, Data: shards[i]},
+				{Index: j, Data: shards[j]},
+			})
+			if err != nil {
+				t.Fatalf("Decode(%d,%d): %v", i, j, err)
+			}
+			if !bytes.Equal(got, value) {
+				t.Fatalf("Decode(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeVariousSizes(t *testing.T) {
+	c := mustNew(t, 8, 3, 5)
+	rng := rand.New(rand.NewSource(7))
+	b := c.StripeSize()
+	for _, size := range []int{0, 1, b - 1, b, b + 1, 3 * b, 3*b + 17} {
+		value := randValue(rng, size)
+		shards, err := c.Encode(value)
+		if err != nil {
+			t.Fatalf("size %d: Encode: %v", size, err)
+		}
+		wantShard := c.ShardSize(size)
+		for i, sh := range shards {
+			if len(sh) != wantShard {
+				t.Fatalf("size %d: shard %d has %d bytes, want %d", size, i, len(sh), wantShard)
+			}
+		}
+		picks := rng.Perm(8)[:3]
+		sel := make([]erasure.Shard, 3)
+		for i, p := range picks {
+			sel[i] = erasure.Shard{Index: p, Data: shards[p]}
+		}
+		got, err := c.Decode(size, sel)
+		if err != nil {
+			t.Fatalf("size %d: Decode: %v", size, err)
+		}
+		if !bytes.Equal(got, value) {
+			t.Fatalf("size %d: decode mismatch", size)
+		}
+	}
+}
+
+func TestEncodeNodeMatchesEncode(t *testing.T) {
+	c := mustNew(t, 7, 3, 4)
+	rng := rand.New(rand.NewSource(5))
+	value := randValue(rng, 2*c.StripeSize()+3)
+	shards, err := c.Encode(value)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 7; i++ {
+		got, err := c.EncodeNode(value, i)
+		if err != nil {
+			t.Fatalf("EncodeNode(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, shards[i]) {
+			t.Fatalf("EncodeNode(%d) differs from Encode shard", i)
+		}
+	}
+	if _, err := c.EncodeNode(value, 7); err == nil {
+		t.Error("EncodeNode with out-of-range index should fail")
+	}
+}
+
+func TestRepairRecoverseveryNode(t *testing.T) {
+	c := mustNew(t, 8, 3, 5)
+	rng := rand.New(rand.NewSource(9))
+	value := randValue(rng, 2*c.StripeSize())
+	shards, err := c.Encode(value)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for failed := 0; failed < 8; failed++ {
+		// Pick d = 5 random distinct helpers, none the failed node.
+		var pool []int
+		for i := 0; i < 8; i++ {
+			if i != failed {
+				pool = append(pool, i)
+			}
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		helpers := make([]erasure.Helper, 5)
+		for i, h := range pool[:5] {
+			data, err := c.Helper(shards[h], h, failed)
+			if err != nil {
+				t.Fatalf("Helper(%d -> %d): %v", h, failed, err)
+			}
+			if len(data) != c.HelperSize(len(value)) {
+				t.Fatalf("helper data %d bytes, want %d", len(data), c.HelperSize(len(value)))
+			}
+			helpers[i] = erasure.Helper{Index: h, Data: data}
+		}
+		got, err := c.Regenerate(failed, helpers)
+		if err != nil {
+			t.Fatalf("Regenerate(%d): %v", failed, err)
+		}
+		if !bytes.Equal(got, shards[failed]) {
+			t.Fatalf("Regenerate(%d): exact repair violated", failed)
+		}
+	}
+}
+
+func TestHelperIndependentOfOtherHelpers(t *testing.T) {
+	// The LDS algorithm requires that helper data depends only on the failed
+	// index: compute helpers twice for different helper sets and check the
+	// overlap is byte-identical.
+	c := mustNew(t, 9, 3, 4)
+	rng := rand.New(rand.NewSource(13))
+	value := randValue(rng, c.StripeSize())
+	shards, _ := c.Encode(value)
+	const failed = 2
+	h1, err := c.Helper(shards[5], 5, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Helper(shards[5], 5, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(h1, h2) {
+		t.Fatal("helper data is not a function of (shard, failed index)")
+	}
+}
+
+func TestRegenerateUsesFirstDHelpers(t *testing.T) {
+	// The LDS L1 server takes the first d responses it receives, whatever
+	// subset that is; Regenerate must accept more than d and use d.
+	c := mustNew(t, 8, 2, 4)
+	rng := rand.New(rand.NewSource(17))
+	value := randValue(rng, 3*c.StripeSize()+1)
+	shards, _ := c.Encode(value)
+	const failed = 0
+	var helpers []erasure.Helper
+	for i := 1; i <= 6; i++ {
+		data, err := c.Helper(shards[i], i, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		helpers = append(helpers, erasure.Helper{Index: i, Data: data})
+	}
+	got, err := c.Regenerate(failed, helpers)
+	if err != nil {
+		t.Fatalf("Regenerate with extra helpers: %v", err)
+	}
+	if !bytes.Equal(got, shards[failed]) {
+		t.Fatal("Regenerate with extra helpers produced wrong shard")
+	}
+}
+
+func TestRegenerateErrors(t *testing.T) {
+	c := mustNew(t, 6, 2, 3)
+	value := []byte("hello")
+	shards, _ := c.Encode(value)
+	mkHelper := func(i, failed int) erasure.Helper {
+		d, err := c.Helper(shards[i], i, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return erasure.Helper{Index: i, Data: d}
+	}
+
+	if _, err := c.Regenerate(0, []erasure.Helper{mkHelper(1, 0)}); !errors.Is(err, erasure.ErrShortHelpers) {
+		t.Errorf("too few helpers: err = %v, want ErrShortHelpers", err)
+	}
+	dup := []erasure.Helper{mkHelper(1, 0), mkHelper(1, 0), mkHelper(2, 0)}
+	if _, err := c.Regenerate(0, dup); !errors.Is(err, erasure.ErrDuplicateItem) {
+		t.Errorf("duplicate helpers: err = %v, want ErrDuplicateItem", err)
+	}
+	if _, err := c.Regenerate(9, nil); !errors.Is(err, erasure.ErrIndexRange) {
+		t.Errorf("bad failed index: err = %v, want ErrIndexRange", err)
+	}
+	self := []erasure.Helper{{Index: 0, Data: []byte{1}}, mkHelper(1, 0), mkHelper(2, 0)}
+	if _, err := c.Regenerate(0, self); err == nil {
+		t.Error("self-help should fail")
+	}
+	ragged := []erasure.Helper{mkHelper(1, 0), {Index: 2, Data: []byte{1, 2, 3, 4}}, mkHelper(3, 0)}
+	if _, err := c.Regenerate(0, ragged); !errors.Is(err, erasure.ErrShardSize) {
+		t.Errorf("ragged helpers: err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := mustNew(t, 6, 3, 4)
+	value := []byte("the quick brown fox")
+	shards, _ := c.Encode(value)
+
+	if _, err := c.Decode(len(value), []erasure.Shard{{Index: 0, Data: shards[0]}}); !errors.Is(err, erasure.ErrShortShards) {
+		t.Errorf("too few shards: err = %v, want ErrShortShards", err)
+	}
+	dup := []erasure.Shard{
+		{Index: 0, Data: shards[0]}, {Index: 0, Data: shards[0]}, {Index: 1, Data: shards[1]},
+	}
+	if _, err := c.Decode(len(value), dup); !errors.Is(err, erasure.ErrDuplicateItem) {
+		t.Errorf("duplicate shards: err = %v, want ErrDuplicateItem", err)
+	}
+	bad := []erasure.Shard{
+		{Index: 0, Data: shards[0][:1]}, {Index: 1, Data: shards[1]}, {Index: 2, Data: shards[2]},
+	}
+	if _, err := c.Decode(len(value), bad); !errors.Is(err, erasure.ErrShardSize) {
+		t.Errorf("short shard: err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestHelperErrors(t *testing.T) {
+	c := mustNew(t, 6, 2, 3)
+	shards, _ := c.Encode([]byte("x"))
+	if _, err := c.Helper(shards[0], 0, 0); err == nil {
+		t.Error("helping oneself should fail")
+	}
+	if _, err := c.Helper(shards[0], 0, 99); !errors.Is(err, erasure.ErrIndexRange) {
+		t.Errorf("bad failed index: err = %v, want ErrIndexRange", err)
+	}
+	if _, err := c.Helper([]byte{1, 2}, 0, 1); !errors.Is(err, erasure.ErrShardSize) {
+		t.Errorf("bad shard size: err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestRegeneratedShardStillDecodes(t *testing.T) {
+	// End-to-end of the LDS read path: regenerate k shards via repair, then
+	// decode the value from the regenerated shards only.
+	c := mustNew(t, 10, 3, 4)
+	rng := rand.New(rand.NewSource(21))
+	value := randValue(rng, 2*c.StripeSize()+5)
+	shards, _ := c.Encode(value)
+
+	// Treat nodes 0..2 as the "L1 servers" regenerating their shards from
+	// helpers 4..9 (disjoint "L2").
+	var regenerated []erasure.Shard
+	for failed := 0; failed < 3; failed++ {
+		var helpers []erasure.Helper
+		for h := 4; h < 4+c.Params().D; h++ {
+			data, err := c.Helper(shards[h], h, failed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			helpers = append(helpers, erasure.Helper{Index: h, Data: data})
+		}
+		sh, err := c.Regenerate(failed, helpers)
+		if err != nil {
+			t.Fatalf("Regenerate(%d): %v", failed, err)
+		}
+		regenerated = append(regenerated, erasure.Shard{Index: failed, Data: sh})
+	}
+	got, err := c.Decode(len(value), regenerated)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("value decoded from regenerated shards differs")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	c := mustNew(t, 7, 3, 4)
+	rng := rand.New(rand.NewSource(31))
+	f := func(raw []byte) bool {
+		shards, err := c.Encode(raw)
+		if err != nil {
+			return false
+		}
+		picks := rng.Perm(7)[:3]
+		sel := make([]erasure.Shard, 3)
+		for i, p := range picks {
+			sel[i] = erasure.Shard{Index: p, Data: shards[p]}
+		}
+		got, err := c.Decode(len(raw), sel)
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("encode/decode round trip: %v", err)
+	}
+}
+
+func TestPaperScaleParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-parameter test skipped in -short mode")
+	}
+	// The paper's Fig. 6 example: n1 = n2 = 100, k = d = 80, n = 200.
+	c := mustNew(t, 200, 80, 80)
+	rng := rand.New(rand.NewSource(99))
+	value := randValue(rng, c.StripeSize())
+	shards, err := c.Encode(value)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	sel := make([]erasure.Shard, 80)
+	for i, p := range rng.Perm(200)[:80] {
+		sel[i] = erasure.Shard{Index: p, Data: shards[p]}
+	}
+	got, err := c.Decode(len(value), sel)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Fatal("decode mismatch at paper-scale parameters")
+	}
+
+	// Repair node 3 using the last 80 nodes as helpers ("L2").
+	var helpers []erasure.Helper
+	for h := 100; h < 180; h++ {
+		data, err := c.Helper(shards[h], h, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		helpers = append(helpers, erasure.Helper{Index: h, Data: data})
+	}
+	sh, err := c.Regenerate(3, helpers)
+	if err != nil {
+		t.Fatalf("Regenerate: %v", err)
+	}
+	if !bytes.Equal(sh, shards[3]) {
+		t.Fatal("exact repair violated at paper-scale parameters")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(erasure.Params{N: 15, K: 5, D: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(value)
+	b.SetBytes(int64(len(value)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegenerate(b *testing.B) {
+	c, err := New(erasure.Params{N: 15, K: 5, D: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(value)
+	shards, _ := c.Encode(value)
+	var helpers []erasure.Helper
+	for h := 1; h <= 8; h++ {
+		data, _ := c.Helper(shards[h], h, 0)
+		helpers = append(helpers, erasure.Helper{Index: h, Data: data})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Regenerate(0, helpers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

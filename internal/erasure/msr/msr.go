@@ -1,0 +1,385 @@
+// Package msr implements the product-matrix minimum-storage-regenerating
+// (MSR) code of Rashmi, Shah and Kumar (IEEE Trans. IT 2011) at d = 2k-2,
+// the construction's native operating point.
+//
+// The LDS paper uses this code only in its ablations: Remark 1 shows that
+// substituting MSR for MBR in the back-end layer raises the concurrency-free
+// read cost from Theta(1) to Omega(n1), and Remark 2 notes MBR pays at most
+// a 2x storage premium over MSR. This package makes both remarks measurable.
+//
+// Per stripe: alpha = k-1 = d-k+1, beta = 1, B = k*alpha = k(k-1) symbols.
+// The message is two symmetric alpha x alpha matrices S1, S2 stacked as
+// M = [S1; S2]; the encoding matrix is Psi = [Phi | Lambda*Phi] with Phi
+// Vandermonde and Lambda diagonal with distinct entries. Node i stores
+// psi_i * M.
+package msr
+
+import (
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/gf"
+	"github.com/lds-storage/lds/internal/matrix"
+)
+
+// Code is a product-matrix MSR code at d = 2k-2. Immutable and safe for
+// concurrent use.
+type Code struct {
+	params erasure.Params
+	alpha  int
+	b      int
+	phi    *matrix.Matrix // n x alpha
+	lambda []byte         // n distinct diagonal entries
+	psi    *matrix.Matrix // n x d = [Phi | Lambda*Phi]
+}
+
+var _ erasure.Regenerating = (*Code)(nil)
+
+// New constructs an MSR code with n nodes and dimension k >= 2; d is fixed
+// to 2k-2 by the construction.
+func New(n, k int) (*Code, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("msr: k = %d, want >= 2 (d = 2k-2 must be >= k)", k)
+	}
+	d := 2*k - 2
+	p := erasure.Params{N: n, K: k, D: d}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := k - 1
+
+	points, lambda, err := pickPoints(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	phi := matrix.Vandermonde(points, alpha)
+	psi := matrix.New(n, d)
+	for i := 0; i < n; i++ {
+		row := psi.Row(i)
+		copy(row[:alpha], phi.Row(i))
+		gf.MulSlice(lambda[i], phi.Row(i), row[alpha:])
+	}
+	return &Code{params: p, alpha: alpha, b: k * alpha, phi: phi, lambda: lambda, psi: psi}, nil
+}
+
+// pickPoints selects n distinct field elements whose alpha-th powers are
+// also pairwise distinct; the powers become the Lambda diagonal. With
+// psi_i = [phi_i | x_i^alpha * phi_i] each psi row is the length-2alpha
+// Vandermonde row of x_i, so any d = 2alpha rows of Psi are invertible.
+func pickPoints(n, alpha int) (points, lambda []byte, err error) {
+	seen := make(map[byte]bool, n)
+	for x := 0; x < 256 && len(points) < n; x++ {
+		lam := gf.Pow(byte(x), alpha)
+		if seen[lam] {
+			continue
+		}
+		seen[lam] = true
+		points = append(points, byte(x))
+		lambda = append(lambda, lam)
+	}
+	if len(points) < n {
+		return nil, nil, fmt.Errorf("msr: GF(2^8) yields only %d usable evaluation points for alpha = %d, need %d", len(points), alpha, n)
+	}
+	return points, lambda, nil
+}
+
+// Params returns the code parameters.
+func (c *Code) Params() erasure.Params { return c.params }
+
+// StripeSize returns B = k*(k-1) bytes.
+func (c *Code) StripeSize() int { return c.b }
+
+// NodeSymbols returns alpha = k-1 bytes per stripe.
+func (c *Code) NodeSymbols() int { return c.alpha }
+
+// HelperSymbols returns beta = 1 byte per stripe.
+func (c *Code) HelperSymbols() int { return 1 }
+
+// Stripes returns the stripe count for a value of the given length.
+func (c *Code) Stripes(valueLen int) int { return erasure.StripeCount(valueLen, c.b) }
+
+// ShardSize returns alpha * stripes bytes.
+func (c *Code) ShardSize(valueLen int) int { return c.Stripes(valueLen) * c.alpha }
+
+// HelperSize returns beta * stripes bytes.
+func (c *Code) HelperSize(valueLen int) int { return c.Stripes(valueLen) }
+
+// messageMatrices builds the two symmetric alpha x alpha matrices S1, S2
+// from B bytes of data.
+func (c *Code) messageMatrices(data []byte) (s1, s2 *matrix.Matrix) {
+	s1 = matrix.New(c.alpha, c.alpha)
+	s2 = matrix.New(c.alpha, c.alpha)
+	p := 0
+	for _, s := range []*matrix.Matrix{s1, s2} {
+		for i := 0; i < c.alpha; i++ {
+			for j := i; j < c.alpha; j++ {
+				s.Set(i, j, data[p])
+				s.Set(j, i, data[p])
+				p++
+			}
+		}
+	}
+	return s1, s2
+}
+
+// extractMessage is the inverse of messageMatrices.
+func (c *Code) extractMessage(s1, s2 *matrix.Matrix, out []byte) {
+	p := 0
+	for _, s := range []*matrix.Matrix{s1, s2} {
+		for i := 0; i < c.alpha; i++ {
+			for j := i; j < c.alpha; j++ {
+				out[p] = s.At(i, j)
+				p++
+			}
+		}
+	}
+}
+
+// Encode splits value into n shards; node i stores
+// phi_i*S1 + lambda_i*phi_i*S2 per stripe.
+func (c *Code) Encode(value []byte) ([][]byte, error) {
+	n := c.params.N
+	padded := erasure.PadToStripes(value, c.b)
+	stripes := len(padded) / c.b
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, stripes*c.alpha)
+	}
+	for s := 0; s < stripes; s++ {
+		s1, s2 := c.messageMatrices(padded[s*c.b : (s+1)*c.b])
+		c1 := c.phi.Mul(s1) // n x alpha
+		c2 := c.phi.Mul(s2)
+		for i := 0; i < n; i++ {
+			dst := shards[i][s*c.alpha : (s+1)*c.alpha]
+			copy(dst, c1.Row(i))
+			gf.AddMulSlice(c.lambda[i], c2.Row(i), dst)
+		}
+	}
+	return shards, nil
+}
+
+// EncodeNode computes a single node's shard.
+func (c *Code) EncodeNode(value []byte, node int) ([]byte, error) {
+	shards, err := c.EncodeNodes(value, []int{node})
+	if err != nil {
+		return nil, err
+	}
+	return shards[0], nil
+}
+
+// EncodeNodes computes the shards of only the listed nodes (the C2
+// restriction used when MSR substitutes for MBR in the ablation benches).
+func (c *Code) EncodeNodes(value []byte, nodes []int) ([][]byte, error) {
+	if err := erasure.CheckDistinct(nodes, c.params.N); err != nil {
+		return nil, err
+	}
+	padded := erasure.PadToStripes(value, c.b)
+	stripes := len(padded) / c.b
+	shards := make([][]byte, len(nodes))
+	for i := range shards {
+		shards[i] = make([]byte, stripes*c.alpha)
+	}
+	for s := 0; s < stripes; s++ {
+		s1, s2 := c.messageMatrices(padded[s*c.b : (s+1)*c.b])
+		for si, node := range nodes {
+			dst := shards[si][s*c.alpha : (s+1)*c.alpha]
+			for i, coeff := range c.phi.Row(node) {
+				gf.AddMulSlice(coeff, s1.Row(i), dst)
+				gf.AddMulSlice(gf.Mul(c.lambda[node], coeff), s2.Row(i), dst)
+			}
+		}
+	}
+	return shards, nil
+}
+
+// Helper computes the byte-per-stripe repair data toward failedIdx:
+// h = c_i . phi_f. As with MBR, it depends only on the failed node's index.
+func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
+	n := c.params.N
+	if helperIdx < 0 || helperIdx >= n || failedIdx < 0 || failedIdx >= n {
+		return nil, fmt.Errorf("%w: helper %d, failed %d", erasure.ErrIndexRange, helperIdx, failedIdx)
+	}
+	if helperIdx == failedIdx {
+		return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
+	}
+	if len(shard)%c.alpha != 0 || len(shard) == 0 {
+		return nil, fmt.Errorf("%w: %d bytes, want multiple of alpha = %d", erasure.ErrShardSize, len(shard), c.alpha)
+	}
+	stripes := len(shard) / c.alpha
+	phiF := c.phi.Row(failedIdx)
+	out := make([]byte, stripes)
+	for s := 0; s < stripes; s++ {
+		out[s] = gf.Dot(shard[s*c.alpha:(s+1)*c.alpha], phiF)
+	}
+	return out, nil
+}
+
+// Regenerate rebuilds failedIdx's shard from at least d = 2k-2 helpers.
+// Stacking d helper equations gives Psi_rep * [S1 phi_f^T; S2 phi_f^T] = h;
+// inverting Psi_rep yields u = S1 phi_f^T and v = S2 phi_f^T, and the lost
+// shard is u^T + lambda_f * v^T.
+func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, error) {
+	n, d := c.params.N, c.params.D
+	if failedIdx < 0 || failedIdx >= n {
+		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, failedIdx)
+	}
+	if len(helpers) < d {
+		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortHelpers, len(helpers), d)
+	}
+	helpers = helpers[:d]
+	idx := make([]int, d)
+	stripes := -1
+	for i, h := range helpers {
+		if h.Index == failedIdx {
+			return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
+		}
+		idx[i] = h.Index
+		if stripes < 0 {
+			stripes = len(h.Data)
+		} else if len(h.Data) != stripes {
+			return nil, fmt.Errorf("%w: helper %d has %d bytes, want %d", erasure.ErrShardSize, h.Index, len(h.Data), stripes)
+		}
+	}
+	if stripes <= 0 {
+		return nil, fmt.Errorf("%w: empty helper data", erasure.ErrShardSize)
+	}
+	if err := erasure.CheckDistinct(idx, n); err != nil {
+		return nil, err
+	}
+	inv, err := c.psi.SelectRows(idx).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("msr: repair matrix for helpers %v: %w", idx, err)
+	}
+	shard := make([]byte, stripes*c.alpha)
+	rhs := make([]byte, d)
+	lamF := c.lambda[failedIdx]
+	for s := 0; s < stripes; s++ {
+		for i, h := range helpers {
+			rhs[i] = h.Data[s]
+		}
+		uv := inv.MulVec(rhs) // [u; v], each alpha long
+		dst := shard[s*c.alpha : (s+1)*c.alpha]
+		copy(dst, uv[:c.alpha])
+		gf.AddMulSlice(lamF, uv[c.alpha:], dst)
+	}
+	return shard, nil
+}
+
+// Decode recovers the value from at least k shards. Following the
+// product-matrix MSR data-reconstruction procedure: with C the stacked
+// shards, A = C * Phi_DC^T has entries A_ij = P_ij + lambda_i * Q_ij where
+// P = Phi S1 Phi^T and Q = Phi S2 Phi^T are symmetric. Off-diagonal P_ij,
+// Q_ij follow from the 2x2 systems {A_ij, A_ji}; each row of P (off-diagonal
+// entries) then determines phi_i*S1 because any alpha of the phi rows are
+// independent, and finally S1 = (alpha rows of Phi_DC)^-1 * rows. Same for
+// S2.
+func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
+	k, n := c.params.K, c.params.N
+	if len(shards) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortShards, len(shards), k)
+	}
+	shards = shards[:k]
+	idx := make([]int, k)
+	stripes := c.Stripes(valueLen)
+	for i, sh := range shards {
+		idx[i] = sh.Index
+		if len(sh.Data) != stripes*c.alpha {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, sh.Index, len(sh.Data), stripes*c.alpha)
+		}
+	}
+	if err := erasure.CheckDistinct(idx, n); err != nil {
+		return nil, err
+	}
+	phiDC := c.phi.SelectRows(idx) // k x alpha
+	phiDCT := phiDC.Transpose()    // alpha x k
+	lam := make([]byte, k)
+	for i, ix := range idx {
+		lam[i] = c.lambda[ix]
+	}
+	// Per decoder row i, the alpha x alpha system whose columns are the
+	// other rows' phi vectors; invert once outside the stripe loop.
+	rowSolvers := make([]*matrix.Matrix, k)
+	for i := 0; i < k; i++ {
+		cols := make([]int, 0, k-1)
+		for j := 0; j < k; j++ {
+			if j != i {
+				cols = append(cols, j)
+			}
+		}
+		g := phiDCT.SelectCols(cols) // alpha x alpha: columns phi_j^T, j != i
+		ginv, err := g.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("msr: row solver %d singular: %w", i, err)
+		}
+		rowSolvers[i] = ginv.Transpose()
+	}
+	// S = (first alpha rows of Phi_DC)^-1 applied to the recovered Phi*S.
+	phiTopInv, err := phiDC.SelectRows(seq(c.alpha)).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("msr: Phi_DC top block singular: %w", err)
+	}
+
+	out := make([]byte, stripes*c.b)
+	for s := 0; s < stripes; s++ {
+		rows := make([][]byte, k)
+		for i, sh := range shards {
+			rows[i] = sh.Data[s*c.alpha : (s+1)*c.alpha]
+		}
+		coded, err := matrix.FromRows(rows)
+		if err != nil {
+			return nil, err
+		}
+		a := coded.Mul(phiDCT) // k x k; A = P + Lambda Q
+		pmat := matrix.New(k, k)
+		qmat := matrix.New(k, k)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				// A_ij = P_ij + lam_i Q_ij ; A_ji = P_ij + lam_j Q_ij.
+				den := gf.Sub(lam[i], lam[j]) // nonzero: lambdas distinct
+				q := gf.Div(gf.Sub(a.At(i, j), a.At(j, i)), den)
+				p := gf.Sub(a.At(i, j), gf.Mul(lam[i], q))
+				pmat.Set(i, j, p)
+				pmat.Set(j, i, p)
+				qmat.Set(i, j, q)
+				qmat.Set(j, i, q)
+			}
+		}
+		s1 := c.recoverSym(pmat, rowSolvers, phiTopInv)
+		s2 := c.recoverSym(qmat, rowSolvers, phiTopInv)
+		c.extractMessage(s1, s2, out[s*c.b:(s+1)*c.b])
+	}
+	if valueLen > len(out) {
+		return nil, fmt.Errorf("msr: value length %d exceeds decoded data %d", valueLen, len(out))
+	}
+	return out[:valueLen], nil
+}
+
+// recoverSym turns the off-diagonal entries of P = Phi_DC S Phi_DC^T back
+// into the symmetric alpha x alpha matrix S.
+func (c *Code) recoverSym(p *matrix.Matrix, rowSolvers []*matrix.Matrix, phiTopInv *matrix.Matrix) *matrix.Matrix {
+	k := c.params.K
+	// Row i of Phi_DC*S solves w_i * [phi_j^T]_{j != i} = P_i,offdiag.
+	phiS := matrix.New(k, c.alpha)
+	rhs := make([]byte, c.alpha)
+	for i := 0; i < k; i++ {
+		pos := 0
+		for j := 0; j < k; j++ {
+			if j != i {
+				rhs[pos] = p.At(i, j)
+				pos++
+			}
+		}
+		// w_i = rhs * G^-1  <=>  w_i^T = (G^-1)^T * rhs^T; rowSolvers[i]
+		// already stores (G^-1)^T.
+		copy(phiS.Row(i), rowSolvers[i].MulVec(rhs))
+	}
+	return phiTopInv.Mul(phiS.SelectRows(seq(c.alpha)))
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,251 @@
+package msr
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lds-storage/lds/internal/erasure"
+)
+
+func mustNew(t *testing.T, n, k int) *Code {
+	t.Helper()
+	c, err := New(n, k)
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", n, k, err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, k    int
+		wantErr bool
+	}{
+		{"smallest", 3, 2, false}, // d = 2, n = 3
+		{"typical", 12, 5, false},
+		{"k too small", 5, 1, true},
+		{"n <= d", 8, 5, true}, // d = 8
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.n, tt.k)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("New error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMSRParameterIdentities(t *testing.T) {
+	c := mustNew(t, 12, 5)
+	p := c.Params()
+	if p.D != 2*p.K-2 {
+		t.Errorf("d = %d, want 2k-2 = %d", p.D, 2*p.K-2)
+	}
+	if c.NodeSymbols() != p.K-1 {
+		t.Errorf("alpha = %d, want k-1 = %d", c.NodeSymbols(), p.K-1)
+	}
+	// MSR point: B = k*alpha exactly (minimum storage).
+	if c.StripeSize() != p.K*c.NodeSymbols() {
+		t.Errorf("B = %d, want k*alpha = %d", c.StripeSize(), p.K*c.NodeSymbols())
+	}
+}
+
+func TestLambdasDistinct(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 6} {
+		c := mustNew(t, 2*k, k) // n = 2k > d = 2k-2
+		seen := make(map[byte]bool)
+		for _, l := range c.lambda {
+			if seen[l] {
+				t.Fatalf("k=%d: duplicate lambda %d", k, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestPickPointsExhaustion(t *testing.T) {
+	// alpha = 3 divides 255 = 3*5*17, so x -> x^3 is 3-to-1 on nonzero
+	// elements: only 85 + 1 usable points exist; asking for more must fail.
+	if _, _, err := pickPoints(87, 3); err == nil {
+		t.Error("pickPoints(87, 3) should fail: only 86 points available")
+	}
+	pts, lams, err := pickPoints(86, 3)
+	if err != nil {
+		t.Fatalf("pickPoints(86, 3): %v", err)
+	}
+	if len(pts) != 86 || len(lams) != 86 {
+		t.Fatalf("pickPoints returned %d points, %d lambdas", len(pts), len(lams))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range []struct{ n, k int }{{3, 2}, {8, 3}, {12, 5}, {20, 6}} {
+		c := mustNew(t, cfg.n, cfg.k)
+		b := c.StripeSize()
+		for _, size := range []int{0, 1, b, 2*b + 7} {
+			value := make([]byte, size)
+			rng.Read(value)
+			shards, err := c.Encode(value)
+			if err != nil {
+				t.Fatalf("n=%d k=%d size=%d: Encode: %v", cfg.n, cfg.k, size, err)
+			}
+			picks := rng.Perm(cfg.n)[:cfg.k]
+			sel := make([]erasure.Shard, cfg.k)
+			for i, p := range picks {
+				sel[i] = erasure.Shard{Index: p, Data: shards[p]}
+			}
+			got, err := c.Decode(size, sel)
+			if err != nil {
+				t.Fatalf("n=%d k=%d size=%d picks=%v: Decode: %v", cfg.n, cfg.k, size, picks, err)
+			}
+			if !bytes.Equal(got, value) {
+				t.Fatalf("n=%d k=%d size=%d picks=%v: mismatch", cfg.n, cfg.k, size, picks)
+			}
+		}
+	}
+}
+
+func TestExactRepairAllNodes(t *testing.T) {
+	c := mustNew(t, 10, 4) // d = 6
+	rng := rand.New(rand.NewSource(17))
+	value := make([]byte, 3*c.StripeSize()+5)
+	rng.Read(value)
+	shards, err := c.Encode(value)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for failed := 0; failed < 10; failed++ {
+		var pool []int
+		for i := 0; i < 10; i++ {
+			if i != failed {
+				pool = append(pool, i)
+			}
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		helpers := make([]erasure.Helper, c.Params().D)
+		for i, h := range pool[:c.Params().D] {
+			data, err := c.Helper(shards[h], h, failed)
+			if err != nil {
+				t.Fatalf("Helper(%d -> %d): %v", h, failed, err)
+			}
+			helpers[i] = erasure.Helper{Index: h, Data: data}
+		}
+		got, err := c.Regenerate(failed, helpers)
+		if err != nil {
+			t.Fatalf("Regenerate(%d): %v", failed, err)
+		}
+		if !bytes.Equal(got, shards[failed]) {
+			t.Fatalf("Regenerate(%d): exact repair violated", failed)
+		}
+	}
+}
+
+func TestRegenerateErrors(t *testing.T) {
+	c := mustNew(t, 8, 3) // d = 4
+	shards, _ := c.Encode([]byte("msr"))
+	mk := func(i, failed int) erasure.Helper {
+		d, err := c.Helper(shards[i], i, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return erasure.Helper{Index: i, Data: d}
+	}
+	if _, err := c.Regenerate(0, []erasure.Helper{mk(1, 0), mk(2, 0)}); !errors.Is(err, erasure.ErrShortHelpers) {
+		t.Errorf("short helpers: err = %v", err)
+	}
+	if _, err := c.Regenerate(-1, nil); !errors.Is(err, erasure.ErrIndexRange) {
+		t.Errorf("bad index: err = %v", err)
+	}
+	dup := []erasure.Helper{mk(1, 0), mk(1, 0), mk(2, 0), mk(3, 0)}
+	if _, err := c.Regenerate(0, dup); !errors.Is(err, erasure.ErrDuplicateItem) {
+		t.Errorf("dup helpers: err = %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := mustNew(t, 8, 3)
+	value := []byte("some value bytes")
+	shards, _ := c.Encode(value)
+	if _, err := c.Decode(len(value), []erasure.Shard{{Index: 0, Data: shards[0]}}); !errors.Is(err, erasure.ErrShortShards) {
+		t.Errorf("short: err = %v", err)
+	}
+	bad := []erasure.Shard{
+		{Index: 0, Data: shards[0][:1]}, {Index: 1, Data: shards[1]}, {Index: 2, Data: shards[2]},
+	}
+	if _, err := c.Decode(len(value), bad); !errors.Is(err, erasure.ErrShardSize) {
+		t.Errorf("bad size: err = %v", err)
+	}
+}
+
+func TestMSRStorageIsMinimum(t *testing.T) {
+	// At the MSR point total storage = n/k * B exactly; per node = B/k.
+	// This is the floor Remark 2 compares MBR against.
+	c := mustNew(t, 12, 5)
+	valueLen := 4 * c.StripeSize()
+	perNode := c.ShardSize(valueLen)
+	if perNode*c.Params().K != valueLen {
+		t.Errorf("k * shard = %d, want exactly valueLen = %d", perNode*c.Params().K, valueLen)
+	}
+}
+
+func TestHelperDependsOnlyOnFailedIndex(t *testing.T) {
+	c := mustNew(t, 9, 4)
+	rng := rand.New(rand.NewSource(23))
+	value := make([]byte, c.StripeSize())
+	rng.Read(value)
+	shards, _ := c.Encode(value)
+	a, err := c.Helper(shards[7], 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Helper(shards[7], 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("helper not deterministic in (shard, failed)")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	c := mustNew(t, 9, 4)
+	rng := rand.New(rand.NewSource(31))
+	f := func(raw []byte) bool {
+		shards, err := c.Encode(raw)
+		if err != nil {
+			return false
+		}
+		picks := rng.Perm(9)[:4]
+		sel := make([]erasure.Shard, 4)
+		for i, p := range picks {
+			sel[i] = erasure.Shard{Index: p, Data: shards[p]}
+		}
+		got, err := c.Decode(len(raw), sel)
+		return err == nil && bytes.Equal(got, raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(15, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(value)
+	b.SetBytes(int64(len(value)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

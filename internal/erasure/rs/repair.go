@@ -1,0 +1,102 @@
+package rs
+
+import (
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/erasure"
+)
+
+// RepairCode adapts the Reed-Solomon code to the erasure.Regenerating
+// interface with the naive repair procedure: a helper contributes its whole
+// shard (beta = alpha = B/k) and the replacement decodes the value from k
+// shards and re-encodes its own.
+//
+// This is exactly an MSR-point code operated at d = k, the configuration
+// the paper's Remark 1 analyses for the symmetric system (n1 = n2,
+// f1 = f2 forces d = k): regeneration pulls k * B/k = B bytes -- one whole
+// value -- into every L1 server, which is what drives the read cost to
+// Omega(n1). Plugging a RepairCode into the LDS cluster makes that remark
+// measurable against the MBR default.
+type RepairCode struct {
+	*Code
+}
+
+var _ erasure.Regenerating = (*RepairCode)(nil)
+
+// NewRepair constructs an (n, k) Reed-Solomon code with naive repair.
+func NewRepair(n, k int) (*RepairCode, error) {
+	c, err := New(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &RepairCode{Code: c}, nil
+}
+
+// HelperSymbols returns beta = alpha = 1 symbol per stripe: the helper
+// sends its entire shard.
+func (c *RepairCode) HelperSymbols() int { return c.NodeSymbols() }
+
+// HelperSize returns the helper payload: the whole shard.
+func (c *RepairCode) HelperSize(valueLen int) int { return c.ShardSize(valueLen) }
+
+// Helper returns the helper's full shard; with naive repair the helper data
+// is the stored content itself (it still depends only on the helper, never
+// on the other helpers, so the LDS requirement holds trivially).
+func (c *RepairCode) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
+	n := c.Params().N
+	if helperIdx < 0 || helperIdx >= n || failedIdx < 0 || failedIdx >= n {
+		return nil, fmt.Errorf("%w: helper %d, failed %d", erasure.ErrIndexRange, helperIdx, failedIdx)
+	}
+	if helperIdx == failedIdx {
+		return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
+	}
+	out := make([]byte, len(shard))
+	copy(out, shard)
+	return out, nil
+}
+
+// Regenerate decodes the value from d = k helper shards and re-encodes the
+// failed node's shard.
+func (c *RepairCode) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, error) {
+	k, n := c.Params().K, c.Params().N
+	if failedIdx < 0 || failedIdx >= n {
+		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, failedIdx)
+	}
+	if len(helpers) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortHelpers, len(helpers), k)
+	}
+	shards := make([]erasure.Shard, k)
+	stripes := -1
+	for i, h := range helpers[:k] {
+		if h.Index == failedIdx {
+			return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
+		}
+		if stripes < 0 {
+			stripes = len(h.Data)
+		} else if len(h.Data) != stripes {
+			return nil, fmt.Errorf("%w: helper %d has %d bytes, want %d", erasure.ErrShardSize, h.Index, len(h.Data), stripes)
+		}
+		shards[i] = erasure.Shard{Index: h.Index, Data: h.Data}
+	}
+	// Decode the padded value (stripes * k bytes) and re-encode one node.
+	value, err := c.Decode(stripes*k, shards)
+	if err != nil {
+		return nil, err
+	}
+	return c.EncodeNode(value, failedIdx)
+}
+
+// EncodeNode computes a single node's shard (also used by the LDS L2
+// server for its initial state).
+func (c *RepairCode) EncodeNode(value []byte, node int) ([]byte, error) {
+	if node < 0 || node >= c.Params().N {
+		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, node)
+	}
+	// Encoding all shards is acceptable here: the adapter exists for
+	// ablation benchmarks, not the production path.
+	shards, err := c.Encode(value)
+	if err != nil {
+		return nil, err
+	}
+	return shards[node], nil
+}

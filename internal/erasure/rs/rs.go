@@ -1,0 +1,154 @@
+// Package rs implements a systematic Reed-Solomon code over GF(2^8).
+//
+// In the LDS paper, Reed-Solomon is the "popular choice" the back-end code
+// is compared against (Section I): it matches MBR/MSR codes on storage
+// overhead but lacks a bandwidth-efficient repair procedure -- repairing a
+// single node requires downloading k full shards, i.e. the entire value.
+// The package exists to serve as that baseline in the benchmark harness and
+// to exercise the shared erasure.Code interface with a non-regenerating
+// code.
+//
+// The construction is a Vandermonde matrix row-reduced to systematic form:
+// the top k rows are the identity, so the first k shards are plain chunks of
+// the value, and any k of the n shards reconstruct the value.
+package rs
+
+import (
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/gf"
+	"github.com/lds-storage/lds/internal/matrix"
+)
+
+// Code is a systematic Reed-Solomon code. Immutable and safe for concurrent
+// use.
+type Code struct {
+	params erasure.Params
+	enc    *matrix.Matrix // n x k systematic encoding matrix
+}
+
+var _ erasure.Code = (*Code)(nil)
+
+// New constructs an (n, k) Reed-Solomon code. The D parameter is forced to K
+// because RS repair is naive reconstruction from k shards.
+func New(n, k int) (*Code, error) {
+	p := erasure.Params{N: n, K: k, D: k}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]byte, n)
+	for i := range points {
+		points[i] = byte(i)
+	}
+	vand := matrix.Vandermonde(points, k)
+	topInv, err := vand.SelectRows(seq(k)).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("rs: systematize: %w", err)
+	}
+	return &Code{params: p, enc: vand.Mul(topInv)}, nil
+}
+
+// Params returns the code parameters (with D = K).
+func (c *Code) Params() erasure.Params { return c.params }
+
+// StripeSize returns k: one byte per node per stripe.
+func (c *Code) StripeSize() int { return c.params.K }
+
+// NodeSymbols returns 1 (alpha for RS is one symbol per stripe).
+func (c *Code) NodeSymbols() int { return 1 }
+
+// Stripes returns the stripe count for a value of the given length.
+func (c *Code) Stripes(valueLen int) int { return erasure.StripeCount(valueLen, c.params.K) }
+
+// ShardSize returns the per-node bytes for a value of the given length.
+func (c *Code) ShardSize(valueLen int) int { return c.Stripes(valueLen) }
+
+// Encode splits value into n shards of ShardSize(len(value)) bytes.
+// Shard i holds, for each stripe s, the i-th code symbol of that stripe.
+// Because the code is systematic, shard i < k is byte i, i+k, i+2k, ... of
+// the (padded) value.
+func (c *Code) Encode(value []byte) ([][]byte, error) {
+	n, k := c.params.N, c.params.K
+	padded := erasure.PadToStripes(value, k)
+	stripes := len(padded) / k
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, stripes)
+	}
+	// Gather the value into k "data lanes" so each shard is one
+	// matrix-vector product over long vectors rather than per-stripe work.
+	lanes := make([][]byte, k)
+	for j := 0; j < k; j++ {
+		lanes[j] = make([]byte, stripes)
+		for s := 0; s < stripes; s++ {
+			lanes[j][s] = padded[s*k+j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := c.enc.Row(i)
+		for j, coeff := range row {
+			gf.AddMulSlice(coeff, lanes[j], shards[i])
+		}
+	}
+	return shards, nil
+}
+
+// Decode reconstructs a value of the given original length from at least k
+// shards with distinct indices.
+func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
+	n, k := c.params.N, c.params.K
+	if len(shards) < k {
+		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortShards, len(shards), k)
+	}
+	shards = shards[:k]
+	idx := make([]int, k)
+	stripes := c.Stripes(valueLen)
+	for i, sh := range shards {
+		idx[i] = sh.Index
+		if len(sh.Data) != stripes {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, sh.Index, len(sh.Data), stripes)
+		}
+	}
+	if err := erasure.CheckDistinct(idx, n); err != nil {
+		return nil, err
+	}
+	inv, err := c.enc.SelectRows(idx).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("rs: decode matrix for shards %v: %w", idx, err)
+	}
+	// Recover the k data lanes, then interleave back into the value.
+	lanes := make([][]byte, k)
+	for j := 0; j < k; j++ {
+		lanes[j] = make([]byte, stripes)
+		row := inv.Row(j)
+		for i, coeff := range row {
+			gf.AddMulSlice(coeff, shards[i].Data, lanes[j])
+		}
+	}
+	out := make([]byte, stripes*k)
+	for s := 0; s < stripes; s++ {
+		for j := 0; j < k; j++ {
+			out[s*k+j] = lanes[j][s]
+		}
+	}
+	if valueLen > len(out) {
+		return nil, fmt.Errorf("rs: value length %d exceeds decoded data %d", valueLen, len(out))
+	}
+	return out[:valueLen], nil
+}
+
+// RepairReadCost returns the number of bytes that must be transferred to
+// repair one node's shard for a value of the given length: k whole shards.
+// This is the quantity the regenerating-code benchmarks compare against.
+func (c *Code) RepairReadCost(valueLen int) int {
+	return c.params.K * c.ShardSize(valueLen)
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/lds"
+)
+
+// testParams is a small geometry with k = Theta(n2), d = Theta(n2), the
+// regime of the paper's headline results.
+func testParams(t *testing.T) lds.Params {
+	t.Helper()
+	p, err := lds.NewParams(6, 8, 1, 2) // k = 4, d = 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMeasureWriteCostMatchesLemmaV2(t *testing.T) {
+	res, err := MeasureWriteCost(testParams(t), 4096)
+	if err != nil {
+		t.Fatalf("MeasureWriteCost: %v", err)
+	}
+	if res.Deviation() > 0.01 {
+		t.Errorf("write cost measured %.3f vs paper %.3f (deviation %.1f%%)",
+			res.Measured, res.Paper, 100*res.Deviation())
+	}
+}
+
+func TestMeasureReadCostQuiescentMatchesLemmaV2(t *testing.T) {
+	res, err := MeasureReadCost(testParams(t), 4096, false)
+	if err != nil {
+		t.Fatalf("MeasureReadCost: %v", err)
+	}
+	if res.Deviation() > 0.01 {
+		t.Errorf("read cost (delta=0) measured %.3f vs paper %.3f (deviation %.1f%%)",
+			res.Measured, res.Paper, 100*res.Deviation())
+	}
+}
+
+func TestMeasureReadCostConcurrentWithinPaperWorstCase(t *testing.T) {
+	p := testParams(t)
+	res, err := MeasureReadCost(p, 4096, true)
+	if err != nil {
+		t.Fatalf("MeasureReadCost: %v", err)
+	}
+	// The paper's delta>0 figure is a worst case covering both the n1 full
+	// values and the regeneration traffic. In the measured run every server
+	// answers from its list, so the cost is the n1 value transfers (and can
+	// even undercut the delta=0 regeneration bill, since no L2 round trips
+	// happen at all); it must land between n1 and the paper's worst case.
+	if res.Measured < float64(p.N1) {
+		t.Errorf("concurrent read cost %.3f, want >= n1 = %d (each L1 server serves a value)",
+			res.Measured, p.N1)
+	}
+	if res.Measured > res.Paper {
+		t.Errorf("concurrent read cost %.3f exceeds paper worst case %.3f",
+			res.Measured, res.Paper)
+	}
+}
+
+func TestMeasureStorageCostMatchesLemmaV3(t *testing.T) {
+	res, err := MeasureStorageCost(testParams(t), 4096, 3)
+	if err != nil {
+		t.Fatalf("MeasureStorageCost: %v", err)
+	}
+	if dev := res.Measured/res.Paper - 1; dev > 0.01 || dev < -0.01 {
+		t.Errorf("storage measured %.3f vs paper %.3f", res.Measured, res.Paper)
+	}
+	if res.Measured >= res.Replicate {
+		t.Errorf("MBR storage %.3f should be far below replication %.3f", res.Measured, res.Replicate)
+	}
+	if ratio := res.Measured / res.MSR; ratio > 2.001 {
+		t.Errorf("MBR/MSR storage ratio %.3f violates Remark 2's bound of 2", ratio)
+	}
+}
+
+func TestMeasureLatencyWithinLemmaV4Bounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement skipped in -short mode")
+	}
+	// Generous taus so protocol structure, not goroutine scheduling,
+	// dominates: the simulated network adds up to ~1ms of timer slip per
+	// hop, which the paper's zero-computation-time model does not charge.
+	// 25% slack plus a fixed 10ms absorbs that overhead.
+	res, err := MeasureLatency(testParams(t), 20*time.Millisecond, 20*time.Millisecond, 60*time.Millisecond, 2)
+	if err != nil {
+		t.Fatalf("MeasureLatency: %v", err)
+	}
+	slack := func(bound time.Duration) time.Duration {
+		return bound + bound/4 + 10*time.Millisecond
+	}
+	if res.WriteMax > slack(res.WriteBound) {
+		t.Errorf("write latency %v exceeds bound %v", res.WriteMax, res.WriteBound)
+	}
+	if res.ExtWriteMax > slack(res.ExtBound) {
+		t.Errorf("extended write latency %v exceeds bound %v", res.ExtWriteMax, res.ExtBound)
+	}
+	if res.ReadMax > slack(res.ReadBound) {
+		t.Errorf("read latency %v exceeds bound %v", res.ReadMax, res.ReadBound)
+	}
+}
+
+func TestMeasureMSRAblationShowsRemarks1And2(t *testing.T) {
+	// Symmetric geometry (k = d), the setting of both remarks.
+	p, err := lds.NewParams(8, 8, 1, 1) // k = d = 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureMSRAblation(p, 2048)
+	if err != nil {
+		t.Fatalf("MeasureMSRAblation: %v", err)
+	}
+	// Remark 1: the MSR-point substitution pays Omega(n1) reads; MBR must
+	// win by a wide margin at this geometry.
+	if res.SubReadCost <= res.MBRReadCost {
+		t.Errorf("MSR-point read cost %.3f should exceed MBR %.3f", res.SubReadCost, res.MBRReadCost)
+	}
+	if res.SubReadCost < float64(p.N1)/2 {
+		t.Errorf("MSR-point read cost %.3f, want Omega(n1) ~ %d", res.SubReadCost, p.N1)
+	}
+	// Remark 2: MBR pays at most 2x storage.
+	if res.StorageRatio > 2.001 {
+		t.Errorf("storage ratio %.3f violates the <= 2 bound", res.StorageRatio)
+	}
+	if res.StorageRatio <= 1 {
+		t.Errorf("storage ratio %.3f: MBR should cost more than MSR", res.StorageRatio)
+	}
+}
+
+func TestMeasureABDComparison(t *testing.T) {
+	p := testParams(t)
+	res, err := MeasureABDComparison(p, 4096)
+	if err != nil {
+		t.Fatalf("MeasureABDComparison: %v", err)
+	}
+	// Reads without concurrency: LDS is Theta(1), ABD is Theta(n).
+	if res.LDSReadCost >= res.ABDReadCost {
+		t.Errorf("LDS read cost %.3f should beat ABD %.3f", res.LDSReadCost, res.ABDReadCost)
+	}
+	// Storage: coded L2 beats n-way replication.
+	if res.LDSStorage >= res.ABDStorage {
+		t.Errorf("LDS storage %.3f should beat ABD replication %.3f", res.LDSStorage, res.ABDStorage)
+	}
+}
+
+func TestFig6AnalyticShape(t *testing.T) {
+	pts := Fig6Analytic(100, 100, 80, 100, 10, []int{1000, 10_000, 100_000, 1_000_000})
+	if len(pts) != 4 {
+		t.Fatal("wrong point count")
+	}
+	// L1 bound constant, L2 linear.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].L1Bound != pts[0].L1Bound {
+			t.Error("L1 bound should not depend on N")
+		}
+		if pts[i].L2 <= pts[i-1].L2 {
+			t.Error("L2 should grow with N")
+		}
+	}
+	// The figure's story: permanent storage dominates for large N.
+	last := pts[len(pts)-1]
+	if last.L2 <= last.L1Bound {
+		t.Error("at N = 1e6 permanent storage must dominate")
+	}
+	// Per-object L2 below 3 units (the paper's closing observation).
+	if perObj := last.L2 / 1e6; perObj >= 3 {
+		t.Errorf("L2 per object %.3f, want < 3", perObj)
+	}
+}
+
+func TestMeasureFig6SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live Fig. 6 rerun skipped in -short mode")
+	}
+	cfg := DefaultFig6Config()
+	cfg.Ticks = 6
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	pts, err := MeasureFig6(ctx, cfg, []int{2, 6})
+	if err != nil {
+		t.Fatalf("MeasureFig6: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("wrong point count")
+	}
+	for _, pt := range pts {
+		if pt.SettledL2 <= 0 {
+			t.Errorf("N=%d: settled L2 = %.1f, want > 0", pt.Objects, pt.SettledL2)
+		}
+		if pt.PeakL1 > pt.L1Bound {
+			t.Errorf("N=%d: peak L1 %.1f exceeds Lemma V.5 bound %.1f", pt.Objects, pt.PeakL1, pt.L1Bound)
+		}
+		// Settled L2 equals the paper line up to stripe padding.
+		if pt.SettledL2 < pt.PaperL2*0.99 || pt.SettledL2 > pt.PaperL2*1.5 {
+			t.Errorf("N=%d: settled L2 %.1f vs paper %.1f", pt.Objects, pt.SettledL2, pt.PaperL2)
+		}
+	}
+	// Linear growth in N: tripling objects triples settled storage.
+	if ratio := pts[1].SettledL2 / pts[0].SettledL2; ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("L2 growth ratio %.2f, want ~3 for 3x objects", ratio)
+	}
+}

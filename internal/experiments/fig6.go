@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"github.com/lds-storage/lds/internal/cost"
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/multiobj"
+	"github.com/lds-storage/lds/internal/transport"
+)
+
+// Fig6Point is one point of the paper's Fig. 6: storage costs (in value
+// units) as a function of the number of objects N.
+type Fig6Point struct {
+	Objects int
+	L1Bound float64 // Lemma V.5 temporary-storage bound (constant in N)
+	L2      float64 // permanent storage 2*N*n2/(k+1) (linear in N)
+}
+
+// Fig6Analytic evaluates the figure's two curves for the given system. The
+// paper's instance is n1 = n2 = 100, k = d = 80, mu = tau2/tau1 = 10,
+// theta = 100.
+func Fig6Analytic(n1, n2, k, theta int, mu float64, objectCounts []int) []Fig6Point {
+	out := make([]Fig6Point, 0, len(objectCounts))
+	bound := cost.L1StorageBoundMultiObject(theta, n1, mu)
+	for _, n := range objectCounts {
+		out = append(out, Fig6Point{
+			Objects: n,
+			L1Bound: bound,
+			L2:      cost.L2StorageMultiObject(n, n2, k),
+		})
+	}
+	return out
+}
+
+// Fig6MeasuredPoint is one measured point of the scaled-down live rerun of
+// the figure's experiment.
+type Fig6MeasuredPoint struct {
+	Objects   int
+	PeakL1    float64 // measured peak temporary storage, value units
+	SettledL2 float64 // measured settled permanent storage, value units
+	L1Bound   float64 // Lemma V.5 bound at this geometry
+	PaperL2   float64 // 2*N*n2/(k+1)
+	Writes    int64
+}
+
+// Fig6Config parameterizes the live rerun.
+type Fig6Config struct {
+	Params    lds.Params // symmetric geometry (k = d) like the figure
+	Tau1      time.Duration
+	Mu        float64 // tau2 = mu * tau1
+	Theta     int
+	Ticks     int
+	ValueSize int
+	Seed      int64
+}
+
+// DefaultFig6Config returns a laptop-scale rerun of the figure's setup:
+// the geometry is scaled down (the paper uses n1 = n2 = 100, k = d = 80),
+// mu = 10 and the theta-per-tau1 write process are preserved.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Params: lds.Params{N1: 6, N2: 6, F1: 1, F2: 1, K: 4, D: 4},
+		Tau1:   500 * time.Microsecond,
+		Mu:     10,
+		Theta:  3,
+		Ticks:  10,
+
+		ValueSize: 512,
+		Seed:      1,
+	}
+}
+
+// MeasureFig6 reruns the figure's experiment live for each object count:
+// N independent LDS instances, theta concurrent writes per tau1, storage
+// sampled throughout.
+func MeasureFig6(ctx context.Context, cfg Fig6Config, objectCounts []int) ([]Fig6MeasuredPoint, error) {
+	var out []Fig6MeasuredPoint
+	for _, n := range objectCounts {
+		theta := cfg.Theta
+		if theta > n {
+			theta = n
+		}
+		system, err := multiobj.New(multiobj.Config{
+			Objects: n,
+			Params:  cfg.Params,
+			Latency: transport.LatencyModel{
+				Tau0: cfg.Tau1,
+				Tau1: cfg.Tau1,
+				Tau2: time.Duration(cfg.Mu * float64(cfg.Tau1)),
+			},
+			Theta:     theta,
+			Ticks:     cfg.Ticks,
+			ValueSize: cfg.ValueSize,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			return out, err
+		}
+		res, err := system.Run(ctx)
+		system.Close()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Fig6MeasuredPoint{
+			Objects:   n,
+			PeakL1:    res.NormalizedPeakL1(),
+			SettledL2: res.NormalizedSettledL2(),
+			L1Bound:   cost.L1StorageBoundMultiObject(theta, cfg.Params.N1, cfg.Mu),
+			PaperL2:   cost.L2StorageMultiObject(n, cfg.Params.N2, cfg.Params.K),
+			Writes:    res.WriteCount,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0, 0, 0},
+		{1, 1, 0},
+		{0x53, 0xCA, 0x99},
+		{0xFF, 0x0F, 0xF0},
+	}
+	for _, tt := range tests {
+		if got := Add(tt.a, tt.b); got != tt.want {
+			t.Errorf("Add(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+		if got := Sub(tt.a, tt.b); got != tt.want {
+			t.Errorf("Sub(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Spot checks computed by hand against the 0x11D polynomial.
+	tests := []struct {
+		a, b, want byte
+	}{
+		{0, 5, 0},
+		{5, 0, 0},
+		{1, 0xB7, 0xB7},
+		{2, 0x80, 0x1D}, // 0x100 reduces by the polynomial
+		{2, 2, 4},
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulMatchesSchoolbook(t *testing.T) {
+	// Carry-less multiply followed by reduction, the definitional product.
+	slow := func(a, b byte) byte {
+		var prod int
+		ai := int(a)
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				prod ^= ai << i
+			}
+		}
+		for bit := 15; bit >= 8; bit-- {
+			if prod&(1<<bit) != 0 {
+				prod ^= Polynomial << (bit - 8)
+			}
+		}
+		return byte(prod)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("Mul(%#x, Inv(%#x)) = %#x, want 1", a, a, got)
+		}
+		if got := Div(1, byte(a)); got != inv {
+			t.Fatalf("Div(1, %#x) = %#x, want %#x", a, got, inv)
+		}
+	}
+	if got := Div(0, 7); got != 0 {
+		t.Errorf("Div(0, 7) = %#x, want 0", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) = %#x", a, got)
+		}
+	}
+	for e := -300; e < 600; e++ {
+		if got, want := Exp(e), Exp(e+255); got != want {
+			t.Fatalf("Exp(%d) = %#x, want periodic %#x", e, got, want)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	tests := []struct {
+		a    byte
+		e    int
+		want byte
+	}{
+		{0, 0, 1},
+		{0, 5, 0},
+		{7, 0, 1},
+		{2, 1, 2},
+		{2, 8, 0x1D},
+	}
+	for _, tt := range tests {
+		if got := Pow(tt.a, tt.e); got != tt.want {
+			t.Errorf("Pow(%#x, %d) = %#x, want %#x", tt.a, tt.e, got, tt.want)
+		}
+	}
+	// Pow must agree with repeated multiplication.
+	for a := 0; a < 256; a += 3 {
+		acc := byte(1)
+		for e := 0; e < 20; e++ {
+			if got := Pow(byte(a), e); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, e, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commutative := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("multiplication not commutative: %v", err)
+	}
+
+	associative := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("multiplication not associative: %v", err)
+	}
+
+	distributive := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distributive, cfg); err != nil {
+		t.Errorf("multiplication not distributive over addition: %v", err)
+	}
+
+	divInvertsMul := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(divInvertsMul, cfg); err != nil {
+		t.Errorf("division does not invert multiplication: %v", err)
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0xFF, 0x80}
+	dst := make([]byte, len(src))
+
+	MulSlice(0, src, dst)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("MulSlice(0)[%d] = %#x, want 0", i, v)
+		}
+	}
+
+	MulSlice(1, src, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("MulSlice(1)[%d] = %#x, want %#x", i, dst[i], src[i])
+		}
+	}
+
+	MulSlice(7, src, dst)
+	for i := range src {
+		if want := Mul(7, src[i]); dst[i] != want {
+			t.Fatalf("MulSlice(7)[%d] = %#x, want %#x", i, dst[i], want)
+		}
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	buf := []byte{1, 2, 3, 4}
+	want := make([]byte, len(buf))
+	MulSlice(9, buf, want)
+	MulSlice(9, buf, buf)
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("aliased MulSlice[%d] = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestAddMulSlice(t *testing.T) {
+	src := []byte{3, 0, 5, 0xAA}
+	dst := []byte{1, 2, 3, 4}
+	want := make([]byte, len(dst))
+	for i := range dst {
+		want[i] = Add(dst[i], Mul(0x1B, src[i]))
+	}
+	AddMulSlice(0x1B, src, dst)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("AddMulSlice[%d] = %#x, want %#x", i, dst[i], want[i])
+		}
+	}
+
+	// c == 0 must be a no-op.
+	before := append([]byte(nil), dst...)
+	AddMulSlice(0, src, dst)
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Fatalf("AddMulSlice(0) modified dst[%d]", i)
+		}
+	}
+}
+
+func TestAddSlice(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	AddSlice(a, b)
+	want := []byte{5, 7, 5}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("AddSlice[%d] = %#x, want %#x", i, b[i], want[i])
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	want := Add(Add(Mul(1, 4), Mul(2, 5)), Mul(3, 6))
+	if got := Dot(a, b); got != want {
+		t.Fatalf("Dot = %#x, want %#x", got, want)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil, nil) = %#x, want 0", got)
+	}
+}
+
+func TestSliceKernelLengthMismatchPanics(t *testing.T) {
+	fns := map[string]func(){
+		"MulSlice":    func() { MulSlice(1, []byte{1}, []byte{1, 2}) },
+		"AddMulSlice": func() { AddMulSlice(1, []byte{1}, []byte{1, 2}) },
+		"AddSlice":    func() { AddSlice([]byte{1}, []byte{1, 2}) },
+		"Dot":         func() { Dot([]byte{1}, []byte{1, 2}) },
+	}
+	for name, fn := range fns {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkAddMulSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMulSlice(byte(i)|1, src, dst)
+	}
+}

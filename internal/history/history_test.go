@@ -1,0 +1,165 @@
+package history
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/tag"
+)
+
+var base = time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+
+func at(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+func wr(client int32, start, end int, t tag.Tag, v string) Op {
+	return Op{Kind: OpWrite, Client: client, Start: at(start), End: at(end), Tag: t, Value: v}
+}
+
+func rd(client int32, start, end int, t tag.Tag, v string) Op {
+	return Op{Kind: OpRead, Client: client, Start: at(start), End: at(end), Tag: t, Value: v}
+}
+
+func wantClean(t *testing.T, vs []Violation) {
+	t.Helper()
+	for _, v := range vs {
+		t.Errorf("unexpected violation: %v", v)
+	}
+}
+
+func wantViolation(t *testing.T, vs []Violation, prop, substr string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Property == prop && strings.Contains(v.Detail, substr) {
+			return
+		}
+	}
+	t.Errorf("expected %s violation containing %q, got %v", prop, substr, vs)
+}
+
+func TestVerifySequentialHistory(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "a"),
+		rd(1, 20, 30, tag.Tag{Z: 1, W: 1}, "a"),
+		wr(2, 40, 50, tag.Tag{Z: 2, W: 2}, "b"),
+		rd(2, 60, 70, tag.Tag{Z: 2, W: 2}, "b"),
+	}
+	wantClean(t, Verify(ops))
+	wantClean(t, VerifyUniqueValues(ops, ""))
+}
+
+func TestVerifyConcurrentHistoryAllowed(t *testing.T) {
+	// Overlapping operations may order either way.
+	ops := []Op{
+		wr(1, 0, 100, tag.Tag{Z: 1, W: 1}, "a"),
+		rd(1, 50, 60, tag.Tag{Z: 0, W: 0}, ""), // read overlaps the write, returns initial
+	}
+	wantClean(t, Verify(ops))
+	wantClean(t, VerifyUniqueValues(ops, ""))
+}
+
+func TestVerifyP1StaleReadAfterWrite(t *testing.T) {
+	// The write completed strictly before the read started, yet the read
+	// returned the initial (older) tag: the classic staleness violation.
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "a"),
+		rd(1, 20, 30, tag.Zero, ""),
+	}
+	wantViolation(t, Verify(ops), "P1", "precedes")
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "initial value")
+}
+
+func TestVerifyP1ReadsOutOfOrder(t *testing.T) {
+	// Two sequential reads where the later returns an older tag.
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "a"),
+		wr(1, 20, 30, tag.Tag{Z: 2, W: 1}, "b"),
+		rd(1, 40, 50, tag.Tag{Z: 2, W: 1}, "b"),
+		rd(1, 60, 70, tag.Tag{Z: 1, W: 1}, "a"),
+	}
+	wantViolation(t, Verify(ops), "P1", "precedes")
+}
+
+func TestVerifyP2DuplicateWriteTags(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "a"),
+		wr(2, 20, 30, tag.Tag{Z: 1, W: 1}, "b"),
+	}
+	wantViolation(t, Verify(ops), "P2", "share tag")
+}
+
+func TestVerifyP3WrongValueForTag(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "a"),
+		rd(1, 20, 30, tag.Tag{Z: 1, W: 1}, "corrupted"),
+	}
+	wantViolation(t, Verify(ops), "P3", "read by 1")
+}
+
+func TestVerifyUniqueValuesUnknownValue(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "a"),
+		rd(1, 20, 30, tag.Tag{Z: 1, W: 1}, "ghost"),
+	}
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "no write produced")
+}
+
+func TestVerifyUniqueValuesReadBeforeWriteInvoked(t *testing.T) {
+	ops := []Op{
+		rd(1, 0, 5, tag.Tag{Z: 1, W: 1}, "a"),
+		wr(1, 10, 20, tag.Tag{Z: 1, W: 1}, "a"),
+	}
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "before its write")
+}
+
+func TestVerifyUniqueValuesDuplicateWrites(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "same"),
+		wr(2, 20, 30, tag.Tag{Z: 2, W: 2}, "same"),
+	}
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "duplicate value")
+}
+
+func TestVerifyReadOfFailedWriteTagTolerated(t *testing.T) {
+	// A read may return a tag whose write never completed (failed writer);
+	// Verify must not flag it via P3.
+	ops := []Op{
+		rd(1, 0, 10, tag.Tag{Z: 7, W: 9}, "orphan"),
+	}
+	wantClean(t, Verify(ops))
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	rec := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				rec.Add(wr(int32(g), i, i+1, tag.Tag{Z: uint64(i), W: int32(g)}, "v"))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if rec.Len() != 800 {
+		t.Errorf("Len = %d, want 800", rec.Len())
+	}
+	if got := len(rec.Ops()); got != 800 {
+		t.Errorf("Ops len = %d, want 800", got)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpWrite.String() != "write" || OpRead.String() != "read" {
+		t.Error("OpKind.String mismatch")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Property: "P1", Detail: "x"}
+	if v.Error() != "P1: x" {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}

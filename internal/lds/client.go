@@ -1,0 +1,345 @@
+package lds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// ErrNoNode is returned when a client operation starts before Bind.
+var ErrNoNode = errors.New("lds: client not bound to a transport node")
+
+// clientCore is the machinery shared by Writer and Reader: a mailbox fed by
+// the transport handler and a per-client operation sequence. Clients are
+// well-formed (one operation at a time, paper Section II-a), so a single
+// response channel suffices; responses from superseded operations are
+// filtered by OpID.
+type clientCore struct {
+	params Params
+	id     wire.ProcID
+	node   transport.Node
+	inbox  chan wire.Envelope
+	opSeq  uint64
+}
+
+func newClientCore(params Params, id wire.ProcID) clientCore {
+	return clientCore{
+		params: params,
+		id:     id,
+		// The buffer absorbs a few operations' worth of responses; the
+		// transport's unbounded mailbox absorbs the rest without deadlock.
+		inbox: make(chan wire.Envelope, 4*(params.N1+1)),
+	}
+}
+
+// Handle is the transport handler: it forwards every delivery into the
+// operation loop.
+func (c *clientCore) Handle(env wire.Envelope) { c.inbox <- env }
+
+// Bind attaches the transport node.
+func (c *clientCore) Bind(node transport.Node) { c.node = node }
+
+// ID returns the client's process id.
+func (c *clientCore) ID() wire.ProcID { return c.id }
+
+func (c *clientCore) nextOp() uint64 {
+	c.opSeq++
+	return c.opSeq
+}
+
+// sendAllL1 fans a message out to every L1 server.
+func (c *clientCore) sendAllL1(msg wire.Message) error {
+	if c.node == nil {
+		return ErrNoNode
+	}
+	var firstErr error
+	for _, id := range c.params.L1IDs() {
+		if err := c.node.Send(id, msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// collect delivers responses to visit until it returns done=true or the
+// context expires. Responses are whatever the servers send to this client;
+// visit must filter by operation id.
+func (c *clientCore) collect(ctx context.Context, visit func(env wire.Envelope) (done bool)) error {
+	for {
+		select {
+		case env := <-c.inbox:
+			if visit(env) {
+				return nil
+			}
+		case <-ctx.Done():
+			return fmt.Errorf("lds: %s operation: %w", c.id, ctx.Err())
+		}
+	}
+}
+
+// Writer is an LDS write client (paper, Fig. 1 left).
+type Writer struct {
+	core clientCore
+	wid  int32
+}
+
+// NewWriter creates a writer with the given positive writer id; ids order
+// concurrent writes with equal z components, so they must be unique.
+func NewWriter(params Params, wid int32) (*Writer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if wid <= 0 {
+		return nil, fmt.Errorf("lds: writer id %d, want positive", wid)
+	}
+	return &Writer{
+		core: newClientCore(params, wire.ProcID{Role: wire.RoleWriter, Index: wid}),
+		wid:  wid,
+	}, nil
+}
+
+// ID returns the writer's process id.
+func (w *Writer) ID() wire.ProcID { return w.core.ID() }
+
+// Bind attaches the transport node.
+func (w *Writer) Bind(node transport.Node) { w.core.Bind(node) }
+
+// Handle is the transport handler.
+func (w *Writer) Handle(env wire.Envelope) { w.core.Handle(env) }
+
+// Write performs one write operation and returns the tag it was written
+// under. The operation completes after f1+k L1 servers acknowledge; the
+// offload to L2 continues asynchronously and never delays the writer.
+func (w *Writer) Write(ctx context.Context, value []byte) (tag.Tag, error) {
+	// Phase 1: get-tag -- discover the maximum tag from f1+k servers.
+	opGet := w.core.nextOp()
+	if err := w.core.sendAllL1(wire.QueryTag{OpID: opGet}); err != nil {
+		return tag.Tag{}, err
+	}
+	var (
+		maxTag    tag.Tag
+		responded = make(map[int32]bool, w.core.params.WriteQuorum())
+	)
+	err := w.core.collect(ctx, func(env wire.Envelope) bool {
+		m, ok := env.Msg.(wire.QueryTagResp)
+		if !ok || m.OpID != opGet || responded[env.From.Index] {
+			return false
+		}
+		responded[env.From.Index] = true
+		maxTag = tag.Max(maxTag, m.Tag)
+		return len(responded) >= w.core.params.WriteQuorum()
+	})
+	if err != nil {
+		return tag.Tag{}, fmt.Errorf("get-tag: %w", err)
+	}
+
+	// Phase 2: put-data -- write (tw, v) and await f1+k acknowledgments.
+	tw := maxTag.Next(w.wid)
+	opPut := w.core.nextOp()
+	if err := w.core.sendAllL1(wire.PutData{OpID: opPut, Tag: tw, Value: value}); err != nil {
+		return tag.Tag{}, err
+	}
+	acked := make(map[int32]bool, w.core.params.WriteQuorum())
+	err = w.core.collect(ctx, func(env wire.Envelope) bool {
+		// ACKs may arrive via the direct path (carrying OpID) or via the
+		// broadcast-threshold path (OpID 0); the tag identifies the write.
+		m, ok := env.Msg.(wire.PutDataResp)
+		if !ok || m.Tag != tw || acked[env.From.Index] {
+			return false
+		}
+		acked[env.From.Index] = true
+		return len(acked) >= w.core.params.WriteQuorum()
+	})
+	if err != nil {
+		return tag.Tag{}, fmt.Errorf("put-data: %w", err)
+	}
+	return tw, nil
+}
+
+// Reader is an LDS read client (paper, Fig. 1 right).
+type Reader struct {
+	core clientCore
+	code erasure.Regenerating
+}
+
+// NewReader creates a reader with the given positive reader id.
+func NewReader(params Params, rid int32, code erasure.Regenerating) (*Reader, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rid <= 0 {
+		return nil, fmt.Errorf("lds: reader id %d, want positive", rid)
+	}
+	if code == nil {
+		return nil, errors.New("lds: reader needs the code to decode coded elements")
+	}
+	return &Reader{
+		core: newClientCore(params, wire.ProcID{Role: wire.RoleReader, Index: rid}),
+		code: code,
+	}, nil
+}
+
+// ID returns the reader's process id.
+func (r *Reader) ID() wire.ProcID { return r.core.ID() }
+
+// Bind attaches the transport node.
+func (r *Reader) Bind(node transport.Node) { r.core.Bind(node) }
+
+// Handle is the transport handler.
+func (r *Reader) Handle(env wire.Envelope) { r.core.Handle(env) }
+
+// codedSet accumulates coded elements for one tag during get-data.
+type codedSet struct {
+	shards   []erasure.Shard
+	seen     map[int32]bool
+	valueLen int
+}
+
+// Read performs one read operation, returning the value and its tag.
+func (r *Reader) Read(ctx context.Context) ([]byte, tag.Tag, error) {
+	quorum := r.core.params.WriteQuorum()
+
+	// Phase 1: get-commited-tag -- treq is the max committed tag of f1+k
+	// servers; the read must return a value at least this fresh.
+	opQ := r.core.nextOp()
+	if err := r.core.sendAllL1(wire.QueryCommTag{OpID: opQ}); err != nil {
+		return nil, tag.Tag{}, err
+	}
+	var (
+		treq      tag.Tag
+		responded = make(map[int32]bool, quorum)
+	)
+	err := r.core.collect(ctx, func(env wire.Envelope) bool {
+		m, ok := env.Msg.(wire.QueryCommTagResp)
+		if !ok || m.OpID != opQ || responded[env.From.Index] {
+			return false
+		}
+		responded[env.From.Index] = true
+		treq = tag.Max(treq, m.Tag)
+		return len(responded) >= quorum
+	})
+	if err != nil {
+		return nil, tag.Tag{}, fmt.Errorf("get-commited-tag: %w", err)
+	}
+
+	// Phase 2: get-data -- await responses from f1+k distinct servers such
+	// that a (tag, value) pair is available or k coded elements share a
+	// tag. Servers may respond more than once (a (bot, bot) regeneration
+	// failure can be followed by a value served off the commit path), so
+	// collection is per-server with the best data retained.
+	opG := r.core.nextOp()
+	if err := r.core.sendAllL1(wire.QueryData{OpID: opG, Req: treq}); err != nil {
+		return nil, tag.Tag{}, err
+	}
+	var (
+		answered   = make(map[int32]bool, r.core.params.N1)
+		values     = make(map[tag.Tag][]byte)
+		coded      = make(map[tag.Tag]*codedSet)
+		readTag    tag.Tag
+		readValue  []byte
+		haveResult bool
+	)
+	err = r.core.collect(ctx, func(env wire.Envelope) bool {
+		m, ok := env.Msg.(wire.QueryDataResp)
+		if !ok || m.OpID != opG {
+			return false
+		}
+		answered[env.From.Index] = true
+		switch m.Class {
+		case wire.PayloadValue:
+			if !m.Tag.Less(treq) {
+				values[m.Tag] = m.Data
+			}
+		case wire.PayloadCoded:
+			if !m.Tag.Less(treq) {
+				cs := coded[m.Tag]
+				if cs == nil {
+					cs = &codedSet{seen: make(map[int32]bool)}
+					coded[m.Tag] = cs
+				}
+				if !cs.seen[env.From.Index] {
+					cs.seen[env.From.Index] = true
+					cs.valueLen = int(m.ValueLen)
+					cs.shards = append(cs.shards, erasure.Shard{
+						Index: int(env.From.Index), // L1 code index is the server index
+						Data:  m.Data,
+					})
+				}
+			}
+		case wire.PayloadNone:
+			// A failed regeneration still counts toward the f1+k distinct
+			// responders; the server will answer again when it can.
+		}
+		if len(answered) < quorum {
+			return false
+		}
+		// Candidate with the highest tag wins; prefer a direct value over
+		// decoding when tags tie.
+		var (
+			bestTag   tag.Tag
+			bestValue []byte
+			bestCoded *codedSet
+			found     bool
+		)
+		for t, v := range values {
+			if !found || bestTag.Less(t) {
+				bestTag, bestValue, bestCoded, found = t, v, nil, true
+			}
+		}
+		for t, cs := range coded {
+			if len(cs.shards) < r.core.params.K {
+				continue
+			}
+			if !found || bestTag.Less(t) {
+				bestTag, bestValue, bestCoded, found = t, nil, cs, true
+			}
+		}
+		if !found {
+			return false
+		}
+		if bestCoded != nil {
+			v, err := r.code.Decode(bestCoded.valueLen, bestCoded.shards)
+			if err != nil {
+				// A decode failure cannot happen with k distinct correct
+				// shards; treat as not-yet-complete so liveness is preserved
+				// by further responses.
+				return false
+			}
+			bestValue = v
+		}
+		readTag, readValue, haveResult = bestTag, bestValue, true
+		return true
+	})
+	if err != nil {
+		return nil, tag.Tag{}, fmt.Errorf("get-data: %w", err)
+	}
+	if !haveResult {
+		return nil, tag.Tag{}, errors.New("lds: get-data completed without a result")
+	}
+
+	// Phase 3: put-tag -- write back the tag (not the value: that is what
+	// keeps the read cost at Theta(1) without concurrency) so that f1+k
+	// servers commit at least tr before the read returns.
+	opP := r.core.nextOp()
+	if err := r.core.sendAllL1(wire.PutTag{OpID: opP, Tag: readTag}); err != nil {
+		return nil, tag.Tag{}, err
+	}
+	ptAcks := make(map[int32]bool, quorum)
+	err = r.core.collect(ctx, func(env wire.Envelope) bool {
+		m, ok := env.Msg.(wire.PutTagResp)
+		if !ok || m.OpID != opP || ptAcks[env.From.Index] {
+			return false
+		}
+		ptAcks[env.From.Index] = true
+		return len(ptAcks) >= quorum
+	})
+	if err != nil {
+		return nil, tag.Tag{}, fmt.Errorf("put-tag: %w", err)
+	}
+	return readValue, readTag, nil
+}

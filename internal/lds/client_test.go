@@ -1,0 +1,102 @@
+package lds
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewWriterValidation(t *testing.T) {
+	p := MustTestParams(t, 4, 5, 1, 1)
+	if _, err := NewWriter(p, 0); err == nil {
+		t.Error("writer id 0 accepted")
+	}
+	if _, err := NewWriter(p, -3); err == nil {
+		t.Error("negative writer id accepted")
+	}
+	w, err := NewWriter(p, 7)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if w.ID().Index != 7 {
+		t.Errorf("writer id = %v", w.ID())
+	}
+	bad := Params{N1: 3, N2: 5, F1: 1, F2: 1, K: 2, D: 3}
+	if _, err := NewWriter(bad, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestNewReaderValidation(t *testing.T) {
+	p := MustTestParams(t, 4, 5, 1, 1)
+	code, err := p.NewCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(p, 0, code); err == nil {
+		t.Error("reader id 0 accepted")
+	}
+	if _, err := NewReader(p, 1, nil); err == nil {
+		t.Error("nil code accepted")
+	}
+	r, err := NewReader(p, 2, code)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.ID().Index != 2 {
+		t.Errorf("reader id = %v", r.ID())
+	}
+}
+
+func TestWriteWithoutBindFails(t *testing.T) {
+	p := MustTestParams(t, 4, 5, 1, 1)
+	w, err := NewWriter(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(context.Background(), []byte("x")); !errors.Is(err, ErrNoNode) {
+		t.Errorf("Write without Bind: %v, want ErrNoNode", err)
+	}
+}
+
+func TestReadWithoutBindFails(t *testing.T) {
+	p := MustTestParams(t, 4, 5, 1, 1)
+	code, _ := p.NewCode()
+	r, err := NewReader(p, 1, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Read(context.Background()); !errors.Is(err, ErrNoNode) {
+		t.Errorf("Read without Bind: %v, want ErrNoNode", err)
+	}
+}
+
+func TestOperationsRespectContextCancellation(t *testing.T) {
+	// A client bound to a node whose sends go nowhere useful must abort
+	// when its context expires rather than hang.
+	p := MustTestParams(t, 4, 5, 1, 1)
+	code, _ := p.NewCode()
+
+	w, err := NewWriter(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Bind(&fakeNode{id: w.ID()}) // sends recorded, never answered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := w.Write(ctx, []byte("x")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Write with dead servers: %v, want DeadlineExceeded", err)
+	}
+
+	r, err := NewReader(p, 1, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Bind(&fakeNode{id: r.ID()})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, _, err := r.Read(ctx2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Read with dead servers: %v, want DeadlineExceeded", err)
+	}
+}

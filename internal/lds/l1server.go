@@ -1,0 +1,482 @@
+package lds
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/lds-storage/lds/internal/broadcast"
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// listEntry is one element of the temporary-storage list L: a tag with
+// either a value or the bot placeholder left behind by garbage collection.
+type listEntry struct {
+	value    []byte
+	hasValue bool
+}
+
+// gammaEntry is one registered outstanding reader (an element of Gamma):
+// the reader asked for tag Treq in the operation identified by OpID.
+type gammaEntry struct {
+	treq tag.Tag
+	opID uint64
+}
+
+// tagHelpers accumulates the helper data received for one tag during an
+// internal regenerate-from-L2 operation (part of the key-value set K[r]).
+type tagHelpers struct {
+	helpers  []erasure.Helper
+	valueLen int
+}
+
+// regenState is the per-reader regeneration bookkeeping: K[r] plus
+// readCounter[r], bound to the reader's operation id so stragglers from an
+// earlier operation of the same reader cannot corrupt a later one.
+type regenState struct {
+	opID   uint64
+	count  int
+	perTag map[tag.Tag]*tagHelpers
+}
+
+// nodesEncoder is the optional fast path for encoding only the L2 portion
+// of the codeword; both product-matrix codes implement it.
+type nodesEncoder interface {
+	EncodeNodes(value []byte, nodes []int) ([][]byte, error)
+}
+
+// L1Server is one edge-layer server s_j implementing the protocol of the
+// paper's Fig. 2. It is an actor: Handle is invoked sequentially by the
+// transport, and each invocation corresponds to one atomic action of the
+// I/O-automata description.
+type L1Server struct {
+	params Params
+	index  int // j in [0, n1); also the server's code symbol index
+	id     wire.ProcID
+	code   erasure.Regenerating
+	node   transport.Node
+	bcast  *broadcast.Broadcaster
+
+	// State variables of Fig. 2.
+	list          map[tag.Tag]*listEntry     // L, tag -> value or bot
+	maxListTag    tag.Tag                    // cached max{t : (t,*) in L}
+	tc            tag.Tag                    // committed tag
+	commitCounter map[tag.Tag]int            // broadcasts consumed per tag
+	writeCounter  map[tag.Tag]int            // write-to-L2 acks per tag
+	gamma         map[wire.ProcID]gammaEntry // Gamma: outstanding readers
+	regen         map[wire.ProcID]*regenState
+
+	// ackedWriter prevents duplicate ACKs to a writer as commitCounter
+	// keeps growing past the threshold; writeStarted makes write-to-L2
+	// initiation idempotent. Both are pure bookkeeping.
+	ackedWriter  map[tag.Tag]bool
+	writeStarted map[tag.Tag]bool
+
+	// tempBytes tracks the bytes of actual values held in L (the paper's
+	// temporary storage cost); atomic so samplers can read it live.
+	tempBytes atomic.Int64
+
+	// violations counts "cannot happen" states; tests assert it stays 0.
+	violations atomic.Int64
+}
+
+// NewL1Server creates the server with the initial list {(t0, bot)}.
+func NewL1Server(params Params, index int, code erasure.Regenerating) (*L1Server, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= params.N1 {
+		return nil, fmt.Errorf("lds: L1 index %d out of range [0, %d)", index, params.N1)
+	}
+	s := &L1Server{
+		params:        params,
+		index:         index,
+		id:            wire.ProcID{Role: wire.RoleL1, Index: int32(index)},
+		code:          code,
+		list:          map[tag.Tag]*listEntry{tag.Zero: {}},
+		commitCounter: make(map[tag.Tag]int),
+		writeCounter:  make(map[tag.Tag]int),
+		gamma:         make(map[wire.ProcID]gammaEntry),
+		regen:         make(map[wire.ProcID]*regenState),
+		ackedWriter:   make(map[tag.Tag]bool),
+		writeStarted:  make(map[tag.Tag]bool),
+	}
+	return s, nil
+}
+
+// ID returns the server's process id.
+func (s *L1Server) ID() wire.ProcID { return s.id }
+
+// Bind attaches the transport node and builds the broadcast primitive; it
+// must be called before traffic flows.
+func (s *L1Server) Bind(node transport.Node) error {
+	b, err := broadcast.New(s.id, s.params.L1IDs(), s.params.RelayCount(), node.Send)
+	if err != nil {
+		return err
+	}
+	s.node = node
+	s.bcast = b
+	return nil
+}
+
+// CommittedTag returns tc; test/diagnostic accessor (call only when the
+// server is quiescent).
+func (s *L1Server) CommittedTag() tag.Tag { return s.tc }
+
+// TemporaryBytes returns the value bytes currently held in the list L, the
+// server's contribution to temporary storage cost. Safe to call
+// concurrently with traffic.
+func (s *L1Server) TemporaryBytes() int64 { return s.tempBytes.Load() }
+
+// Violations returns the count of internal invariant violations (must be 0).
+func (s *L1Server) Violations() int64 { return s.violations.Load() }
+
+// OutstandingReaders returns |Gamma|; diagnostic accessor for quiescent use.
+func (s *L1Server) OutstandingReaders() int { return len(s.gamma) }
+
+// Handle dispatches one incoming message; it is the transport handler.
+func (s *L1Server) Handle(env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.QueryTag:
+		s.onQueryTag(env.From, m)
+	case wire.PutData:
+		s.onPutData(env.From, m)
+	case wire.Broadcast:
+		s.onBroadcast(m)
+	case wire.QueryCommTag:
+		s.onQueryCommTag(env.From, m)
+	case wire.QueryData:
+		s.onQueryData(env.From, m)
+	case wire.PutTag:
+		s.onPutTag(env.From, m)
+	case wire.AckCodeElem:
+		s.onAckCodeElem(m)
+	case wire.SendHelperElem:
+		s.onSendHelperElem(env.From, m)
+	default:
+		// Ignore unknown traffic.
+	}
+}
+
+// onQueryTag is get-tag-resp: reply with max{t : (t,*) in L}.
+func (s *L1Server) onQueryTag(from wire.ProcID, m wire.QueryTag) {
+	s.send(from, wire.QueryTagResp{OpID: m.OpID, Tag: s.maxListTag})
+}
+
+// onPutData is put-data-resp (Fig. 2 lines 5-10): broadcast COMMIT-TAG
+// first, then either add the pair to L (tin > tc) or acknowledge
+// immediately (the value is already superseded).
+func (s *L1Server) onPutData(from wire.ProcID, m wire.PutData) {
+	if s.bcast != nil {
+		_ = s.bcast.Broadcast(wire.CommitTag{Tag: m.Tag})
+	}
+	if s.tc.Less(m.Tag) {
+		e := s.ensureEntry(m.Tag)
+		if !e.hasValue {
+			e.value = m.Value
+			e.hasValue = true
+			s.tempBytes.Add(int64(len(m.Value)))
+		}
+		// The commit counter may already have crossed the threshold if the
+		// broadcasts outran this PUT-DATA; re-check so the ACK and the
+		// commit are never lost.
+		s.maybeAckAndCommit(m.Tag)
+	} else {
+		s.send(from, wire.PutDataResp{OpID: m.OpID, Tag: m.Tag})
+	}
+}
+
+// onBroadcast feeds the relay/dedup primitive; each COMMIT-TAG instance is
+// consumed exactly once via broadcast-resp.
+func (s *L1Server) onBroadcast(m wire.Broadcast) {
+	inner, consume := s.bcast.Handle(m)
+	if !consume {
+		return
+	}
+	ct, ok := inner.(wire.CommitTag)
+	if !ok {
+		s.violations.Add(1)
+		return
+	}
+	s.onCommitTag(ct.Tag)
+}
+
+// onCommitTag is broadcast-resp (Fig. 2 lines 11-19).
+func (s *L1Server) onCommitTag(t tag.Tag) {
+	s.commitCounter[t]++
+	s.maybeAckAndCommit(t)
+}
+
+// maybeAckAndCommit performs the threshold steps of broadcast-resp: once
+// (t,*) is in L and commitCounter[t] >= f1+k, acknowledge the writer, and
+// if t exceeds the committed tag, commit it -- serving registered readers,
+// garbage-collecting older values and offloading the value to L2.
+func (s *L1Server) maybeAckAndCommit(t tag.Tag) {
+	e, inList := s.list[t]
+	if !inList || s.commitCounter[t] < s.params.WriteQuorum() {
+		return
+	}
+	if !s.ackedWriter[t] {
+		s.ackedWriter[t] = true
+		s.send(wire.ProcID{Role: wire.RoleWriter, Index: t.W}, wire.PutDataResp{Tag: t})
+	}
+	if !s.tc.Less(t) {
+		return
+	}
+	if !e.hasValue {
+		// The paper proves (tin, vin) is still in L whenever tin > tc holds
+		// here; reaching this branch would falsify that argument.
+		s.violations.Add(1)
+		return
+	}
+	s.tc = t
+	s.serveGamma(t, e)
+	s.gcOlder()
+	s.startWriteToL2(t, e)
+}
+
+// onQueryCommTag is get-commited-tag-resp: reply with tc.
+func (s *L1Server) onQueryCommTag(from wire.ProcID, m wire.QueryCommTag) {
+	s.send(from, wire.QueryCommTagResp{OpID: m.OpID, Tag: s.tc})
+}
+
+// onQueryData is get-data-resp (Fig. 2 lines 30-38): serve from the list if
+// possible, otherwise register the reader and regenerate from L2.
+func (s *L1Server) onQueryData(from wire.ProcID, m wire.QueryData) {
+	if e, ok := s.list[m.Req]; ok && e.hasValue {
+		s.sendValue(from, m.OpID, m.Req, e)
+		return
+	}
+	if m.Req.Less(s.tc) {
+		if e, ok := s.list[s.tc]; ok && e.hasValue {
+			s.sendValue(from, m.OpID, s.tc, e)
+			return
+		}
+	}
+	s.gamma[from] = gammaEntry{treq: m.Req, opID: m.OpID}
+	s.startRegenerate(from, m.OpID)
+}
+
+// onPutTag is put-tag-resp (Fig. 2 lines 52-66): unregister the reader,
+// adopt the written-back tag, serve any readers that the new committed tag
+// satisfies, and garbage-collect.
+func (s *L1Server) onPutTag(from wire.ProcID, m wire.PutTag) {
+	delete(s.gamma, from)
+	delete(s.regen, from)
+	if s.tc.Less(m.Tag) {
+		s.tc = m.Tag
+		if e, ok := s.list[m.Tag]; ok && e.hasValue {
+			s.serveGamma(m.Tag, e)
+			s.gcOlder()
+			s.startWriteToL2(m.Tag, e)
+		} else {
+			s.ensureEntry(m.Tag) // add (tc, bot): the tag is now known here
+			if tbar, ebar, ok := s.maxValueBelow(m.Tag); ok {
+				s.serveGamma(tbar, ebar)
+			}
+			s.gcOlder()
+		}
+	}
+	s.send(from, wire.PutTagResp{OpID: m.OpID})
+}
+
+// onAckCodeElem is write-to-L2-complete (Fig. 2 lines 24-27): after n2-f2
+// acknowledgments the value is durable in L2 and its temporary copy is
+// garbage-collected.
+func (s *L1Server) onAckCodeElem(m wire.AckCodeElem) {
+	if !s.writeStarted[m.Tag] {
+		return // stray ack for a write this server never initiated
+	}
+	s.writeCounter[m.Tag]++
+	if s.writeCounter[m.Tag] != s.params.L2Quorum() {
+		return
+	}
+	if e, ok := s.list[m.Tag]; ok && e.hasValue {
+		s.dropValue(e)
+	}
+}
+
+// onSendHelperElem is regenerate-from-L2-complete (Fig. 2 lines 42-51).
+func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
+	st := s.regen[m.Reader]
+	if st == nil || st.opID != m.OpID {
+		return // stale helper from a finished or superseded regeneration
+	}
+	st.count++
+	th := st.perTag[m.Tag]
+	if th == nil {
+		th = &tagHelpers{}
+		st.perTag[m.Tag] = th
+	}
+	th.helpers = append(th.helpers, erasure.Helper{
+		Index: s.params.L2CodeIndex(int(from.Index)),
+		Data:  m.Helper,
+	})
+	th.valueLen = int(m.ValueLen)
+	if st.count < s.params.L2Quorum() {
+		return
+	}
+	// All awaited responses are in: regenerate the highest possible tag.
+	delete(s.regen, m.Reader) // clear K[r]; the reader stays registered
+	g, registered := s.gamma[m.Reader]
+	if !registered || g.opID != m.OpID {
+		return // served via Gamma in the meantime
+	}
+	bestTag, bestHelpers := s.bestRegenerable(st)
+	if bestHelpers == nil || bestTag.Less(g.treq) {
+		// Regeneration failed, or only an outdated tag was regenerable:
+		// answer (bot, bot); the reader keeps waiting on other servers and
+		// this server keeps the reader registered (paper, Section III-C).
+		s.send(m.Reader, wire.QueryDataResp{OpID: m.OpID, Class: wire.PayloadNone})
+		return
+	}
+	coded, err := s.code.Regenerate(s.index, bestHelpers.helpers)
+	if err != nil {
+		s.violations.Add(1)
+		s.send(m.Reader, wire.QueryDataResp{OpID: m.OpID, Class: wire.PayloadNone})
+		return
+	}
+	s.send(m.Reader, wire.QueryDataResp{
+		OpID:     m.OpID,
+		Class:    wire.PayloadCoded,
+		Tag:      bestTag,
+		Data:     coded,
+		ValueLen: int32(bestHelpers.valueLen),
+	})
+}
+
+// --- internal operations ----------------------------------------------------
+
+// startWriteToL2 initiates the internal write-to-L2(t, v) operation: encode
+// the value under the code C2 and send each L2 server its coded element.
+func (s *L1Server) startWriteToL2(t tag.Tag, e *listEntry) {
+	if s.writeStarted[t] {
+		return
+	}
+	s.writeStarted[t] = true
+	shards, err := s.encodeL2(e.value)
+	if err != nil {
+		s.violations.Add(1)
+		return
+	}
+	for i, id := range s.params.L2IDs() {
+		s.send(id, wire.WriteCodeElem{Tag: t, Coded: shards[i], ValueLen: int32(len(e.value))})
+	}
+}
+
+// startRegenerate initiates regenerate-from-L2(r): query all L2 servers for
+// helper data toward this server's own coded element c_j.
+func (s *L1Server) startRegenerate(r wire.ProcID, opID uint64) {
+	s.regen[r] = &regenState{opID: opID, perTag: make(map[tag.Tag]*tagHelpers)}
+	for _, id := range s.params.L2IDs() {
+		s.send(id, wire.QueryCodeElem{Reader: r, OpID: opID})
+	}
+}
+
+// bestRegenerable returns the highest tag for which at least d helpers
+// arrived, or ok=false if no tag is regenerable.
+func (s *L1Server) bestRegenerable(st *regenState) (tag.Tag, *tagHelpers) {
+	var (
+		best    tag.Tag
+		helpers *tagHelpers
+	)
+	for t, th := range st.perTag {
+		if len(th.helpers) >= s.params.D && (helpers == nil || best.Less(t)) {
+			best = t
+			helpers = th
+		}
+	}
+	return best, helpers
+}
+
+// serveGamma sends (t, v) to every registered reader whose requested tag is
+// at most t, and unregisters them (Fig. 2 line 17).
+func (s *L1Server) serveGamma(t tag.Tag, e *listEntry) {
+	for r, g := range s.gamma {
+		if t.Less(g.treq) {
+			continue
+		}
+		s.sendValue(r, g.opID, t, e)
+		delete(s.gamma, r)
+		delete(s.regen, r)
+	}
+}
+
+// gcOlder replaces every (t, v) with t < tc by (t, bot) (Fig. 2 line 18).
+func (s *L1Server) gcOlder() {
+	for t, e := range s.list {
+		if t.Less(s.tc) && e.hasValue {
+			s.dropValue(e)
+		}
+	}
+}
+
+// maxValueBelow returns the largest tag below limit whose value is present.
+func (s *L1Server) maxValueBelow(limit tag.Tag) (tag.Tag, *listEntry, bool) {
+	var (
+		best  tag.Tag
+		entry *listEntry
+	)
+	for t, e := range s.list {
+		if e.hasValue && t.Less(limit) && (entry == nil || best.Less(t)) {
+			best = t
+			entry = e
+		}
+	}
+	return best, entry, entry != nil
+}
+
+// ensureEntry returns the list entry for t, creating the (t, bot)
+// placeholder if absent, and maintains the cached max list tag.
+func (s *L1Server) ensureEntry(t tag.Tag) *listEntry {
+	if e, ok := s.list[t]; ok {
+		return e
+	}
+	e := &listEntry{}
+	s.list[t] = e
+	s.maxListTag = tag.Max(s.maxListTag, t)
+	return e
+}
+
+// dropValue clears an entry's value (tag stays, value becomes bot).
+func (s *L1Server) dropValue(e *listEntry) {
+	s.tempBytes.Add(-int64(len(e.value)))
+	e.value = nil
+	e.hasValue = false
+}
+
+// encodeL2 produces the n2 coded elements c_{n1}..c_{n1+n2-1} of value.
+func (s *L1Server) encodeL2(value []byte) ([][]byte, error) {
+	idx := make([]int, s.params.N2)
+	for i := range idx {
+		idx[i] = s.params.L2CodeIndex(i)
+	}
+	if enc, ok := s.code.(nodesEncoder); ok {
+		return enc.EncodeNodes(value, idx)
+	}
+	all, err := s.code.Encode(value)
+	if err != nil {
+		return nil, err
+	}
+	return all[s.params.N1:], nil
+}
+
+// sendValue answers a reader with a (tag, value) pair.
+func (s *L1Server) sendValue(to wire.ProcID, opID uint64, t tag.Tag, e *listEntry) {
+	s.send(to, wire.QueryDataResp{
+		OpID:     opID,
+		Class:    wire.PayloadValue,
+		Tag:      t,
+		Data:     e.value,
+		ValueLen: int32(len(e.value)),
+	})
+}
+
+func (s *L1Server) send(to wire.ProcID, msg wire.Message) {
+	if s.node == nil {
+		return
+	}
+	_ = s.node.Send(to, msg)
+}

@@ -1,0 +1,485 @@
+package lds
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// fakeNode is a transport.Node that records sends, for driving server
+// actions directly and asserting on the exact messages they emit.
+type fakeNode struct {
+	id   wire.ProcID
+	sent []wire.Envelope
+}
+
+var _ transport.Node = (*fakeNode)(nil)
+
+func (f *fakeNode) ID() wire.ProcID { return f.id }
+
+func (f *fakeNode) Send(to wire.ProcID, msg wire.Message) error {
+	f.sent = append(f.sent, wire.Envelope{From: f.id, To: to, Msg: msg})
+	return nil
+}
+
+func (f *fakeNode) Close() error { return nil }
+
+// take returns and clears the recorded sends.
+func (f *fakeNode) take() []wire.Envelope {
+	out := f.sent
+	f.sent = nil
+	return out
+}
+
+// ofKind filters envelopes by message kind.
+func ofKind(envs []wire.Envelope, k wire.Kind) []wire.Envelope {
+	var out []wire.Envelope
+	for _, e := range envs {
+		if e.Msg.Kind() == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// newTestServer builds an L1 server with index 0 on a fake node.
+func newTestServer(t *testing.T) (*L1Server, *fakeNode, Params) {
+	t.Helper()
+	p := MustTestParams(t, 4, 5, 1, 1) // k=2, d=3, quorum f1+k=3
+	code, err := p.NewCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewL1Server(p, 0, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := &fakeNode{id: s.ID()}
+	if err := s.Bind(fn); err != nil {
+		t.Fatal(err)
+	}
+	return s, fn, p
+}
+
+// commit drives the server's commit counter to the write quorum for tag tg
+// by delivering distinct-origin broadcasts. Each origin broadcasts each tag
+// once, so the per-origin sequence number is the tag's z component.
+func commit(t *testing.T, s *L1Server, p Params, tg tag.Tag) {
+	t.Helper()
+	for origin := 0; origin < p.WriteQuorum(); origin++ {
+		s.Handle(wire.Envelope{
+			From: wire.ProcID{Role: wire.RoleL1, Index: int32(origin)},
+			To:   s.ID(),
+			Msg:  wire.Broadcast{Origin: wire.ProcID{Role: wire.RoleL1, Index: int32(origin)}, Seq: tg.Z, Inner: wire.CommitTag{Tag: tg}},
+		})
+	}
+}
+
+var (
+	writer1 = wire.ProcID{Role: wire.RoleWriter, Index: 1}
+	reader1 = wire.ProcID{Role: wire.RoleReader, Index: 1}
+)
+
+func TestL1QueryTagReturnsMaxListTag(t *testing.T) {
+	s, fn, _ := newTestServer(t)
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.QueryTag{OpID: 1}})
+	resp := ofKind(fn.take(), wire.KindQueryTagResp)
+	if len(resp) != 1 {
+		t.Fatalf("got %d responses", len(resp))
+	}
+	if got := resp[0].Msg.(wire.QueryTagResp).Tag; !got.IsZero() {
+		t.Errorf("initial max tag = %v, want t0", got)
+	}
+
+	// After put-data of (1,1), the max rises even before commit.
+	tg := tag.Tag{Z: 1, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 2, Tag: tg, Value: []byte("x")}})
+	fn.take()
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.QueryTag{OpID: 3}})
+	resp = ofKind(fn.take(), wire.KindQueryTagResp)
+	if got := resp[0].Msg.(wire.QueryTagResp).Tag; got != tg {
+		t.Errorf("max tag = %v, want %v", got, tg)
+	}
+}
+
+func TestL1PutDataBroadcastsBeforeAnything(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	tg := tag.Tag{Z: 1, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("v")}})
+	bcasts := ofKind(fn.take(), wire.KindBroadcast)
+	if len(bcasts) != p.RelayCount() {
+		t.Fatalf("broadcast to %d relays, want f1+1 = %d", len(bcasts), p.RelayCount())
+	}
+	inner := bcasts[0].Msg.(wire.Broadcast).Inner.(wire.CommitTag)
+	if inner.Tag != tg {
+		t.Errorf("broadcast tag = %v, want %v", inner.Tag, tg)
+	}
+}
+
+func TestL1StalePutDataAckedImmediately(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	// Commit (2,1) so tc = (2,1).
+	newer := tag.Tag{Z: 2, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: newer, Value: []byte("new")}})
+	commit(t, s, p, newer)
+	fn.take()
+
+	// A put-data with an older tag is acknowledged without being stored.
+	old := tag.Tag{Z: 1, W: 9}
+	s.Handle(wire.Envelope{From: wire.ProcID{Role: wire.RoleWriter, Index: 9}, To: s.ID(),
+		Msg: wire.PutData{OpID: 5, Tag: old, Value: []byte("old")}})
+	envs := fn.take()
+	acks := ofKind(envs, wire.KindPutDataResp)
+	if len(acks) != 1 {
+		t.Fatalf("got %d acks, want immediate ack", len(acks))
+	}
+	if acks[0].To != (wire.ProcID{Role: wire.RoleWriter, Index: 9}) {
+		t.Errorf("ack went to %v", acks[0].To)
+	}
+	if _, ok := s.list[old]; ok {
+		t.Error("stale tag must not enter the list")
+	}
+}
+
+func TestL1CommitTriggersAckGCAndWriteToL2(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	t1 := tag.Tag{Z: 1, W: 1}
+	t2 := tag.Tag{Z: 2, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: t1, Value: []byte("one")}})
+	commit(t, s, p, t1)
+	fn.take()
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 2, Tag: t2, Value: []byte("two")}})
+	envs := fn.take()
+	commit(t, s, p, t2)
+	envs = append(envs, fn.take()...)
+
+	acks := ofKind(envs, wire.KindPutDataResp)
+	if len(acks) != 1 {
+		t.Fatalf("got %d writer acks, want exactly 1 (deduplicated)", len(acks))
+	}
+	writes := ofKind(envs, wire.KindWriteCodeElem)
+	if len(writes) != p.N2 {
+		t.Fatalf("write-to-L2 sent %d coded elements, want n2 = %d", len(writes), p.N2)
+	}
+	// Committing t2 garbage-collects t1's value (t1 < tc).
+	if e := s.list[t1]; e == nil || e.hasValue {
+		t.Error("older value not garbage-collected on commit")
+	}
+	if s.CommittedTag() != t2 {
+		t.Errorf("tc = %v, want %v", s.CommittedTag(), t2)
+	}
+}
+
+func TestL1CommitCountBeforePutDataStillAcks(t *testing.T) {
+	// All f1+k broadcasts may arrive before the PUT-DATA itself under
+	// asynchrony plus the server's own broadcast echo; the ack and commit
+	// must still fire when the data lands.
+	s, fn, p := newTestServer(t)
+	tg := tag.Tag{Z: 1, W: 1}
+	commit(t, s, p, tg) // counter reaches quorum; (t, *) not in L yet
+	if len(ofKind(fn.take(), wire.KindPutDataResp)) != 0 {
+		t.Fatal("ack sent before the data arrived")
+	}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("late")}})
+	envs := fn.take()
+	if len(ofKind(envs, wire.KindPutDataResp)) != 1 {
+		t.Fatal("late put-data did not trigger the ack")
+	}
+	if len(ofKind(envs, wire.KindWriteCodeElem)) != p.N2 {
+		t.Fatal("late put-data did not trigger write-to-L2")
+	}
+	if s.CommittedTag() != tg {
+		t.Errorf("tc = %v, want %v", s.CommittedTag(), tg)
+	}
+}
+
+func TestL1WriteToL2CompletionGarbageCollects(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	tg := tag.Tag{Z: 1, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("data")}})
+	commit(t, s, p, tg)
+	fn.take()
+	if s.TemporaryBytes() == 0 {
+		t.Fatal("value should be in temporary storage while offloading")
+	}
+	// n2 - f2 acknowledgments complete the internal write.
+	for i := 0; i < p.L2Quorum(); i++ {
+		s.Handle(wire.Envelope{From: wire.ProcID{Role: wire.RoleL2, Index: int32(i)}, To: s.ID(),
+			Msg: wire.AckCodeElem{Tag: tg}})
+	}
+	if s.TemporaryBytes() != 0 {
+		t.Errorf("temporary bytes = %d after write-to-L2 completed, want 0", s.TemporaryBytes())
+	}
+	if e := s.list[tg]; e == nil {
+		t.Error("tag must remain in the list as (t, bot)")
+	} else if e.hasValue {
+		t.Error("value must be garbage-collected")
+	}
+}
+
+func TestL1StrayAckCodeElemIgnored(t *testing.T) {
+	s, _, p := newTestServer(t)
+	for i := 0; i < p.N2; i++ {
+		s.Handle(wire.Envelope{From: wire.ProcID{Role: wire.RoleL2, Index: int32(i)}, To: s.ID(),
+			Msg: wire.AckCodeElem{Tag: tag.Tag{Z: 9, W: 9}}})
+	}
+	if v := s.Violations(); v != 0 {
+		t.Errorf("stray acks caused %d violations", v)
+	}
+}
+
+func TestL1QueryDataServedFromList(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	tg := tag.Tag{Z: 1, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("hot")}})
+	commit(t, s, p, tg)
+	fn.take()
+
+	// Requested tag present with value: served directly.
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tg}})
+	resps := ofKind(fn.take(), wire.KindQueryDataResp)
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	r := resps[0].Msg.(wire.QueryDataResp)
+	if r.Class != wire.PayloadValue || string(r.Data) != "hot" || r.Tag != tg {
+		t.Errorf("response = %+v", r)
+	}
+	if s.OutstandingReaders() != 0 {
+		t.Error("served reader must not be registered")
+	}
+}
+
+func TestL1QueryDataHigherCommittedServed(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	t2 := tag.Tag{Z: 2, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: t2, Value: []byte("newer")}})
+	commit(t, s, p, t2)
+	fn.take()
+	// Reader asks for an older tag; tc > treq and (tc, vc) in list.
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Tag{Z: 1, W: 1}}})
+	resps := ofKind(fn.take(), wire.KindQueryDataResp)
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	if r := resps[0].Msg.(wire.QueryDataResp); r.Tag != t2 || r.Class != wire.PayloadValue {
+		t.Errorf("response = %+v, want committed pair", r)
+	}
+}
+
+func TestL1QueryDataRegistersAndRegenerates(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Zero}})
+	envs := fn.take()
+	queries := ofKind(envs, wire.KindQueryCodeElem)
+	if len(queries) != p.N2 {
+		t.Fatalf("sent %d helper queries, want all n2 = %d", len(queries), p.N2)
+	}
+	if q := queries[0].Msg.(wire.QueryCodeElem); q.Reader != reader1 || q.OpID != 7 {
+		t.Errorf("query = %+v", q)
+	}
+	if s.OutstandingReaders() != 1 {
+		t.Error("reader must be registered in Gamma")
+	}
+}
+
+func TestL1RegenerationSuccessAndBotPaths(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	code := s.code
+	value := []byte("regenerate me")
+	tg := tag.Tag{Z: 3, W: 1}
+	shards, err := code.Encode(erasePad(code, value))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = shards
+
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Zero}})
+	fn.take()
+
+	// Answer with L2Quorum helper responses carrying a common tag.
+	for i := 0; i < p.L2Quorum(); i++ {
+		shard, err := encodeNode(code, value, p.L2CodeIndex(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := code.Helper(shard, p.L2CodeIndex(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Handle(wire.Envelope{From: wire.ProcID{Role: wire.RoleL2, Index: int32(i)}, To: s.ID(),
+			Msg: wire.SendHelperElem{Reader: reader1, OpID: 7, Tag: tg, Helper: h, ValueLen: int32(len(value))}})
+	}
+	resps := ofKind(fn.take(), wire.KindQueryDataResp)
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses after quorum of helpers", len(resps))
+	}
+	r := resps[0].Msg.(wire.QueryDataResp)
+	if r.Class != wire.PayloadCoded || r.Tag != tg {
+		t.Fatalf("response = %+v, want coded element for %v", r, tg)
+	}
+	want, err := encodeNode(code, value, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != string(want) {
+		t.Error("regenerated coded element differs from direct encoding")
+	}
+	// The reader stays registered after a regeneration response.
+	if s.OutstandingReaders() != 1 {
+		t.Error("reader must remain registered after regeneration")
+	}
+}
+
+func TestL1RegenerationNoCommonTagSendsBot(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Zero}})
+	fn.take()
+	// Four responses with four different tags: no tag reaches d = 3.
+	for i := 0; i < p.L2Quorum(); i++ {
+		s.Handle(wire.Envelope{From: wire.ProcID{Role: wire.RoleL2, Index: int32(i)}, To: s.ID(),
+			Msg: wire.SendHelperElem{Reader: reader1, OpID: 7, Tag: tag.Tag{Z: uint64(i + 1), W: 1}, Helper: []byte{1}, ValueLen: 1}})
+	}
+	resps := ofKind(fn.take(), wire.KindQueryDataResp)
+	if len(resps) != 1 || resps[0].Msg.(wire.QueryDataResp).Class != wire.PayloadNone {
+		t.Fatalf("want a single (bot, bot) response, got %v", resps)
+	}
+	if s.OutstandingReaders() != 1 {
+		t.Error("reader must remain registered after failed regeneration")
+	}
+}
+
+func TestL1RegenerationStaleOpIgnored(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Zero}})
+	fn.take()
+	// Helpers for a previous operation id must not be counted.
+	for i := 0; i < p.L2Quorum(); i++ {
+		s.Handle(wire.Envelope{From: wire.ProcID{Role: wire.RoleL2, Index: int32(i)}, To: s.ID(),
+			Msg: wire.SendHelperElem{Reader: reader1, OpID: 6, Tag: tag.Zero, Helper: []byte{1}, ValueLen: 0}})
+	}
+	if resps := ofKind(fn.take(), wire.KindQueryDataResp); len(resps) != 0 {
+		t.Fatalf("stale helpers produced %d responses", len(resps))
+	}
+}
+
+func TestL1CommitServesRegisteredReaders(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	// Register a reader waiting for anything >= t0.
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Zero}})
+	fn.take()
+	// A write commits: the registered reader gets the value directly.
+	tg := tag.Tag{Z: 1, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("served")}})
+	commit(t, s, p, tg)
+	resps := ofKind(fn.take(), wire.KindQueryDataResp)
+	if len(resps) != 1 {
+		t.Fatalf("registered reader got %d responses", len(resps))
+	}
+	r := resps[0].Msg.(wire.QueryDataResp)
+	if r.Class != wire.PayloadValue || string(r.Data) != "served" || r.OpID != 7 {
+		t.Errorf("response = %+v", r)
+	}
+	if s.OutstandingReaders() != 0 {
+		t.Error("served reader must be unregistered")
+	}
+}
+
+func TestL1PutTagWithValueCommitsAndOffloads(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	tg := tag.Tag{Z: 1, W: 1}
+	// Value in list but not yet committed (no broadcasts consumed).
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("wb")}})
+	fn.take()
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.PutTag{OpID: 8, Tag: tg}})
+	envs := fn.take()
+	if len(ofKind(envs, wire.KindPutTagResp)) != 1 {
+		t.Fatal("put-tag not acknowledged")
+	}
+	if len(ofKind(envs, wire.KindWriteCodeElem)) != p.N2 {
+		t.Error("put-tag with value in list must initiate write-to-L2")
+	}
+	if s.CommittedTag() != tg {
+		t.Errorf("tc = %v, want %v", s.CommittedTag(), tg)
+	}
+}
+
+func TestL1PutTagWithoutValueAddsBotEntry(t *testing.T) {
+	s, fn, _ := newTestServer(t)
+	tg := tag.Tag{Z: 5, W: 2}
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.PutTag{OpID: 8, Tag: tg}})
+	envs := fn.take()
+	if len(ofKind(envs, wire.KindPutTagResp)) != 1 {
+		t.Fatal("put-tag not acknowledged")
+	}
+	if len(ofKind(envs, wire.KindWriteCodeElem)) != 0 {
+		t.Error("put-tag without the value must not initiate write-to-L2")
+	}
+	e, ok := s.list[tg]
+	if !ok || e.hasValue {
+		t.Error("(t, bot) entry missing after put-tag for unseen tag")
+	}
+	if s.CommittedTag() != tg {
+		t.Errorf("tc = %v, want %v", s.CommittedTag(), tg)
+	}
+}
+
+func TestL1PutTagServesOtherReadersFromTBar(t *testing.T) {
+	// The else-branch of put-tag-resp: tc advances past the stored value,
+	// and a registered reader with a small request is served the highest
+	// remaining value below tc (t-bar) before garbage collection.
+	s, fn, p := newTestServer(t)
+	t1 := tag.Tag{Z: 1, W: 1}
+	// The reader registers first (t1 not yet in the list), then the value
+	// arrives without being committed.
+	reader2 := wire.ProcID{Role: wire.RoleReader, Index: 2}
+	s.Handle(wire.Envelope{From: reader2, To: s.ID(), Msg: wire.QueryData{OpID: 3, Req: t1}})
+	fn.take()
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: t1, Value: []byte("tbar")}})
+	fn.take()
+	// Another reader writes back a higher tag the server has no value for.
+	t9 := tag.Tag{Z: 9, W: 3}
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.PutTag{OpID: 8, Tag: t9}})
+	envs := fn.take()
+	resps := ofKind(envs, wire.KindQueryDataResp)
+	if len(resps) != 1 {
+		t.Fatalf("t-bar service produced %d responses, want 1", len(resps))
+	}
+	r := resps[0].Msg.(wire.QueryDataResp)
+	if r.Tag != t1 || string(r.Data) != "tbar" || r.OpID != 3 {
+		t.Errorf("t-bar response = %+v", r)
+	}
+	// And t1's value was garbage-collected afterwards (t1 < tc = t9).
+	if e := s.list[t1]; e == nil || e.hasValue {
+		t.Error("t-bar value must be garbage-collected after serving")
+	}
+	_ = p
+}
+
+func TestL1ViolationsStayZeroAcrossActions(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	tg := tag.Tag{Z: 1, W: 1}
+	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: tg, Value: []byte("v")}})
+	commit(t, s, p, tg)
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 2, Req: tg}})
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.PutTag{OpID: 3, Tag: tg}})
+	fn.take()
+	if v := s.Violations(); v != 0 {
+		t.Errorf("violations = %d", v)
+	}
+}
+
+// encodeNode uses the optional single-node encoder all production codes
+// implement.
+func encodeNode(code erasure.Regenerating, value []byte, node int) ([]byte, error) {
+	return code.(interface {
+		EncodeNode([]byte, int) ([]byte, error)
+	}).EncodeNode(value, node)
+}
+
+// erasePad returns the value unchanged; encoding pads internally. Kept as
+// a helper to make the test's intent explicit.
+func erasePad(_ erasure.Regenerating, v []byte) []byte { return v }

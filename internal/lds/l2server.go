@@ -1,0 +1,140 @@
+package lds
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// L2Server is one back-end server s_{n1+i} (paper, Fig. 3). Its entire
+// state is a single (tag, coded-element) pair: an incoming coded element
+// replaces the stored one when its tag is higher, and helper-data queries
+// are answered from the stored element alone.
+//
+// The server is an actor: Handle must be invoked sequentially (the
+// transport guarantees this).
+type L2Server struct {
+	params Params
+	index  int // i in [0, n2); code symbol index is n1 + i
+	id     wire.ProcID
+	code   erasure.Regenerating
+	node   transport.Node
+
+	// State variables (t, c) plus the original value length, which decoding
+	// ultimately needs because shards are padded to whole stripes.
+	tag      tag.Tag
+	coded    []byte
+	valueLen int
+
+	// storedBytes mirrors len(coded) atomically so storage-cost samplers
+	// can read it while traffic flows.
+	storedBytes atomic.Int64
+}
+
+// NewL2Server creates the server with its initial state (t0, c0): the coded
+// element of the distinguished initial value v0.
+func NewL2Server(params Params, index int, code erasure.Regenerating, initialValue []byte) (*L2Server, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= params.N2 {
+		return nil, fmt.Errorf("lds: L2 index %d out of range [0, %d)", index, params.N2)
+	}
+	encoder, ok := code.(interface {
+		EncodeNode(value []byte, node int) ([]byte, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("lds: code %T does not support single-node encoding", code)
+	}
+	c0, err := encoder.EncodeNode(initialValue, params.L2CodeIndex(index))
+	if err != nil {
+		return nil, fmt.Errorf("lds: encode initial value: %w", err)
+	}
+	s := &L2Server{
+		params:   params,
+		index:    index,
+		id:       wire.ProcID{Role: wire.RoleL2, Index: int32(index)},
+		code:     code,
+		coded:    c0,
+		valueLen: len(initialValue),
+	}
+	s.storedBytes.Store(int64(len(c0)))
+	return s, nil
+}
+
+// ID returns the server's process id.
+func (s *L2Server) ID() wire.ProcID { return s.id }
+
+// Bind attaches the transport node; must be called before traffic flows.
+func (s *L2Server) Bind(node transport.Node) { s.node = node }
+
+// Tag returns the currently stored tag (for tests and storage accounting).
+func (s *L2Server) Tag() tag.Tag { return s.tag }
+
+// StoredBytes returns the size of the stored coded element, the server's
+// contribution to permanent storage cost. Safe to call concurrently with
+// traffic.
+func (s *L2Server) StoredBytes() int64 { return s.storedBytes.Load() }
+
+// Handle dispatches one incoming message; it is the transport handler.
+func (s *L2Server) Handle(env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.WriteCodeElem:
+		s.onWriteCodeElem(env.From, m)
+	case wire.QueryCodeElem:
+		s.onQueryCodeElem(env.From, m)
+	default:
+		// Unknown traffic is ignored, never fatal: a byzantine-free model
+		// still sees stale messages from closed epochs in tests.
+	}
+}
+
+// onWriteCodeElem is write-to-L2-resp (Fig. 3): adopt the element if its
+// tag is newer, and acknowledge either way.
+func (s *L2Server) onWriteCodeElem(from wire.ProcID, m wire.WriteCodeElem) {
+	if s.tag.Less(m.Tag) {
+		s.tag = m.Tag
+		s.coded = m.Coded
+		s.valueLen = int(m.ValueLen)
+		s.storedBytes.Store(int64(len(m.Coded)))
+	}
+	s.send(from, wire.AckCodeElem{Tag: m.Tag})
+}
+
+// onQueryCodeElem is regenerate-from-L2-resp (Fig. 3): compute the helper
+// data h_{n1+i, j} for repairing the requesting L1 server's coded element
+// c_j. The failed index j is the sender's code index; the MBR construction
+// guarantees the helper data depends only on j (paper, Section II-c).
+func (s *L2Server) onQueryCodeElem(from wire.ProcID, m wire.QueryCodeElem) {
+	if from.Role != wire.RoleL1 {
+		return
+	}
+	failedIdx := int(from.Index) // L1 server j's code index is j
+	helper, err := s.code.Helper(s.coded, s.params.L2CodeIndex(s.index), failedIdx)
+	if err != nil {
+		// The stored element is always well-formed; an error here means a
+		// malformed request (e.g. out-of-range sender), which we drop.
+		return
+	}
+	s.send(from, wire.SendHelperElem{
+		Reader:   m.Reader,
+		OpID:     m.OpID,
+		Tag:      s.tag,
+		Helper:   helper,
+		ValueLen: int32(s.valueLen),
+	})
+}
+
+func (s *L2Server) send(to wire.ProcID, msg wire.Message) {
+	if s.node == nil {
+		return
+	}
+	// Send errors are unreportable inside an asynchronous actor; reliable
+	// links make them impossible in the simulated network and transient in
+	// TCP deployments (the protocol tolerates loss of any f2 servers).
+	_ = s.node.Send(to, msg)
+}

@@ -1,0 +1,111 @@
+package lds
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewParamsDerivation(t *testing.T) {
+	p, err := NewParams(10, 12, 3, 3)
+	if err != nil {
+		t.Fatalf("NewParams: %v", err)
+	}
+	if p.K != 4 || p.D != 6 {
+		t.Errorf("derived k=%d d=%d, want k=4 d=6", p.K, p.D)
+	}
+	if p.WriteQuorum() != 7 {
+		t.Errorf("WriteQuorum = %d, want f1+k = 7", p.WriteQuorum())
+	}
+	if p.L2Quorum() != 9 {
+		t.Errorf("L2Quorum = %d, want n2-f2 = 9", p.L2Quorum())
+	}
+	if p.RelayCount() != 4 {
+		t.Errorf("RelayCount = %d, want f1+1 = 4", p.RelayCount())
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr string
+	}{
+		{"valid", Params{N1: 10, N2: 12, F1: 3, F2: 3, K: 4, D: 6}, ""},
+		{"valid k=d", Params{N1: 6, N2: 8, F1: 1, F2: 2, K: 4, D: 4}, ""},
+		{"n1 identity broken", Params{N1: 11, N2: 12, F1: 3, F2: 3, K: 4, D: 6}, "n1"},
+		{"n2 identity broken", Params{N1: 10, N2: 13, F1: 3, F2: 3, K: 4, D: 6}, "n2"},
+		{"k > d", Params{N1: 14, N2: 10, F1: 3, F2: 3, K: 8, D: 4}, "k = 8 > d"},
+		{"f2 too large", Params{N1: 10, N2: 12, F1: 3, F2: 4, K: 4, D: 4}, "f2"},
+		{"zero k", Params{N1: 6, N2: 8, F1: 3, F2: 2, K: 0, D: 4}, "k = 0"},
+		{"negative f", Params{N1: 10, N2: 12, F1: -1, F2: 3, K: 12, D: 6}, "negative"},
+		{"field overflow", Params{N1: 150, N2: 150, F1: 25, F2: 25, K: 100, D: 100}, "GF(2^8)"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsF2BoundIsN2Over3(t *testing.T) {
+	// n2 = 2*f2 + d with d >= k >= 1; the binding constraint f2 < n2/3
+	// translates to d > f2. A geometry with d = f2 must fail.
+	p := Params{N1: 4, N2: 9, F1: 1, F2: 3, K: 2, D: 3}
+	if err := p.Validate(); err == nil {
+		t.Error("d = f2 should violate f2 < n2/3")
+	}
+	// And d = f2 + 2 passes.
+	p = Params{N1: 4, N2: 8, F1: 1, F2: 2, K: 2, D: 4}
+	if err := p.Validate(); err != nil {
+		t.Errorf("f2 = 2, n2 = 8: %v", err)
+	}
+}
+
+func TestIDHelpers(t *testing.T) {
+	p := MustTestParams(t, 4, 5, 1, 1)
+	l1 := p.L1IDs()
+	if len(l1) != 4 {
+		t.Fatalf("L1IDs: %d ids", len(l1))
+	}
+	if l1[2].String() != "L1/2" {
+		t.Errorf("L1IDs[2] = %v", l1[2])
+	}
+	l2 := p.L2IDs()
+	if len(l2) != 5 {
+		t.Fatalf("L2IDs: %d ids", len(l2))
+	}
+	if p.L2CodeIndex(3) != 7 {
+		t.Errorf("L2CodeIndex(3) = %d, want n1+3 = 7", p.L2CodeIndex(3))
+	}
+}
+
+func TestNewCodeMatchesGeometry(t *testing.T) {
+	p := MustTestParams(t, 6, 8, 1, 2)
+	code, err := p.NewCode()
+	if err != nil {
+		t.Fatalf("NewCode: %v", err)
+	}
+	cp := code.Params()
+	if cp.N != 14 || cp.K != 4 || cp.D != 4 {
+		t.Errorf("code params = %+v, want n=14 k=4 d=4", cp)
+	}
+}
+
+// MustTestParams derives params or fails the test.
+func MustTestParams(t *testing.T, n1, n2, f1, f2 int) Params {
+	t.Helper()
+	p, err := NewParams(n1, n2, f1, f2)
+	if err != nil {
+		t.Fatalf("NewParams(%d,%d,%d,%d): %v", n1, n2, f1, f2, err)
+	}
+	return p
+}

@@ -1,0 +1,247 @@
+// Package multiobj implements the paper's multi-object system (Section
+// V-A1): N atomic objects, each served by an independent instance of the
+// LDS algorithm, under a write load of at most theta concurrent writes per
+// tau1 time units. It samples the temporary (L1) and permanent (L2) storage
+// costs over time -- the quantities plotted in the paper's Fig. 6.
+package multiobj
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/sim"
+	"github.com/lds-storage/lds/internal/transport"
+)
+
+// Config describes a multi-object run.
+type Config struct {
+	// Objects is N, the number of independent LDS instances.
+	Objects int
+	// Params is the per-object cluster geometry (the paper's Fig. 6 uses a
+	// symmetric system, n1 = n2 and f1 = f2, hence k = d).
+	Params lds.Params
+	// Latency is the shared link model; Tau1 paces the write driver.
+	Latency transport.LatencyModel
+	// Theta is the number of objects written concurrently per tau1 tick.
+	Theta int
+	// Ticks is how many tau1 write rounds to drive.
+	Ticks int
+	// ValueSize is the object value size in bytes.
+	ValueSize int
+	// Seed selects which objects get written each tick.
+	Seed int64
+}
+
+// Sample is one point of the storage time series.
+type Sample struct {
+	Elapsed time.Duration
+	L1Bytes int64 // temporary storage across all objects
+	L2Bytes int64 // permanent storage across all objects
+}
+
+// Result aggregates a run.
+type Result struct {
+	Samples []Sample
+	// PeakL1Bytes is the maximum observed temporary storage.
+	PeakL1Bytes int64
+	// SettledL2Bytes is the permanent storage after the system quiesced.
+	SettledL2Bytes int64
+	// WriteCount is the number of writes successfully completed.
+	WriteCount int64
+	// ValueSize echoes the configured value size for normalization.
+	ValueSize int
+}
+
+// NormalizedPeakL1 returns peak L1 storage in units of one value.
+func (r Result) NormalizedPeakL1() float64 {
+	return float64(r.PeakL1Bytes) / float64(r.ValueSize)
+}
+
+// NormalizedSettledL2 returns settled L2 storage in units of one value.
+func (r Result) NormalizedSettledL2() float64 {
+	return float64(r.SettledL2Bytes) / float64(r.ValueSize)
+}
+
+// System is a running collection of N independent LDS instances.
+type System struct {
+	cfg      Config
+	clusters []*sim.Cluster
+	writers  []*writerLoop
+}
+
+// writerLoop serializes writes per object (clients are well-formed).
+type writerLoop struct {
+	cluster *sim.Cluster
+	work    chan []byte
+	done    chan struct{}
+	writes  *int64
+	mu      *sync.Mutex
+}
+
+// New builds the N instances.
+func New(cfg Config) (*System, error) {
+	if cfg.Objects < 1 {
+		return nil, fmt.Errorf("multiobj: objects = %d, want >= 1", cfg.Objects)
+	}
+	if cfg.Theta < 0 || cfg.Theta > cfg.Objects {
+		return nil, fmt.Errorf("multiobj: theta = %d, want 0 <= theta <= objects = %d", cfg.Theta, cfg.Objects)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	// All instances share one code value (immutable, concurrency-safe), so
+	// N instances do not pay N code constructions.
+	code, err := cfg.Params.NewCode()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	for i := 0; i < cfg.Objects; i++ {
+		cluster, err := sim.New(sim.Config{
+			Params:  cfg.Params,
+			Latency: cfg.Latency,
+			Seed:    cfg.Seed + int64(i),
+			Code:    code,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.clusters = append(s.clusters, cluster)
+	}
+	return s, nil
+}
+
+// Run drives theta writes per tau1 tick for the configured number of ticks,
+// sampling storage twice per tick, then lets the system quiesce and returns
+// the series.
+func (s *System) Run(ctx context.Context) (Result, error) {
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	var (
+		writes int64
+		mu     sync.Mutex
+	)
+	// One serial writer loop per object keeps clients well-formed while
+	// letting distinct objects proceed concurrently.
+	s.writers = make([]*writerLoop, len(s.clusters))
+	var wg sync.WaitGroup
+	for i, cluster := range s.clusters {
+		w, err := cluster.Writer(1)
+		if err != nil {
+			return Result{}, err
+		}
+		loop := &writerLoop{
+			cluster: cluster,
+			work:    make(chan []byte, 4),
+			done:    make(chan struct{}),
+			writes:  &writes,
+			mu:      &mu,
+		}
+		s.writers[i] = loop
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(loop.done)
+			for value := range loop.work {
+				if _, err := w.Write(ctx, value); err != nil {
+					return
+				}
+				mu.Lock()
+				writes++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	tau1 := s.cfg.Latency.Tau1
+	if tau1 <= 0 {
+		tau1 = time.Millisecond
+	}
+	value := make([]byte, s.cfg.ValueSize)
+	rng.Read(value)
+
+	var result Result
+	result.ValueSize = s.cfg.ValueSize
+	start := time.Now()
+	sample := func() {
+		var l1, l2 int64
+		for _, c := range s.clusters {
+			l1 += c.TemporaryStorageBytes()
+			l2 += c.PermanentStorageBytes()
+		}
+		result.Samples = append(result.Samples, Sample{
+			Elapsed: time.Since(start), L1Bytes: l1, L2Bytes: l2,
+		})
+		if l1 > result.PeakL1Bytes {
+			result.PeakL1Bytes = l1
+		}
+	}
+
+	ticker := time.NewTicker(tau1 / 2)
+	defer ticker.Stop()
+	half := 0
+	for tick := 0; tick < 2*s.cfg.Ticks; {
+		select {
+		case <-ticker.C:
+			sample()
+			half++
+			if half%2 == 1 {
+				// Once per tau1: fire theta writes at distinct objects.
+				for _, obj := range rng.Perm(s.cfg.Objects)[:s.cfg.Theta] {
+					select {
+					case s.writers[obj].work <- value:
+					default:
+						// The object's previous write is still running; the
+						// tick's concurrency budget simply goes unused, per
+						// theta being an upper bound.
+					}
+				}
+			}
+			tick++
+		case <-ctx.Done():
+			s.stopWriters(&wg)
+			return result, ctx.Err()
+		}
+	}
+	s.stopWriters(&wg)
+
+	// Quiesce: every write's asynchronous tail must finish, after which all
+	// temporary storage is garbage-collected.
+	for _, c := range s.clusters {
+		if err := c.WaitIdle(30 * time.Second); err != nil {
+			return result, err
+		}
+	}
+	sample()
+	var l2 int64
+	for _, c := range s.clusters {
+		l2 += c.PermanentStorageBytes()
+	}
+	result.SettledL2Bytes = l2
+	mu.Lock()
+	result.WriteCount = writes
+	mu.Unlock()
+	return result, nil
+}
+
+func (s *System) stopWriters(wg *sync.WaitGroup) {
+	for _, w := range s.writers {
+		if w != nil {
+			close(w.work)
+		}
+	}
+	wg.Wait()
+}
+
+// Close shuts all instances down.
+func (s *System) Close() {
+	for _, c := range s.clusters {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package multiobj
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/sim"
+	"github.com/lds-storage/lds/internal/transport"
+)
+
+func TestConfigValidation(t *testing.T) {
+	params := sim.MustParams(4, 4, 1, 1)
+	if _, err := New(Config{Objects: 0, Params: params}); err == nil {
+		t.Error("zero objects should fail")
+	}
+	if _, err := New(Config{Objects: 2, Theta: 3, Params: params}); err == nil {
+		t.Error("theta > objects should fail")
+	}
+}
+
+func TestRunSmallSystem(t *testing.T) {
+	// A symmetric system like the paper's Fig. 6 setup (n1 = n2, f1 = f2,
+	// so k = d), scaled down: storage behaviour, not absolute size, is what
+	// the figure demonstrates.
+	params := sim.MustParams(4, 4, 1, 1) // k = d = 2
+	cfg := Config{
+		Objects: 8,
+		Params:  params,
+		Latency: transport.LatencyModel{
+			Tau0: 200 * time.Microsecond,
+			Tau1: 200 * time.Microsecond,
+			Tau2: 2 * time.Millisecond, // mu = 10 like the paper's example
+		},
+		Theta:     3,
+		Ticks:     10,
+		ValueSize: 512,
+		Seed:      1,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := s.Run(ctx)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.WriteCount == 0 {
+		t.Fatal("no writes completed")
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+
+	// Permanent storage: every object stores exactly n2 coded elements of
+	// alpha bytes per stripe, independent of how many writes ran.
+	code, err := params.NewCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL2 := int64(cfg.Objects * params.N2 * code.ShardSize(cfg.ValueSize))
+	if res.SettledL2Bytes != wantL2 {
+		t.Errorf("settled L2 = %d bytes, want %d", res.SettledL2Bytes, wantL2)
+	}
+
+	// Temporary storage: the final sample must be zero (all values
+	// garbage-collected after offload), even though the peak was positive.
+	last := res.Samples[len(res.Samples)-1]
+	if last.L1Bytes != 0 {
+		t.Errorf("final L1 storage = %d bytes, want 0 after quiescence", last.L1Bytes)
+	}
+	if res.PeakL1Bytes == 0 {
+		t.Error("peak L1 storage = 0; the workload should have occupied temporary storage")
+	}
+
+	// Lemma V.5's bound: peak L1 <= ceil(5 + 2*mu) * theta * n1 values.
+	mu := float64(cfg.Latency.Tau2) / float64(cfg.Latency.Tau1)
+	bound := float64(cfg.Theta) * float64(params.N1) * (5 + 2*mu + 1)
+	if res.NormalizedPeakL1() > bound {
+		t.Errorf("peak L1 = %.1f values exceeds the Lemma V.5 bound %.1f", res.NormalizedPeakL1(), bound)
+	}
+}
+
+func TestRunZeroTheta(t *testing.T) {
+	params := sim.MustParams(4, 4, 1, 1)
+	s, err := New(Config{
+		Objects:   2,
+		Params:    params,
+		Theta:     0,
+		Ticks:     2,
+		ValueSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteCount != 0 {
+		t.Errorf("writes = %d, want 0", res.WriteCount)
+	}
+	if res.PeakL1Bytes != 0 {
+		t.Errorf("peak L1 = %d, want 0 with no writes", res.PeakL1Bytes)
+	}
+	// L2 still holds the initial value's coded elements.
+	if res.SettledL2Bytes == 0 {
+		t.Error("L2 should hold initial coded elements")
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/history"
+	"github.com/lds-storage/lds/internal/transport"
+)
+
+// runAtomicityWorkload drives concurrent writers and readers against a
+// cluster, recording every completed operation, and checks the history
+// against the paper's atomicity conditions (Theorem IV.9) plus the
+// value-based cross-check.
+func runAtomicityWorkload(t *testing.T, cfg Config, writers, readers, opsPerClient int, crash func(c *Cluster)) {
+	t.Helper()
+	cluster, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	rec := history.NewRecorder()
+	var wg sync.WaitGroup
+
+	for w := 1; w <= writers; w++ {
+		writer, err := cluster.Writer(int32(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(wid int32) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				value := fmt.Sprintf("w%d-op%d", wid, i)
+				start := time.Now()
+				tg, err := writer.Write(ctx, []byte(value))
+				if err != nil {
+					t.Errorf("writer %d op %d: %v", wid, i, err)
+					return
+				}
+				rec.Add(history.Op{
+					Kind: history.OpWrite, Client: wid,
+					Start: start, End: time.Now(), Tag: tg, Value: value,
+				})
+			}
+		}(int32(w))
+	}
+	for r := 1; r <= readers; r++ {
+		reader, err := cluster.Reader(int32(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(rid int32) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				start := time.Now()
+				v, tg, err := reader.Read(ctx)
+				if err != nil {
+					t.Errorf("reader %d op %d: %v", rid, i, err)
+					return
+				}
+				rec.Add(history.Op{
+					Kind: history.OpRead, Client: rid,
+					Start: start, End: time.Now(), Tag: tg, Value: string(v),
+				})
+			}
+		}(int32(r))
+	}
+	if crash != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(2 * time.Millisecond)
+			crash(cluster)
+		}()
+	}
+	wg.Wait()
+
+	if t.Failed() {
+		return
+	}
+	ops := rec.Ops()
+	if want := writers*opsPerClient + readers*opsPerClient; len(ops) != want {
+		t.Fatalf("recorded %d ops, want %d", len(ops), want)
+	}
+	for _, v := range history.Verify(ops) {
+		t.Errorf("atomicity violation: %v", v)
+	}
+	for _, v := range history.VerifyUniqueValues(ops, "") {
+		t.Errorf("value-based violation: %v", v)
+	}
+	if v := cluster.Violations(); v != 0 {
+		t.Errorf("internal invariant violations: %d", v)
+	}
+}
+
+func TestAtomicityQuiescentNetwork(t *testing.T) {
+	runAtomicityWorkload(t, Config{
+		Params: MustParams(4, 5, 1, 1),
+	}, 2, 2, 10, nil)
+}
+
+func TestAtomicityChaosNetwork(t *testing.T) {
+	runAtomicityWorkload(t, Config{
+		Params:  MustParams(4, 5, 1, 1),
+		Latency: transport.LatencyModel{ChaosMax: 2 * time.Millisecond},
+		Seed:    1,
+	}, 3, 3, 8, nil)
+}
+
+func TestAtomicityChaosManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed chaos sweep skipped in -short mode")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAtomicityWorkload(t, Config{
+				Params:  MustParams(4, 5, 1, 1),
+				Latency: transport.LatencyModel{ChaosMax: time.Millisecond},
+				Seed:    seed,
+			}, 2, 3, 6, nil)
+		})
+	}
+}
+
+func TestAtomicityWithCrashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	runAtomicityWorkload(t, Config{
+		Params:  MustParams(5, 7, 2, 2),
+		Latency: transport.LatencyModel{ChaosMax: time.Millisecond},
+		Seed:    2,
+	}, 2, 3, 8, func(c *Cluster) {
+		// Crash f1 = 2 L1 servers and f2 = 2 L2 servers mid-workload.
+		p := rng.Perm(5)
+		c.CrashL1(p[0])
+		c.CrashL1(p[1])
+		q := rng.Perm(7)
+		c.CrashL2(q[0])
+		c.CrashL2(q[1])
+	})
+}
+
+func TestAtomicityLargerCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger-cluster atomicity test skipped in -short mode")
+	}
+	runAtomicityWorkload(t, Config{
+		Params:  MustParams(10, 12, 3, 3), // k=4, d=6
+		Latency: transport.LatencyModel{ChaosMax: time.Millisecond},
+		Seed:    4,
+	}, 3, 3, 5, nil)
+}
+
+func TestAtomicityManyWritersOneReader(t *testing.T) {
+	runAtomicityWorkload(t, Config{
+		Params:  MustParams(4, 5, 1, 1),
+		Latency: transport.LatencyModel{ChaosMax: time.Millisecond},
+		Seed:    6,
+	}, 5, 1, 6, nil)
+}
+
+func TestAtomicityBoundedJitterNetwork(t *testing.T) {
+	runAtomicityWorkload(t, Config{
+		Params: MustParams(4, 5, 1, 1),
+		Latency: transport.LatencyModel{
+			Tau0:   200 * time.Microsecond,
+			Tau1:   300 * time.Microsecond,
+			Tau2:   2 * time.Millisecond,
+			Jitter: 0.8,
+		},
+		Seed: 8,
+	}, 2, 2, 6, nil)
+}

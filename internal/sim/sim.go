@@ -1,0 +1,225 @@
+// Package sim assembles complete LDS clusters on the simulated network:
+// n1 L1 servers, n2 L2 servers, lazily created writers and readers, crash
+// injection and storage/cost probes. It is the workhorse behind the
+// integration tests, the examples and the benchmark harness.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/cost"
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/transport/channet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	// Params is the cluster geometry; required.
+	Params lds.Params
+	// Latency is the link-delay model; the zero value delivers instantly.
+	Latency transport.LatencyModel
+	// Seed makes jitter and chaos delays reproducible.
+	Seed int64
+	// InitialValue is v0, the object's distinguished initial value.
+	InitialValue []byte
+	// Accountant, when non-nil, observes all traffic for cost measurement.
+	Accountant *cost.Accountant
+	// Code overrides the storage code (the MSR ablation uses this); nil
+	// selects the paper's MBR code for the given parameters.
+	Code erasure.Regenerating
+}
+
+// Cluster is a running two-layer system.
+type Cluster struct {
+	cfg  Config
+	net  *channet.Network
+	code erasure.Regenerating
+	l1   []*lds.L1Server
+	l2   []*lds.L2Server
+
+	mu      sync.Mutex
+	writers map[int32]*lds.Writer
+	readers map[int32]*lds.Reader
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	code := cfg.Code
+	if code == nil {
+		var err error
+		code, err = cfg.Params.NewCode()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var observer channet.Observer
+	if cfg.Accountant != nil {
+		observer = cfg.Accountant.Observe
+	}
+	net := channet.New(channet.Options{
+		Latency:  cfg.Latency,
+		Seed:     cfg.Seed,
+		Observer: observer,
+	})
+	c := &Cluster{
+		cfg:     cfg,
+		net:     net,
+		code:    code,
+		writers: make(map[int32]*lds.Writer),
+		readers: make(map[int32]*lds.Reader),
+	}
+	for i := 0; i < cfg.Params.N1; i++ {
+		srv, err := lds.NewL1Server(cfg.Params, i, code)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		node, err := net.Register(srv.ID(), srv.Handle)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		if err := srv.Bind(node); err != nil {
+			net.Close()
+			return nil, err
+		}
+		c.l1 = append(c.l1, srv)
+	}
+	for i := 0; i < cfg.Params.N2; i++ {
+		srv, err := lds.NewL2Server(cfg.Params, i, code, cfg.InitialValue)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		node, err := net.Register(srv.ID(), srv.Handle)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		srv.Bind(node)
+		c.l2 = append(c.l2, srv)
+	}
+	return c, nil
+}
+
+// Params returns the cluster geometry.
+func (c *Cluster) Params() lds.Params { return c.cfg.Params }
+
+// Code returns the storage code in use.
+func (c *Cluster) Code() erasure.Regenerating { return c.code }
+
+// Network exposes the underlying simulated network (for WaitIdle etc.).
+func (c *Cluster) Network() *channet.Network { return c.net }
+
+// Writer returns (creating on first use) the writer with the given id.
+func (c *Cluster) Writer(wid int32) (*lds.Writer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.writers[wid]; ok {
+		return w, nil
+	}
+	w, err := lds.NewWriter(c.cfg.Params, wid)
+	if err != nil {
+		return nil, err
+	}
+	node, err := c.net.Register(w.ID(), w.Handle)
+	if err != nil {
+		return nil, err
+	}
+	w.Bind(node)
+	c.writers[wid] = w
+	return w, nil
+}
+
+// Reader returns (creating on first use) the reader with the given id.
+func (c *Cluster) Reader(rid int32) (*lds.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.readers[rid]; ok {
+		return r, nil
+	}
+	r, err := lds.NewReader(c.cfg.Params, rid, c.code)
+	if err != nil {
+		return nil, err
+	}
+	node, err := c.net.Register(r.ID(), r.Handle)
+	if err != nil {
+		return nil, err
+	}
+	r.Bind(node)
+	c.readers[rid] = r
+	return r, nil
+}
+
+// CrashL1 crash-fails L1 server i.
+func (c *Cluster) CrashL1(i int) {
+	c.net.Crash(wire.ProcID{Role: wire.RoleL1, Index: int32(i)})
+}
+
+// CrashL2 crash-fails L2 server i.
+func (c *Cluster) CrashL2(i int) {
+	c.net.Crash(wire.ProcID{Role: wire.RoleL2, Index: int32(i)})
+}
+
+// WaitIdle blocks until no messages are in flight; use it to wait for the
+// asynchronous write-to-L2 tail after client operations return.
+func (c *Cluster) WaitIdle(timeout time.Duration) error {
+	return c.net.WaitIdle(timeout)
+}
+
+// TemporaryStorageBytes sums the value bytes currently held in all L1
+// lists (the paper's temporary storage cost, unnormalized).
+func (c *Cluster) TemporaryStorageBytes() int64 {
+	var total int64
+	for _, s := range c.l1 {
+		total += s.TemporaryBytes()
+	}
+	return total
+}
+
+// PermanentStorageBytes sums the coded bytes stored across L2 (the paper's
+// permanent storage cost, unnormalized).
+func (c *Cluster) PermanentStorageBytes() int64 {
+	var total int64
+	for _, s := range c.l2 {
+		total += s.StoredBytes()
+	}
+	return total
+}
+
+// Violations sums internal invariant violations across all L1 servers;
+// tests assert this stays zero.
+func (c *Cluster) Violations() int64 {
+	var total int64
+	for _, s := range c.l1 {
+		total += s.Violations()
+	}
+	return total
+}
+
+// L1 returns L1 server i (diagnostics; quiescent use only).
+func (c *Cluster) L1(i int) *lds.L1Server { return c.l1[i] }
+
+// L2 returns L2 server i (diagnostics; quiescent use only).
+func (c *Cluster) L2(i int) *lds.L2Server { return c.l2[i] }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error { return c.net.Close() }
+
+// MustParams is a helper for tests and examples: it derives Params from
+// (n1, n2, f1, f2) and panics on invalid geometry.
+func MustParams(n1, n2, f1, f2 int) lds.Params {
+	p, err := lds.NewParams(n1, n2, f1, f2)
+	if err != nil {
+		panic(fmt.Sprintf("sim: bad geometry (%d,%d,%d,%d): %v", n1, n2, f1, f2, err))
+	}
+	return p
+}

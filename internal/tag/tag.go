@@ -1,0 +1,67 @@
+// Package tag implements the version tags the LDS algorithm uses for
+// ordering write operations.
+//
+// A tag t is a pair (z, w) with z a natural number and w a writer id; tags
+// are compared lexicographically, first by z and then by w (paper, Section
+// III). The relation defines a total order because writer ids are unique.
+package tag
+
+import "fmt"
+
+// Tag is a version tag (z, w). The zero value is t0, the distinguished
+// initial tag, which is smaller than every tag a real writer can produce
+// (writer ids are positive).
+type Tag struct {
+	Z uint64 // write sequence component
+	W int32  // writer id, positive for real writers
+}
+
+// Zero is t0, the tag of the initial object value.
+var Zero = Tag{}
+
+// Less reports whether t < o in the total tag order.
+func (t Tag) Less(o Tag) bool {
+	if t.Z != o.Z {
+		return t.Z < o.Z
+	}
+	return t.W < o.W
+}
+
+// Compare returns -1, 0 or 1 as t is less than, equal to or greater than o.
+func (t Tag) Compare(o Tag) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Next returns the tag a writer with id w creates after observing t:
+// (t.z + 1, w).
+func (t Tag) Next(w int32) Tag { return Tag{Z: t.Z + 1, W: w} }
+
+// IsZero reports whether t is the initial tag t0.
+func (t Tag) IsZero() bool { return t == Zero }
+
+// String renders the tag as (z, w).
+func (t Tag) String() string { return fmt.Sprintf("(%d,%d)", t.Z, t.W) }
+
+// Max returns the larger of a and b.
+func Max(a, b Tag) Tag {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// MaxOf returns the largest tag in the list, or Zero for an empty list.
+func MaxOf(tags ...Tag) Tag {
+	var m Tag
+	for _, t := range tags {
+		m = Max(m, t)
+	}
+	return m
+}

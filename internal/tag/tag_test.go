@@ -1,0 +1,141 @@
+package tag
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Tag
+		want bool
+	}{
+		{"zero vs first write", Zero, Tag{Z: 1, W: 1}, true},
+		{"z dominates", Tag{Z: 1, W: 9}, Tag{Z: 2, W: 1}, true},
+		{"writer breaks ties", Tag{Z: 3, W: 1}, Tag{Z: 3, W: 2}, true},
+		{"equal", Tag{Z: 3, W: 2}, Tag{Z: 3, W: 2}, false},
+		{"greater", Tag{Z: 4, W: 1}, Tag{Z: 3, W: 9}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(az, bz uint64, aw, bw int32) bool {
+		a, b := Tag{Z: az, W: aw}, Tag{Z: bz, W: bw}
+		c := a.Compare(b)
+		switch {
+		case a.Less(b):
+			return c == -1
+		case b.Less(a):
+			return c == 1
+		default:
+			return c == 0 && a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalOrderQuick(t *testing.T) {
+	// Trichotomy plus transitivity on random triples.
+	tri := func(az, bz uint64, aw, bw int32) bool {
+		a, b := Tag{Z: az, W: aw}, Tag{Z: bz, W: bw}
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Errorf("trichotomy: %v", err)
+	}
+	trans := func(az, bz, cz uint16, aw, bw, cw int8) bool {
+		a := Tag{Z: uint64(az), W: int32(aw)}
+		b := Tag{Z: uint64(bz), W: int32(bw)}
+		c := Tag{Z: uint64(cz), W: int32(cw)}
+		if a.Less(b) && b.Less(c) {
+			return a.Less(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+func TestNextIsStrictlyGreater(t *testing.T) {
+	f := func(z uint64, w, w2 int32) bool {
+		if z == 1<<64-1 {
+			return true // avoid overflow corner in the property
+		}
+		t0 := Tag{Z: z, W: w}
+		return t0.Less(t0.Next(w2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextDistinctWriters(t *testing.T) {
+	// Two writers advancing the same observed tag produce distinct,
+	// ordered tags: the core of P2 (writes are totally ordered).
+	base := Tag{Z: 7, W: 3}
+	a, b := base.Next(1), base.Next(2)
+	if a == b {
+		t.Fatal("tags from distinct writers collide")
+	}
+	if !a.Less(b) {
+		t.Fatalf("writer order not respected: %v vs %v", a, b)
+	}
+}
+
+func TestMaxAndMaxOf(t *testing.T) {
+	a, b := Tag{Z: 2, W: 5}, Tag{Z: 3, W: 1}
+	if got := Max(a, b); got != b {
+		t.Errorf("Max = %v, want %v", got, b)
+	}
+	if got := MaxOf(); got != Zero {
+		t.Errorf("MaxOf() = %v, want Zero", got)
+	}
+	if got := MaxOf(a, b, Zero, Tag{Z: 3, W: 2}); (got != Tag{Z: 3, W: 2}) {
+		t.Errorf("MaxOf = %v, want (3,2)", got)
+	}
+}
+
+func TestIsZeroAndString(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if (Tag{Z: 1}).IsZero() {
+		t.Error("(1,0).IsZero() = true")
+	}
+	if got := (Tag{Z: 4, W: 2}).String(); got != "(4,2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	tags := []Tag{{Z: 2, W: 2}, {Z: 1, W: 9}, {Z: 2, W: 1}, Zero}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].Less(tags[j]) })
+	want := []Tag{Zero, {Z: 1, W: 9}, {Z: 2, W: 1}, {Z: 2, W: 2}}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, tags[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package tcpnet implements the transport interfaces over real TCP
+// sockets, so the same protocol code that runs on the simulated network
+// deploys as an actual distributed system (cmd/lds-node, cmd/lds-cli).
+//
+// Topology is static: an AddressBook maps every process id to a host:port.
+// Each Network instance owns one listener and hosts any number of local
+// processes; outbound connections are established lazily, shared per
+// destination address, and redialed once on write failure. Incoming frames
+// are routed to the destination process's mailbox and handled one at a
+// time, preserving the actor discipline the protocol code relies on.
+//
+// Framing: 4-byte big-endian length, then wire.EncodeEnvelope bytes.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// maxFrameSize rejects absurd frames before allocating (64 MiB).
+const maxFrameSize = 64 << 20
+
+// Common errors.
+var (
+	ErrClosed     = errors.New("tcpnet: network closed")
+	ErrDuplicate  = errors.New("tcpnet: process already registered")
+	ErrNoAddress  = errors.New("tcpnet: no address for destination")
+	ErrFrameSize  = errors.New("tcpnet: frame exceeds size limit")
+	ErrNoSuchNode = errors.New("tcpnet: destination process not hosted here")
+)
+
+// AddressBook maps process ids to listen addresses.
+type AddressBook map[wire.ProcID]string
+
+// ParseAddressBook parses "L1/0=host:port,L1/1=host:port,L2/0=host:port".
+func ParseAddressBook(s string) (AddressBook, error) {
+	book := make(AddressBook)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("tcpnet: bad peer entry %q, want id=addr", entry)
+		}
+		pid, err := ParseProcID(id)
+		if err != nil {
+			return nil, err
+		}
+		book[pid] = addr
+	}
+	if len(book) == 0 {
+		return nil, errors.New("tcpnet: empty address book")
+	}
+	return book, nil
+}
+
+// ParseProcID parses "L1/3", "L2/0", "w/1" or "r/2".
+func ParseProcID(s string) (wire.ProcID, error) {
+	role, idx, ok := strings.Cut(strings.TrimSpace(s), "/")
+	if !ok {
+		return wire.ProcID{}, fmt.Errorf("tcpnet: bad process id %q, want role/index", s)
+	}
+	var r wire.Role
+	switch role {
+	case "L1", "l1":
+		r = wire.RoleL1
+	case "L2", "l2":
+		r = wire.RoleL2
+	case "w", "W":
+		r = wire.RoleWriter
+	case "r", "R":
+		r = wire.RoleReader
+	default:
+		return wire.ProcID{}, fmt.Errorf("tcpnet: unknown role %q", role)
+	}
+	var n int32
+	if _, err := fmt.Sscanf(idx, "%d", &n); err != nil {
+		return wire.ProcID{}, fmt.Errorf("tcpnet: bad index %q: %w", idx, err)
+	}
+	return wire.ProcID{Role: r, Index: n}, nil
+}
+
+// FormatAddressBook renders a book back into the parseable form, sorted for
+// determinism.
+func FormatAddressBook(book AddressBook) string {
+	entries := make([]string, 0, len(book))
+	for id, addr := range book {
+		entries = append(entries, fmt.Sprintf("%s=%s", id, addr))
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, ",")
+}
+
+// Network hosts local processes and connects to remote ones.
+type Network struct {
+	book     AddressBook
+	listener net.Listener
+
+	mu     sync.Mutex
+	nodes  map[wire.ProcID]*node
+	outs   map[string]*outConn
+	ins    map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New starts a network listening on listenAddr (for example "127.0.0.1:0";
+// use Addr to discover the bound port) with the given address book.
+func New(listenAddr string, book AddressBook) (*Network, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen: %w", err)
+	}
+	n := &Network{
+		book:     book,
+		listener: ln,
+		nodes:    make(map[wire.ProcID]*node),
+		outs:     make(map[string]*outConn),
+		ins:      make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Network) Addr() string { return n.listener.Addr().String() }
+
+// Register implements transport.Network.
+func (n *Network) Register(id wire.ProcID, h transport.Handler) (transport.Node, error) {
+	if h == nil {
+		return nil, fmt.Errorf("tcpnet: nil handler for %v", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.nodes[id]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrDuplicate, id)
+	}
+	nd := &node{net: n, id: id, handler: h, mb: make(chan wire.Envelope, 1024), done: make(chan struct{})}
+	n.nodes[id] = nd
+	n.wg.Add(1)
+	go nd.loop()
+	return nd, nil
+}
+
+// Close implements transport.Network.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	nodes := make([]*node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	outs := make([]*outConn, 0, len(n.outs))
+	for _, c := range n.outs {
+		outs = append(outs, c)
+	}
+	ins := make([]net.Conn, 0, len(n.ins))
+	for c := range n.ins {
+		ins = append(ins, c)
+	}
+	n.mu.Unlock()
+
+	n.listener.Close()
+	for _, c := range outs {
+		c.close()
+	}
+	// Accepted connections must be closed explicitly: their read loops
+	// otherwise wait for the remote to hang up, and a remote shutting down
+	// concurrently waits for us -- a distributed shutdown deadlock.
+	for _, c := range ins {
+		c.Close()
+	}
+	for _, nd := range nodes {
+		nd.stop()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// send routes an envelope to the destination's host, dialing if necessary.
+func (n *Network) send(env wire.Envelope) error {
+	addr, ok := n.book[env.To]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoAddress, env.To)
+	}
+	// Local short-circuit: processes on this host skip the socket.
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if local, ok := n.nodes[env.To]; ok {
+		n.mu.Unlock()
+		local.deliver(env)
+		return nil
+	}
+	n.mu.Unlock()
+
+	frame := encodeFrame(env)
+	c, err := n.out(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.write(frame); err != nil {
+		// One redial: the remote may have restarted.
+		n.dropOut(addr, c)
+		c, err = n.out(addr)
+		if err != nil {
+			return err
+		}
+		return c.write(frame)
+	}
+	return nil
+}
+
+func (n *Network) out(addr string) (*outConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := n.outs[addr]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
+	}
+	c := &outConn{conn: conn}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := n.outs[addr]; ok {
+		conn.Close() // lost the race; use the winner
+		return existing, nil
+	}
+	n.outs[addr] = c
+	return c, nil
+}
+
+func (n *Network) dropOut(addr string, c *outConn) {
+	n.mu.Lock()
+	if n.outs[addr] == c {
+		delete(n.outs, addr)
+	}
+	n.mu.Unlock()
+	c.close()
+}
+
+// acceptLoop ingests remote frames.
+func (n *Network) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.ins[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Network) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.ins, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or corrupt peer
+		}
+		n.mu.Lock()
+		nd, ok := n.nodes[env.To]
+		n.mu.Unlock()
+		if ok {
+			nd.deliver(env)
+		}
+		// Frames for processes not hosted here are dropped: static topology
+		// errors, not transient conditions.
+	}
+}
+
+// node is a locally hosted process.
+type node struct {
+	net     *Network
+	id      wire.ProcID
+	handler transport.Handler
+	mb      chan wire.Envelope
+	done    chan struct{}
+	once    sync.Once
+}
+
+var _ transport.Node = (*node)(nil)
+
+// ID implements transport.Node.
+func (nd *node) ID() wire.ProcID { return nd.id }
+
+// Send implements transport.Node.
+func (nd *node) Send(to wire.ProcID, msg wire.Message) error {
+	return nd.net.send(wire.Envelope{From: nd.id, To: to, Msg: msg})
+}
+
+// Close implements transport.Node.
+func (nd *node) Close() error {
+	nd.stop()
+	nd.net.mu.Lock()
+	delete(nd.net.nodes, nd.id)
+	nd.net.mu.Unlock()
+	return nil
+}
+
+func (nd *node) stop() {
+	nd.once.Do(func() { close(nd.done) })
+}
+
+func (nd *node) deliver(env wire.Envelope) {
+	select {
+	case nd.mb <- env:
+	case <-nd.done:
+	}
+}
+
+func (nd *node) loop() {
+	defer nd.net.wg.Done()
+	for {
+		select {
+		case env := <-nd.mb:
+			nd.handler(env)
+		case <-nd.done:
+			return
+		}
+	}
+}
+
+// outConn is a shared outbound connection; writes are serialized.
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (c *outConn) write(frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.conn.Write(frame)
+	return err
+}
+
+func (c *outConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn.Close()
+}
+
+func encodeFrame(env wire.Envelope) []byte {
+	body := wire.EncodeEnvelope(env)
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame
+}
+
+func readFrame(r io.Reader) (wire.Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return wire.Envelope{}, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrameSize {
+		return wire.Envelope{}, fmt.Errorf("%w: %d bytes", ErrFrameSize, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return wire.Envelope{}, err
+	}
+	return wire.DecodeEnvelope(body)
+}

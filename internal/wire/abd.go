@@ -1,0 +1,131 @@
+package wire
+
+import "github.com/lds-storage/lds/internal/tag"
+
+// ABD baseline messages (Attiya-Bar-Noy-Dolev multi-writer multi-reader
+// emulation, reference [3] of the paper). The protocol has two phases, both
+// quorum round trips: a query phase collecting (tag, value) pairs and an
+// update phase propagating a (tag, value) pair. Readers and writers share
+// the same two message kinds.
+
+// ABDQuery asks a server for its current (tag, value) pair. WantValue is
+// false for writer queries, which only need the tag; this matches the usual
+// cost-conscious statement of the protocol.
+type ABDQuery struct {
+	OpID      uint64
+	WantValue bool
+}
+
+// Kind implements Message.
+func (ABDQuery) Kind() Kind { return KindABDQuery }
+
+// AppendTo implements Message.
+func (m ABDQuery) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.OpID)
+	if m.WantValue {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// PayloadBytes implements Message.
+func (ABDQuery) PayloadBytes() int { return 0 }
+
+// ABDQueryResp returns the server's (tag, value) pair; Value is nil for
+// tag-only queries.
+type ABDQueryResp struct {
+	OpID  uint64
+	Tag   tag.Tag
+	Value []byte
+}
+
+// Kind implements Message.
+func (ABDQueryResp) Kind() Kind { return KindABDQueryResp }
+
+// AppendTo implements Message.
+func (m ABDQueryResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.OpID)
+	b = appendTag(b, m.Tag)
+	return appendBytes(b, m.Value)
+}
+
+// PayloadBytes implements Message.
+func (m ABDQueryResp) PayloadBytes() int { return len(m.Value) }
+
+// ABDUpdate propagates a (tag, value) pair; servers adopt it if the tag
+// exceeds their local tag.
+type ABDUpdate struct {
+	OpID  uint64
+	Tag   tag.Tag
+	Value []byte
+}
+
+// Kind implements Message.
+func (ABDUpdate) Kind() Kind { return KindABDUpdate }
+
+// AppendTo implements Message.
+func (m ABDUpdate) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.OpID)
+	b = appendTag(b, m.Tag)
+	return appendBytes(b, m.Value)
+}
+
+// PayloadBytes implements Message.
+func (m ABDUpdate) PayloadBytes() int { return len(m.Value) }
+
+// ABDUpdateAck acknowledges an update.
+type ABDUpdateAck struct {
+	OpID uint64
+}
+
+// Kind implements Message.
+func (ABDUpdateAck) Kind() Kind { return KindABDUpdateAck }
+
+// AppendTo implements Message.
+func (m ABDUpdateAck) AppendTo(b []byte) []byte { return appendUvarint(b, m.OpID) }
+
+// PayloadBytes implements Message.
+func (ABDUpdateAck) PayloadBytes() int { return 0 }
+
+func init() { registerABDDecoders() }
+
+func registerABDDecoders() {
+	register(KindABDQuery, func(b []byte) (Message, error) {
+		op, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		return ABDQuery{OpID: op, WantValue: b[0] == 1}, nil
+	})
+	register(KindABDQueryResp, func(b []byte) (Message, error) {
+		op, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		t, b, err := readTag(b)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := readBytes(b)
+		return ABDQueryResp{OpID: op, Tag: t, Value: v}, err
+	})
+	register(KindABDUpdate, func(b []byte) (Message, error) {
+		op, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		t, b, err := readTag(b)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := readBytes(b)
+		return ABDUpdate{OpID: op, Tag: t, Value: v}, err
+	})
+	register(KindABDUpdateAck, func(b []byte) (Message, error) {
+		op, _, err := readUvarint(b)
+		return ABDUpdateAck{OpID: op}, err
+	})
+}

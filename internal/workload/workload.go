@@ -1,0 +1,178 @@
+// Package workload generates deterministic client workloads and drives them
+// against LDS clusters, recording operation histories and latencies. The
+// benchmark harness and examples build their scenarios out of these pieces.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/history"
+	"github.com/lds-storage/lds/internal/sim"
+)
+
+// Values produces unique, reproducible values: value i is a pseudo-random
+// byte string of the configured size, prefixed with its index so that no
+// two values collide (the unique-value atomicity check depends on this).
+type Values struct {
+	seed int64
+	size int
+}
+
+// NewValues creates a generator of values of the given size (minimum 16
+// bytes to hold the uniqueness prefix).
+func NewValues(seed int64, size int) Values {
+	if size < 16 {
+		size = 16
+	}
+	return Values{seed: seed, size: size}
+}
+
+// Size returns the value size.
+func (v Values) Size() int { return v.size }
+
+// Value returns the i-th value.
+func (v Values) Value(i int) []byte {
+	out := make([]byte, v.size)
+	rng := rand.New(rand.NewSource(v.seed ^ int64(i)*0x5851F42D4C957F2D))
+	rng.Read(out)
+	copy(out, []byte(fmt.Sprintf("v%016d", i)))
+	return out
+}
+
+// Mix describes a closed-loop workload: each client issues OpsPerClient
+// operations back-to-back (well-formed clients, one at a time).
+type Mix struct {
+	Writers      int
+	Readers      int
+	OpsPerClient int
+	Values       Values
+	// ThinkTime, when positive, is the pause between a client's operations.
+	ThinkTime time.Duration
+}
+
+// Report aggregates a finished run.
+type Report struct {
+	History        []history.Op
+	WriteLatencies []time.Duration
+	ReadLatencies  []time.Duration
+	Errors         []error
+}
+
+// Run drives the mix against the cluster and waits for all clients.
+func Run(ctx context.Context, cluster *sim.Cluster, mix Mix) Report {
+	var (
+		rec = history.NewRecorder()
+		mu  sync.Mutex
+		rep Report
+		wg  sync.WaitGroup
+	)
+	addErr := func(err error) {
+		mu.Lock()
+		rep.Errors = append(rep.Errors, err)
+		mu.Unlock()
+	}
+	addLatency := func(read bool, d time.Duration) {
+		mu.Lock()
+		if read {
+			rep.ReadLatencies = append(rep.ReadLatencies, d)
+		} else {
+			rep.WriteLatencies = append(rep.WriteLatencies, d)
+		}
+		mu.Unlock()
+	}
+
+	for w := 1; w <= mix.Writers; w++ {
+		writer, err := cluster.Writer(int32(w))
+		if err != nil {
+			addErr(err)
+			continue
+		}
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for i := 0; i < mix.OpsPerClient; i++ {
+				value := mix.Values.Value(wid*1_000_000 + i)
+				start := time.Now()
+				tg, err := writer.Write(ctx, value)
+				if err != nil {
+					addErr(fmt.Errorf("writer %d op %d: %w", wid, i, err))
+					return
+				}
+				end := time.Now()
+				addLatency(false, end.Sub(start))
+				rec.Add(history.Op{
+					Kind: history.OpWrite, Client: int32(wid),
+					Start: start, End: end, Tag: tg, Value: string(value),
+				})
+				if mix.ThinkTime > 0 {
+					time.Sleep(mix.ThinkTime)
+				}
+			}
+		}(w)
+	}
+	for r := 1; r <= mix.Readers; r++ {
+		reader, err := cluster.Reader(int32(r))
+		if err != nil {
+			addErr(err)
+			continue
+		}
+		wg.Add(1)
+		go func(rid int) {
+			defer wg.Done()
+			for i := 0; i < mix.OpsPerClient; i++ {
+				start := time.Now()
+				v, tg, err := reader.Read(ctx)
+				if err != nil {
+					addErr(fmt.Errorf("reader %d op %d: %w", rid, i, err))
+					return
+				}
+				end := time.Now()
+				addLatency(true, end.Sub(start))
+				rec.Add(history.Op{
+					Kind: history.OpRead, Client: int32(rid),
+					Start: start, End: end, Tag: tg, Value: string(v),
+				})
+				if mix.ThinkTime > 0 {
+					time.Sleep(mix.ThinkTime)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	rep.History = rec.Ops()
+	return rep
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the durations,
+// or 0 for an empty slice.
+func Percentile(durations []time.Duration, p float64) time.Duration {
+	if len(durations) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MaxDuration returns the maximum duration, or 0 for an empty slice.
+func MaxDuration(durations []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range durations {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

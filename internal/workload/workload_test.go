@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/history"
+	"github.com/lds-storage/lds/internal/sim"
+)
+
+func TestValuesUniqueAndDeterministic(t *testing.T) {
+	v := NewValues(7, 64)
+	if v.Size() != 64 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	a1, a2 := v.Value(1), v.Value(1)
+	if !bytes.Equal(a1, a2) {
+		t.Error("Value(1) not deterministic")
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		s := string(v.Value(i))
+		if seen[s] {
+			t.Fatalf("duplicate value at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestValuesMinimumSize(t *testing.T) {
+	v := NewValues(1, 4)
+	if got := len(v.Value(0)); got < 16 {
+		t.Errorf("value size = %d, want >= 16 for the uniqueness prefix", got)
+	}
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	cluster, err := sim.New(sim.Config{Params: sim.MustParams(4, 5, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep := Run(ctx, cluster, Mix{
+		Writers:      2,
+		Readers:      2,
+		OpsPerClient: 5,
+		Values:       NewValues(1, 64),
+	})
+	for _, err := range rep.Errors {
+		t.Errorf("workload error: %v", err)
+	}
+	if len(rep.History) != 20 {
+		t.Errorf("history has %d ops, want 20", len(rep.History))
+	}
+	if len(rep.WriteLatencies) != 10 || len(rep.ReadLatencies) != 10 {
+		t.Errorf("latencies: %d writes, %d reads", len(rep.WriteLatencies), len(rep.ReadLatencies))
+	}
+	for _, v := range history.Verify(rep.History) {
+		t.Errorf("atomicity violation: %v", v)
+	}
+}
+
+func TestPercentileAndMax(t *testing.T) {
+	ds := []time.Duration{5, 1, 4, 2, 3}
+	if got := Percentile(ds, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(ds, 50); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("p50(nil) = %v", got)
+	}
+	if got := MaxDuration(ds); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := MaxDuration(nil); got != 0 {
+		t.Errorf("max(nil) = %v", got)
+	}
+}
