@@ -15,14 +15,19 @@ package lds
 //	BenchmarkMSRAblation        -- Remarks 1 and 2 (MBR vs MSR point)
 //	BenchmarkLDSvsABD           -- Section I's comparison with replication
 //	BenchmarkOperations         -- raw op throughput on the simulated net
+//	BenchmarkGateway            -- sharded gateway ops/s vs shard count
+//	                               (beyond the paper: the multi-object
+//	                               front-end of internal/gateway)
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/lds-storage/lds/internal/experiments"
+	"github.com/lds-storage/lds/internal/gateway"
 	core "github.com/lds-storage/lds/internal/lds"
 )
 
@@ -258,6 +263,66 @@ func BenchmarkOperations(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGateway measures aggregate mixed read/write throughput of the
+// sharded multi-object gateway as the shard count grows, with 4 keys and
+// 4-client pools per shard. Aggregate ops/s should scale with shards until
+// the host's cores saturate: the shards are independent LDS groups, so the
+// only shared resource is the machine itself.
+func BenchmarkGateway(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := benchParams(b, 4, 5, 1, 1)
+			initial := make([]byte, benchValueSize)
+			gw, err := gateway.New(gateway.Config{
+				Shards:         shards,
+				Params:         p,
+				InitialValue:   initial,
+				PoolSize:       4,
+				MaxOpsPerShard: 128,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gw.Close()
+			keys := make([]string, 4*shards)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("bench-key-%d", i)
+			}
+			if err := gw.Ensure(keys...); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			value := make([]byte, benchValueSize)
+			var ctr atomic.Uint64
+			b.SetBytes(benchValueSize)
+			// Client concurrency scales with the shard count (2 clients per
+			// shard per core), so added shards receive added load; on a
+			// single-core host the sweep degenerates to a fairness check.
+			b.SetParallelism(2 * shards)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					key := keys[i%uint64(len(keys))]
+					if i%2 == 0 {
+						if _, err := gw.Put(ctx, key, value); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						if _, _, err := gw.Get(ctx, key); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
 }
 
 // Ensure the re-exported facade stays wired to the core types.

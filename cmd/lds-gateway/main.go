@@ -1,0 +1,160 @@
+// Command lds-gateway serves a sharded multi-object LDS store over a
+// minimal HTTP front door: one process hosting S shards of independent
+// L1/L2 groups (internal/gateway) behind a key-value API.
+//
+//	lds-gateway -listen :8080 -shards 4 -n1 4 -n2 5 -f1 1 -f2 1
+//
+//	curl -X PUT --data-binary 'hello' localhost:8080/v1/kv/greeting
+//	curl localhost:8080/v1/kv/greeting
+//	curl localhost:8080/v1/stats
+//
+// API:
+//
+//	PUT  /v1/kv/{key}   write the request body; responds with the write's
+//	                    tag in X-LDS-Tag and the owning shard in X-LDS-Shard
+//	GET  /v1/kv/{key}   read the value; same headers
+//	GET  /v1/stats      per-shard JSON: keys, ops, bytes, latency sums,
+//	                    temporary/permanent storage bytes
+//
+// The shard groups run in-process on the simulated transport with
+// configurable link latency, which makes the binary a self-contained
+// demonstrator and load-test target for the gateway layer; the underlying
+// protocol code is the same code that deploys over TCP via cmd/lds-node.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/lds-storage/lds/internal/gateway"
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/transport"
+)
+
+// maxValueSize bounds PUT bodies (16 MiB).
+const maxValueSize = 16 << 20
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", ":8080", "HTTP listen address")
+		shards  = flag.Int("shards", 4, "number of keyspace shards")
+		n1      = flag.Int("n1", 4, "edge layer size per group")
+		n2      = flag.Int("n2", 5, "back-end layer size per group")
+		f1      = flag.Int("f1", 1, "edge layer fault tolerance")
+		f2      = flag.Int("f2", 1, "back-end layer fault tolerance")
+		pool    = flag.Int("pool", 2, "writer/reader clients pooled per key")
+		maxOps  = flag.Int("max-ops", 32, "concurrent operations per shard (backpressure)")
+		latency = flag.Duration("latency", 0, "uniform simulated link latency (0 = instant)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+	)
+	flag.Parse()
+
+	params, err := lds.NewParams(*n1, *n2, *f1, *f2)
+	if err != nil {
+		return err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Shards:         *shards,
+		Params:         params,
+		Latency:        transport.Uniform(*latency),
+		PoolSize:       *pool,
+		MaxOpsPerShard: *maxOps,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		ctx, cancel := timeoutContext(r, *timeout)
+		defer cancel()
+		value, tag, err := gw.Get(ctx, key)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("X-LDS-Tag", tag.String())
+		w.Header().Set("X-LDS-Shard", fmt.Sprint(gw.ShardFor(key)))
+		w.Write(value)
+	})
+	mux.HandleFunc("PUT /v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		value, err := io.ReadAll(io.LimitReader(r.Body, maxValueSize+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(value) > maxValueSize {
+			http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		ctx, cancel := timeoutContext(r, *timeout)
+		defer cancel()
+		tag, err := gw.Put(ctx, key, value)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("X-LDS-Tag", tag.String())
+		w.Header().Set("X-LDS-Shard", fmt.Sprint(gw.ShardFor(key)))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Shards         []gateway.ShardStats `json:"shards"`
+			TemporaryBytes int64                `json:"temporary_bytes"`
+			PermanentBytes int64                `json:"permanent_bytes"`
+		}{gw.Stats(), gw.TemporaryBytes(), gw.PermanentBytes()})
+	})
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("lds-gateway: %d shards of (n1=%d, n2=%d, f1=%d, f2=%d) groups on %s",
+		*shards, *n1, *n2, *f1, *f2, *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+		log.Print("lds-gateway: shutting down")
+		return srv.Close()
+	}
+}
+
+func timeoutContext(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), d)
+}
+
+// httpError maps operation failures onto status codes: timeouts (an
+// overloaded or crashed shard) read as 504, everything else as 500.
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		code = http.StatusGatewayTimeout
+	}
+	http.Error(w, err.Error(), code)
+}

@@ -1,0 +1,3 @@
+module github.com/lds-storage/lds
+
+go 1.24

@@ -1,0 +1,314 @@
+// Package gateway is the sharded multi-object front-end: one process-wide
+// entry point that spreads a keyspace over many independent LDS groups and
+// multiplexes any number of concurrent client operations onto them.
+//
+// # Architecture
+//
+// A Gateway owns S shards. Each shard owns the keys that consistent
+// hashing (see Ring) assigns to it, and serves every key with a dedicated
+// LDS group — a full L1/L2 cluster running the paper's protocol, created
+// lazily on the key's first use. All groups live on one shared simulated
+// network; transport.Namespace gives each group a disjoint process-id
+// space, so the groups are isolated by construction (a group's quorums,
+// broadcasts and L2 offloads never cross into another group) while still
+// sharing the transport's latency model and cost accounting.
+//
+//	client ──► Gateway.Get/Put(key)
+//	             │  Ring: key → shard
+//	             ▼
+//	          shard s ── semaphore (backpressure), stats
+//	             │  key → LDS group (lazy)
+//	             ▼
+//	          object: Writer/Reader pools ──► L1 ──► L2   (paper protocol)
+//
+// # Pooling and backpressure
+//
+// LDS clients are well-formed: a Writer or Reader performs one operation
+// at a time (paper, Section II-a). The gateway therefore keeps a small
+// pool of clients per object and checks one out per operation; callers
+// block (context-aware) when the pool is empty. A per-shard semaphore
+// bounds the total operations in flight per shard, which is the
+// backpressure that keeps a hot shard from monopolizing the process.
+//
+// # Capacity
+//
+// Groups are created lazily per key and currently live until Close: a
+// read of a never-written key instantiates its group (a register always
+// holds v0), and the shared transport's id space caps the gateway at
+// transport.MaxNamespaceGroups (32767) distinct keys per process —
+// operations on further new keys fail with a clear error while existing
+// keys keep serving. Key eviction and shard rebalancing are the planned
+// follow-ons that lift this (see ROADMAP.md); until then, front doors
+// exposed to untrusted keyspaces should bound the keys they admit.
+//
+// # Stats
+//
+// Every operation is accounted via the clients' OpObserver hook into
+// per-shard counters (ops, bytes, cumulative latency, errors), and
+// Stats() adds the live temporary- and permanent-storage bytes of each
+// shard's groups — the inputs a later rebalancer needs.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/cost"
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/sim"
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/transport/channet"
+)
+
+// Defaults for Config knobs left zero.
+const (
+	defaultPoolSize       = 2
+	defaultMaxOpsPerShard = 32
+)
+
+// ErrClosed is returned by operations on a closed gateway.
+var ErrClosed = errors.New("gateway: closed")
+
+// Config describes a gateway.
+type Config struct {
+	// Shards is S, the number of independent keyspace shards; required.
+	Shards int
+	// Params is the per-group cluster geometry; required.
+	Params lds.Params
+	// Latency is the shared network's link-delay model; the zero value
+	// delivers instantly.
+	Latency transport.LatencyModel
+	// Seed makes the shared network's jitter reproducible.
+	Seed int64
+	// InitialValue is v0 for every object.
+	InitialValue []byte
+	// PoolSize is the number of Writer clients (and of Reader clients)
+	// pooled per object; <= 0 selects the default (2). It bounds the
+	// concurrent operations per key of each kind.
+	PoolSize int
+	// MaxOpsPerShard bounds the operations in flight per shard across all
+	// of its keys; <= 0 selects the default (32).
+	MaxOpsPerShard int
+	// VirtualNodes is the consistent-hash points per shard; <= 0 selects
+	// the default (128).
+	VirtualNodes int
+	// Accountant, when non-nil, observes all traffic of all groups for
+	// cost measurement.
+	Accountant *cost.Accountant
+	// Code overrides the storage code; nil selects the paper's MBR code
+	// for Params. One code value is shared by every group.
+	Code erasure.Regenerating
+}
+
+// Gateway is a running sharded front-end.
+type Gateway struct {
+	cfg    Config
+	code   erasure.Regenerating
+	net    *channet.Network
+	ring   *Ring
+	shards []*shard
+
+	mu     sync.Mutex
+	nsNext int32
+	closed bool
+}
+
+// New builds a gateway: the shared network, the ring and S empty shards.
+// LDS groups are created on first use of each key (or via Ensure).
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = defaultPoolSize
+	}
+	if cfg.MaxOpsPerShard <= 0 {
+		cfg.MaxOpsPerShard = defaultMaxOpsPerShard
+	}
+	code := cfg.Code
+	if code == nil {
+		if code, err = cfg.Params.NewCode(); err != nil {
+			return nil, err
+		}
+	}
+	var observer channet.Observer
+	if cfg.Accountant != nil {
+		observer = cfg.Accountant.Observe
+	}
+	g := &Gateway{
+		cfg:  cfg,
+		code: code,
+		net: channet.New(channet.Options{
+			Latency:  cfg.Latency,
+			Seed:     cfg.Seed,
+			Observer: observer,
+		}),
+		ring: ring,
+	}
+	g.shards = make([]*shard, cfg.Shards)
+	for i := range g.shards {
+		g.shards[i] = newShard(g, i)
+	}
+	return g, nil
+}
+
+// Shards returns the shard count.
+func (g *Gateway) Shards() int { return g.ring.Shards() }
+
+// ShardFor returns the shard index serving key.
+func (g *Gateway) ShardFor(key string) int { return g.ring.Shard(key) }
+
+// nextNamespace allocates a fresh process-id namespace for a new group.
+func (g *Gateway) nextNamespace() (int32, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, ErrClosed
+	}
+	ns := g.nsNext
+	g.nsNext++
+	return ns, nil
+}
+
+// Ensure instantiates the LDS groups for the given keys without performing
+// an operation, so their L2 layers hold v0's coded elements up front.
+func (g *Gateway) Ensure(keys ...string) error {
+	for _, key := range keys {
+		if _, err := g.shards[g.ring.Shard(key)].object(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Put writes value under key and returns the tag of the write.
+//
+// Ordering matters here: the key's pooled client is checked out before
+// the shard's semaphore token, so an operation parked behind a hot key's
+// pool does not hold a token — the semaphore bounds operations actually
+// executing on the shard, and one hot key cannot head-of-line-block its
+// shard siblings.
+func (g *Gateway) Put(ctx context.Context, key string, value []byte) (tag.Tag, error) {
+	sh := g.shards[g.ring.Shard(key)]
+	obj, err := sh.object(key)
+	if err != nil {
+		return tag.Tag{}, err
+	}
+	w, err := obj.takeWriter(ctx)
+	if err != nil {
+		return tag.Tag{}, err
+	}
+	defer obj.putWriter(w)
+	if err := sh.acquire(ctx); err != nil {
+		return tag.Tag{}, err
+	}
+	defer sh.release()
+	return w.Write(ctx, value)
+}
+
+// Get reads the value stored under key and the tag it was written under.
+// Pool-before-semaphore ordering as in Put.
+func (g *Gateway) Get(ctx context.Context, key string) ([]byte, tag.Tag, error) {
+	sh := g.shards[g.ring.Shard(key)]
+	obj, err := sh.object(key)
+	if err != nil {
+		return nil, tag.Tag{}, err
+	}
+	r, err := obj.takeReader(ctx)
+	if err != nil {
+		return nil, tag.Tag{}, err
+	}
+	defer obj.putReader(r)
+	if err := sh.acquire(ctx); err != nil {
+		return nil, tag.Tag{}, err
+	}
+	defer sh.release()
+	return r.Read(ctx)
+}
+
+// CrashShardL1 crash-fails L1 server i in every group of the shard,
+// current and future. Other shards are unaffected: the groups share only
+// the transport, and crashed ids are namespaced per group.
+func (g *Gateway) CrashShardL1(shard, i int) { g.shards[shard].crashL1(i) }
+
+// CrashShardL2 crash-fails L2 server i in every group of the shard.
+func (g *Gateway) CrashShardL2(shard, i int) { g.shards[shard].crashL2(i) }
+
+// WaitIdle blocks until no messages are in flight anywhere on the shared
+// network — every group's asynchronous write-to-L2 tail included.
+func (g *Gateway) WaitIdle(timeout time.Duration) error { return g.net.WaitIdle(timeout) }
+
+// Stats returns a per-shard snapshot, indexed by shard.
+func (g *Gateway) Stats() []ShardStats {
+	out := make([]ShardStats, len(g.shards))
+	for i, sh := range g.shards {
+		out[i] = sh.snapshot()
+	}
+	return out
+}
+
+// TemporaryBytes sums the L1 temporary-storage bytes over all groups (the
+// paper's temporary storage cost, unnormalized).
+func (g *Gateway) TemporaryBytes() int64 {
+	var total int64
+	for _, sh := range g.shards {
+		total += sh.temporaryBytes()
+	}
+	return total
+}
+
+// PermanentBytes sums the L2 coded bytes over all groups.
+func (g *Gateway) PermanentBytes() int64 {
+	var total int64
+	for _, sh := range g.shards {
+		total += sh.permanentBytes()
+	}
+	return total
+}
+
+// Close shuts every group and the shared network down.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	for _, sh := range g.shards {
+		sh.closeObjects()
+	}
+	return g.net.Close()
+}
+
+// newGroup builds one LDS group (a sim.Cluster) in a fresh namespace of
+// the shared network.
+func (g *Gateway) newGroup() (*sim.Cluster, error) {
+	ns, err := g.nextNamespace()
+	if err != nil {
+		return nil, err
+	}
+	view, err := transport.Namespace(g.net, ns)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := sim.New(sim.Config{
+		Params:       g.cfg.Params,
+		InitialValue: g.cfg.InitialValue,
+		Code:         g.code,
+		Transport:    view,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: group %d: %w", ns, err)
+	}
+	return cluster, nil
+}

@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualNodes is the number of ring points per shard. 128 points
+// keeps the expected load imbalance across shards to roughly 10% while the
+// ring stays small enough to rebuild instantly.
+const defaultVirtualNodes = 128
+
+// Ring assigns keys to shards by consistent hashing: each shard owns a set
+// of pseudo-random points on a 64-bit circle, and a key belongs to the
+// shard owning the first point at or after the key's hash. The assignment
+// is a pure function of (key, shard count, virtual-node count) — stable
+// across processes and runs — and changing the shard count from S to S+1
+// remaps only ~1/(S+1) of the keyspace, which is what makes later
+// rebalancing incremental.
+type Ring struct {
+	shards int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over the given number of shards. virtualNodes <= 0
+// selects the default.
+func NewRing(shards, virtualNodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("gateway: shards = %d, want >= 1", shards)
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	r := &Ring{
+		shards: shards,
+		points: make([]ringPoint, 0, shards*virtualNodes),
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			h := hashString(fmt.Sprintf("shard-%d#%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.shard < b.shard // deterministic order on (vanishingly rare) collisions
+	})
+	return r, nil
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard returns the shard owning key.
+func (r *Ring) Shard(key string) int {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer. FNV-1a alone has weak upper-bit
+// avalanche for short keys that differ only near the end (sequential keys
+// like "user-0001".."user-0059" hash into one narrow band and would all
+// land in a single ring gap); the finalizer spreads every input bit over
+// the whole word.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,262 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	core "github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/sim"
+)
+
+// shard is one keyspace partition: a lazy key→group map, the client pools
+// of each group, a concurrency semaphore and the op counters.
+type shard struct {
+	gw    *Gateway
+	index int
+	sem   chan struct{} // MaxOpsPerShard tokens
+
+	mu        sync.Mutex
+	objects   map[string]*object
+	crashedL1 []int // applied to groups created after the crash call
+	crashedL2 []int
+
+	stats shardCounters
+}
+
+// shardCounters is the hot-path accounting; all fields are atomics so
+// observers never contend.
+type shardCounters struct {
+	reads        atomic.Uint64
+	writes       atomic.Uint64
+	readErrors   atomic.Uint64
+	writeErrors  atomic.Uint64
+	readBytes    atomic.Uint64
+	writeBytes   atomic.Uint64
+	readLatency  atomic.Int64 // cumulative ns
+	writeLatency atomic.Int64
+}
+
+func newShard(g *Gateway, index int) *shard {
+	return &shard{
+		gw:      g,
+		index:   index,
+		sem:     make(chan struct{}, g.cfg.MaxOpsPerShard),
+		objects: make(map[string]*object),
+	}
+}
+
+// acquire takes one of the shard's concurrency tokens; this is the
+// gateway's backpressure point.
+func (s *shard) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("gateway: shard %d backpressure: %w", s.index, ctx.Err())
+	}
+}
+
+func (s *shard) release() { <-s.sem }
+
+// observe is the OpObserver shared by all of the shard's pooled clients.
+func (s *shard) observe(op core.OpKind, d time.Duration, payloadBytes int, err error) {
+	switch op {
+	case core.OpRead:
+		s.stats.reads.Add(1)
+		s.stats.readBytes.Add(uint64(payloadBytes))
+		s.stats.readLatency.Add(int64(d))
+		if err != nil {
+			s.stats.readErrors.Add(1)
+		}
+	case core.OpWrite:
+		s.stats.writes.Add(1)
+		s.stats.writeBytes.Add(uint64(payloadBytes))
+		s.stats.writeLatency.Add(int64(d))
+		if err != nil {
+			s.stats.writeErrors.Add(1)
+		}
+	}
+}
+
+// object returns the key's LDS group, creating it (and its client pools)
+// on first use.
+func (s *shard) object(key string) (*object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj, ok := s.objects[key]; ok {
+		return obj, nil
+	}
+	cluster, err := s.gw.newGroup()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := newObject(cluster, s.gw.cfg.PoolSize, s.observe)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	// A shard-level crash covers future groups too: the shard's servers
+	// are conceptually crashed, and every group runs on them.
+	for _, i := range s.crashedL1 {
+		cluster.CrashL1(i)
+	}
+	for _, i := range s.crashedL2 {
+		cluster.CrashL2(i)
+	}
+	s.objects[key] = obj
+	return obj, nil
+}
+
+func (s *shard) crashL1(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashedL1 = append(s.crashedL1, i)
+	for _, obj := range s.objects {
+		obj.cluster.CrashL1(i)
+	}
+}
+
+func (s *shard) crashL2(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashedL2 = append(s.crashedL2, i)
+	for _, obj := range s.objects {
+		obj.cluster.CrashL2(i)
+	}
+}
+
+func (s *shard) temporaryBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, obj := range s.objects {
+		total += obj.cluster.TemporaryStorageBytes()
+	}
+	return total
+}
+
+func (s *shard) permanentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, obj := range s.objects {
+		total += obj.cluster.PermanentStorageBytes()
+	}
+	return total
+}
+
+func (s *shard) snapshot() ShardStats {
+	s.mu.Lock()
+	keys := len(s.objects)
+	var tmp, perm int64
+	for _, obj := range s.objects {
+		tmp += obj.cluster.TemporaryStorageBytes()
+		perm += obj.cluster.PermanentStorageBytes()
+	}
+	s.mu.Unlock()
+	return ShardStats{
+		Shard:          s.index,
+		Keys:           keys,
+		Reads:          s.stats.reads.Load(),
+		Writes:         s.stats.writes.Load(),
+		ReadErrors:     s.stats.readErrors.Load(),
+		WriteErrors:    s.stats.writeErrors.Load(),
+		ReadBytes:      s.stats.readBytes.Load(),
+		WriteBytes:     s.stats.writeBytes.Load(),
+		ReadLatency:    time.Duration(s.stats.readLatency.Load()),
+		WriteLatency:   time.Duration(s.stats.writeLatency.Load()),
+		TemporaryBytes: tmp,
+		PermanentBytes: perm,
+	}
+}
+
+func (s *shard) closeObjects() {
+	s.mu.Lock()
+	objects := s.objects
+	s.objects = make(map[string]*object)
+	s.mu.Unlock()
+	for _, obj := range objects {
+		obj.cluster.Close()
+	}
+}
+
+// object is one key's LDS group plus its pooled clients. Pool channels
+// hold idle clients; a checkout is a channel receive, so callers queue
+// fairly and cheaply when a key is hot.
+type object struct {
+	cluster *sim.Cluster
+	writers chan *core.Writer
+	readers chan *core.Reader
+}
+
+func newObject(cluster *sim.Cluster, poolSize int, obs core.OpObserver) (*object, error) {
+	obj := &object{
+		cluster: cluster,
+		writers: make(chan *core.Writer, poolSize),
+		readers: make(chan *core.Reader, poolSize),
+	}
+	// Client ids start at 1 (0 is reserved by the protocol's validation).
+	// Distinct writer ids are what order concurrent writes with equal z.
+	for i := 1; i <= poolSize; i++ {
+		w, err := cluster.Writer(int32(i))
+		if err != nil {
+			return nil, err
+		}
+		w.SetObserver(obs)
+		obj.writers <- w
+		r, err := cluster.Reader(int32(i))
+		if err != nil {
+			return nil, err
+		}
+		r.SetObserver(obs)
+		obj.readers <- r
+	}
+	return obj, nil
+}
+
+func (o *object) takeWriter(ctx context.Context) (*core.Writer, error) {
+	select {
+	case w := <-o.writers:
+		return w, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("gateway: writer pool: %w", ctx.Err())
+	}
+}
+
+func (o *object) putWriter(w *core.Writer) { o.writers <- w }
+
+func (o *object) takeReader(ctx context.Context) (*core.Reader, error) {
+	select {
+	case r := <-o.readers:
+		return r, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("gateway: reader pool: %w", ctx.Err())
+	}
+}
+
+func (o *object) putReader(r *core.Reader) { o.readers <- r }
+
+// ShardStats is a point-in-time snapshot of one shard's accounting:
+// operation counts, payload bytes, cumulative operation latency (divide by
+// the counts for means) and the live storage occupancy of the shard's
+// groups. These are the load signals a rebalancer would act on.
+type ShardStats struct {
+	Shard          int
+	Keys           int
+	Reads          uint64
+	Writes         uint64
+	ReadErrors     uint64
+	WriteErrors    uint64
+	ReadBytes      uint64
+	WriteBytes     uint64
+	ReadLatency    time.Duration
+	WriteLatency   time.Duration
+	TemporaryBytes int64
+	PermanentBytes int64
+}
+
+// Ops returns the total completed operations.
+func (s ShardStats) Ops() uint64 { return s.Reads + s.Writes }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/lds-storage/lds/internal/erasure"
 	"github.com/lds-storage/lds/internal/tag"
@@ -13,6 +14,36 @@ import (
 
 // ErrNoNode is returned when a client operation starts before Bind.
 var ErrNoNode = errors.New("lds: client not bound to a transport node")
+
+// OpKind identifies the kind of a completed client operation for
+// instrumentation.
+type OpKind uint8
+
+// Client operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// String returns "write" or "read".
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// OpObserver receives one callback per completed client operation: the
+// kind, its wall-clock duration, the value bytes moved between application
+// and store (0 on failure), and the operation's error, if any. Observers
+// are how pooling front-ends such as internal/gateway account per-shard
+// load without wrapping every call site. The callback runs on the
+// operation's goroutine after the operation finishes; keep it cheap.
+type OpObserver func(op OpKind, d time.Duration, payloadBytes int, err error)
 
 // clientCore is the machinery shared by Writer and Reader: a mailbox fed by
 // the transport handler and a per-client operation sequence. Clients are
@@ -25,6 +56,7 @@ type clientCore struct {
 	node   transport.Node
 	inbox  chan wire.Envelope
 	opSeq  uint64
+	obs    OpObserver
 }
 
 func newClientCore(params Params, id wire.ProcID) clientCore {
@@ -46,6 +78,17 @@ func (c *clientCore) Bind(node transport.Node) { c.node = node }
 
 // ID returns the client's process id.
 func (c *clientCore) ID() wire.ProcID { return c.id }
+
+// observe reports a finished operation to the observer, if one is set.
+func (c *clientCore) observe(op OpKind, start time.Time, payloadBytes int, err error) {
+	if c.obs == nil {
+		return
+	}
+	if err != nil {
+		payloadBytes = 0
+	}
+	c.obs(op, time.Since(start), payloadBytes, err)
+}
 
 func (c *clientCore) nextOp() uint64 {
 	c.opSeq++
@@ -112,10 +155,21 @@ func (w *Writer) Bind(node transport.Node) { w.core.Bind(node) }
 // Handle is the transport handler.
 func (w *Writer) Handle(env wire.Envelope) { w.core.Handle(env) }
 
+// SetObserver installs a per-operation instrumentation hook; nil removes
+// it. Not safe to call concurrently with Write.
+func (w *Writer) SetObserver(obs OpObserver) { w.core.obs = obs }
+
 // Write performs one write operation and returns the tag it was written
 // under. The operation completes after f1+k L1 servers acknowledge; the
 // offload to L2 continues asynchronously and never delays the writer.
 func (w *Writer) Write(ctx context.Context, value []byte) (tag.Tag, error) {
+	start := time.Now()
+	t, err := w.write(ctx, value)
+	w.core.observe(OpWrite, start, len(value), err)
+	return t, err
+}
+
+func (w *Writer) write(ctx context.Context, value []byte) (tag.Tag, error) {
 	// Phase 1: get-tag -- discover the maximum tag from f1+k servers.
 	opGet := w.core.nextOp()
 	if err := w.core.sendAllL1(wire.QueryTag{OpID: opGet}); err != nil {
@@ -193,6 +247,10 @@ func (r *Reader) Bind(node transport.Node) { r.core.Bind(node) }
 // Handle is the transport handler.
 func (r *Reader) Handle(env wire.Envelope) { r.core.Handle(env) }
 
+// SetObserver installs a per-operation instrumentation hook; nil removes
+// it. Not safe to call concurrently with Read.
+func (r *Reader) SetObserver(obs OpObserver) { r.core.obs = obs }
+
 // codedSet accumulates coded elements for one tag during get-data.
 type codedSet struct {
 	shards   []erasure.Shard
@@ -202,6 +260,13 @@ type codedSet struct {
 
 // Read performs one read operation, returning the value and its tag.
 func (r *Reader) Read(ctx context.Context) ([]byte, tag.Tag, error) {
+	start := time.Now()
+	value, t, err := r.read(ctx)
+	r.core.observe(OpRead, start, len(value), err)
+	return value, t, err
+}
+
+func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 	quorum := r.core.params.WriteQuorum()
 
 	// Phase 1: get-commited-tag -- treq is the max committed tag of f1+k

@@ -1,8 +1,16 @@
 // Package multiobj implements the paper's multi-object system (Section
-// V-A1): N atomic objects, each served by an independent instance of the
-// LDS algorithm, under a write load of at most theta concurrent writes per
-// tau1 time units. It samples the temporary (L1) and permanent (L2) storage
-// costs over time -- the quantities plotted in the paper's Fig. 6.
+// V-A1): N atomic objects under a write load of at most theta concurrent
+// writes per tau1 time units. It samples the temporary (L1) and permanent
+// (L2) storage costs over time -- the quantities plotted in the paper's
+// Fig. 6.
+//
+// Since the gateway landed, the N objects are no longer hand-rolled
+// clusters: the system is a thin write driver over an internal/gateway
+// front-end with one key per object, so the experiment exercises the same
+// sharded, pooled path production traffic takes. Each distinct key is an
+// independent LDS group, which preserves the experiment's semantics
+// exactly (N independent instances of the algorithm on a shared
+// transport).
 package multiobj
 
 import (
@@ -10,10 +18,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/lds-storage/lds/internal/gateway"
 	"github.com/lds-storage/lds/internal/lds"
-	"github.com/lds-storage/lds/internal/sim"
 	"github.com/lds-storage/lds/internal/transport"
 )
 
@@ -66,23 +75,20 @@ func (r Result) NormalizedSettledL2() float64 {
 	return float64(r.SettledL2Bytes) / float64(r.ValueSize)
 }
 
-// System is a running collection of N independent LDS instances.
+// System is a running collection of N independent LDS objects behind a
+// gateway.
 type System struct {
-	cfg      Config
-	clusters []*sim.Cluster
-	writers  []*writerLoop
+	cfg  Config
+	gw   *gateway.Gateway
+	keys []string
+	// busy guards per-object well-formedness at the driver level: a tick
+	// whose object still has its previous write in flight forfeits that
+	// slot, matching theta's role as an upper bound.
+	busy []atomic.Bool
 }
 
-// writerLoop serializes writes per object (clients are well-formed).
-type writerLoop struct {
-	cluster *sim.Cluster
-	work    chan []byte
-	done    chan struct{}
-	writes  *int64
-	mu      *sync.Mutex
-}
-
-// New builds the N instances.
+// New builds the gateway and pre-instantiates the N objects, so L2 holds
+// v0's coded elements from the start (as the paper's system model assumes).
 func New(cfg Config) (*System, error) {
 	if cfg.Objects < 1 {
 		return nil, fmt.Errorf("multiobj: objects = %d, want >= 1", cfg.Objects)
@@ -93,28 +99,38 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
-	// All instances share one code value (immutable, concurrency-safe), so
-	// N instances do not pay N code constructions.
-	code, err := cfg.Params.NewCode()
+	gw, err := gateway.New(gateway.Config{
+		Shards:  cfg.Objects,
+		Params:  cfg.Params,
+		Latency: cfg.Latency,
+		Seed:    cfg.Seed,
+		// One writer per object is all the driver needs; the per-shard cap
+		// must admit every co-located object since keys hash freely.
+		PoolSize:       1,
+		MaxOpsPerShard: cfg.Objects,
+		InitialValue:   make([]byte, cfg.ValueSize),
+	})
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg}
-	for i := 0; i < cfg.Objects; i++ {
-		cluster, err := sim.New(sim.Config{
-			Params:  cfg.Params,
-			Latency: cfg.Latency,
-			Seed:    cfg.Seed + int64(i),
-			Code:    code,
-		})
-		if err != nil {
-			s.Close()
-			return nil, err
-		}
-		s.clusters = append(s.clusters, cluster)
+	s := &System{
+		cfg:  cfg,
+		gw:   gw,
+		keys: make([]string, cfg.Objects),
+		busy: make([]atomic.Bool, cfg.Objects),
+	}
+	for i := range s.keys {
+		s.keys[i] = fmt.Sprintf("object-%d", i)
+	}
+	if err := gw.Ensure(s.keys...); err != nil {
+		gw.Close()
+		return nil, err
 	}
 	return s, nil
 }
+
+// Gateway exposes the underlying front-end (for stats inspection).
+func (s *System) Gateway() *gateway.Gateway { return s.gw }
 
 // Run drives theta writes per tau1 tick for the configured number of ticks,
 // sampling storage twice per tick, then lets the system quiesce and returns
@@ -122,40 +138,9 @@ func New(cfg Config) (*System, error) {
 func (s *System) Run(ctx context.Context) (Result, error) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	var (
-		writes int64
-		mu     sync.Mutex
+		writes atomic.Int64
+		wg     sync.WaitGroup
 	)
-	// One serial writer loop per object keeps clients well-formed while
-	// letting distinct objects proceed concurrently.
-	s.writers = make([]*writerLoop, len(s.clusters))
-	var wg sync.WaitGroup
-	for i, cluster := range s.clusters {
-		w, err := cluster.Writer(1)
-		if err != nil {
-			return Result{}, err
-		}
-		loop := &writerLoop{
-			cluster: cluster,
-			work:    make(chan []byte, 4),
-			done:    make(chan struct{}),
-			writes:  &writes,
-			mu:      &mu,
-		}
-		s.writers[i] = loop
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer close(loop.done)
-			for value := range loop.work {
-				if _, err := w.Write(ctx, value); err != nil {
-					return
-				}
-				mu.Lock()
-				writes++
-				mu.Unlock()
-			}
-		}()
-	}
 
 	tau1 := s.cfg.Latency.Tau1
 	if tau1 <= 0 {
@@ -168,11 +153,7 @@ func (s *System) Run(ctx context.Context) (Result, error) {
 	result.ValueSize = s.cfg.ValueSize
 	start := time.Now()
 	sample := func() {
-		var l1, l2 int64
-		for _, c := range s.clusters {
-			l1 += c.TemporaryStorageBytes()
-			l2 += c.PermanentStorageBytes()
-		}
+		l1, l2 := s.gw.TemporaryBytes(), s.gw.PermanentBytes()
 		result.Samples = append(result.Samples, Sample{
 			Elapsed: time.Since(start), L1Bytes: l1, L2Bytes: l2,
 		})
@@ -192,56 +173,42 @@ func (s *System) Run(ctx context.Context) (Result, error) {
 			if half%2 == 1 {
 				// Once per tau1: fire theta writes at distinct objects.
 				for _, obj := range rng.Perm(s.cfg.Objects)[:s.cfg.Theta] {
-					select {
-					case s.writers[obj].work <- value:
-					default:
+					if !s.busy[obj].CompareAndSwap(false, true) {
 						// The object's previous write is still running; the
 						// tick's concurrency budget simply goes unused, per
 						// theta being an upper bound.
+						continue
 					}
+					wg.Add(1)
+					go func(obj int) {
+						defer wg.Done()
+						defer s.busy[obj].Store(false)
+						if _, err := s.gw.Put(ctx, s.keys[obj], value); err == nil {
+							writes.Add(1)
+						}
+					}(obj)
 				}
 			}
 			tick++
 		case <-ctx.Done():
-			s.stopWriters(&wg)
+			wg.Wait()
 			return result, ctx.Err()
 		}
 	}
-	s.stopWriters(&wg)
+	wg.Wait()
 
 	// Quiesce: every write's asynchronous tail must finish, after which all
 	// temporary storage is garbage-collected.
-	for _, c := range s.clusters {
-		if err := c.WaitIdle(30 * time.Second); err != nil {
-			return result, err
-		}
+	if err := s.gw.WaitIdle(30 * time.Second); err != nil {
+		return result, err
 	}
 	sample()
-	var l2 int64
-	for _, c := range s.clusters {
-		l2 += c.PermanentStorageBytes()
-	}
-	result.SettledL2Bytes = l2
-	mu.Lock()
-	result.WriteCount = writes
-	mu.Unlock()
+	result.SettledL2Bytes = s.gw.PermanentBytes()
+	result.WriteCount = writes.Load()
 	return result, nil
-}
-
-func (s *System) stopWriters(wg *sync.WaitGroup) {
-	for _, w := range s.writers {
-		if w != nil {
-			close(w.work)
-		}
-	}
-	wg.Wait()
 }
 
 // Close shuts all instances down.
 func (s *System) Close() {
-	for _, c := range s.clusters {
-		if c != nil {
-			c.Close()
-		}
-	}
+	s.gw.Close()
 }

@@ -1,7 +1,10 @@
-// Package sim assembles complete LDS clusters on the simulated network:
-// n1 L1 servers, n2 L2 servers, lazily created writers and readers, crash
-// injection and storage/cost probes. It is the workhorse behind the
-// integration tests, the examples and the benchmark harness.
+// Package sim assembles complete LDS clusters: n1 L1 servers, n2 L2
+// servers, lazily created writers and readers, crash injection and
+// storage/cost probes — on a private simulated network by default, or on
+// an externally owned transport view (Config.Transport) when many
+// clusters share one network, as the gateway's shard groups do. It is the
+// workhorse behind the integration tests, the examples and the benchmark
+// harness.
 package sim
 
 import (
@@ -32,12 +35,20 @@ type Config struct {
 	// Code overrides the storage code (the MSR ablation uses this); nil
 	// selects the paper's MBR code for the given parameters.
 	Code erasure.Regenerating
+	// Transport, when non-nil, is an externally owned network to build the
+	// cluster on instead of a private simulated one — typically a
+	// transport.Namespace view of a network shared by many clusters, as the
+	// gateway uses. Latency, Seed and Accountant are properties of the
+	// shared network's owner and are ignored when Transport is set. Close
+	// closes the provided Network, so per-cluster views (whose Close leaves
+	// the underlying network running) are the right thing to pass.
+	Transport transport.Network
 }
 
 // Cluster is a running two-layer system.
 type Cluster struct {
 	cfg  Config
-	net  *channet.Network
+	net  transport.Network
 	code erasure.Regenerating
 	l1   []*lds.L1Server
 	l2   []*lds.L2Server
@@ -60,15 +71,20 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	var observer channet.Observer
-	if cfg.Accountant != nil {
-		observer = cfg.Accountant.Observe
+	var net transport.Network
+	if cfg.Transport != nil {
+		net = cfg.Transport
+	} else {
+		var observer channet.Observer
+		if cfg.Accountant != nil {
+			observer = cfg.Accountant.Observe
+		}
+		net = channet.New(channet.Options{
+			Latency:  cfg.Latency,
+			Seed:     cfg.Seed,
+			Observer: observer,
+		})
 	}
-	net := channet.New(channet.Options{
-		Latency:  cfg.Latency,
-		Seed:     cfg.Seed,
-		Observer: observer,
-	})
 	c := &Cluster{
 		cfg:     cfg,
 		net:     net,
@@ -116,8 +132,8 @@ func (c *Cluster) Params() lds.Params { return c.cfg.Params }
 // Code returns the storage code in use.
 func (c *Cluster) Code() erasure.Regenerating { return c.code }
 
-// Network exposes the underlying simulated network (for WaitIdle etc.).
-func (c *Cluster) Network() *channet.Network { return c.net }
+// Network exposes the underlying network (for WaitIdle etc.).
+func (c *Cluster) Network() transport.Network { return c.net }
 
 // Writer returns (creating on first use) the writer with the given id.
 func (c *Cluster) Writer(wid int32) (*lds.Writer, error) {
@@ -159,20 +175,29 @@ func (c *Cluster) Reader(rid int32) (*lds.Reader, error) {
 	return r, nil
 }
 
-// CrashL1 crash-fails L1 server i.
+// CrashL1 crash-fails L1 server i. Crash injection requires a network that
+// supports it (the simulated one does); on others this is a no-op.
 func (c *Cluster) CrashL1(i int) {
-	c.net.Crash(wire.ProcID{Role: wire.RoleL1, Index: int32(i)})
+	if cr, ok := c.net.(transport.Crasher); ok {
+		cr.Crash(wire.ProcID{Role: wire.RoleL1, Index: int32(i)})
+	}
 }
 
 // CrashL2 crash-fails L2 server i.
 func (c *Cluster) CrashL2(i int) {
-	c.net.Crash(wire.ProcID{Role: wire.RoleL2, Index: int32(i)})
+	if cr, ok := c.net.(transport.Crasher); ok {
+		cr.Crash(wire.ProcID{Role: wire.RoleL2, Index: int32(i)})
+	}
 }
 
 // WaitIdle blocks until no messages are in flight; use it to wait for the
-// asynchronous write-to-L2 tail after client operations return.
+// asynchronous write-to-L2 tail after client operations return. On a shared
+// external network, idleness is network-wide, not per-cluster.
 func (c *Cluster) WaitIdle(timeout time.Duration) error {
-	return c.net.WaitIdle(timeout)
+	if i, ok := c.net.(transport.Idler); ok {
+		return i.WaitIdle(timeout)
+	}
+	return fmt.Errorf("sim: network %T does not support WaitIdle", c.net)
 }
 
 // TemporaryStorageBytes sums the value bytes currently held in all L1

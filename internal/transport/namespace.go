@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// NamespaceStride is the size of each namespace's private index space. A
+// group may register processes with indices in [0, NamespaceStride); the
+// namespace maps them onto disjoint ranges of the underlying network's
+// index space, so many independent LDS groups (each with its own L1/0,
+// L1/1, w/1, ...) can share one transport without identity collisions.
+const NamespaceStride = 1 << 16
+
+// Crasher is the optional crash-injection surface of a Network
+// implementation (channet has it; tcpnet does not).
+type Crasher interface {
+	Crash(id wire.ProcID)
+}
+
+// Idler is the optional quiescence-detection surface of a Network
+// implementation.
+type Idler interface {
+	WaitIdle(timeout time.Duration) error
+}
+
+// MaxNamespaceGroups is the number of disjoint groups an int32 index space
+// can hold at NamespaceStride indices each.
+const MaxNamespaceGroups = math.MaxInt32 / NamespaceStride
+
+// Namespace returns a view of base in which every process index is offset
+// by group*NamespaceStride. Protocol code running inside the view sees its
+// own group-local ids (L1/0..n1-1, w/1, ...) on both Send and delivery;
+// translation happens only at the transport boundary, which is sound
+// because LDS groups are closed systems: all of a group's traffic stays
+// within the group.
+//
+// Closing the view closes only the nodes registered through it; the base
+// network keeps serving other groups. This makes a Namespace view suitable
+// as the per-cluster Transport of a sim.Cluster sharing a network with
+// many siblings.
+func Namespace(base Network, group int32) (*NamespacedNetwork, error) {
+	if group < 0 || group >= MaxNamespaceGroups {
+		return nil, fmt.Errorf("transport: namespace group %d out of range [0, %d)", group, MaxNamespaceGroups)
+	}
+	return &NamespacedNetwork{base: base, offset: group * NamespaceStride}, nil
+}
+
+// NamespacedNetwork is the Network view produced by Namespace.
+type NamespacedNetwork struct {
+	base   Network
+	offset int32
+
+	mu    sync.Mutex
+	nodes []Node // base-network nodes registered through this view
+}
+
+var _ Network = (*NamespacedNetwork)(nil)
+
+func (n *NamespacedNetwork) up(id wire.ProcID) wire.ProcID {
+	id.Index += n.offset
+	return id
+}
+
+func (n *NamespacedNetwork) down(id wire.ProcID) wire.ProcID {
+	id.Index -= n.offset
+	return id
+}
+
+// Register implements Network. The handler sees group-local envelope
+// addresses.
+func (n *NamespacedNetwork) Register(id wire.ProcID, h Handler) (Node, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %v", id)
+	}
+	if id.Index < 0 || id.Index >= NamespaceStride {
+		return nil, fmt.Errorf("transport: namespaced index %d out of range [0, %d)", id.Index, NamespaceStride)
+	}
+	base, err := n.base.Register(n.up(id), func(env wire.Envelope) {
+		env.From = n.down(env.From)
+		env.To = n.down(env.To)
+		h(env)
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.nodes = append(n.nodes, base)
+	n.mu.Unlock()
+	return &namespacedNode{view: n, id: id, base: base}, nil
+}
+
+// Crash forwards a group-local crash to the base network when it supports
+// crash injection (the simulated network does) and is a no-op otherwise.
+func (n *NamespacedNetwork) Crash(id wire.ProcID) {
+	if c, ok := n.base.(Crasher); ok {
+		c.Crash(n.up(id))
+	}
+}
+
+// WaitIdle forwards to the base network's quiescence detector. Note the
+// scope: idleness is a property of the whole shared network, not of this
+// group alone.
+func (n *NamespacedNetwork) WaitIdle(timeout time.Duration) error {
+	if i, ok := n.base.(Idler); ok {
+		return i.WaitIdle(timeout)
+	}
+	return fmt.Errorf("transport: base network %T does not support WaitIdle", n.base)
+}
+
+// Close implements Network: it closes the nodes registered through this
+// view and leaves the base network running.
+func (n *NamespacedNetwork) Close() error {
+	n.mu.Lock()
+	nodes := n.nodes
+	n.nodes = nil
+	n.mu.Unlock()
+	var firstErr error
+	for _, nd := range nodes {
+		if err := nd.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// namespacedNode is a Node whose identity and destinations are group-local.
+type namespacedNode struct {
+	view *NamespacedNetwork
+	id   wire.ProcID
+	base Node
+}
+
+var _ Node = (*namespacedNode)(nil)
+
+// ID implements Node, returning the group-local id.
+func (nd *namespacedNode) ID() wire.ProcID { return nd.id }
+
+// Send implements Node, translating the destination into the base index
+// space.
+func (nd *namespacedNode) Send(to wire.ProcID, msg wire.Message) error {
+	return nd.base.Send(nd.view.up(to), msg)
+}
+
+// Close implements Node.
+func (nd *namespacedNode) Close() error { return nd.base.Close() }

@@ -2,7 +2,10 @@
 // run on: reliable point-to-point links between named processes (paper,
 // Section II-a). Two implementations exist: channet, an in-memory
 // simulated network with configurable latency classes, crash injection and
-// cost accounting, and tcpnet, a real TCP transport for deployments.
+// cost accounting, and tcpnet, a real TCP transport for deployments. On
+// top of either, Namespace carves one network into disjoint per-group
+// process-id spaces, which is how many independent LDS groups (the
+// gateway's shards) share a single transport.
 //
 // The reliability contract is the paper's: once Send returns, delivery to a
 // non-faulty destination is guaranteed even if the sender subsequently
