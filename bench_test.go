@@ -223,6 +223,30 @@ func BenchmarkLDSvsABD(b *testing.B) {
 	b.ReportMetric(last.ABDStorage, "abd-storage-units")
 }
 
+// BenchmarkOffloadBatching measures the batched L2 offload pipeline
+// against the paper-literal per-commit fan-out under a write burst whose
+// commits outpace the L1->L2 round trips (tau2 >> tau1): L1<->L2 messages
+// and offload payload per write, plus client write latency, for both
+// modes.
+func BenchmarkOffloadBatching(b *testing.B) {
+	p := benchParams(b, 6, 8, 1, 2)
+	var last experiments.OffloadComparison
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MeasureOffloadBatching(p, 2048, 12, 500*time.Microsecond, 40*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Unbatched.L1L2Messages, "unbatched-msgs/write")
+	b.ReportMetric(last.Batched.L1L2Messages, "batched-msgs/write")
+	b.ReportMetric(last.MessageReduction(), "msg-reduction-x")
+	b.ReportMetric(last.Unbatched.L1L2Payload, "unbatched-units/write")
+	b.ReportMetric(last.Batched.L1L2Payload, "batched-units/write")
+	b.ReportMetric(float64(last.Unbatched.WriteMean.Microseconds())/1000, "unbatched-write-ms")
+	b.ReportMetric(float64(last.Batched.WriteMean.Microseconds())/1000, "batched-write-ms")
+}
+
 // BenchmarkOperations measures raw operation latency/throughput of the
 // implementation itself (no simulated delays): the protocol plus encoding
 // work per write and per quiescent read.

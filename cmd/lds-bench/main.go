@@ -39,7 +39,7 @@ var geometries = [][4]int{ // n1, n2, f1, f2
 const valueSize = 4096
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,fig6,msr-ablation,abd,faults,all")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,fig6,msr-ablation,abd,faults,all")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -62,6 +62,7 @@ func main() {
 	run("read-cost", readCost)
 	run("storage", storage)
 	run("latency", latency)
+	run("offload", offloadBatching)
 	run("fig6", fig6)
 	run("msr-ablation", msrAblation)
 	run("abd", abdComparison)
@@ -142,6 +143,26 @@ func latency() error {
 	fmt.Printf("  %-16s %12v %12v\n", "write", res.WriteMax.Round(100*time.Microsecond), res.WriteBound)
 	fmt.Printf("  %-16s %12v %12v\n", "extended write", res.ExtWriteMax.Round(100*time.Microsecond), res.ExtBound)
 	fmt.Printf("  %-16s %12v %12v\n", "read", res.ReadMax.Round(100*time.Microsecond), res.ReadBound)
+	return nil
+}
+
+func offloadBatching() error {
+	p := params(geometries[0])
+	// A long L1->L2 round trip against sub-millisecond writes: the burst
+	// regime where the batched pipeline coalesces the offload tail.
+	tau1, tau2 := 500*time.Microsecond, 40*time.Millisecond
+	res, err := experiments.MeasureOffloadBatching(p, 2048, 12, tau1, tau2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Batched vs. unbatched L2 offload, %d writes at tau1=%v tau2=%v:\n",
+		res.Writes, tau1, tau2)
+	fmt.Printf("  %-28s %12s %12s\n", "metric (per write)", "unbatched", "batched")
+	fmt.Printf("  %-28s %12.1f %12.1f\n", "L1<->L2 messages", res.Unbatched.L1L2Messages, res.Batched.L1L2Messages)
+	fmt.Printf("  %-28s %12.2f %12.2f\n", "offload payload (units)", res.Unbatched.L1L2Payload, res.Batched.L1L2Payload)
+	fmt.Printf("  %-28s %12v %12v\n", "client write latency",
+		res.Unbatched.WriteMean.Round(100*time.Microsecond), res.Batched.WriteMean.Round(100*time.Microsecond))
+	fmt.Printf("  message reduction: %.1fx\n", res.MessageReduction())
 	return nil
 }
 

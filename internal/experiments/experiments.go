@@ -141,9 +141,11 @@ func MeasureReadCost(p lds.Params, valueSize int, concurrent bool) (CommCostResu
 	}
 	// A concurrent write's deferred write-to-L2 offload may land inside the
 	// read's window; the paper charges that traffic to the write (Section
-	// II-d), so it is excluded from the read's bill here.
-	measured := float64(readTraffic.TotalPayload()-readTraffic.KindPayload(wire.KindWriteCodeElem)) /
-		float64(len(value))
+	// II-d), so it is excluded from the read's bill here -- in both its
+	// per-tag and batched forms.
+	offload := readTraffic.KindPayload(wire.KindWriteCodeElem) +
+		readTraffic.KindPayload(wire.KindWriteCodeElemBatch)
+	measured := float64(readTraffic.TotalPayload()-offload) / float64(len(value))
 	return CommCostResult{
 		Params:   p,
 		Measured: measured,
@@ -358,6 +360,101 @@ func MeasureMSRAblation(p lds.Params, valueSize int) (AblationResult, error) {
 	}
 	if res.SubStorage > 0 {
 		res.StorageRatio = res.MBRStorage / res.SubStorage
+	}
+	return res, nil
+}
+
+// OffloadLeg is one side of the batched-vs-unbatched offload comparison.
+type OffloadLeg struct {
+	// L1L2Messages is the mean L1<->L2 messages per write (both directions:
+	// coded elements out, acks back).
+	L1L2Messages float64
+	// L1L2Payload is the mean L1->L2 payload per write in value units.
+	L1L2Payload float64
+	// WriteMean is the mean client-visible write latency.
+	WriteMean time.Duration
+	// Settle is the wall time from the first write until the network fully
+	// quiesced (every offload round landed).
+	Settle time.Duration
+}
+
+// OffloadComparison is the measured effect of the batched L2 offload
+// pipeline under a sustained write burst whose commits outpace the
+// L1->L2 round trips (tau2 >> tau1, the paper's edge setting).
+type OffloadComparison struct {
+	Params    lds.Params
+	Writes    int
+	Unbatched OffloadLeg
+	Batched   OffloadLeg
+}
+
+// MessageReduction returns unbatched/batched L1<->L2 messages per write.
+func (r OffloadComparison) MessageReduction() float64 {
+	if r.Batched.L1L2Messages == 0 {
+		return 0
+	}
+	return r.Unbatched.L1L2Messages / r.Batched.L1L2Messages
+}
+
+// MeasureOffloadBatching runs the same sequential write burst in both
+// offload modes and reports per-write L1<->L2 traffic and latency. Writes
+// complete in ~4*tau1 while an offload round takes 2*tau2, so several
+// commits land during each round: the batched pipeline coalesces them
+// (superseded tags never travel) while the unbatched mode pays the full
+// n2 fan-out per commit.
+func MeasureOffloadBatching(p lds.Params, valueSize, writes int, tau1, tau2 time.Duration) (OffloadComparison, error) {
+	res := OffloadComparison{Params: p, Writes: writes}
+	run := func(mode lds.OffloadMode) (OffloadLeg, error) {
+		mp := p
+		mp.Offload = mode
+		acc := cost.NewAccountant()
+		cluster, err := sim.New(sim.Config{
+			Params:     mp,
+			Accountant: acc,
+			Latency:    transport.LatencyModel{Tau0: tau1, Tau1: tau1, Tau2: tau2},
+		})
+		if err != nil {
+			return OffloadLeg{}, err
+		}
+		defer cluster.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		defer cancel()
+		w, err := cluster.Writer(1)
+		if err != nil {
+			return OffloadLeg{}, err
+		}
+		value := alignedValue(mp, valueSize)
+		acc.Reset()
+		start := time.Now()
+		var writeTotal time.Duration
+		for i := 0; i < writes; i++ {
+			wStart := time.Now()
+			if _, err := w.Write(ctx, value); err != nil {
+				return OffloadLeg{}, err
+			}
+			writeTotal += time.Since(wStart)
+		}
+		if err := cluster.WaitIdle(idleTimeout); err != nil {
+			return OffloadLeg{}, err
+		}
+		settle := time.Since(start)
+		snap := acc.Snapshot()
+		l1l2 := snap.PerClass[cost.L1L2]
+		offloadPayload := snap.KindPayload(wire.KindWriteCodeElem) +
+			snap.KindPayload(wire.KindWriteCodeElemBatch)
+		return OffloadLeg{
+			L1L2Messages: float64(l1l2.Messages) / float64(writes),
+			L1L2Payload:  float64(offloadPayload) / float64(len(value)) / float64(writes),
+			WriteMean:    writeTotal / time.Duration(writes),
+			Settle:       settle,
+		}, nil
+	}
+	var err error
+	if res.Unbatched, err = run(lds.OffloadUnbatched); err != nil {
+		return res, fmt.Errorf("unbatched leg: %w", err)
+	}
+	if res.Batched, err = run(lds.OffloadBatched); err != nil {
+		return res, fmt.Errorf("batched leg: %w", err)
 	}
 	return res, nil
 }

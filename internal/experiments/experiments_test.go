@@ -131,6 +131,33 @@ func TestMeasureMSRAblationShowsRemarks1And2(t *testing.T) {
 	}
 }
 
+func TestMeasureOffloadBatchingReducesL1L2Messages(t *testing.T) {
+	// An 80ms offload round trip against ~7ms writes: several commits land
+	// during every round, overflowing the BatchCap retention, so the
+	// batched pipeline must both coalesce messages and supersede tags
+	// outright. The settled L2 state is identical either way (checked by
+	// the lds-level equivalence test).
+	p := testParams(t)
+	res, err := MeasureOffloadBatching(p, 2048, 12, 500*time.Microsecond, 40*time.Millisecond)
+	if err != nil {
+		t.Fatalf("MeasureOffloadBatching: %v", err)
+	}
+	// Unbatched: every commit fans out n2 elements and collects n2 acks on
+	// every one of the n1 servers.
+	if want := float64(2 * p.N1 * p.N2); res.Unbatched.L1L2Messages < want*0.9 {
+		t.Errorf("unbatched leg moved %.1f L1<->L2 messages/write, want ~%.0f", res.Unbatched.L1L2Messages, want)
+	}
+	if res.MessageReduction() < 2 {
+		t.Errorf("batching reduced L1<->L2 messages only %.2fx (unbatched %.1f vs batched %.1f per write)",
+			res.MessageReduction(), res.Unbatched.L1L2Messages, res.Batched.L1L2Messages)
+	}
+	// Supersession must also shave payload: superseded tags never travel.
+	if res.Batched.L1L2Payload >= res.Unbatched.L1L2Payload {
+		t.Errorf("batched offload payload %.2f units/write, want < unbatched %.2f",
+			res.Batched.L1L2Payload, res.Unbatched.L1L2Payload)
+	}
+}
+
 func TestMeasureABDComparison(t *testing.T) {
 	p := testParams(t)
 	res, err := MeasureABDComparison(p, 4096)

@@ -82,13 +82,19 @@ func (s *shard) observe(op core.OpKind, d time.Duration, payloadBytes int, err e
 }
 
 // object returns the key's LDS group, creating it (and its client pools)
-// on first use.
+// on first use. Group construction is deliberately done outside s.mu: it
+// builds a full cluster and its client pools, and holding the shard lock
+// for that long would stall every other key on the shard during a
+// first-touch. Two racing first-touches may both build; the loser's group
+// is closed and the winner's kept (double-check insert).
 func (s *shard) object(key string) (*object, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if obj, ok := s.objects[key]; ok {
+		s.mu.Unlock()
 		return obj, nil
 	}
+	s.mu.Unlock()
+
 	cluster, err := s.gw.newGroup()
 	if err != nil {
 		return nil, err
@@ -98,8 +104,17 @@ func (s *shard) object(key string) (*object, error) {
 		cluster.Close()
 		return nil, err
 	}
+
+	s.mu.Lock()
+	if existing, ok := s.objects[key]; ok {
+		// Lost the race: another caller inserted this key meanwhile.
+		s.mu.Unlock()
+		cluster.Close()
+		return existing, nil
+	}
 	// A shard-level crash covers future groups too: the shard's servers
-	// are conceptually crashed, and every group runs on them.
+	// are conceptually crashed, and every group runs on them. Applying the
+	// crash list under the lock keeps it consistent with crashL1/crashL2.
 	for _, i := range s.crashedL1 {
 		cluster.CrashL1(i)
 	}
@@ -107,6 +122,7 @@ func (s *shard) object(key string) (*object, error) {
 		cluster.CrashL2(i)
 	}
 	s.objects[key] = obj
+	s.mu.Unlock()
 	return obj, nil
 }
 
@@ -151,25 +167,27 @@ func (s *shard) permanentBytes() int64 {
 func (s *shard) snapshot() ShardStats {
 	s.mu.Lock()
 	keys := len(s.objects)
-	var tmp, perm int64
+	var tmp, perm, offload int64
 	for _, obj := range s.objects {
 		tmp += obj.cluster.TemporaryStorageBytes()
 		perm += obj.cluster.PermanentStorageBytes()
+		offload += obj.cluster.OffloadQueueDepth()
 	}
 	s.mu.Unlock()
 	return ShardStats{
-		Shard:          s.index,
-		Keys:           keys,
-		Reads:          s.stats.reads.Load(),
-		Writes:         s.stats.writes.Load(),
-		ReadErrors:     s.stats.readErrors.Load(),
-		WriteErrors:    s.stats.writeErrors.Load(),
-		ReadBytes:      s.stats.readBytes.Load(),
-		WriteBytes:     s.stats.writeBytes.Load(),
-		ReadLatency:    time.Duration(s.stats.readLatency.Load()),
-		WriteLatency:   time.Duration(s.stats.writeLatency.Load()),
-		TemporaryBytes: tmp,
-		PermanentBytes: perm,
+		Shard:             s.index,
+		Keys:              keys,
+		Reads:             s.stats.reads.Load(),
+		Writes:            s.stats.writes.Load(),
+		ReadErrors:        s.stats.readErrors.Load(),
+		WriteErrors:       s.stats.writeErrors.Load(),
+		ReadBytes:         s.stats.readBytes.Load(),
+		WriteBytes:        s.stats.writeBytes.Load(),
+		ReadLatency:       time.Duration(s.stats.readLatency.Load()),
+		WriteLatency:      time.Duration(s.stats.writeLatency.Load()),
+		TemporaryBytes:    tmp,
+		PermanentBytes:    perm,
+		OffloadQueueDepth: offload,
 	}
 }
 
@@ -256,6 +274,12 @@ type ShardStats struct {
 	WriteLatency   time.Duration
 	TemporaryBytes int64
 	PermanentBytes int64
+	// OffloadQueueDepth is the live occupancy of the shard's L1 -> L2
+	// offload pipelines (queued plus in-flight batch elements, summed over
+	// the shard's groups): the backlog signal of the asynchronous write
+	// tail, distinct from TemporaryBytes which tracks the paper's
+	// temporary-storage metric.
+	OffloadQueueDepth int64
 }
 
 // Ops returns the total completed operations.

@@ -492,6 +492,51 @@ func TestOutstandingReadersDrainAfterReads(t *testing.T) {
 	}
 }
 
+func TestClusterBookkeepingBoundedUnderSustainedWrites(t *testing.T) {
+	// End-to-end soak: thousands of writes through a real cluster must not
+	// grow any L1 bookkeeping map. in-flight work is at most one write here
+	// (sequential writer), so the bound is a small constant.
+	if testing.Short() {
+		t.Skip("sustained-write soak skipped in -short mode")
+	}
+	ctx := testCtx(t)
+	c := newCluster(t, smallParams(t))
+	w, _ := c.Writer(1)
+	value := make([]byte, 256)
+	const writes = 2000
+	p := c.Params()
+	// Per server: the committed entry plus a pipeline of <= 2*BatchCap
+	// elements, plus a tag whose commit traffic is still settling.
+	bound := p.N1 * (2 + 2*p.BatchCap())
+	for i := 1; i <= writes; i++ {
+		if _, err := w.Write(ctx, value); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if i%250 == 0 {
+			if err := c.WaitIdle(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.L1BookkeepingEntries(); got > bound {
+				t.Fatalf("write %d: %d bookkeeping entries across L1, want <= %d", i, got, bound)
+			}
+			if got := c.TemporaryStorageBytes(); got != 0 {
+				t.Fatalf("write %d: temporary storage = %d after settling, want 0", i, got)
+			}
+			if got := c.OffloadQueueDepth(); got != 0 {
+				t.Fatalf("write %d: offload depth = %d after settling, want 0", i, got)
+			}
+		}
+	}
+	r, _ := c.Reader(1)
+	got, rt, err := r.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, value) || rt.Z != writes {
+		t.Errorf("after soak: read tag %v (want z=%d), %d bytes", rt, writes, len(got))
+	}
+}
+
 func TestLargeValuesAndOddSizes(t *testing.T) {
 	ctx := testCtx(t)
 	c := newCluster(t, sim.Config{Params: sim.MustParams(6, 8, 1, 2)})

@@ -12,10 +12,14 @@ import (
 )
 
 // listEntry is one element of the temporary-storage list L: a tag with
-// either a value or the bot placeholder left behind by garbage collection.
+// either a value or the bot placeholder, plus the writer-acknowledgment
+// state of the tag. Riding the ack flag on the entry keeps the per-tag
+// bookkeeping bounded by construction: it is pruned exactly when the entry
+// is.
 type listEntry struct {
 	value    []byte
 	hasValue bool
+	acked    bool // PUT-DATA ack already sent to the tag's writer
 }
 
 // gammaEntry is one registered outstanding reader (an element of Gamma):
@@ -41,6 +45,13 @@ type regenState struct {
 	perTag map[tag.Tag]*tagHelpers
 }
 
+// offloadItem is one queued unit of write-to-L2 work: a committed tag and
+// the value to encode. The queue holds at most Params.BatchCap items.
+type offloadItem struct {
+	t     tag.Tag
+	value []byte
+}
+
 // nodesEncoder is the optional fast path for encoding only the L2 portion
 // of the codeword; both product-matrix codes implement it.
 type nodesEncoder interface {
@@ -51,6 +62,28 @@ type nodesEncoder interface {
 // paper's Fig. 2. It is an actor: Handle is invoked sequentially by the
 // transport, and each invocation corresponds to one atomic action of the
 // I/O-automata description.
+//
+// # Bounded bookkeeping
+//
+// All per-tag state is pruned when the committed tag tc advances past it:
+// list entries below tc are deleted outright (after their values are
+// garbage-collected and any still-pending writer acknowledgment is sent --
+// safe because the server's tc is already >= the tag, the same condition
+// under which put-data-resp acknowledges a stale write immediately), commit
+// counters at or below tc are dropped and late COMMIT-TAG broadcasts for
+// such tags are ignored (their duties are discharged), and offload ack
+// tracking below tc is dropped (the L2 replace-if-newer rule makes those
+// offloads moot). The maps therefore hold entries only for tc itself and
+// for tags of writes still in flight.
+//
+// # Offload pipeline
+//
+// In the default OffloadBatched mode, write-to-L2 work is queued rather
+// than fanned out synchronously: at most one batch round is in flight, and
+// commits arriving while it travels coalesce in the queue -- the queue
+// retains only the newest BatchCap tags, older pending tags being
+// superseded (the L2 servers would discard them anyway). A drain sends one
+// WriteCodeElemBatch per L2 server carrying every retained element.
 type L1Server struct {
 	params Params
 	index  int // j in [0, n1); also the server's code symbol index
@@ -61,18 +94,29 @@ type L1Server struct {
 
 	// State variables of Fig. 2.
 	list          map[tag.Tag]*listEntry     // L, tag -> value or bot
-	maxListTag    tag.Tag                    // cached max{t : (t,*) in L}
+	maxListTag    tag.Tag                    // cached max{t : (t,*) ever in L}
 	tc            tag.Tag                    // committed tag
-	commitCounter map[tag.Tag]int            // broadcasts consumed per tag
-	writeCounter  map[tag.Tag]int            // write-to-L2 acks per tag
+	commitCounter map[tag.Tag]int            // broadcasts consumed per tag > tc
 	gamma         map[wire.ProcID]gammaEntry // Gamma: outstanding readers
 	regen         map[wire.ProcID]*regenState
 
-	// ackedWriter prevents duplicate ACKs to a writer as commitCounter
-	// keeps growing past the threshold; writeStarted makes write-to-L2
-	// initiation idempotent. Both are pure bookkeeping.
-	ackedWriter  map[tag.Tag]bool
-	writeStarted map[tag.Tag]bool
+	// Offload pipeline state. offloads tracks, per sent tag, the distinct
+	// L2 sender indices that acknowledged it (counting distinct senders --
+	// not raw messages -- is what makes n2-f2 acks mean n2-f2 durable
+	// copies); an entry is deleted the moment its quorum fires, so late or
+	// duplicated acks are ignored. offloadHigh is the highest tag ever
+	// handed to the pipeline and makes initiation idempotent.
+	offloads        map[tag.Tag]map[int32]struct{}
+	offloadQueue    []offloadItem
+	offloadInflight bool
+	inflightTag     tag.Tag // highest tag of the in-flight batch
+	inflightAcks    map[int32]struct{}
+	inflightElems   int
+	offloadHigh     tag.Tag
+
+	// offloadDepth gauges the pipeline occupancy (queued + in-flight
+	// elements); atomic so samplers can read it live.
+	offloadDepth atomic.Int64
 
 	// tempBytes tracks the bytes of actual values held in L (the paper's
 	// temporary storage cost); atomic so samplers can read it live.
@@ -97,11 +141,9 @@ func NewL1Server(params Params, index int, code erasure.Regenerating) (*L1Server
 		code:          code,
 		list:          map[tag.Tag]*listEntry{tag.Zero: {}},
 		commitCounter: make(map[tag.Tag]int),
-		writeCounter:  make(map[tag.Tag]int),
 		gamma:         make(map[wire.ProcID]gammaEntry),
 		regen:         make(map[wire.ProcID]*regenState),
-		ackedWriter:   make(map[tag.Tag]bool),
-		writeStarted:  make(map[tag.Tag]bool),
+		offloads:      make(map[tag.Tag]map[int32]struct{}),
 	}
 	return s, nil
 }
@@ -130,11 +172,45 @@ func (s *L1Server) CommittedTag() tag.Tag { return s.tc }
 // concurrently with traffic.
 func (s *L1Server) TemporaryBytes() int64 { return s.tempBytes.Load() }
 
+// OffloadQueueDepth returns the occupancy of the L2 offload pipeline:
+// queued elements plus elements of the batch currently in flight. Safe to
+// call concurrently with traffic.
+func (s *L1Server) OffloadQueueDepth() int64 { return s.offloadDepth.Load() }
+
 // Violations returns the count of internal invariant violations (must be 0).
 func (s *L1Server) Violations() int64 { return s.violations.Load() }
 
 // OutstandingReaders returns |Gamma|; diagnostic accessor for quiescent use.
 func (s *L1Server) OutstandingReaders() int { return len(s.gamma) }
+
+// L1Bookkeeping is a point-in-time census of the server's per-tag and
+// per-reader maps; soak tests assert every field stays bounded under
+// sustained load. Quiescent use only.
+type L1Bookkeeping struct {
+	List           int // |L|
+	CommitCounters int // tags with a live broadcast counter
+	OffloadAcks    int // sent tags awaiting their L2 ack quorum
+	OffloadQueue   int // tags queued for the next batch
+	Readers        int // |Gamma|
+	Regenerations  int // readers with an in-flight regeneration
+}
+
+// Total sums all census fields.
+func (b L1Bookkeeping) Total() int {
+	return b.List + b.CommitCounters + b.OffloadAcks + b.OffloadQueue + b.Readers + b.Regenerations
+}
+
+// Bookkeeping returns the current census (quiescent use only).
+func (s *L1Server) Bookkeeping() L1Bookkeeping {
+	return L1Bookkeeping{
+		List:           len(s.list),
+		CommitCounters: len(s.commitCounter),
+		OffloadAcks:    len(s.offloads),
+		OffloadQueue:   len(s.offloadQueue),
+		Readers:        len(s.gamma),
+		Regenerations:  len(s.regen),
+	}
+}
 
 // Handle dispatches one incoming message; it is the transport handler.
 func (s *L1Server) Handle(env wire.Envelope) {
@@ -152,7 +228,11 @@ func (s *L1Server) Handle(env wire.Envelope) {
 	case wire.PutTag:
 		s.onPutTag(env.From, m)
 	case wire.AckCodeElem:
-		s.onAckCodeElem(m)
+		s.creditAck(env.From, m.Tag)
+	case wire.AckCodeElemBatch:
+		for _, t := range m.Tags {
+			s.creditAck(env.From, t)
+		}
 	case wire.SendHelperElem:
 		s.onSendHelperElem(env.From, m)
 	default:
@@ -160,7 +240,10 @@ func (s *L1Server) Handle(env wire.Envelope) {
 	}
 }
 
-// onQueryTag is get-tag-resp: reply with max{t : (t,*) in L}.
+// onQueryTag is get-tag-resp: reply with max{t : (t,*) in L}. The cached
+// maximum is monotone and survives pruning: entries are only ever deleted
+// below tc, and tc itself stays in L, so the cache always equals the live
+// maximum.
 func (s *L1Server) onQueryTag(from wire.ProcID, m wire.QueryTag) {
 	s.send(from, wire.QueryTagResp{OpID: m.OpID, Tag: s.maxListTag})
 }
@@ -203,8 +286,14 @@ func (s *L1Server) onBroadcast(m wire.Broadcast) {
 	s.onCommitTag(ct.Tag)
 }
 
-// onCommitTag is broadcast-resp (Fig. 2 lines 11-19).
+// onCommitTag is broadcast-resp (Fig. 2 lines 11-19). Broadcast instances
+// for tags at or below tc are dropped without counting: their ack and
+// commit duties were discharged when tc passed them (see pruneSuperseded),
+// and counting them would regrow the pruned counter without bound.
 func (s *L1Server) onCommitTag(t tag.Tag) {
+	if !s.tc.Less(t) {
+		return
+	}
 	s.commitCounter[t]++
 	s.maybeAckAndCommit(t)
 }
@@ -212,16 +301,13 @@ func (s *L1Server) onCommitTag(t tag.Tag) {
 // maybeAckAndCommit performs the threshold steps of broadcast-resp: once
 // (t,*) is in L and commitCounter[t] >= f1+k, acknowledge the writer, and
 // if t exceeds the committed tag, commit it -- serving registered readers,
-// garbage-collecting older values and offloading the value to L2.
+// pruning superseded bookkeeping and offloading the value to L2.
 func (s *L1Server) maybeAckAndCommit(t tag.Tag) {
 	e, inList := s.list[t]
 	if !inList || s.commitCounter[t] < s.params.WriteQuorum() {
 		return
 	}
-	if !s.ackedWriter[t] {
-		s.ackedWriter[t] = true
-		s.send(wire.ProcID{Role: wire.RoleWriter, Index: t.W}, wire.PutDataResp{Tag: t})
-	}
+	s.ackWriter(t, e)
 	if !s.tc.Less(t) {
 		return
 	}
@@ -233,8 +319,20 @@ func (s *L1Server) maybeAckAndCommit(t tag.Tag) {
 	}
 	s.tc = t
 	s.serveGamma(t, e)
-	s.gcOlder()
-	s.startWriteToL2(t, e)
+	s.pruneSuperseded()
+	s.offload(t, e)
+}
+
+// ackWriter sends the PUT-DATA acknowledgment for t once. The server only
+// ever calls it with tc >= t about to hold (commit) or already holding
+// (supersession), matching the condition under which put-data-resp acks a
+// stale write immediately.
+func (s *L1Server) ackWriter(t tag.Tag, e *listEntry) {
+	if e.acked {
+		return
+	}
+	e.acked = true
+	s.send(wire.ProcID{Role: wire.RoleWriter, Index: t.W}, wire.PutDataResp{Tag: t})
 }
 
 // onQueryCommTag is get-commited-tag-resp: reply with tc.
@@ -261,7 +359,7 @@ func (s *L1Server) onQueryData(from wire.ProcID, m wire.QueryData) {
 
 // onPutTag is put-tag-resp (Fig. 2 lines 52-66): unregister the reader,
 // adopt the written-back tag, serve any readers that the new committed tag
-// satisfies, and garbage-collect.
+// satisfies, and prune superseded bookkeeping.
 func (s *L1Server) onPutTag(from wire.ProcID, m wire.PutTag) {
 	delete(s.gamma, from)
 	delete(s.regen, from)
@@ -269,32 +367,52 @@ func (s *L1Server) onPutTag(from wire.ProcID, m wire.PutTag) {
 		s.tc = m.Tag
 		if e, ok := s.list[m.Tag]; ok && e.hasValue {
 			s.serveGamma(m.Tag, e)
-			s.gcOlder()
-			s.startWriteToL2(m.Tag, e)
+			// Late COMMIT-TAG broadcasts for m.Tag are ignored from now on
+			// (tc has reached it), so the writer ack they would have
+			// triggered is discharged here; tc >= m.Tag makes it safe.
+			s.ackWriter(m.Tag, e)
+			s.pruneSuperseded()
+			s.offload(m.Tag, e)
 		} else {
 			s.ensureEntry(m.Tag) // add (tc, bot): the tag is now known here
 			if tbar, ebar, ok := s.maxValueBelow(m.Tag); ok {
 				s.serveGamma(tbar, ebar)
 			}
-			s.gcOlder()
+			s.pruneSuperseded()
 		}
 	}
 	s.send(from, wire.PutTagResp{OpID: m.OpID})
 }
 
-// onAckCodeElem is write-to-L2-complete (Fig. 2 lines 24-27): after n2-f2
-// acknowledgments the value is durable in L2 and its temporary copy is
-// garbage-collected.
-func (s *L1Server) onAckCodeElem(m wire.AckCodeElem) {
-	if !s.writeStarted[m.Tag] {
-		return // stray ack for a write this server never initiated
+// creditAck is write-to-L2-complete (Fig. 2 lines 24-27), hardened: acks
+// are credited per distinct L2 sender, so duplicated or retransmitted acks
+// can never count a durable copy twice, and only tags this server actually
+// offloaded are tracked. After n2-f2 distinct senders acknowledged a tag,
+// its value is durable in L2: the temporary copy is garbage-collected and
+// the tag's ack state pruned. Completion of the in-flight batch (quorum on
+// its highest tag) releases the next batch.
+func (s *L1Server) creditAck(from wire.ProcID, t tag.Tag) {
+	if from.Role != wire.RoleL2 || from.Index < 0 || int(from.Index) >= s.params.N2 {
+		return // not a valid L2 sender
 	}
-	s.writeCounter[m.Tag]++
-	if s.writeCounter[m.Tag] != s.params.L2Quorum() {
-		return
+	if acks, ok := s.offloads[t]; ok {
+		acks[from.Index] = struct{}{}
+		if len(acks) >= s.params.L2Quorum() {
+			delete(s.offloads, t) // fired; later acks for t are ignored
+			if e, ok := s.list[t]; ok && e.hasValue {
+				s.dropValue(e)
+			}
+		}
 	}
-	if e, ok := s.list[m.Tag]; ok && e.hasValue {
-		s.dropValue(e)
+	if s.offloadInflight && t == s.inflightTag {
+		s.inflightAcks[from.Index] = struct{}{}
+		if len(s.inflightAcks) >= s.params.L2Quorum() {
+			s.offloadInflight = false
+			s.inflightAcks = nil
+			s.inflightElems = 0
+			s.updateOffloadDepth()
+			s.drainOffload()
+		}
 	}
 }
 
@@ -349,21 +467,84 @@ func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
 
 // --- internal operations ----------------------------------------------------
 
-// startWriteToL2 initiates the internal write-to-L2(t, v) operation: encode
-// the value under the code C2 and send each L2 server its coded element.
-func (s *L1Server) startWriteToL2(t tag.Tag, e *listEntry) {
-	if s.writeStarted[t] {
+// offload hands a freshly committed (t, v) to the write-to-L2 pipeline.
+// Initiation is idempotent: tags at or below the highest ever offloaded
+// are already covered (directly, or by supersession under the L2
+// replace-if-newer rule).
+func (s *L1Server) offload(t tag.Tag, e *listEntry) {
+	if !s.offloadHigh.Less(t) {
 		return
 	}
-	s.writeStarted[t] = true
-	shards, err := s.encodeL2(e.value)
-	if err != nil {
-		s.violations.Add(1)
+	s.offloadHigh = t
+	if s.params.Offload == OffloadUnbatched {
+		shards, err := s.encodeL2(e.value)
+		if err != nil {
+			s.violations.Add(1)
+			return
+		}
+		s.offloads[t] = make(map[int32]struct{}, s.params.L2Quorum())
+		for i, id := range s.params.L2IDs() {
+			s.send(id, wire.WriteCodeElem{Tag: t, Coded: shards[i], ValueLen: int32(len(e.value))})
+		}
 		return
 	}
+	s.offloadQueue = append(s.offloadQueue, offloadItem{t: t, value: e.value})
+	if over := len(s.offloadQueue) - s.params.BatchCap(); over > 0 {
+		// The oldest queued tags are superseded by the newer ones: L2 would
+		// discard them on arrival, so they never travel at all.
+		s.offloadQueue = append(s.offloadQueue[:0:0], s.offloadQueue[over:]...)
+	}
+	s.updateOffloadDepth()
+	s.drainOffload()
+}
+
+// drainOffload sends the queued offload work as one batch round: every
+// queued element, encoded under C2, travels to each L2 server in a single
+// WriteCodeElemBatch. At most one round is in flight; the next drain is
+// triggered by the round's ack quorum (creditAck).
+func (s *L1Server) drainOffload() {
+	if s.offloadInflight || len(s.offloadQueue) == 0 {
+		return
+	}
+	batch := s.offloadQueue
+	s.offloadQueue = nil
+	perServer := make([][]wire.CodeElem, s.params.N2)
+	elems := 0
+	var highest tag.Tag
+	for _, it := range batch {
+		shards, err := s.encodeL2(it.value)
+		if err != nil {
+			s.violations.Add(1)
+			continue
+		}
+		s.offloads[it.t] = make(map[int32]struct{}, s.params.L2Quorum())
+		for i := range perServer {
+			perServer[i] = append(perServer[i], wire.CodeElem{
+				Tag:      it.t,
+				Coded:    shards[i],
+				ValueLen: int32(len(it.value)),
+			})
+		}
+		highest = it.t // queue is tag-ascending; the last element is highest
+		elems++
+	}
+	if elems == 0 {
+		s.updateOffloadDepth()
+		return
+	}
+	s.offloadInflight = true
+	s.inflightTag = highest
+	s.inflightAcks = make(map[int32]struct{}, s.params.L2Quorum())
+	s.inflightElems = elems
+	s.updateOffloadDepth()
 	for i, id := range s.params.L2IDs() {
-		s.send(id, wire.WriteCodeElem{Tag: t, Coded: shards[i], ValueLen: int32(len(e.value))})
+		s.send(id, wire.WriteCodeElemBatch{Elems: perServer[i]})
 	}
+}
+
+// updateOffloadDepth refreshes the pipeline occupancy gauge.
+func (s *L1Server) updateOffloadDepth() {
+	s.offloadDepth.Store(int64(len(s.offloadQueue) + s.inflightElems))
 }
 
 // startRegenerate initiates regenerate-from-L2(r): query all L2 servers for
@@ -404,11 +585,41 @@ func (s *L1Server) serveGamma(t tag.Tag, e *listEntry) {
 	}
 }
 
-// gcOlder replaces every (t, v) with t < tc by (t, bot) (Fig. 2 line 18).
-func (s *L1Server) gcOlder() {
+// pruneSuperseded is the bounded-bookkeeping sweep run whenever tc
+// advances. It extends the paper's garbage collection (Fig. 2 line 18,
+// which only blanks values) to the whole per-tag state:
+//
+//   - list entries below tc are deleted after their values are dropped; a
+//     value whose writer was never acknowledged is acknowledged now (tc has
+//     passed the tag, the stale-PUT-DATA ack condition).
+//   - commit counters at or below tc are deleted; onCommitTag ignores late
+//     broadcasts for such tags so the counters cannot regrow.
+//   - offload ack tracking below tc is deleted: those elements are
+//     superseded at L2 regardless of whether they were sent, and the
+//     in-flight round's completion is tracked separately (inflightAcks).
+//
+// The maxListTag cache stays exact under pruning: only tags below tc are
+// deleted, tc remains in the list, and the cache is monotone, so it always
+// names a live entry.
+func (s *L1Server) pruneSuperseded() {
 	for t, e := range s.list {
-		if t.Less(s.tc) && e.hasValue {
+		if !t.Less(s.tc) {
+			continue
+		}
+		if e.hasValue {
 			s.dropValue(e)
+			s.ackWriter(t, e)
+		}
+		delete(s.list, t)
+	}
+	for t := range s.commitCounter {
+		if !s.tc.Less(t) {
+			delete(s.commitCounter, t)
+		}
+	}
+	for t := range s.offloads {
+		if t.Less(s.tc) {
+			delete(s.offloads, t)
 		}
 	}
 }

@@ -83,6 +83,30 @@ var (
 	reader1 = wire.ProcID{Role: wire.RoleReader, Index: 1}
 )
 
+// batchElems flattens the coded elements of all WriteCodeElemBatch
+// envelopes in envs.
+func batchElems(envs []wire.Envelope) []wire.CodeElem {
+	var out []wire.CodeElem
+	for _, e := range ofKind(envs, wire.KindWriteCodeElemBatch) {
+		out = append(out, e.Msg.(wire.WriteCodeElemBatch).Elems...)
+	}
+	return out
+}
+
+// ackRound answers every WriteCodeElemBatch in envs the way its L2
+// destination would: one AckCodeElemBatch carrying the batch's tags,
+// delivered back into the server.
+func ackRound(s *L1Server, envs []wire.Envelope) {
+	for _, e := range ofKind(envs, wire.KindWriteCodeElemBatch) {
+		b := e.Msg.(wire.WriteCodeElemBatch)
+		tags := make([]tag.Tag, len(b.Elems))
+		for i, el := range b.Elems {
+			tags[i] = el.Tag
+		}
+		s.Handle(wire.Envelope{From: e.To, To: s.ID(), Msg: wire.AckCodeElemBatch{Tags: tags}})
+	}
+}
+
 func TestL1QueryTagReturnsMaxListTag(t *testing.T) {
 	s, fn, _ := newTestServer(t)
 	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.QueryTag{OpID: 1}})
@@ -150,7 +174,12 @@ func TestL1CommitTriggersAckGCAndWriteToL2(t *testing.T) {
 	t2 := tag.Tag{Z: 2, W: 1}
 	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 1, Tag: t1, Value: []byte("one")}})
 	commit(t, s, p, t1)
-	fn.take()
+	round1 := fn.take()
+	// Committing t1 drains the offload queue: one batch per L2 server,
+	// each carrying t1's coded element.
+	if got := len(ofKind(round1, wire.KindWriteCodeElemBatch)); got != p.N2 {
+		t.Fatalf("first commit sent %d batches, want n2 = %d", got, p.N2)
+	}
 	s.Handle(wire.Envelope{From: writer1, To: s.ID(), Msg: wire.PutData{OpID: 2, Tag: t2, Value: []byte("two")}})
 	envs := fn.take()
 	commit(t, s, p, t2)
@@ -160,16 +189,30 @@ func TestL1CommitTriggersAckGCAndWriteToL2(t *testing.T) {
 	if len(acks) != 1 {
 		t.Fatalf("got %d writer acks, want exactly 1 (deduplicated)", len(acks))
 	}
-	writes := ofKind(envs, wire.KindWriteCodeElem)
-	if len(writes) != p.N2 {
-		t.Fatalf("write-to-L2 sent %d coded elements, want n2 = %d", len(writes), p.N2)
+	// t1's round is still in flight, so t2 waits in the queue.
+	if got := len(ofKind(envs, wire.KindWriteCodeElemBatch)); got != 0 {
+		t.Fatalf("second commit sent %d batches while a round is in flight, want 0", got)
 	}
-	// Committing t2 garbage-collects t1's value (t1 < tc).
-	if e := s.list[t1]; e == nil || e.hasValue {
-		t.Error("older value not garbage-collected on commit")
+	if got := s.OffloadQueueDepth(); got != 2 {
+		t.Errorf("offload depth = %d, want 2 (one in flight, one queued)", got)
+	}
+	// Committing t2 prunes t1's entry outright (t1 < tc).
+	if _, ok := s.list[t1]; ok {
+		t.Error("superseded entry not pruned on commit")
 	}
 	if s.CommittedTag() != t2 {
 		t.Errorf("tc = %v, want %v", s.CommittedTag(), t2)
+	}
+	// Acking t1's round releases t2's batch.
+	ackRound(s, round1)
+	round2 := fn.take()
+	elems := batchElems(round2)
+	if len(ofKind(round2, wire.KindWriteCodeElemBatch)) != p.N2 || len(elems) != p.N2 {
+		t.Fatalf("completing round 1 sent %d elements in %d batches, want %d batches of 1",
+			len(elems), len(ofKind(round2, wire.KindWriteCodeElemBatch)), p.N2)
+	}
+	if elems[0].Tag != t2 {
+		t.Errorf("second round carries %v, want %v", elems[0].Tag, t2)
 	}
 }
 
@@ -188,7 +231,7 @@ func TestL1CommitCountBeforePutDataStillAcks(t *testing.T) {
 	if len(ofKind(envs, wire.KindPutDataResp)) != 1 {
 		t.Fatal("late put-data did not trigger the ack")
 	}
-	if len(ofKind(envs, wire.KindWriteCodeElem)) != p.N2 {
+	if len(ofKind(envs, wire.KindWriteCodeElemBatch)) != p.N2 {
 		t.Fatal("late put-data did not trigger write-to-L2")
 	}
 	if s.CommittedTag() != tg {
@@ -399,8 +442,13 @@ func TestL1PutTagWithValueCommitsAndOffloads(t *testing.T) {
 	if len(ofKind(envs, wire.KindPutTagResp)) != 1 {
 		t.Fatal("put-tag not acknowledged")
 	}
-	if len(ofKind(envs, wire.KindWriteCodeElem)) != p.N2 {
+	if len(ofKind(envs, wire.KindWriteCodeElemBatch)) != p.N2 {
 		t.Error("put-tag with value in list must initiate write-to-L2")
+	}
+	// Broadcasts for tg are ignored from now on, so the writer ack is
+	// discharged here.
+	if len(ofKind(envs, wire.KindPutDataResp)) != 1 {
+		t.Error("put-tag commit must acknowledge the pending writer")
 	}
 	if s.CommittedTag() != tg {
 		t.Errorf("tc = %v, want %v", s.CommittedTag(), tg)
@@ -415,7 +463,7 @@ func TestL1PutTagWithoutValueAddsBotEntry(t *testing.T) {
 	if len(ofKind(envs, wire.KindPutTagResp)) != 1 {
 		t.Fatal("put-tag not acknowledged")
 	}
-	if len(ofKind(envs, wire.KindWriteCodeElem)) != 0 {
+	if len(ofKind(envs, wire.KindWriteCodeElemBatch)) != 0 {
 		t.Error("put-tag without the value must not initiate write-to-L2")
 	}
 	e, ok := s.list[tg]
@@ -452,9 +500,13 @@ func TestL1PutTagServesOtherReadersFromTBar(t *testing.T) {
 	if r.Tag != t1 || string(r.Data) != "tbar" || r.OpID != 3 {
 		t.Errorf("t-bar response = %+v", r)
 	}
-	// And t1's value was garbage-collected afterwards (t1 < tc = t9).
-	if e := s.list[t1]; e == nil || e.hasValue {
-		t.Error("t-bar value must be garbage-collected after serving")
+	// And t1's entry was pruned outright afterwards (t1 < tc = t9).
+	if _, ok := s.list[t1]; ok {
+		t.Error("t-bar entry must be pruned after serving")
+	}
+	// Its writer had never been acknowledged; supersession discharges that.
+	if len(ofKind(envs, wire.KindPutDataResp)) != 1 {
+		t.Error("pruning an unacknowledged value must acknowledge its writer")
 	}
 	_ = p
 }

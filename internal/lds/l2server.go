@@ -85,6 +85,8 @@ func (s *L2Server) Handle(env wire.Envelope) {
 	switch m := env.Msg.(type) {
 	case wire.WriteCodeElem:
 		s.onWriteCodeElem(env.From, m)
+	case wire.WriteCodeElemBatch:
+		s.onWriteCodeElemBatch(env.From, m)
 	case wire.QueryCodeElem:
 		s.onQueryCodeElem(env.From, m)
 	default:
@@ -103,6 +105,27 @@ func (s *L2Server) onWriteCodeElem(from wire.ProcID, m wire.WriteCodeElem) {
 		s.storedBytes.Store(int64(len(m.Coded)))
 	}
 	s.send(from, wire.AckCodeElem{Tag: m.Tag})
+}
+
+// onWriteCodeElemBatch applies a batched offload: each element runs
+// through the same replace-if-newer rule as an individual WriteCodeElem,
+// and a single AckCodeElemBatch acknowledges every element's tag, so the
+// return path is amortized exactly like the forward path.
+func (s *L2Server) onWriteCodeElemBatch(from wire.ProcID, m wire.WriteCodeElemBatch) {
+	if len(m.Elems) == 0 {
+		return
+	}
+	tags := make([]tag.Tag, len(m.Elems))
+	for i, el := range m.Elems {
+		if s.tag.Less(el.Tag) {
+			s.tag = el.Tag
+			s.coded = el.Coded
+			s.valueLen = int(el.ValueLen)
+			s.storedBytes.Store(int64(len(el.Coded)))
+		}
+		tags[i] = el.Tag
+	}
+	s.send(from, wire.AckCodeElemBatch{Tags: tags})
 }
 
 // onQueryCodeElem is regenerate-from-L2-resp (Fig. 3): compute the helper

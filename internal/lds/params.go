@@ -21,6 +21,26 @@ import (
 	"github.com/lds-storage/lds/internal/wire"
 )
 
+// OffloadMode selects how an L1 server moves committed values to L2.
+type OffloadMode uint8
+
+// Offload modes.
+const (
+	// OffloadBatched (the default) runs the write-to-L2 operation through a
+	// per-server offload queue: at most one batch round is in flight at a
+	// time, commits arriving meanwhile coalesce (a newer committed tag
+	// supersedes queued older ones, which the L2 replace-if-newer rule makes
+	// redundant), and each round sends one WriteCodeElemBatch per L2 server.
+	OffloadBatched OffloadMode = iota
+	// OffloadUnbatched is the paper-literal behavior: every committed tag
+	// immediately fans out n2 individual WriteCodeElem messages.
+	OffloadUnbatched
+)
+
+// DefaultOffloadBatch is the per-batch element cap (and therefore the
+// offload queue's retention) selected when Params.OffloadBatch is zero.
+const DefaultOffloadBatch = 4
+
 // Params fixes the cluster geometry and the code parameters. The paper ties
 // them together: n1 = 2*f1 + k and n2 = 2*f2 + d.
 type Params struct {
@@ -30,6 +50,15 @@ type Params struct {
 	F2 int // crash tolerance in L2 (f2 < n2/3)
 	K  int // code dimension: any k L1 coded elements decode the value
 	D  int // repair degree: helpers needed by a regeneration
+
+	// Offload selects the L1 -> L2 offload strategy; the zero value is the
+	// batched pipeline.
+	Offload OffloadMode
+	// OffloadBatch caps the coded elements per WriteCodeElemBatch and the
+	// tags the offload queue retains (older pending tags beyond the cap are
+	// superseded and never travel); <= 0 selects DefaultOffloadBatch.
+	// Ignored in OffloadUnbatched mode.
+	OffloadBatch int
 }
 
 // NewParams derives (k, d) from the layer sizes and fault tolerances via
@@ -64,8 +93,18 @@ func (p Params) Validate() error {
 		return fmt.Errorf("lds: f2 = %d, want f2 < n2/3 = %d/3 (d > f2 makes regeneration quorums intersect)", p.F2, p.N2)
 	case p.N1+p.N2 > 256:
 		return fmt.Errorf("lds: n1+n2 = %d exceeds the GF(2^8) limit of 256 code symbols", p.N1+p.N2)
+	case p.Offload > OffloadUnbatched:
+		return fmt.Errorf("lds: unknown offload mode %d", p.Offload)
 	}
 	return nil
+}
+
+// BatchCap returns the effective per-batch element cap.
+func (p Params) BatchCap() int {
+	if p.OffloadBatch > 0 {
+		return p.OffloadBatch
+	}
+	return DefaultOffloadBatch
 }
 
 // WriteQuorum returns f1 + k, the number of L1 acknowledgments client

@@ -210,6 +210,27 @@ func (c *Cluster) TemporaryStorageBytes() int64 {
 	return total
 }
 
+// OffloadQueueDepth sums the L2 offload pipeline occupancy (queued plus
+// in-flight batch elements) across all L1 servers.
+func (c *Cluster) OffloadQueueDepth() int64 {
+	var total int64
+	for _, s := range c.l1 {
+		total += s.OffloadQueueDepth()
+	}
+	return total
+}
+
+// L1BookkeepingEntries sums the per-tag and per-reader bookkeeping entries
+// across all L1 servers; soak tests assert it stays bounded. Quiescent use
+// only.
+func (c *Cluster) L1BookkeepingEntries() int {
+	var total int
+	for _, s := range c.l1 {
+		total += s.Bookkeeping().Total()
+	}
+	return total
+}
+
 // PermanentStorageBytes sums the coded bytes stored across L2 (the paper's
 // permanent storage cost, unnormalized).
 func (c *Cluster) PermanentStorageBytes() int64 {

@@ -285,6 +285,69 @@ func (m AckCodeElem) AppendTo(b []byte) []byte { return appendTag(b, m.Tag) }
 // PayloadBytes implements Message.
 func (AckCodeElem) PayloadBytes() int { return 0 }
 
+// CodeElem is one (tag, coded-element) pair of a batched offload. ValueLen
+// carries the original value length, exactly as in WriteCodeElem.
+type CodeElem struct {
+	Tag      tag.Tag
+	Coded    []byte
+	ValueLen int32
+}
+
+// WriteCodeElemBatch carries several coded elements from one L1 server to
+// one L2 server in a single message, amortizing the per-message cost of the
+// internal write-to-L2 operation when commits arrive faster than offload
+// round trips complete. Elements are ordered by ascending tag; the L2
+// replace-if-newer rule makes applying them in order equivalent to applying
+// each in its own WriteCodeElem.
+type WriteCodeElemBatch struct {
+	Elems []CodeElem
+}
+
+// Kind implements Message.
+func (WriteCodeElemBatch) Kind() Kind { return KindWriteCodeElemBatch }
+
+// AppendTo implements Message.
+func (m WriteCodeElemBatch) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, uint64(len(m.Elems)))
+	for _, el := range m.Elems {
+		b = appendTag(b, el.Tag)
+		b = appendInt32(b, el.ValueLen)
+		b = appendBytes(b, el.Coded)
+	}
+	return b
+}
+
+// PayloadBytes implements Message.
+func (m WriteCodeElemBatch) PayloadBytes() int {
+	var n int
+	for _, el := range m.Elems {
+		n += len(el.Coded)
+	}
+	return n
+}
+
+// AckCodeElemBatch acknowledges a WriteCodeElemBatch: one tag per element
+// the L2 server consumed, so the L1 sender can credit each tag's quorum
+// with a single return message.
+type AckCodeElemBatch struct {
+	Tags []tag.Tag
+}
+
+// Kind implements Message.
+func (AckCodeElemBatch) Kind() Kind { return KindAckCodeElemBatch }
+
+// AppendTo implements Message.
+func (m AckCodeElemBatch) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, uint64(len(m.Tags)))
+	for _, t := range m.Tags {
+		b = appendTag(b, t)
+	}
+	return b
+}
+
+// PayloadBytes implements Message.
+func (AckCodeElemBatch) PayloadBytes() int { return 0 }
+
 // QueryCodeElem asks an L2 server for helper data toward regenerating the
 // sender's coded element, on behalf of the given reader's operation
 // (QUERY-CODE-ELEM). The failed index is implied by the sender.
@@ -452,6 +515,46 @@ func registerLDSDecoders() {
 	register(KindAckCodeElem, func(b []byte) (Message, error) {
 		t, _, err := readTag(b)
 		return AckCodeElem{Tag: t}, err
+	})
+	register(KindWriteCodeElemBatch, func(b []byte) (Message, error) {
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(b)) {
+			// Each element encodes to at least one byte; a larger count than
+			// remaining bytes is a malformed frame, not a huge allocation.
+			return nil, ErrTruncated
+		}
+		elems := make([]CodeElem, n)
+		for i := range elems {
+			if elems[i].Tag, b, err = readTag(b); err != nil {
+				return nil, err
+			}
+			if elems[i].ValueLen, b, err = readInt32(b); err != nil {
+				return nil, err
+			}
+			if elems[i].Coded, b, err = readBytes(b); err != nil {
+				return nil, err
+			}
+		}
+		return WriteCodeElemBatch{Elems: elems}, nil
+	})
+	register(KindAckCodeElemBatch, func(b []byte) (Message, error) {
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(b)) {
+			return nil, ErrTruncated
+		}
+		tags := make([]tag.Tag, n)
+		for i := range tags {
+			if tags[i], b, err = readTag(b); err != nil {
+				return nil, err
+			}
+		}
+		return AckCodeElemBatch{Tags: tags}, nil
 	})
 	register(KindQueryCodeElem, func(b []byte) (Message, error) {
 		r, b, err := readProcID(b)

@@ -90,6 +90,11 @@ const (
 	KindABDQueryResp
 	KindABDUpdate
 	KindABDUpdateAck
+
+	// Batched L1 -> L2 offload (appended after the baseline kinds so the
+	// wire discriminators of every earlier message stay stable).
+	KindWriteCodeElemBatch
+	KindAckCodeElemBatch
 )
 
 // Message is the interface all protocol messages implement.

@@ -29,6 +29,13 @@ func allMessages() []Message {
 		PutTagResp{OpID: 5},
 		WriteCodeElem{Tag: t1, Coded: []byte{9, 8, 7, 6}, ValueLen: 20},
 		AckCodeElem{Tag: t1},
+		WriteCodeElemBatch{Elems: []CodeElem{
+			{Tag: t1, Coded: []byte{1, 2}, ValueLen: 8},
+			{Tag: tag.Tag{Z: 8, W: 3}, Coded: []byte{3, 4, 5}, ValueLen: 12},
+		}},
+		WriteCodeElemBatch{Elems: []CodeElem{}},
+		AckCodeElemBatch{Tags: []tag.Tag{t1, {Z: 8, W: 3}}},
+		AckCodeElemBatch{Tags: []tag.Tag{}},
 		QueryCodeElem{Reader: ProcID{Role: RoleReader, Index: 2}, OpID: 6},
 		SendHelperElem{Reader: ProcID{Role: RoleReader, Index: 2}, OpID: 6, Tag: t1, Helper: []byte{5}, ValueLen: 20},
 		ABDQuery{OpID: 7, WantValue: true},
@@ -63,6 +70,14 @@ func normalize(m Message) Message {
 		return v
 	case WriteCodeElem:
 		v.Coded = orEmpty(v.Coded)
+		return v
+	case WriteCodeElemBatch:
+		elems := make([]CodeElem, len(v.Elems))
+		for i, el := range v.Elems {
+			el.Coded = orEmpty(el.Coded)
+			elems[i] = el
+		}
+		v.Elems = elems
 		return v
 	case SendHelperElem:
 		v.Helper = orEmpty(v.Helper)

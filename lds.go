@@ -61,6 +61,18 @@ type Params = core.Params
 // NewParams derives Params from layer sizes and fault tolerances.
 func NewParams(n1, n2, f1, f2 int) (Params, error) { return core.NewParams(n1, n2, f1, f2) }
 
+// OffloadMode selects how L1 servers move committed values to L2: the
+// default OffloadBatched pipeline (coalescing offload queue, one batch
+// round in flight per server) or the paper-literal OffloadUnbatched
+// per-commit fan-out.
+type OffloadMode = core.OffloadMode
+
+// Offload modes for Params.Offload.
+const (
+	OffloadBatched   = core.OffloadBatched
+	OffloadUnbatched = core.OffloadUnbatched
+)
+
 // LatencyModel bounds per-link-class delays of the simulated network:
 // Tau0 for L1-L1 links, Tau1 for client-L1 links, Tau2 for L1-L2 links.
 type LatencyModel = transport.LatencyModel
