@@ -314,7 +314,7 @@ func BenchmarkGateway(b *testing.B) {
 			for i := range keys {
 				keys[i] = fmt.Sprintf("bench-key-%d", i)
 			}
-			if err := gw.Ensure(keys...); err != nil {
+			if err := gw.Ensure(context.Background(), keys...); err != nil {
 				b.Fatal(err)
 			}
 			ctx := context.Background()

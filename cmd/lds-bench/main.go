@@ -39,7 +39,7 @@ var geometries = [][4]int{ // n1, n2, f1, f2
 const valueSize = 4096
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,fig6,msr-ablation,abd,faults,all")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,fig6,msr-ablation,abd,faults,all")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -63,6 +63,7 @@ func main() {
 	run("storage", storage)
 	run("latency", latency)
 	run("offload", offloadBatching)
+	run("rebalance", rebalance)
 	run("fig6", fig6)
 	run("msr-ablation", msrAblation)
 	run("abd", abdComparison)
@@ -163,6 +164,36 @@ func offloadBatching() error {
 	fmt.Printf("  %-28s %12v %12v\n", "client write latency",
 		res.Unbatched.WriteMean.Round(100*time.Microsecond), res.Batched.WriteMean.Round(100*time.Microsecond))
 	fmt.Printf("  message reduction: %.1fx\n", res.MessageReduction())
+	return nil
+}
+
+func rebalance() error {
+	churn, err := experiments.MeasureRingChurn([]int{2, 4, 8, 16}, 10000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ring churn at S -> S+1 (fraction of 10k keys remapped):")
+	fmt.Printf("  %8s %10s %10s\n", "S", "measured", "1/(S+1)")
+	for _, c := range churn {
+		fmt.Printf("  %8d %10.4f %10.4f\n", c.Shards, c.Moved, c.Ideal)
+	}
+	fmt.Println()
+
+	p := params(geometries[0])
+	res, err := experiments.MeasureMigration(p, 2048, 150, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Client latency on a key under %d live migrations (tau0=tau1=200us, tau2=1ms):\n", res.Migrations)
+	fmt.Printf("  %-22s %10s %10s %10s\n", "phase", "mean", "p99", "max")
+	row := func(name string, pr experiments.LatencyProfile) {
+		fmt.Printf("  %-22s %10v %10v %10v\n", name,
+			pr.Mean.Round(10*time.Microsecond), pr.P99.Round(10*time.Microsecond), pr.Max.Round(10*time.Microsecond))
+	}
+	row("read, baseline", res.BaselineRead)
+	row("read, migrating", res.DuringRead)
+	row("write, baseline", res.BaselineWrite)
+	row("write, migrating", res.DuringWrite)
 	return nil
 }
 

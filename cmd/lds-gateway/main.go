@@ -1,20 +1,30 @@
 // Command lds-gateway serves a sharded multi-object LDS store over a
 // minimal HTTP front door: one process hosting S shards of independent
-// L1/L2 groups (internal/gateway) behind a key-value API.
+// L1/L2 groups (internal/gateway) behind a key-value API, with an online
+// rebalancing control plane.
 //
 //	lds-gateway -listen :8080 -shards 4 -n1 4 -n2 5 -f1 1 -f2 1
 //
 //	curl -X PUT --data-binary 'hello' localhost:8080/v1/kv/greeting
 //	curl localhost:8080/v1/kv/greeting
 //	curl localhost:8080/v1/stats
+//	curl -X POST localhost:8080/v1/rebalance                          # plan + apply hot-key moves
+//	curl -X POST -d '{"shards": 5}' localhost:8080/v1/rebalance      # resize the ring online
+//	curl -X POST -d '{"key": "greeting", "to": 2}' localhost:8080/v1/rebalance
 //
 // API:
 //
-//	PUT  /v1/kv/{key}   write the request body; responds with the write's
-//	                    tag in X-LDS-Tag and the owning shard in X-LDS-Shard
-//	GET  /v1/kv/{key}   read the value; same headers
-//	GET  /v1/stats      per-shard JSON: keys, ops, bytes, latency sums,
-//	                    temporary/permanent storage bytes
+//	PUT  /v1/kv/{key}    write the request body; responds with the write's
+//	                     tag in X-LDS-Tag and the owning shard in X-LDS-Shard
+//	GET  /v1/kv/{key}    read the value; same headers
+//	GET  /v1/stats       per-shard JSON: keys, ops, bytes, mean latencies,
+//	                     temporary/permanent storage, hottest keys, plus the
+//	                     routing epoch and namespace-recycling gauges
+//	POST /v1/rebalance   body {}           → plan hot-key moves from the live
+//	                                         stats and execute them
+//	                     body {"shards":N} → grow/shrink the ring to N shards
+//	                                         (live keys drain to their new homes)
+//	                     body {"key":K,"to":S} → migrate one key explicitly
 //
 // The shard groups run in-process on the simulated transport with
 // configurable link latency, which makes the binary a self-contained
@@ -81,10 +91,69 @@ func run() error {
 	}
 	defer gw.Close()
 
+	srv := &http.Server{Addr: *listen, Handler: newHandler(gw, *timeout)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("lds-gateway: %d shards of (n1=%d, n2=%d, f1=%d, f2=%d) groups on %s",
+		*shards, *n1, *n2, *f1, *f2, *listen)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sigc:
+		log.Print("lds-gateway: shutting down")
+		return srv.Close()
+	}
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Shards         []shardStatsJSON `json:"shards"`
+	TemporaryBytes int64            `json:"temporary_bytes"`
+	PermanentBytes int64            `json:"permanent_bytes"`
+	RingVersion    int              `json:"ring_version"`
+	Resizing       bool             `json:"resizing"`
+	PinnedKeys     int              `json:"pinned_keys"`
+	// Namespace recycling gauges: allocated is the id-space high-water
+	// mark, free counts reaped namespaces awaiting reuse.
+	NamespacesAllocated int `json:"namespaces_allocated"`
+	NamespacesFree      int `json:"namespaces_free"`
+}
+
+// shardStatsJSON flattens gateway.ShardStats with the derived means.
+type shardStatsJSON struct {
+	gateway.ShardStats
+	MeanReadLatency  time.Duration `json:"mean_read_latency_ns"`
+	MeanWriteLatency time.Duration `json:"mean_write_latency_ns"`
+}
+
+// rebalanceRequest is the POST /v1/rebalance body; the zero value plans
+// and applies hot-key moves.
+type rebalanceRequest struct {
+	// Shards, when non-zero, resizes the ring to this shard count.
+	Shards int `json:"shards"`
+	// Key/To, when Key is non-empty, migrate one key explicitly.
+	Key string `json:"key"`
+	To  int    `json:"to"`
+}
+
+// rebalanceResponse reports what the control plane did.
+type rebalanceResponse struct {
+	Action      string         `json:"action"` // "resize", "migrate" or "spread"
+	Shards      int            `json:"shards,omitempty"`
+	Moves       []gateway.Move `json:"moves,omitempty"`
+	RingVersion int            `json:"ring_version"`
+}
+
+// newHandler builds the HTTP API over one gateway; split from run so
+// tests can drive the full front door without a listener.
+func newHandler(gw *gateway.Gateway, timeout time.Duration) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key := r.PathValue("key")
-		ctx, cancel := timeoutContext(r, *timeout)
+		ctx, cancel := timeoutContext(r, timeout)
 		defer cancel()
 		value, tag, err := gw.Get(ctx, key)
 		if err != nil {
@@ -106,7 +175,7 @@ func run() error {
 			http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		ctx, cancel := timeoutContext(r, *timeout)
+		ctx, cancel := timeoutContext(r, timeout)
 		defer cancel()
 		tag, err := gw.Put(ctx, key, value)
 		if err != nil {
@@ -118,31 +187,75 @@ func run() error {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
-			Shards         []gateway.ShardStats `json:"shards"`
-			TemporaryBytes int64                `json:"temporary_bytes"`
-			PermanentBytes int64                `json:"permanent_bytes"`
-		}{gw.Stats(), gw.TemporaryBytes(), gw.PermanentBytes()})
+		stats := gw.Stats()
+		resp := statsResponse{
+			Shards:              make([]shardStatsJSON, len(stats)),
+			TemporaryBytes:      gw.TemporaryBytes(),
+			PermanentBytes:      gw.PermanentBytes(),
+			RingVersion:         gw.RingVersion(),
+			Resizing:            gw.Resizing(),
+			PinnedKeys:          gw.PinnedKeys(),
+			NamespacesAllocated: gw.AllocatedNamespaces(),
+			NamespacesFree:      gw.FreeNamespaces(),
+		}
+		for i, s := range stats {
+			resp.Shards[i] = shardStatsJSON{
+				ShardStats:       s,
+				MeanReadLatency:  s.MeanReadLatency(),
+				MeanWriteLatency: s.MeanWriteLatency(),
+			}
+		}
+		writeJSON(w, resp)
 	})
+	mux.HandleFunc("POST /v1/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		var req rebalanceRequest
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		ctx, cancel := timeoutContext(r, timeout)
+		defer cancel()
+		switch {
+		case req.Shards != 0:
+			if err := gw.Resize(ctx, req.Shards); err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, rebalanceResponse{Action: "resize", Shards: gw.Shards(), RingVersion: gw.RingVersion()})
+		case req.Key != "":
+			if err := gw.MigrateKey(ctx, req.Key, req.To); err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, rebalanceResponse{
+				Action:      "migrate",
+				Moves:       []gateway.Move{{Key: req.Key, To: req.To}},
+				RingVersion: gw.RingVersion(),
+			})
+		default:
+			plan, err := gateway.NewRebalancer(gw, gateway.PlannerConfig{}).Rebalance(ctx)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, rebalanceResponse{Action: "spread", Moves: plan.Moves, RingVersion: plan.RingVersion})
+		}
+	})
+	return mux
+}
 
-	srv := &http.Server{Addr: *listen, Handler: mux}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("lds-gateway: %d shards of (n1=%d, n2=%d, f1=%d, f2=%d) groups on %s",
-		*shards, *n1, *n2, *f1, *f2, *listen)
-
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case <-sigc:
-		log.Print("lds-gateway: shutting down")
-		return srv.Close()
-	}
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 func timeoutContext(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
@@ -150,11 +263,17 @@ func timeoutContext(r *http.Request, d time.Duration) (context.Context, context.
 }
 
 // httpError maps operation failures onto status codes: timeouts (an
-// overloaded or crashed shard) read as 504, everything else as 500.
+// overloaded or crashed shard) read as 504, shutdown as 503, rebalance
+// contention as 409, everything else as 500.
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		code = http.StatusGatewayTimeout
+	case errors.Is(err, gateway.ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, gateway.ErrMigrating) || errors.Is(err, gateway.ErrResizing):
+		code = http.StatusConflict
 	}
 	http.Error(w, err.Error(), code)
 }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/gateway"
+	"github.com/lds-storage/lds/internal/lds"
+)
+
+func testServer(t *testing.T, shards int) (*httptest.Server, *gateway.Gateway) {
+	t.Helper()
+	params, err := lds.NewParams(4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{Shards: shards, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(gw, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		gw.Close()
+	})
+	return srv, gw
+}
+
+// TestMigrationRebalanceEndToEnd drives the full HTTP surface: write keys,
+// resize the ring through POST /v1/rebalance, migrate one key explicitly,
+// and confirm values and the stats gauges survive it all.
+func TestMigrationRebalanceEndToEnd(t *testing.T) {
+	srv, gw := testServer(t, 2)
+
+	put := func(key, value string) {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/"+key, strings.NewReader(value))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("PUT %s: status %d", key, resp.StatusCode)
+		}
+		if resp.Header.Get("X-LDS-Tag") == "" {
+			t.Fatalf("PUT %s: missing X-LDS-Tag", key)
+		}
+	}
+	get := func(key string) (string, string) {
+		resp, err := http.Get(srv.URL + "/v1/kv/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", key, resp.StatusCode)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return sb.String(), resp.Header.Get("X-LDS-Shard")
+	}
+	postRebalance := func(body string, wantStatus int) rebalanceResponse {
+		resp, err := http.Post(srv.URL+"/v1/rebalance", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST /v1/rebalance %q: status %d, want %d", body, resp.StatusCode, wantStatus)
+		}
+		var out rebalanceResponse
+		if wantStatus == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+
+	const keys = 12
+	for i := 0; i < keys; i++ {
+		put(fmt.Sprintf("key-%02d", i), fmt.Sprintf("value-%02d", i))
+	}
+
+	// Resize 2 → 3 through the API.
+	out := postRebalance(`{"shards": 3}`, http.StatusOK)
+	if out.Action != "resize" || out.Shards != 3 || out.RingVersion != 1 {
+		t.Fatalf("resize response: %+v", out)
+	}
+	if gw.Shards() != 3 {
+		t.Fatalf("gateway has %d shards after resize", gw.Shards())
+	}
+	for i := 0; i < keys; i++ {
+		v, _ := get(fmt.Sprintf("key-%02d", i))
+		if v != fmt.Sprintf("value-%02d", i) {
+			t.Fatalf("key-%02d = %q after resize", i, v)
+		}
+	}
+
+	// Explicit single-key migration.
+	target := (gw.ShardFor("key-00") + 1) % 3
+	out = postRebalance(fmt.Sprintf(`{"key": "key-00", "to": %d}`, target), http.StatusOK)
+	if out.Action != "migrate" {
+		t.Fatalf("migrate response: %+v", out)
+	}
+	if v, shard := get("key-00"); v != "value-00" || shard != fmt.Sprint(target) {
+		t.Fatalf("key-00 after explicit migration: value %q on shard %s, want value-00 on %d", v, shard, target)
+	}
+
+	// Auto hot-key spread: empty body plans from live stats (may be a
+	// no-op on a balanced system, but must succeed).
+	out = postRebalance("", http.StatusOK)
+	if out.Action != "spread" {
+		t.Fatalf("spread response: %+v", out)
+	}
+
+	// Bad target is a client error.
+	postRebalance(`{"key": "key-00", "to": 99}`, http.StatusInternalServerError)
+
+	// Stats expose the routing epoch and recycling gauges.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.RingVersion != 1 || stats.Resizing || len(stats.Shards) != 3 {
+		t.Fatalf("stats after resize: ring_version=%d resizing=%v shards=%d",
+			stats.RingVersion, stats.Resizing, len(stats.Shards))
+	}
+	if stats.NamespacesFree == 0 {
+		t.Error("stats report no recycled namespaces after a drain + migration")
+	}
+	var totalKeys int
+	for _, s := range stats.Shards {
+		totalKeys += s.Keys
+	}
+	if totalKeys != keys {
+		t.Fatalf("stats count %d keys, want %d", totalKeys, keys)
+	}
+}

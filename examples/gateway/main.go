@@ -129,16 +129,10 @@ func run() error {
 	fmt.Println("per-shard stats (the rebalancing signals):")
 	fmt.Println("shard  keys  reads  writes  rd-avg     wr-avg     temp-B  perm-B")
 	for _, s := range gw.Stats() {
-		var rdAvg, wrAvg time.Duration
-		if s.Reads > 0 {
-			rdAvg = s.ReadLatency / time.Duration(s.Reads)
-		}
-		if s.Writes > 0 {
-			wrAvg = s.WriteLatency / time.Duration(s.Writes)
-		}
 		fmt.Printf("%5d %5d %6d %7d  %-9v  %-9v  %6d  %6d\n",
 			s.Shard, s.Keys, s.Reads, s.Writes,
-			rdAvg.Round(time.Microsecond), wrAvg.Round(time.Microsecond),
+			s.MeanReadLatency().Round(time.Microsecond),
+			s.MeanWriteLatency().Round(time.Microsecond),
 			s.TemporaryBytes, s.PermanentBytes)
 	}
 	return nil

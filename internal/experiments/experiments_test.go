@@ -231,3 +231,38 @@ func TestMeasureFig6SmallScale(t *testing.T) {
 		t.Errorf("L2 growth ratio %.2f, want ~3 for 3x objects", ratio)
 	}
 }
+
+func TestMeasureRingChurnNearIdeal(t *testing.T) {
+	res, err := MeasureRingChurn([]int{2, 4}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res {
+		if c.Moved > c.Ideal+0.06 {
+			t.Errorf("S=%d: churn %.4f exceeds ideal %.4f + 0.06", c.Shards, c.Moved, c.Ideal)
+		}
+		if c.Moved == 0 {
+			t.Errorf("S=%d: zero churn is implausible for a ring grow", c.Shards)
+		}
+	}
+}
+
+func TestMeasureMigrationCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("migration latency experiment in -short mode")
+	}
+	p, err := lds.NewParams(4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureMigration(p, 512, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineRead.Ops != 30 || res.DuringRead.Ops != 30 {
+		t.Errorf("phases recorded %d/%d reads, want 30/30", res.BaselineRead.Ops, res.DuringRead.Ops)
+	}
+	if res.DuringWrite.Ops != 30 {
+		t.Errorf("migration phase recorded %d writes, want 30 (no write lost or failed)", res.DuringWrite.Ops)
+	}
+}

@@ -14,7 +14,7 @@
 // sharing the transport's latency model and cost accounting.
 //
 //	client ──► Gateway.Get/Put(key)
-//	             │  Ring: key → shard
+//	             │  router: key → shard (ring, or its pinned placement)
 //	             ▼
 //	          shard s ── semaphore (backpressure), stats
 //	             │  key → LDS group (lazy)
@@ -30,23 +30,39 @@
 // bounds the total operations in flight per shard, which is the
 // backpressure that keeps a hot shard from monopolizing the process.
 //
+// # Rebalancing
+//
+// The key→shard map is no longer frozen at construction. MigrateKey hands
+// a single key's group to another shard with an atomicity-preserving live
+// migration (quiesce the key's pools, snapshot (value, tag), seed a fresh
+// group from the snapshot, reap the old one — see migrate.go), and Resize
+// grows or shrinks the shard count online via a versioned dual-ring drain:
+// the old ring's answers are materialized as per-key placements, the new
+// ring takes over lookups immediately, and the ~1/(S+1) fraction of keys
+// the ring change remapped drain to their new homes one migration at a
+// time. A Rebalancer (rebalance.go) plans hot-key moves from the Stats()
+// snapshot.
+//
 // # Capacity
 //
-// Groups are created lazily per key and currently live until Close: a
-// read of a never-written key instantiates its group (a register always
-// holds v0), and the shared transport's id space caps the gateway at
-// transport.MaxNamespaceGroups (32767) distinct keys per process —
-// operations on further new keys fail with a clear error while existing
-// keys keep serving. Key eviction and shard rebalancing are the planned
-// follow-ons that lift this (see ROADMAP.md); until then, front doors
-// exposed to untrusted keyspaces should bound the keys they admit.
+// Groups are created lazily per key and live until their key is migrated
+// (which reaps the old group) or the gateway closes. The shared
+// transport's id space admits transport.MaxNamespaceGroups (32767)
+// concurrent groups, and reaped groups return their namespace to a free
+// list, so the bound applies to *live* keys rather than to every key ever
+// seen — a churning keyspace with migrations or resizes in the loop runs
+// indefinitely. Operations on further new keys beyond the live-group bound
+// fail with a clear error while existing keys keep serving; front doors
+// exposed to untrusted keyspaces should still bound the keys they admit.
 //
 // # Stats
 //
-// Every operation is accounted via the clients' OpObserver hook into
-// per-shard counters (ops, bytes, cumulative latency, errors), and
+// Every successful operation is accounted via the clients' OpObserver hook
+// into per-shard counters (ops, bytes, cumulative latency; failures count
+// only toward the error counters so the load signals stay exact), and
 // Stats() adds the live temporary- and permanent-storage bytes of each
-// shard's groups — the inputs a later rebalancer needs.
+// shard's groups plus its hottest keys — the inputs the rebalancer acts
+// on.
 package gateway
 
 import (
@@ -107,15 +123,57 @@ type Config struct {
 
 // Gateway is a running sharded front-end.
 type Gateway struct {
-	cfg    Config
-	code   erasure.Regenerating
-	net    *channet.Network
-	ring   *Ring
-	shards []*shard
+	cfg  Config
+	code erasure.Regenerating
+	net  *channet.Network
 
-	mu     sync.Mutex
-	nsNext int32
-	closed bool
+	// route is the key→shard control plane. Its lock orders strictly
+	// before any shard's lock (route.mu → shard.mu); nothing takes
+	// route.mu while holding a shard lock.
+	route struct {
+		mu      sync.RWMutex
+		version int   // bumped by every ring change
+		ring    *Ring // current ring; answers keys with no placement entry
+		// prev is the ring the current one replaced; non-nil exactly while
+		// a Resize drain is in progress. Its answers live on as the
+		// placement entries materialized at the swap, so un-drained keys
+		// keep being served where the old ring put them.
+		prev *Ring
+		// placement pins keys whose group lives (or must be created) off
+		// the current ring's assignment: un-drained keys mid-resize and
+		// hot keys spread by the rebalancer. Keys absent here follow the
+		// ring.
+		placement map[string]int
+		// migrating marks keys with a live migration in flight, so
+		// migrations of one key serialize and group creation stays off a
+		// key mid-handoff.
+		migrating map[string]bool
+		// resizing is held true for the whole of a Resize (ring swap,
+		// drain, shrink truncation); it excludes explicit MigrateKey
+		// calls atomically with their key claim, so no migration can pin
+		// a key onto a shard the resize is about to remove.
+		resizing bool
+		shards   []*shard
+	}
+
+	// ns allocates process-id namespaces for groups. Reaped groups return
+	// theirs to the free list, so the transport.MaxNamespaceGroups cap
+	// counts live groups, not lifetime keys.
+	ns struct {
+		mu   sync.Mutex
+		next int32
+		free []int32
+	}
+
+	// Close coordination: ops register with inflight while closed is
+	// false; Close flips closed, cancels closeCtx (unblocking every op
+	// promptly) and waits for the registered ops to drain before tearing
+	// the network down.
+	closeMu   sync.Mutex
+	closed    bool
+	closeCtx  context.Context
+	closeStop context.CancelFunc
+	inflight  sync.WaitGroup
 }
 
 // New builds a gateway: the shared network, the ring and S empty shards.
@@ -152,39 +210,277 @@ func New(cfg Config) (*Gateway, error) {
 			Seed:     cfg.Seed,
 			Observer: observer,
 		}),
-		ring: ring,
 	}
-	g.shards = make([]*shard, cfg.Shards)
-	for i := range g.shards {
-		g.shards[i] = newShard(g, i)
+	g.route.ring = ring
+	g.route.placement = make(map[string]int)
+	g.route.migrating = make(map[string]bool)
+	g.route.shards = make([]*shard, cfg.Shards)
+	for i := range g.route.shards {
+		g.route.shards[i] = newShard(g, i)
 	}
+	g.closeCtx, g.closeStop = context.WithCancel(context.Background())
 	return g, nil
 }
 
-// Shards returns the shard count.
-func (g *Gateway) Shards() int { return g.ring.Shards() }
+// Shards returns the current shard count.
+func (g *Gateway) Shards() int {
+	g.route.mu.RLock()
+	defer g.route.mu.RUnlock()
+	return len(g.route.shards)
+}
 
-// ShardFor returns the shard index serving key.
-func (g *Gateway) ShardFor(key string) int { return g.ring.Shard(key) }
+// RingVersion returns the routing epoch: 0 at construction, bumped by
+// every Resize ring swap.
+func (g *Gateway) RingVersion() int {
+	g.route.mu.RLock()
+	defer g.route.mu.RUnlock()
+	return g.route.version
+}
 
-// nextNamespace allocates a fresh process-id namespace for a new group.
-func (g *Gateway) nextNamespace() (int32, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return 0, ErrClosed
+// Resizing reports whether a Resize is in progress (ring swap, key
+// drain or shrink truncation).
+func (g *Gateway) Resizing() bool {
+	g.route.mu.RLock()
+	defer g.route.mu.RUnlock()
+	return g.route.resizing || g.route.prev != nil
+}
+
+// PinnedKeys returns the number of keys currently routed off the ring's
+// assignment (un-drained resize keys plus rebalancer-spread hot keys).
+func (g *Gateway) PinnedKeys() int {
+	g.route.mu.RLock()
+	defer g.route.mu.RUnlock()
+	return len(g.route.placement)
+}
+
+// ShardFor returns the shard index currently serving key: its pinned
+// placement if the key has been migrated off the ring's assignment, the
+// ring's answer otherwise.
+func (g *Gateway) ShardFor(key string) int {
+	g.route.mu.RLock()
+	defer g.route.mu.RUnlock()
+	return g.routeLocked(key)
+}
+
+// routeLocked resolves key → shard index; callers hold route.mu.
+func (g *Gateway) routeLocked(key string) int {
+	if sh, ok := g.route.placement[key]; ok {
+		return sh
 	}
-	ns := g.nsNext
-	g.nsNext++
+	return g.route.ring.Shard(key)
+}
+
+// shardList snapshots the shard set.
+func (g *Gateway) shardList() []*shard {
+	g.route.mu.RLock()
+	defer g.route.mu.RUnlock()
+	return append([]*shard(nil), g.route.shards...)
+}
+
+// beginOp registers an operation against Close: it fails once the gateway
+// is closed, and a successful call must be paired with endOp.
+func (g *Gateway) beginOp() error {
+	g.closeMu.Lock()
+	defer g.closeMu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	g.inflight.Add(1)
+	return nil
+}
+
+func (g *Gateway) endOp() { g.inflight.Done() }
+
+// opContext derives the operation context: it follows the caller's ctx
+// and is additionally canceled when the gateway closes, so no operation
+// outlives Close into the network teardown.
+func (g *Gateway) opContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(g.closeCtx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}
+
+// opErr maps failures caused by a concurrent Close onto ErrClosed; other
+// errors (and success) pass through.
+func (g *Gateway) opErr(err error) error {
+	if err != nil && g.closeCtx.Err() != nil {
+		return ErrClosed
+	}
+	return err
+}
+
+// nextNamespace allocates a process-id namespace for a new group,
+// preferring recycled ones.
+func (g *Gateway) nextNamespace() (int32, error) {
+	g.ns.mu.Lock()
+	defer g.ns.mu.Unlock()
+	if n := len(g.ns.free); n > 0 {
+		ns := g.ns.free[n-1]
+		g.ns.free = g.ns.free[:n-1]
+		return ns, nil
+	}
+	if g.ns.next >= transport.MaxNamespaceGroups {
+		return 0, fmt.Errorf("gateway: %d live groups exhaust the namespace space", transport.MaxNamespaceGroups)
+	}
+	ns := g.ns.next
+	g.ns.next++
 	return ns, nil
 }
 
-// Ensure instantiates the LDS groups for the given keys without performing
-// an operation, so their L2 layers hold v0's coded elements up front.
-func (g *Gateway) Ensure(keys ...string) error {
+// recycleNamespace returns a reaped group's namespace to the free list.
+func (g *Gateway) recycleNamespace(ns int32) {
+	g.ns.mu.Lock()
+	g.ns.free = append(g.ns.free, ns)
+	g.ns.mu.Unlock()
+}
+
+// FreeNamespaces returns the size of the recycled-namespace free list.
+func (g *Gateway) FreeNamespaces() int {
+	g.ns.mu.Lock()
+	defer g.ns.mu.Unlock()
+	return len(g.ns.free)
+}
+
+// AllocatedNamespaces returns how many namespaces have ever been carved
+// out of the id space; with recycling this grows only when a new group
+// finds the free list empty.
+func (g *Gateway) AllocatedNamespaces() int {
+	g.ns.mu.Lock()
+	defer g.ns.mu.Unlock()
+	return int(g.ns.next)
+}
+
+// lookup resolves key to its current shard and, if the key's group
+// already exists there, the group.
+func (g *Gateway) lookup(key string) (*shard, *object) {
+	g.route.mu.RLock()
+	sh := g.route.shards[g.routeLocked(key)]
+	g.route.mu.RUnlock()
+	sh.mu.Lock()
+	obj := sh.objects[key]
+	sh.mu.Unlock()
+	return sh, obj
+}
+
+// object returns the key's LDS group and its shard, creating the group on
+// first use. Group construction is deliberately done outside all locks: it
+// builds a full cluster and its client pools, and serializing that would
+// stall every other key. The built group is installed only if the key
+// still routes to the chosen shard (install's double-check under the route
+// lock); losing the race — to a concurrent creator, or to a migration that
+// rerouted the key mid-build — reaps the loser and retries.
+func (g *Gateway) object(ctx context.Context, key string) (*shard, *object, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("gateway: key %q: %w", key, err)
+		}
+		sh, obj := g.lookup(key)
+		if obj != nil {
+			return sh, obj, nil
+		}
+		obj, ok, err := g.createObject(key, sh)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return sh, obj, nil
+		}
+		// The key was rerouted while the group was being built; retry.
+	}
+}
+
+// createObject runs one build+install cycle for key targeted at sh. It
+// returns ok=false when the key was rerouted off sh mid-build (the
+// caller re-resolves and retries); otherwise the returned object is
+// either the freshly installed group or a concurrent creator's winner.
+func (g *Gateway) createObject(key string, sh *shard) (*object, bool, error) {
+	cluster, ns, err := g.newGroup(nil)
+	if err != nil {
+		return nil, false, err
+	}
+	obj, err := newObject(cluster, ns, g.cfg.PoolSize, sh.observe)
+	if err != nil {
+		cluster.Close()
+		g.recycleNamespace(ns)
+		return nil, false, err
+	}
+	winner, existing := g.install(key, sh, obj)
+	if winner {
+		return obj, true, nil
+	}
+	obj.cluster.Close()
+	g.recycleNamespace(ns)
+	if existing != nil {
+		return existing, true, nil
+	}
+	return nil, false, nil
+}
+
+// install inserts a freshly built group for key into sh if the key still
+// routes there and no concurrent creator won. It returns winner=true on
+// success; otherwise existing is the concurrent winner's group (nil when
+// the key was rerouted and the caller must retry).
+func (g *Gateway) install(key string, sh *shard, obj *object) (winner bool, existing *object) {
+	g.route.mu.Lock()
+	defer g.route.mu.Unlock()
+	if g.routeLocked(key) != sh.index || g.route.migrating[key] {
+		return false, nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prior, ok := sh.objects[key]; ok {
+		return false, prior
+	}
+	// A shard-level crash covers future groups too: the shard's servers
+	// are conceptually crashed, and every group runs on them.
+	for _, i := range sh.crashedL1 {
+		obj.cluster.CrashL1(i)
+	}
+	for _, i := range sh.crashedL2 {
+		obj.cluster.CrashL2(i)
+	}
+	sh.objects[key] = obj
+	g.placeLocked(key, sh.index)
+	return true, nil
+}
+
+// Ensure instantiates the LDS groups for the given keys without
+// performing an operation, so their L2 layers hold v0's coded elements up
+// front. It honors ctx and takes one shard-semaphore token per group it
+// builds, so a large Ensure is subject to the same per-shard backpressure
+// as operations and cannot stampede group construction.
+func (g *Gateway) Ensure(ctx context.Context, keys ...string) error {
+	if err := g.beginOp(); err != nil {
+		return err
+	}
+	defer g.endOp()
+	ctx, cancel := g.opContext(ctx)
+	defer cancel()
 	for _, key := range keys {
-		if _, err := g.shards[g.ring.Shard(key)].object(key); err != nil {
-			return err
+		for {
+			if err := ctx.Err(); err != nil {
+				return g.opErr(fmt.Errorf("gateway: ensure %q: %w", key, err))
+			}
+			sh, obj := g.lookup(key)
+			if obj != nil {
+				break
+			}
+			// The semaphore token is taken on the same shard the build
+			// targets; a reroute mid-build retries with the new shard's.
+			if err := sh.acquire(ctx); err != nil {
+				return g.opErr(err)
+			}
+			_, ok, err := g.createObject(key, sh)
+			sh.release()
+			if err != nil {
+				return g.opErr(err)
+			}
+			if ok {
+				break
+			}
 		}
 	}
 	return nil
@@ -196,52 +492,82 @@ func (g *Gateway) Ensure(keys ...string) error {
 // the shard's semaphore token, so an operation parked behind a hot key's
 // pool does not hold a token — the semaphore bounds operations actually
 // executing on the shard, and one hot key cannot head-of-line-block its
-// shard siblings.
+// shard siblings. A client checked out of a retired pool (the key's group
+// was migrated away between lookup and checkout) is returned and the
+// lookup retried against the key's new home.
 func (g *Gateway) Put(ctx context.Context, key string, value []byte) (tag.Tag, error) {
-	sh := g.shards[g.ring.Shard(key)]
-	obj, err := sh.object(key)
-	if err != nil {
+	if err := g.beginOp(); err != nil {
 		return tag.Tag{}, err
 	}
-	w, err := obj.takeWriter(ctx)
-	if err != nil {
-		return tag.Tag{}, err
+	defer g.endOp()
+	ctx, cancel := g.opContext(ctx)
+	defer cancel()
+	for {
+		sh, obj, err := g.object(ctx, key)
+		if err != nil {
+			return tag.Tag{}, g.opErr(err)
+		}
+		w, err := obj.takeWriter(ctx)
+		if err != nil {
+			return tag.Tag{}, g.opErr(err)
+		}
+		if obj.retired.Load() {
+			obj.putWriter(w)
+			continue
+		}
+		if err := sh.acquire(ctx); err != nil {
+			obj.putWriter(w)
+			return tag.Tag{}, g.opErr(err)
+		}
+		obj.ops.Add(1)
+		t, err := w.Write(ctx, value)
+		sh.release()
+		obj.putWriter(w)
+		return t, g.opErr(err)
 	}
-	defer obj.putWriter(w)
-	if err := sh.acquire(ctx); err != nil {
-		return tag.Tag{}, err
-	}
-	defer sh.release()
-	return w.Write(ctx, value)
 }
 
 // Get reads the value stored under key and the tag it was written under.
-// Pool-before-semaphore ordering as in Put.
+// Pool-before-semaphore ordering and retired-pool retry as in Put.
 func (g *Gateway) Get(ctx context.Context, key string) ([]byte, tag.Tag, error) {
-	sh := g.shards[g.ring.Shard(key)]
-	obj, err := sh.object(key)
-	if err != nil {
+	if err := g.beginOp(); err != nil {
 		return nil, tag.Tag{}, err
 	}
-	r, err := obj.takeReader(ctx)
-	if err != nil {
-		return nil, tag.Tag{}, err
+	defer g.endOp()
+	ctx, cancel := g.opContext(ctx)
+	defer cancel()
+	for {
+		sh, obj, err := g.object(ctx, key)
+		if err != nil {
+			return nil, tag.Tag{}, g.opErr(err)
+		}
+		r, err := obj.takeReader(ctx)
+		if err != nil {
+			return nil, tag.Tag{}, g.opErr(err)
+		}
+		if obj.retired.Load() {
+			obj.putReader(r)
+			continue
+		}
+		if err := sh.acquire(ctx); err != nil {
+			obj.putReader(r)
+			return nil, tag.Tag{}, g.opErr(err)
+		}
+		obj.ops.Add(1)
+		v, t, err := r.Read(ctx)
+		sh.release()
+		obj.putReader(r)
+		return v, t, g.opErr(err)
 	}
-	defer obj.putReader(r)
-	if err := sh.acquire(ctx); err != nil {
-		return nil, tag.Tag{}, err
-	}
-	defer sh.release()
-	return r.Read(ctx)
 }
 
 // CrashShardL1 crash-fails L1 server i in every group of the shard,
 // current and future. Other shards are unaffected: the groups share only
 // the transport, and crashed ids are namespaced per group.
-func (g *Gateway) CrashShardL1(shard, i int) { g.shards[shard].crashL1(i) }
+func (g *Gateway) CrashShardL1(shard, i int) { g.shardList()[shard].crashL1(i) }
 
 // CrashShardL2 crash-fails L2 server i in every group of the shard.
-func (g *Gateway) CrashShardL2(shard, i int) { g.shards[shard].crashL2(i) }
+func (g *Gateway) CrashShardL2(shard, i int) { g.shardList()[shard].crashL2(i) }
 
 // WaitIdle blocks until no messages are in flight anywhere on the shared
 // network — every group's asynchronous write-to-L2 tail included.
@@ -249,8 +575,9 @@ func (g *Gateway) WaitIdle(timeout time.Duration) error { return g.net.WaitIdle(
 
 // Stats returns a per-shard snapshot, indexed by shard.
 func (g *Gateway) Stats() []ShardStats {
-	out := make([]ShardStats, len(g.shards))
-	for i, sh := range g.shards {
+	shards := g.shardList()
+	out := make([]ShardStats, len(shards))
+	for i, sh := range shards {
 		out[i] = sh.snapshot()
 	}
 	return out
@@ -260,7 +587,7 @@ func (g *Gateway) Stats() []ShardStats {
 // paper's temporary storage cost, unnormalized).
 func (g *Gateway) TemporaryBytes() int64 {
 	var total int64
-	for _, sh := range g.shards {
+	for _, sh := range g.shardList() {
 		total += sh.temporaryBytes()
 	}
 	return total
@@ -269,46 +596,65 @@ func (g *Gateway) TemporaryBytes() int64 {
 // PermanentBytes sums the L2 coded bytes over all groups.
 func (g *Gateway) PermanentBytes() int64 {
 	var total int64
-	for _, sh := range g.shards {
+	for _, sh := range g.shardList() {
 		total += sh.permanentBytes()
 	}
 	return total
 }
 
-// Close shuts every group and the shared network down.
+// Close shuts every group and the shared network down. Concurrent
+// operations are unblocked promptly (they fail with ErrClosed) and
+// drained before the network is torn down, so no operation ever runs on a
+// dead transport.
 func (g *Gateway) Close() error {
-	g.mu.Lock()
+	g.closeMu.Lock()
 	if g.closed {
-		g.mu.Unlock()
+		g.closeMu.Unlock()
 		return nil
 	}
 	g.closed = true
-	g.mu.Unlock()
-	for _, sh := range g.shards {
+	g.closeMu.Unlock()
+	g.closeStop()
+	g.inflight.Wait()
+	for _, sh := range g.shardList() {
 		sh.closeObjects()
 	}
 	return g.net.Close()
 }
 
-// newGroup builds one LDS group (a sim.Cluster) in a fresh namespace of
-// the shared network.
-func (g *Gateway) newGroup() (*sim.Cluster, error) {
+// groupSeed boots a group from a migration snapshot instead of (v0, t0).
+type groupSeed struct {
+	value []byte
+	tag   tag.Tag
+}
+
+// newGroup builds one LDS group (a sim.Cluster) in a fresh or recycled
+// namespace of the shared network, optionally seeded from a migration
+// snapshot.
+func (g *Gateway) newGroup(seed *groupSeed) (*sim.Cluster, int32, error) {
 	ns, err := g.nextNamespace()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	view, err := transport.Namespace(g.net, ns)
 	if err != nil {
-		return nil, err
+		g.recycleNamespace(ns)
+		return nil, 0, err
+	}
+	initialValue, initialTag := g.cfg.InitialValue, tag.Zero
+	if seed != nil {
+		initialValue, initialTag = seed.value, seed.tag
 	}
 	cluster, err := sim.New(sim.Config{
 		Params:       g.cfg.Params,
-		InitialValue: g.cfg.InitialValue,
+		InitialValue: initialValue,
+		InitialTag:   initialTag,
 		Code:         g.code,
 		Transport:    view,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("gateway: group %d: %w", ns, err)
+		g.recycleNamespace(ns)
+		return nil, 0, fmt.Errorf("gateway: group %d: %w", ns, err)
 	}
-	return cluster, nil
+	return cluster, ns, nil
 }

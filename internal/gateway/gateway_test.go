@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -442,7 +443,9 @@ func TestEnsure(t *testing.T) {
 	}
 	defer g.Close()
 	keys := testKeys(6)
-	if err := g.Ensure(keys...); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.Ensure(ctx, keys...); err != nil {
 		t.Fatal(err)
 	}
 	if err := g.WaitIdle(30 * time.Second); err != nil {
@@ -455,5 +458,171 @@ func TestEnsure(t *testing.T) {
 	want := int64(len(keys) * params.N2 * code.ShardSize(128))
 	if perm := g.PermanentBytes(); perm != want {
 		t.Errorf("permanent bytes after Ensure = %d, want %d (v0 coded up front)", perm, want)
+	}
+}
+
+// TestGatewayCloseRace is the regression for the Close race: operations
+// hammered concurrently with Close must neither panic nor hang (they ran
+// on the torn-down network before ops were gated on the closed flag) and
+// must fail with ErrClosed once the gateway is closing.
+func TestGatewayCloseRace(t *testing.T) {
+	for iter := 0; iter < 3; iter++ {
+		g, err := New(Config{Shards: 2, Params: testParams(t, 4, 4, 1, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background() // deliberately unbounded: Close must unblock ops itself
+		var wg sync.WaitGroup
+		errs := make(chan error, 256)
+		start := make(chan struct{})
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				for j := 0; ; j++ {
+					key := fmt.Sprintf("close-race-%d-%d", i%4, j%3)
+					var err error
+					switch j % 3 {
+					case 0:
+						_, err = g.Put(ctx, key, []byte("v"))
+					case 1:
+						_, _, err = g.Get(ctx, key)
+					default:
+						err = g.Ensure(ctx, key)
+					}
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							errs <- fmt.Errorf("op failed with %w, want ErrClosed", err)
+						}
+						return
+					}
+				}
+			}(i)
+		}
+		close(start)
+		time.Sleep(time.Duration(iter) * 2 * time.Millisecond) // vary the interleaving
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			if err := g.Close(); err != nil {
+				errs <- err
+			}
+		}()
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("Close hung with operations in flight")
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("operations hung across Close")
+		}
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		// Ops after Close fail cleanly too.
+		if _, err := g.Put(ctx, "post", []byte("v")); !errors.Is(err, ErrClosed) {
+			t.Errorf("Put after Close = %v, want ErrClosed", err)
+		}
+		if err := g.Ensure(ctx, "post"); !errors.Is(err, ErrClosed) {
+			t.Errorf("Ensure after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestObserveErrorAccounting pins the stats-skew fix: failed operations
+// must touch only the error counters — their zeroed payload and their
+// wall-clock time must not dilute the byte totals and mean latencies the
+// rebalancer consumes.
+func TestObserveErrorAccounting(t *testing.T) {
+	g, err := New(Config{Shards: 1, Params: testParams(t, 4, 4, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sh := g.shardList()[0]
+
+	sh.observe(lds.OpRead, 5*time.Millisecond, 100, nil)
+	sh.observe(lds.OpRead, 15*time.Millisecond, 300, nil)
+	sh.observe(lds.OpRead, 90*time.Millisecond, 0, errors.New("boom"))
+	sh.observe(lds.OpWrite, 10*time.Millisecond, 200, nil)
+	sh.observe(lds.OpWrite, 400*time.Millisecond, 0, errors.New("boom"))
+
+	s := sh.snapshot()
+	if s.Reads != 2 || s.ReadErrors != 1 || s.Writes != 1 || s.WriteErrors != 1 {
+		t.Fatalf("counts = %d/%d reads, %d/%d writes; want 2/1 and 1/1",
+			s.Reads, s.ReadErrors, s.Writes, s.WriteErrors)
+	}
+	if s.ReadBytes != 400 || s.WriteBytes != 200 {
+		t.Errorf("bytes = %d read, %d write; want 400 and 200", s.ReadBytes, s.WriteBytes)
+	}
+	if s.ReadLatency != 20*time.Millisecond {
+		t.Errorf("cumulative read latency %v includes failed ops, want 20ms", s.ReadLatency)
+	}
+	if got := s.MeanReadLatency(); got != 10*time.Millisecond {
+		t.Errorf("MeanReadLatency = %v, want 10ms", got)
+	}
+	if got := s.MeanWriteLatency(); got != 10*time.Millisecond {
+		t.Errorf("MeanWriteLatency = %v, want 10ms", got)
+	}
+	if got := (ShardStats{}).MeanReadLatency(); got != 0 {
+		t.Errorf("MeanReadLatency with zero reads = %v, want 0", got)
+	}
+	if s.Ops() != 3 {
+		t.Errorf("Ops() = %d, want 3 (successes only)", s.Ops())
+	}
+}
+
+// TestEnsureBoundedAndCancelable pins the Ensure fix: it must respect the
+// per-shard semaphore (no construction stampede) and honor its context.
+func TestEnsureBoundedAndCancelable(t *testing.T) {
+	g, err := New(Config{
+		Shards:         1,
+		Params:         testParams(t, 4, 4, 1, 1),
+		MaxOpsPerShard: 1, // serialize all group construction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Concurrent large Ensures through a 1-token semaphore must complete
+	// (bounded, not deadlocked).
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]string, 8)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("ensure-%d", (w*4+i)%16) // overlapping sets
+			}
+			if err := g.Ensure(ctx, keys...); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("bounded Ensure failed: %v", err)
+	}
+	if got := g.Stats()[0].Keys; got != 16 {
+		t.Errorf("ensured %d keys, want 16", got)
+	}
+
+	// A canceled context aborts promptly.
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if err := g.Ensure(canceled, "late-1", "late-2"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Ensure with canceled ctx = %v, want context.Canceled", err)
 	}
 }

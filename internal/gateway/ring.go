@@ -16,8 +16,15 @@ const defaultVirtualNodes = 128
 // shard owning the first point at or after the key's hash. The assignment
 // is a pure function of (key, shard count, virtual-node count) — stable
 // across processes and runs — and changing the shard count from S to S+1
-// remaps only ~1/(S+1) of the keyspace, which is what makes later
-// rebalancing incremental.
+// remaps only ~1/(S+1) of the keyspace, every remapped key landing on the
+// new shard (growing only adds shard-S points, so a key's successor point
+// either survives or is preempted by a new one — never by another
+// surviving shard's). That directional churn bound is what makes the
+// gateway's online Resize incremental: rings are immutable values, and
+// the gateway's router versions them — during a resize the outgoing
+// ring's answers persist as per-key placement pins while keys drain, one
+// live migration each, to the ring that replaced it (see gateway.go and
+// migrate.go).
 type Ring struct {
 	shards int
 	points []ringPoint

@@ -3,6 +3,7 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,8 +12,13 @@ import (
 	"github.com/lds-storage/lds/internal/sim"
 )
 
-// shard is one keyspace partition: a lazy key→group map, the client pools
-// of each group, a concurrency semaphore and the op counters.
+// statsTopKeys is how many of a shard's hottest keys a snapshot reports.
+const statsTopKeys = 8
+
+// shard is one keyspace partition: a key→group map, the client pools of
+// each group, a concurrency semaphore and the op counters. The map is
+// guarded by mu; code that also needs routing state takes the gateway's
+// route lock first (lock order: route.mu → shard.mu).
 type shard struct {
 	gw    *Gateway
 	index int
@@ -27,7 +33,10 @@ type shard struct {
 }
 
 // shardCounters is the hot-path accounting; all fields are atomics so
-// observers never contend.
+// observers never contend. Reads/writes/bytes/latency count successful
+// operations only — failures land exclusively in the error counters, so
+// the hotness and mean-latency signals the rebalancer consumes are never
+// skewed by a crashing or overloaded shard's failed attempts.
 type shardCounters struct {
 	reads        atomic.Uint64
 	writes       atomic.Uint64
@@ -35,8 +44,8 @@ type shardCounters struct {
 	writeErrors  atomic.Uint64
 	readBytes    atomic.Uint64
 	writeBytes   atomic.Uint64
-	readLatency  atomic.Int64 // cumulative ns
-	writeLatency atomic.Int64
+	readLatency  atomic.Int64 // cumulative ns over successful reads
+	writeLatency atomic.Int64 // cumulative ns over successful writes
 }
 
 func newShard(g *Gateway, index int) *shard {
@@ -62,68 +71,28 @@ func (s *shard) acquire(ctx context.Context) error {
 func (s *shard) release() { <-s.sem }
 
 // observe is the OpObserver shared by all of the shard's pooled clients.
+// Failed operations increment only their error counter: adding their
+// (zeroed) payload and wall-clock time to the totals would dilute the
+// exact per-shard load signal and skew the mean-latency derivations.
 func (s *shard) observe(op core.OpKind, d time.Duration, payloadBytes int, err error) {
 	switch op {
 	case core.OpRead:
+		if err != nil {
+			s.stats.readErrors.Add(1)
+			return
+		}
 		s.stats.reads.Add(1)
 		s.stats.readBytes.Add(uint64(payloadBytes))
 		s.stats.readLatency.Add(int64(d))
-		if err != nil {
-			s.stats.readErrors.Add(1)
-		}
 	case core.OpWrite:
+		if err != nil {
+			s.stats.writeErrors.Add(1)
+			return
+		}
 		s.stats.writes.Add(1)
 		s.stats.writeBytes.Add(uint64(payloadBytes))
 		s.stats.writeLatency.Add(int64(d))
-		if err != nil {
-			s.stats.writeErrors.Add(1)
-		}
 	}
-}
-
-// object returns the key's LDS group, creating it (and its client pools)
-// on first use. Group construction is deliberately done outside s.mu: it
-// builds a full cluster and its client pools, and holding the shard lock
-// for that long would stall every other key on the shard during a
-// first-touch. Two racing first-touches may both build; the loser's group
-// is closed and the winner's kept (double-check insert).
-func (s *shard) object(key string) (*object, error) {
-	s.mu.Lock()
-	if obj, ok := s.objects[key]; ok {
-		s.mu.Unlock()
-		return obj, nil
-	}
-	s.mu.Unlock()
-
-	cluster, err := s.gw.newGroup()
-	if err != nil {
-		return nil, err
-	}
-	obj, err := newObject(cluster, s.gw.cfg.PoolSize, s.observe)
-	if err != nil {
-		cluster.Close()
-		return nil, err
-	}
-
-	s.mu.Lock()
-	if existing, ok := s.objects[key]; ok {
-		// Lost the race: another caller inserted this key meanwhile.
-		s.mu.Unlock()
-		cluster.Close()
-		return existing, nil
-	}
-	// A shard-level crash covers future groups too: the shard's servers
-	// are conceptually crashed, and every group runs on them. Applying the
-	// crash list under the lock keeps it consistent with crashL1/crashL2.
-	for _, i := range s.crashedL1 {
-		cluster.CrashL1(i)
-	}
-	for _, i := range s.crashedL2 {
-		cluster.CrashL2(i)
-	}
-	s.objects[key] = obj
-	s.mu.Unlock()
-	return obj, nil
 }
 
 func (s *shard) crashL1(i int) {
@@ -168,12 +137,23 @@ func (s *shard) snapshot() ShardStats {
 	s.mu.Lock()
 	keys := len(s.objects)
 	var tmp, perm, offload int64
-	for _, obj := range s.objects {
+	top := make([]KeyLoad, 0, len(s.objects))
+	for key, obj := range s.objects {
 		tmp += obj.cluster.TemporaryStorageBytes()
 		perm += obj.cluster.PermanentStorageBytes()
 		offload += obj.cluster.OffloadQueueDepth()
+		top = append(top, KeyLoad{Key: key, Ops: obj.ops.Load()})
 	}
 	s.mu.Unlock()
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Ops != top[j].Ops {
+			return top[i].Ops > top[j].Ops
+		}
+		return top[i].Key < top[j].Key // deterministic order on ties
+	})
+	if len(top) > statsTopKeys {
+		top = top[:statsTopKeys:statsTopKeys]
+	}
 	return ShardStats{
 		Shard:             s.index,
 		Keys:              keys,
@@ -188,6 +168,7 @@ func (s *shard) snapshot() ShardStats {
 		TemporaryBytes:    tmp,
 		PermanentBytes:    perm,
 		OffloadQueueDepth: offload,
+		TopKeys:           top,
 	}
 }
 
@@ -197,6 +178,7 @@ func (s *shard) closeObjects() {
 	s.objects = make(map[string]*object)
 	s.mu.Unlock()
 	for _, obj := range objects {
+		obj.retired.Store(true)
 		obj.cluster.Close()
 	}
 }
@@ -206,13 +188,26 @@ func (s *shard) closeObjects() {
 // fairly and cheaply when a key is hot.
 type object struct {
 	cluster *sim.Cluster
+	ns      int32 // the group's transport namespace, recycled at reaping
 	writers chan *core.Writer
 	readers chan *core.Reader
+
+	// ops counts operations routed to this key; the per-key hotness
+	// signal behind ShardStats.TopKeys.
+	ops atomic.Uint64
+
+	// retired flips once the key's group has been handed off to another
+	// shard (or the gateway closed): a client checked out of a retired
+	// pool must be returned unused and the key's route re-resolved.
+	// Migration sets it before releasing the quiesced clients, so any
+	// checkout that succeeds afterwards observes it.
+	retired atomic.Bool
 }
 
-func newObject(cluster *sim.Cluster, poolSize int, obs core.OpObserver) (*object, error) {
+func newObject(cluster *sim.Cluster, ns int32, poolSize int, obs core.OpObserver) (*object, error) {
 	obj := &object{
 		cluster: cluster,
+		ns:      ns,
 		writers: make(chan *core.Writer, poolSize),
 		readers: make(chan *core.Reader, poolSize),
 	}
@@ -257,21 +252,62 @@ func (o *object) takeReader(ctx context.Context) (*core.Reader, error) {
 
 func (o *object) putReader(r *core.Reader) { o.readers <- r }
 
+// quiesce checks out every pooled client, blocking until in-flight
+// operations on the object have completed and preventing new ones from
+// starting (they park on the empty pools). On success the caller holds
+// exclusive use of the object's group; on ctx expiry every collected
+// client is returned and the object is untouched.
+func (o *object) quiesce(ctx context.Context) ([]*core.Writer, []*core.Reader, error) {
+	var (
+		ws = make([]*core.Writer, 0, cap(o.writers))
+		rs = make([]*core.Reader, 0, cap(o.readers))
+	)
+	for len(ws) < cap(o.writers) || len(rs) < cap(o.readers) {
+		select {
+		case w := <-o.writers:
+			ws = append(ws, w)
+		case r := <-o.readers:
+			rs = append(rs, r)
+		case <-ctx.Done():
+			o.restore(ws, rs)
+			return nil, nil, fmt.Errorf("gateway: quiesce: %w", ctx.Err())
+		}
+	}
+	return ws, rs, nil
+}
+
+// restore returns quiesced clients to their pools.
+func (o *object) restore(ws []*core.Writer, rs []*core.Reader) {
+	for _, w := range ws {
+		o.putWriter(w)
+	}
+	for _, r := range rs {
+		o.putReader(r)
+	}
+}
+
+// KeyLoad is one key's share of a shard's operation count.
+type KeyLoad struct {
+	Key string `json:"key"`
+	Ops uint64 `json:"ops"`
+}
+
 // ShardStats is a point-in-time snapshot of one shard's accounting:
-// operation counts, payload bytes, cumulative operation latency (divide by
-// the counts for means) and the live storage occupancy of the shard's
-// groups. These are the load signals a rebalancer would act on.
+// successful operation counts, payload bytes, cumulative operation
+// latency over those successes (see MeanReadLatency/MeanWriteLatency),
+// failure counts, and the live storage occupancy of the shard's groups.
+// These are the load signals the rebalancer acts on.
 type ShardStats struct {
 	Shard          int
 	Keys           int
-	Reads          uint64
-	Writes         uint64
+	Reads          uint64 // successful reads
+	Writes         uint64 // successful writes
 	ReadErrors     uint64
 	WriteErrors    uint64
 	ReadBytes      uint64
 	WriteBytes     uint64
-	ReadLatency    time.Duration
-	WriteLatency   time.Duration
+	ReadLatency    time.Duration // cumulative, successful reads only
+	WriteLatency   time.Duration // cumulative, successful writes only
 	TemporaryBytes int64
 	PermanentBytes int64
 	// OffloadQueueDepth is the live occupancy of the shard's L1 -> L2
@@ -280,7 +316,29 @@ type ShardStats struct {
 	// tail, distinct from TemporaryBytes which tracks the paper's
 	// temporary-storage metric.
 	OffloadQueueDepth int64
+	// TopKeys lists the shard's hottest keys by per-key operation count,
+	// descending — the signal the rebalancer's hot-key spread consumes.
+	TopKeys []KeyLoad
 }
 
-// Ops returns the total completed operations.
+// Ops returns the total successfully completed operations.
 func (s ShardStats) Ops() uint64 { return s.Reads + s.Writes }
+
+// MeanReadLatency is the mean duration of the shard's successful reads
+// (zero when none completed). Errors are excluded by construction, so a
+// shard failing fast never reads as "fast".
+func (s ShardStats) MeanReadLatency() time.Duration {
+	if s.Reads == 0 {
+		return 0
+	}
+	return s.ReadLatency / time.Duration(s.Reads)
+}
+
+// MeanWriteLatency is the mean duration of the shard's successful writes
+// (zero when none completed).
+func (s ShardStats) MeanWriteLatency() time.Duration {
+	if s.Writes == 0 {
+		return 0
+	}
+	return s.WriteLatency / time.Duration(s.Writes)
+}

@@ -128,6 +128,20 @@ type L1Server struct {
 
 // NewL1Server creates the server with the initial list {(t0, bot)}.
 func NewL1Server(params Params, index int, code erasure.Regenerating) (*L1Server, error) {
+	return NewL1ServerSeeded(params, index, code, tag.Zero)
+}
+
+// NewL1ServerSeeded creates the server booted from a snapshot tag instead
+// of t0: the list starts at {(seed, bot)} with the committed tag already at
+// seed. This is exactly the quiescent state an established server reaches
+// once the seed tag's value has been offloaded to L2 and garbage-collected,
+// so a group whose L2 layer is seeded with the snapshot value at the same
+// tag (NewL2ServerSeeded) behaves indistinguishably from one that executed
+// a write of that value: get-tag answers seed (the next write strictly
+// exceeds it), and reads regenerate the snapshot value from L2. The hook is
+// what lets the gateway migrate a key between groups without breaking
+// per-key atomicity.
+func NewL1ServerSeeded(params Params, index int, code erasure.Regenerating, seed tag.Tag) (*L1Server, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,7 +153,10 @@ func NewL1Server(params Params, index int, code erasure.Regenerating) (*L1Server
 		index:         index,
 		id:            wire.ProcID{Role: wire.RoleL1, Index: int32(index)},
 		code:          code,
-		list:          map[tag.Tag]*listEntry{tag.Zero: {}},
+		list:          map[tag.Tag]*listEntry{seed: {}},
+		maxListTag:    seed,
+		tc:            seed,
+		offloadHigh:   seed,
 		commitCounter: make(map[tag.Tag]int),
 		gamma:         make(map[wire.ProcID]gammaEntry),
 		regen:         make(map[wire.ProcID]*regenState),

@@ -38,6 +38,15 @@ type L2Server struct {
 // NewL2Server creates the server with its initial state (t0, c0): the coded
 // element of the distinguished initial value v0.
 func NewL2Server(params Params, index int, code erasure.Regenerating, initialValue []byte) (*L2Server, error) {
+	return NewL2ServerSeeded(params, index, code, initialValue, tag.Zero)
+}
+
+// NewL2ServerSeeded creates the server with its stored pair already at
+// (seed, coded(value)): the state it would hold after acknowledging an
+// offload of value at the seed tag. Together with NewL1ServerSeeded this
+// boots a group from a migration snapshot — the replace-if-newer rule then
+// guarantees only strictly newer writes displace the seeded element.
+func NewL2ServerSeeded(params Params, index int, code erasure.Regenerating, value []byte, seed tag.Tag) (*L2Server, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,7 +59,7 @@ func NewL2Server(params Params, index int, code erasure.Regenerating, initialVal
 	if !ok {
 		return nil, fmt.Errorf("lds: code %T does not support single-node encoding", code)
 	}
-	c0, err := encoder.EncodeNode(initialValue, params.L2CodeIndex(index))
+	c0, err := encoder.EncodeNode(value, params.L2CodeIndex(index))
 	if err != nil {
 		return nil, fmt.Errorf("lds: encode initial value: %w", err)
 	}
@@ -59,8 +68,9 @@ func NewL2Server(params Params, index int, code erasure.Regenerating, initialVal
 		index:    index,
 		id:       wire.ProcID{Role: wire.RoleL2, Index: int32(index)},
 		code:     code,
+		tag:      seed,
 		coded:    c0,
-		valueLen: len(initialValue),
+		valueLen: len(value),
 	}
 	s.storedBytes.Store(int64(len(c0)))
 	return s, nil

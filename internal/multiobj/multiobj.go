@@ -122,7 +122,7 @@ func New(cfg Config) (*System, error) {
 	for i := range s.keys {
 		s.keys[i] = fmt.Sprintf("object-%d", i)
 	}
-	if err := gw.Ensure(s.keys...); err != nil {
+	if err := gw.Ensure(context.Background(), s.keys...); err != nil {
 		gw.Close()
 		return nil, err
 	}

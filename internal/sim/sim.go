@@ -15,6 +15,7 @@ import (
 	"github.com/lds-storage/lds/internal/cost"
 	"github.com/lds-storage/lds/internal/erasure"
 	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/tag"
 	"github.com/lds-storage/lds/internal/transport"
 	"github.com/lds-storage/lds/internal/transport/channet"
 	"github.com/lds-storage/lds/internal/wire"
@@ -30,6 +31,14 @@ type Config struct {
 	Seed int64
 	// InitialValue is v0, the object's distinguished initial value.
 	InitialValue []byte
+	// InitialTag is the tag the cluster boots at; the zero value is t0, the
+	// paper's initial tag. A non-zero tag seeds every server from a
+	// migration snapshot (InitialValue, InitialTag) — L2 stores the coded
+	// value at that tag and L1 commits it — so the cluster is
+	// indistinguishable from one that already executed a write of
+	// InitialValue at InitialTag. The gateway's live key migration uses
+	// this to hand an object between groups without breaking atomicity.
+	InitialTag tag.Tag
 	// Accountant, when non-nil, observes all traffic for cost measurement.
 	Accountant *cost.Accountant
 	// Code overrides the storage code (the MSR ablation uses this); nil
@@ -93,7 +102,7 @@ func New(cfg Config) (*Cluster, error) {
 		readers: make(map[int32]*lds.Reader),
 	}
 	for i := 0; i < cfg.Params.N1; i++ {
-		srv, err := lds.NewL1Server(cfg.Params, i, code)
+		srv, err := lds.NewL1ServerSeeded(cfg.Params, i, code, cfg.InitialTag)
 		if err != nil {
 			net.Close()
 			return nil, err
@@ -110,7 +119,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.l1 = append(c.l1, srv)
 	}
 	for i := 0; i < cfg.Params.N2; i++ {
-		srv, err := lds.NewL2Server(cfg.Params, i, code, cfg.InitialValue)
+		srv, err := lds.NewL2ServerSeeded(cfg.Params, i, code, cfg.InitialValue, cfg.InitialTag)
 		if err != nil {
 			net.Close()
 			return nil, err

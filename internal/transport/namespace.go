@@ -43,6 +43,16 @@ const MaxNamespaceGroups = math.MaxInt32 / NamespaceStride
 // network keeps serving other groups. This makes a Namespace view suitable
 // as the per-cluster Transport of a sim.Cluster sharing a network with
 // many siblings.
+//
+// Group ids are recyclable: Close synchronously deregisters every node the
+// view registered from the base network, so once it returns, a new
+// Namespace view over the same group id can register the same group-local
+// ids again without collision. Messages still in flight toward the closed
+// view's nodes are dropped by the transport (delivery is bound to the dead
+// endpoint, not to the id), so a recycled group never receives a
+// predecessor's traffic. The gateway's group reaper relies on this to keep
+// the number of consumed group ids proportional to the live groups rather
+// than to every group ever created.
 func Namespace(base Network, group int32) (*NamespacedNetwork, error) {
 	if group < 0 || group >= MaxNamespaceGroups {
 		return nil, fmt.Errorf("transport: namespace group %d out of range [0, %d)", group, MaxNamespaceGroups)
@@ -60,6 +70,9 @@ type NamespacedNetwork struct {
 }
 
 var _ Network = (*NamespacedNetwork)(nil)
+
+// Group returns the view's group id (the value passed to Namespace).
+func (n *NamespacedNetwork) Group() int32 { return n.offset / NamespaceStride }
 
 func (n *NamespacedNetwork) up(id wire.ProcID) wire.ProcID {
 	id.Index += n.offset
