@@ -7,8 +7,8 @@
 //	lds-bench -exp write-cost,read-cost
 //	lds-bench -exp fig6
 //
-// Experiments: write-cost, read-cost, storage, latency, fig6, msr-ablation,
-// abd, faults, all.
+// Experiments: write-cost, read-cost, storage, latency, offload, rebalance,
+// tcpgateway, fig6, msr-ablation, abd, faults, all.
 package main
 
 import (
@@ -39,7 +39,7 @@ var geometries = [][4]int{ // n1, n2, f1, f2
 const valueSize = 4096
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,fig6,msr-ablation,abd,faults,all")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,fig6,msr-ablation,abd,faults,all")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -64,6 +64,7 @@ func main() {
 	run("latency", latency)
 	run("offload", offloadBatching)
 	run("rebalance", rebalance)
+	run("tcpgateway", tcpGateway)
 	run("fig6", fig6)
 	run("msr-ablation", msrAblation)
 	run("abd", abdComparison)
@@ -194,6 +195,34 @@ func rebalance() error {
 	row("read, migrating", res.DuringRead)
 	row("write, baseline", res.BaselineWrite)
 	row("write, migrating", res.DuringWrite)
+	return nil
+}
+
+func tcpGateway() error {
+	p := params([4]int{4, 5, 1, 1})
+	const (
+		valueSize    = 2048
+		keys         = 16
+		clients      = 8
+		opsPerClient = 100
+		nodes        = 3
+	)
+	res, err := experiments.MeasureTCPGateway(p, valueSize, keys, clients, opsPerClient, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sim vs real-TCP shard groups behind one gateway (n1=%d n2=%d, %dB values,\n", p.N1, p.N2, valueSize)
+	fmt.Printf("%d keys, %d writer+%d reader clients x %d ops, %d node processes, loopback):\n",
+		keys, clients, clients, opsPerClient, nodes)
+	fmt.Printf("  %-10s %10s %12s %12s %12s %12s\n", "backend", "ops/s", "write mean", "write p99", "read mean", "read p99")
+	row := func(pr experiments.GatewayProfile) {
+		fmt.Printf("  %-10s %10.0f %12v %12v %12v %12v\n", pr.Backend, pr.OpsPerSec,
+			pr.Write.Mean.Round(time.Microsecond), pr.Write.P99.Round(time.Microsecond),
+			pr.Read.Mean.Round(time.Microsecond), pr.Read.P99.Round(time.Microsecond))
+	}
+	row(res.Sim)
+	row(res.TCP)
+	fmt.Printf("  tcp/sim ops/s ratio: %.2f\n", res.TCP.OpsPerSec/res.Sim.OpsPerSec)
 	return nil
 }
 

@@ -1,9 +1,13 @@
 // Command lds-gateway serves a sharded multi-object LDS store over a
 // minimal HTTP front door: one process hosting S shards of independent
 // L1/L2 groups (internal/gateway) behind a key-value API, with an online
-// rebalancing control plane.
+// rebalancing control plane. Shards run in-process on the simulated
+// transport by default; with -topology they can instead run on remote
+// lds-node processes over real TCP, mixed freely with sim shards behind
+// the same front door.
 //
 //	lds-gateway -listen :8080 -shards 4 -n1 4 -n2 5 -f1 1 -f2 1
+//	lds-gateway -listen :8080 -topology cluster.json -n1 3 -n2 4
 //
 //	curl -X PUT --data-binary 'hello' localhost:8080/v1/kv/greeting
 //	curl localhost:8080/v1/kv/greeting
@@ -25,11 +29,16 @@
 //	                     body {"shards":N} → grow/shrink the ring to N shards
 //	                                         (live keys drain to their new homes)
 //	                     body {"key":K,"to":S} → migrate one key explicitly
+//	GET  /v1/nodes       probe every remote node process (topology
+//	                     deployments): id, address, liveness, hosted
+//	                     groups, control-plane RTT
+//	POST /v1/reprovision re-serve every live remote group; run it after
+//	                     restarting a node process (see docs/OPERATIONS.md)
 //
-// The shard groups run in-process on the simulated transport with
-// configurable link latency, which makes the binary a self-contained
-// demonstrator and load-test target for the gateway layer; the underlying
-// protocol code is the same code that deploys over TCP via cmd/lds-node.
+// Without -topology the binary is a self-contained demonstrator and
+// load-test target; with it, the same front door drives a real multi-
+// process cluster — the full API reference and runbook live in
+// docs/OPERATIONS.md.
 package main
 
 import (
@@ -63,7 +72,8 @@ func main() {
 func run() error {
 	var (
 		listen  = flag.String("listen", ":8080", "HTTP listen address")
-		shards  = flag.Int("shards", 4, "number of keyspace shards")
+		shards  = flag.Int("shards", 4, "number of keyspace shards (ignored with -topology)")
+		topo    = flag.String("topology", "", "cluster topology JSON (docs/OPERATIONS.md); shard count and backends come from it")
 		n1      = flag.Int("n1", 4, "edge layer size per group")
 		n2      = flag.Int("n2", 5, "back-end layer size per group")
 		f1      = flag.Int("f1", 1, "edge layer fault tolerance")
@@ -79,13 +89,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	gw, err := gateway.New(gateway.Config{
+	cfg := gateway.Config{
 		Shards:         *shards,
 		Params:         params,
 		Latency:        transport.Uniform(*latency),
 		PoolSize:       *pool,
 		MaxOpsPerShard: *maxOps,
-	})
+	}
+	if *topo != "" {
+		t, err := gateway.LoadTopology(*topo)
+		if err != nil {
+			return err
+		}
+		cfg.Topology = t
+		cfg.Shards = 0 // adopt the topology's shard count
+	}
+	gw, err := gateway.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -95,7 +114,7 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("lds-gateway: %d shards of (n1=%d, n2=%d, f1=%d, f2=%d) groups on %s",
-		*shards, *n1, *n2, *f1, *f2, *listen)
+		gw.Shards(), *n1, *n2, *f1, *f2, *listen)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -207,6 +226,25 @@ func newHandler(gw *gateway.Gateway, timeout time.Duration) http.Handler {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := timeoutContext(r, timeout)
+		defer cancel()
+		nodes, err := gw.ProbeRemoteNodes(ctx)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"nodes": nodes})
+	})
+	mux.HandleFunc("POST /v1/reprovision", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := timeoutContext(r, timeout)
+		defer cancel()
+		if err := gw.ReprovisionRemote(ctx); err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"reprovisioned": true})
+	})
 	mux.HandleFunc("POST /v1/rebalance", func(w http.ResponseWriter, r *http.Request) {
 		var req rebalanceRequest
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -274,6 +312,8 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, gateway.ErrMigrating) || errors.Is(err, gateway.ErrResizing):
 		code = http.StatusConflict
+	case errors.Is(err, gateway.ErrNoTopology):
+		code = http.StatusNotFound
 	}
 	http.Error(w, err.Error(), code)
 }

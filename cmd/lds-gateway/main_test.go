@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"github.com/lds-storage/lds/internal/gateway"
 	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/nodehost"
 )
 
 func testServer(t *testing.T, shards int) (*httptest.Server, *gateway.Gateway) {
@@ -155,5 +157,129 @@ func TestMigrationRebalanceEndToEnd(t *testing.T) {
 	}
 	if totalKeys != keys {
 		t.Fatalf("stats count %d keys, want %d", totalKeys, keys)
+	}
+}
+
+// TestTopologyHTTPEndToEnd serves a topology-configured gateway (one TCP
+// shard over two in-process node hosts, one sim shard) through the full
+// HTTP front door: kv traffic over both backends, backend labels in
+// /v1/stats, node health in /v1/nodes, and POST /v1/reprovision.
+func TestTopologyHTTPEndToEnd(t *testing.T) {
+	hosts := make([]*nodehost.Host, 2)
+	specs := make([]gateway.NodeSpec, 2)
+	for i := range hosts {
+		h, err := nodehost.New("127.0.0.1:0", int32(i+1), nodehost.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		hosts[i] = h
+		specs[i] = gateway.NodeSpec{ID: h.NodeID(), Addr: h.Addr()}
+	}
+	params, err := lds.NewParams(4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Params: params,
+		Topology: &gateway.Topology{
+			Shards: []gateway.ShardSpec{
+				{Backend: gateway.BackendTCP, Nodes: specs},
+				{Backend: gateway.BackendSim},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(gw, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		gw.Close()
+	})
+
+	client := srv.Client()
+	for i := 0; i < 6; i++ {
+		key, value := fmt.Sprintf("topo-%d", i), fmt.Sprintf("v-%d", i)
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/"+key, strings.NewReader(value))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("PUT %s: %d", key, resp.StatusCode)
+		}
+		got, err := client.Get(srv.URL + "/v1/kv/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(got.Body)
+		got.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) != value {
+			t.Fatalf("GET %s = %q, want %q", key, body, value)
+		}
+	}
+
+	var stats struct {
+		Shards []struct {
+			Backend string `json:"Backend"`
+		} `json:"shards"`
+	}
+	resp, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.Shards) != 2 || stats.Shards[0].Backend != "tcp" || stats.Shards[1].Backend != "sim" {
+		t.Fatalf("stats backends wrong: %+v", stats.Shards)
+	}
+
+	var nodes struct {
+		Nodes []gateway.NodeStatus `json:"nodes"`
+	}
+	resp, err = client.Get(srv.URL + "/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes.Nodes) != 2 {
+		t.Fatalf("probed %d nodes, want 2", len(nodes.Nodes))
+	}
+	for _, n := range nodes.Nodes {
+		if !n.Alive {
+			t.Errorf("node %d reported dead", n.ID)
+		}
+	}
+
+	resp, err = client.Post(srv.URL+"/v1/reprovision", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/reprovision: %d", resp.StatusCode)
+	}
+}
+
+// TestNodesEndpointWithoutTopology maps ErrNoTopology onto 404.
+func TestNodesEndpointWithoutTopology(t *testing.T) {
+	srv, _ := testServer(t, 2)
+	resp, err := srv.Client().Get(srv.URL + "/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nodes without topology: %d, want 404", resp.StatusCode)
 	}
 }

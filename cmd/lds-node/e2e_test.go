@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/gateway"
+	"github.com/lds-storage/lds/internal/history"
+	"github.com/lds-storage/lds/internal/lds"
+)
+
+// nodeProc is one lds-node child process.
+type nodeProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startNode launches the built lds-node binary in group-host mode and
+// waits for its "listening on" line to learn the bound address.
+func startNode(t *testing.T, bin string, id int32, listen string) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-node", fmt.Sprint(id), "-listen", listen)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start lds-node %d: %v", id, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrs := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, after, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrs <- strings.TrimSpace(after):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrs:
+		return &nodeProc{cmd: cmd, addr: addr}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("lds-node %d never reported its listen address", id)
+		return nil
+	}
+}
+
+// TestMultiProcessTCPGateway is the real-process acceptance test: it
+// builds the lds-node binary, runs three node processes, fronts them with
+// a gateway holding two remote TCP shard groups, drives a concurrent
+// history-recorded workload, kills and restarts one process mid-workload,
+// reprovisions it, and verifies every per-key history against the
+// paper's atomicity conditions.
+func TestMultiProcessTCPGateway(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping child-process e2e (needs go build)")
+	}
+	bin := filepath.Join(t.TempDir(), "lds-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build lds-node: %v\n%s", err, out)
+	}
+
+	procs := make([]*nodeProc, 3)
+	specs := make([]gateway.NodeSpec, 3)
+	for i := range procs {
+		procs[i] = startNode(t, bin, int32(i+1), "127.0.0.1:0")
+		specs[i] = gateway.NodeSpec{ID: int32(i + 1), Addr: procs[i].addr}
+	}
+
+	params, err := lds.NewParams(3, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometry (3,4,1,1) over 3 nodes: node i hosts L1/i, plus L2/i (and
+	// node 0 additionally L2/3). Killing procs[2] costs one L1 and one L2
+	// per group — exactly the (f1, f2) crash budget.
+	g, err := gateway.New(gateway.Config{
+		Params: params,
+		Topology: &gateway.Topology{
+			Shards: []gateway.ShardSpec{
+				{Backend: gateway.BackendTCP, Nodes: specs},
+				{Backend: gateway.BackendTCP, Nodes: specs},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const (
+		keys         = 4
+		opsPerClient = 6
+	)
+	keyName := func(i int) string { return fmt.Sprintf("proc-%d", i) }
+	recorders := make([]*history.Recorder, keys)
+	for i := range recorders {
+		recorders[i] = history.NewRecorder()
+		if err := g.Ensure(ctx, keyName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		failed    sync.Map
+		restarted = make(chan struct{})
+	)
+	for ki := 0; ki < keys; ki++ {
+		key, rec := keyName(ki), recorders[ki]
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for op := 0; op < opsPerClient; op++ {
+				if op == opsPerClient/2 {
+					<-restarted
+				}
+				value := fmt.Sprintf("%s/w/%d", key, op)
+				start := time.Now()
+				tg, err := g.Put(ctx, key, []byte(value))
+				if err != nil {
+					failed.Store(key, fmt.Errorf("put %d: %w", op, err))
+					return
+				}
+				rec.Add(history.Op{Kind: history.OpWrite, Client: 1,
+					Start: start, End: time.Now(), Tag: tg, Value: value})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for op := 0; op < opsPerClient; op++ {
+				if op == opsPerClient/2 {
+					<-restarted
+				}
+				start := time.Now()
+				v, tg, err := g.Get(ctx, key)
+				if err != nil {
+					failed.Store(key, fmt.Errorf("get %d: %w", op, err))
+					return
+				}
+				rec.Add(history.Op{Kind: history.OpRead, Client: 2,
+					Start: start, End: time.Now(), Tag: tg, Value: string(v)})
+			}
+		}()
+	}
+
+	// Kill the third process outright (SIGKILL: no graceful teardown) and
+	// restart it on the same port, as an operator would.
+	addr := procs[2].addr
+	if err := procs[2].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[2].cmd.Wait()
+	// The port may linger briefly; retry the rebind.
+	var fresh *nodeProc
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		cmd := exec.Command(bin, "-node", "3", "-listen", addr)
+		if err := cmd.Start(); err == nil {
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			select {
+			case <-done: // exited immediately: port still busy
+			case <-time.After(500 * time.Millisecond):
+				fresh = &nodeProc{cmd: cmd, addr: addr}
+				t.Cleanup(func() {
+					cmd.Process.Kill()
+					<-done
+				})
+			}
+		}
+		if fresh != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if fresh == nil {
+		t.Fatalf("could not restart lds-node on %s", addr)
+	}
+	if err := g.ReprovisionRemote(ctx); err != nil {
+		t.Fatalf("ReprovisionRemote: %v", err)
+	}
+	nodes, err := g.ProbeRemoteNodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if !n.Alive {
+			t.Errorf("node %d dead after restart+reprovision", n.ID)
+		}
+		if n.ID == 3 && n.Groups == 0 {
+			t.Error("restarted node hosts no groups after reprovisioning")
+		}
+	}
+	close(restarted)
+
+	wg.Wait()
+	failed.Range(func(k, v any) bool {
+		t.Fatalf("operation on key %v failed: %v", k, v)
+		return false
+	})
+	for ki, rec := range recorders {
+		ops := rec.Ops()
+		if len(ops) != 2*opsPerClient {
+			t.Fatalf("key %d: recorded %d ops, want %d", ki, len(ops), 2*opsPerClient)
+		}
+		for _, v := range history.Verify(ops) {
+			t.Errorf("key %d: %v", ki, v)
+		}
+		for _, v := range history.VerifyUniqueValues(ops, "") {
+			t.Errorf("key %d: %v", ki, v)
+		}
+	}
+}

@@ -1,19 +1,23 @@
-// Command tcpcluster deploys a complete LDS system over real TCP sockets
-// on localhost: the edge layer on one "host", the back-end on another,
-// clients on a third, all exchanging length-prefixed protocol frames. It is
-// the same protocol code the simulation runs, demonstrating that the
-// implementation is transport-agnostic and actually deployable (the
-// lds-node and lds-cli commands split these roles across machines).
+// Command tcpcluster deploys a complete sharded LDS system over real TCP
+// sockets on localhost: three node hosts (the same runtime cmd/lds-node
+// runs per machine) provisioned through the registration handshake, and a
+// gateway whose topology config puts two shard groups on them next to an
+// in-process sim shard — all behind one front door. It is the same
+// protocol code the simulation runs, demonstrating that the gateway layer
+// is transport-agnostic and actually deployable; split the pieces across
+// machines with cmd/lds-node and cmd/lds-gateway -topology.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"time"
 
+	"github.com/lds-storage/lds/internal/gateway"
 	"github.com/lds-storage/lds/internal/lds"
-	"github.com/lds-storage/lds/internal/transport/tcpnet"
+	"github.com/lds-storage/lds/internal/nodehost"
 )
 
 func main() {
@@ -23,111 +27,74 @@ func main() {
 }
 
 func run() error {
-	params, err := lds.NewParams(4, 5, 1, 1) // k = 2, d = 3
-	if err != nil {
-		return err
-	}
-	code, err := params.NewCode()
+	params, err := lds.NewParams(3, 4, 1, 1) // one L1 + one L2 per node (node 0 gets L2/3 too)
 	if err != nil {
 		return err
 	}
 
-	// Three hosts sharing one address book; ":0" picks free ports.
-	book := tcpnet.AddressBook{}
-	edgeHost, err := tcpnet.New("127.0.0.1:0", book)
-	if err != nil {
-		return err
-	}
-	defer edgeHost.Close()
-	backHost, err := tcpnet.New("127.0.0.1:0", book)
-	if err != nil {
-		return err
-	}
-	defer backHost.Close()
-	clientHost, err := tcpnet.New("127.0.0.1:0", book)
-	if err != nil {
-		return err
-	}
-	defer clientHost.Close()
-
-	for _, id := range params.L1IDs() {
-		book[id] = edgeHost.Addr()
-	}
-	for _, id := range params.L2IDs() {
-		book[id] = backHost.Addr()
-	}
-
-	// Boot the edge layer.
-	for i := 0; i < params.N1; i++ {
-		srv, err := lds.NewL1Server(params, i, code)
+	// Three "machines": in production each is `lds-node -node N -listen ...`
+	// on its own host; here they are three listeners in one process.
+	hosts := make([]*nodehost.Host, 3)
+	specs := make([]gateway.NodeSpec, 3)
+	for i := range hosts {
+		h, err := nodehost.New("127.0.0.1:0", int32(i+1), nodehost.Options{})
 		if err != nil {
 			return err
 		}
-		node, err := edgeHost.Register(srv.ID(), srv.Handle)
-		if err != nil {
-			return err
-		}
-		if err := srv.Bind(node); err != nil {
-			return err
-		}
+		defer h.Close()
+		hosts[i] = h
+		specs[i] = gateway.NodeSpec{ID: h.NodeID(), Addr: h.Addr()}
+		fmt.Printf("node host %d listening on %s\n", h.NodeID(), h.Addr())
 	}
-	// Boot the back-end layer.
-	for i := 0; i < params.N2; i++ {
-		srv, err := lds.NewL2Server(params, i, code, nil)
-		if err != nil {
-			return err
-		}
-		node, err := backHost.Register(srv.ID(), srv.Handle)
-		if err != nil {
-			return err
-		}
-		srv.Bind(node)
-	}
-	fmt.Printf("edge layer   (%d servers) on %s\n", params.N1, edgeHost.Addr())
-	fmt.Printf("back-end     (%d servers) on %s\n", params.N2, backHost.Addr())
 
-	// Clients on their own host.
-	writer, err := lds.NewWriter(params, 1)
-	if err != nil {
-		return err
+	// The topology config: what you would put in cluster.json for
+	// `lds-gateway -topology cluster.json`.
+	topo := &gateway.Topology{
+		Shards: []gateway.ShardSpec{
+			{Backend: gateway.BackendTCP, Nodes: specs},
+			{Backend: gateway.BackendTCP, Nodes: specs},
+			{Backend: gateway.BackendSim},
+		},
 	}
-	book[writer.ID()] = clientHost.Addr()
-	wnode, err := clientHost.Register(writer.ID(), writer.Handle)
-	if err != nil {
-		return err
-	}
-	writer.Bind(wnode)
+	cfg, _ := json.MarshalIndent(topo, "", "  ")
+	fmt.Printf("topology config:\n%s\n", cfg)
 
-	reader, err := lds.NewReader(params, 1, code)
+	g, err := gateway.New(gateway.Config{Params: params, Topology: topo})
 	if err != nil {
 		return err
 	}
-	book[reader.ID()] = clientHost.Addr()
-	rnode, err := clientHost.Register(reader.ID(), reader.Handle)
-	if err != nil {
-		return err
-	}
-	reader.Bind(rnode)
+	defer g.Close()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("object-%d", i)
 		value := fmt.Sprintf("tcp payload %d", i)
 		start := time.Now()
-		tg, err := writer.Write(ctx, []byte(value))
+		tg, err := g.Put(ctx, key, []byte(value))
 		if err != nil {
-			return fmt.Errorf("write: %w", err)
+			return fmt.Errorf("put: %w", err)
 		}
 		wrote := time.Since(start)
 		start = time.Now()
-		got, rtag, err := reader.Read(ctx)
+		got, rtag, err := g.Get(ctx, key)
 		if err != nil {
-			return fmt.Errorf("read: %w", err)
+			return fmt.Errorf("get: %w", err)
 		}
-		fmt.Printf("round %d: wrote %q tag %v in %v; read %q tag %v in %v\n",
-			i, value, tg, wrote.Round(time.Microsecond),
+		backend := g.Stats()[g.ShardFor(key)].Backend
+		fmt.Printf("%s via %-3s shard %d: wrote %q tag %v in %v; read %q tag %v in %v\n",
+			key, backend, g.ShardFor(key), value, tg, wrote.Round(time.Microsecond),
 			got, rtag, time.Since(start).Round(time.Microsecond))
 	}
-	fmt.Println("full protocol ran over real TCP sockets")
+
+	nodes, err := g.ProbeRemoteNodes(ctx)
+	if err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		fmt.Printf("node %d at %s: alive=%v groups=%d rtt=%v\n",
+			n.ID, n.Addr, n.Alive, n.Groups, n.RTT.Round(10*time.Microsecond))
+	}
+	fmt.Println("full sharded protocol ran over real TCP sockets behind one front door")
 	return nil
 }

@@ -266,3 +266,27 @@ func TestMeasureMigrationCompletes(t *testing.T) {
 		t.Errorf("migration phase recorded %d writes, want 30 (no write lost or failed)", res.DuringWrite.Ops)
 	}
 }
+
+// TestMeasureTCPGatewaySmoke keeps the sim-vs-TCP comparison runnable:
+// tiny workload, but both backends complete and produce sane profiles.
+func TestMeasureTCPGatewaySmoke(t *testing.T) {
+	p, err := lds.NewParams(3, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureTCPGateway(p, 256, 4, 2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range []GatewayProfile{res.Sim, res.TCP} {
+		if pr.Ops != 2*2*4 {
+			t.Errorf("%s: %d ops, want %d", pr.Backend, pr.Ops, 16)
+		}
+		if pr.OpsPerSec <= 0 {
+			t.Errorf("%s: ops/s = %f", pr.Backend, pr.OpsPerSec)
+		}
+		if pr.Read.Mean <= 0 || pr.Write.Mean <= 0 {
+			t.Errorf("%s: empty latency profile", pr.Backend)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+// Real-network gateway experiment, beyond the paper: the companion work on
+// storage-optimized data-atomic algorithms (Konwar et al., 2016) measures
+// erasure-coded atomic storage against real network costs; this experiment
+// does the layered algorithm the same favor. One gateway runs its shard
+// groups in-process on the simulated transport (link delay zero), the
+// other runs identical groups in node-host processes behind real TCP
+// sockets (internal/nodehost over tcpnet, loopback), under the same
+// workload. The gap between the two columns is the true cost of real
+// framing, kernel socket hops and the provisioning handshake — the number
+// that tells you what the front door will do on actual hardware, where
+// the simulator can only extrapolate.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/gateway"
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/nodehost"
+)
+
+// GatewayProfile is one backend's side of the comparison.
+type GatewayProfile struct {
+	Backend   string
+	Ops       int
+	Elapsed   time.Duration
+	OpsPerSec float64
+	Read      LatencyProfile
+	Write     LatencyProfile
+}
+
+// TCPGatewayResult pairs the two backends under the identical workload.
+type TCPGatewayResult struct {
+	Keys    int
+	Clients int
+	Sim     GatewayProfile
+	TCP     GatewayProfile
+}
+
+// MeasureTCPGateway runs the same keyspace workload through a sim-backed
+// and a TCP-backed gateway (nodes in-process node hosts on loopback, real
+// sockets) and profiles both: clients concurrent client pairs (one
+// writer, one reader) each drive opsPerClient operations of valueSize
+// bytes over keys keys.
+func MeasureTCPGateway(p lds.Params, valueSize, keys, clients, opsPerClient, nodes int) (*TCPGatewayResult, error) {
+	res := &TCPGatewayResult{Keys: keys, Clients: clients}
+
+	simGW, err := gateway.New(gateway.Config{
+		Shards: 2, Params: p, PoolSize: clients,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer simGW.Close()
+	res.Sim, err = profileGateway(gateway.BackendSim, simGW, valueSize, keys, clients, opsPerClient)
+	if err != nil {
+		return nil, err
+	}
+
+	hosts := make([]*nodehost.Host, nodes)
+	specs := make([]gateway.NodeSpec, nodes)
+	for i := range hosts {
+		h, err := nodehost.New("127.0.0.1:0", int32(i+1), nodehost.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer h.Close()
+		hosts[i] = h
+		specs[i] = gateway.NodeSpec{ID: h.NodeID(), Addr: h.Addr()}
+	}
+	tcpGW, err := gateway.New(gateway.Config{
+		Params: p, PoolSize: clients,
+		Topology: &gateway.Topology{Shards: []gateway.ShardSpec{
+			{Backend: gateway.BackendTCP, Nodes: specs},
+			{Backend: gateway.BackendTCP, Nodes: specs},
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tcpGW.Close()
+	res.TCP, err = profileGateway(gateway.BackendTCP, tcpGW, valueSize, keys, clients, opsPerClient)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func profileGateway(backend string, gw *gateway.Gateway, valueSize, keys, clients, opsPerClient int) (GatewayProfile, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	keyName := func(i int) string { return fmt.Sprintf("bench-%d", i) }
+	for i := 0; i < keys; i++ {
+		if err := gw.Ensure(ctx, keyName(i)); err != nil {
+			return GatewayProfile{}, err
+		}
+	}
+	value := make([]byte, valueSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		reads    []time.Duration
+		writes   []time.Duration
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(2)
+		go func(c int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, opsPerClient)
+			for op := 0; op < opsPerClient; op++ {
+				key := keyName((c*opsPerClient + op) % keys)
+				t0 := time.Now()
+				if _, err := gw.Put(ctx, key, value); err != nil {
+					fail(err)
+					return
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			mu.Lock()
+			writes = append(writes, samples...)
+			mu.Unlock()
+		}(c)
+		go func(c int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, opsPerClient)
+			for op := 0; op < opsPerClient; op++ {
+				key := keyName((c*opsPerClient + op) % keys)
+				t0 := time.Now()
+				if _, _, err := gw.Get(ctx, key); err != nil {
+					fail(err)
+					return
+				}
+				samples = append(samples, time.Since(t0))
+			}
+			mu.Lock()
+			reads = append(reads, samples...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return GatewayProfile{}, firstErr
+	}
+	ops := len(reads) + len(writes)
+	return GatewayProfile{
+		Backend:   backend,
+		Ops:       ops,
+		Elapsed:   elapsed,
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+		Read:      profile(reads),
+		Write:     profile(writes),
+	}, nil
+}

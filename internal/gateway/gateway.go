@@ -7,18 +7,26 @@
 // A Gateway owns S shards. Each shard owns the keys that consistent
 // hashing (see Ring) assigns to it, and serves every key with a dedicated
 // LDS group — a full L1/L2 cluster running the paper's protocol, created
-// lazily on the key's first use. All groups live on one shared simulated
-// network; transport.Namespace gives each group a disjoint process-id
-// space, so the groups are isolated by construction (a group's quorums,
-// broadcasts and L2 offloads never cross into another group) while still
-// sharing the transport's latency model and cost accounting.
+// lazily on the key's first use by the shard's backend (see Topology):
+//
+//   - "sim" shards build groups in-process on one shared simulated
+//     network (channet), sharing its latency model and cost accounting;
+//   - "tcp" shards build groups whose L1/L2 servers live in remote node
+//     processes (cmd/lds-node, internal/nodehost) over tcpnet,
+//     provisioned through the GroupServe registration handshake; the
+//     gateway hosts only the pooled clients and a control endpoint.
+//
+// Either way transport.Namespace gives each group a disjoint process-id
+// space, so groups are isolated by construction: a group's quorums,
+// broadcasts and L2 offloads never cross into another group. One front
+// door mixes both backends freely.
 //
 //	client ──► Gateway.Get/Put(key)
 //	             │  router: key → shard (ring, or its pinned placement)
 //	             ▼
-//	          shard s ── semaphore (backpressure), stats
-//	             │  key → LDS group (lazy)
-//	             ▼
+//	          shard s ── semaphore (backpressure), stats, backend
+//	             │  key → LDS group (lazy: sim cluster, or remote
+//	             ▼         servers via the provisioning handshake)
 //	          object: Writer/Reader pools ──► L1 ──► L2   (paper protocol)
 //
 // # Pooling and backpressure
@@ -62,13 +70,25 @@
 // only toward the error counters so the load signals stay exact), and
 // Stats() adds the live temporary- and permanent-storage bytes of each
 // shard's groups plus its hottest keys — the inputs the rebalancer acts
-// on.
+// on. Remote shards' storage lives in their node processes and reads as
+// zero here; their node-level health comes from ProbeRemoteNodes instead.
+//
+// # Fault tolerance over real networks
+//
+// On tcp shards the paper's crash model maps onto process reality:
+// tcpnet drops traffic toward an unreachable node, so operations ride the
+// (f1, f2) quorum slack while a node is down, and a restarted (empty)
+// node is restored by ReprovisionRemote — safe as long as concurrently
+// restarted nodes host at most f1 L1 and f2 L2 servers of any group. See
+// docs/ARCHITECTURE.md for the full story and docs/OPERATIONS.md for the
+// runbooks.
 package gateway
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +99,7 @@ import (
 	"github.com/lds-storage/lds/internal/tag"
 	"github.com/lds-storage/lds/internal/transport"
 	"github.com/lds-storage/lds/internal/transport/channet"
+	"github.com/lds-storage/lds/internal/wire"
 )
 
 // Defaults for Config knobs left zero.
@@ -114,11 +135,95 @@ type Config struct {
 	// the default (128).
 	VirtualNodes int
 	// Accountant, when non-nil, observes all traffic of all groups for
-	// cost measurement.
+	// cost measurement (sim shards only; remote traffic crosses real
+	// sockets, not the simulated network).
 	Accountant *cost.Accountant
 	// Code overrides the storage code; nil selects the paper's MBR code
 	// for Params. One code value is shared by every group.
 	Code erasure.Regenerating
+	// Topology, when non-nil, assigns each shard a backend: "sim" shards
+	// run in-process on the shared simulated network as before, "tcp"
+	// shards run their groups on remote node processes (cmd/lds-node)
+	// over tcpnet. len(Topology.Shards) must equal Shards (or Shards may
+	// be left 0 to adopt the topology's count). Nil keeps every shard on
+	// the sim backend.
+	Topology *Topology
+}
+
+// group is the backend-agnostic surface of one key's LDS cluster: pooled
+// client construction, crash injection (where the backend supports it),
+// the storage/backlog probes behind ShardStats, and teardown. sim.Cluster
+// implements it for in-process groups; remoteGroup implements it over
+// real node processes.
+type group interface {
+	Writer(wid int32) (*lds.Writer, error)
+	Reader(rid int32) (*lds.Reader, error)
+	CrashL1(i int)
+	CrashL2(i int)
+	TemporaryStorageBytes() int64
+	PermanentStorageBytes() int64
+	OffloadQueueDepth() int64
+	Close() error
+}
+
+// backend builds the LDS groups of one shard.
+type backend interface {
+	// newGroup builds the group for one key in namespace ns, seeded from
+	// seed when non-nil (a migration snapshot); ctx bounds any network
+	// provisioning involved.
+	newGroup(ctx context.Context, ns int32, seed *groupSeed) (group, error)
+	// name labels the backend in ShardStats.
+	name() string
+}
+
+// simBackend builds groups on the gateway's shared simulated network —
+// the default, and the backend of every shard a Resize adds.
+type simBackend struct{ g *Gateway }
+
+func (b simBackend) name() string { return BackendSim }
+
+func (b simBackend) newGroup(_ context.Context, ns int32, seed *groupSeed) (group, error) {
+	g := b.g
+	view, err := transport.Namespace(g.net, ns)
+	if err != nil {
+		return nil, err
+	}
+	initialValue, initialTag := g.cfg.InitialValue, tag.Zero
+	if seed != nil {
+		initialValue, initialTag = seed.value, seed.tag
+	}
+	cluster, err := sim.New(sim.Config{
+		Params:       g.cfg.Params,
+		InitialValue: initialValue,
+		InitialTag:   initialTag,
+		Code:         g.code,
+		Transport:    view,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: group %d: %w", ns, err)
+	}
+	return cluster, nil
+}
+
+// tcpBackend builds groups on a shard group of remote node processes,
+// provisioned through the manager's registration handshake.
+type tcpBackend struct {
+	mgr   *remoteManager
+	nodes []wire.NodeAddr
+}
+
+func (b tcpBackend) name() string { return BackendTCP }
+
+func (b tcpBackend) newGroup(ctx context.Context, ns int32, seed *groupSeed) (group, error) {
+	if err := b.mgr.serveGroup(ctx, ns, b.nodes, seed); err != nil {
+		return nil, err
+	}
+	grp, err := newRemoteGroup(b.mgr, ns)
+	if err != nil {
+		b.mgr.retireGroup(ns)
+		return nil, err
+	}
+	return grp, nil
 }
 
 // Gateway is a running sharded front-end.
@@ -126,6 +231,10 @@ type Gateway struct {
 	cfg  Config
 	code erasure.Regenerating
 	net  *channet.Network
+	// remote is the real-network side of the house: non-nil iff the
+	// topology has TCP shards, it owns the gateway's tcpnet listener, the
+	// provisioning control plane and the remote-group registry.
+	remote *remoteManager
 
 	// route is the key→shard control plane. Its lock orders strictly
 	// before any shard's lock (route.mu → shard.mu); nothing takes
@@ -176,11 +285,24 @@ type Gateway struct {
 	inflight  sync.WaitGroup
 }
 
-// New builds a gateway: the shared network, the ring and S empty shards.
-// LDS groups are created on first use of each key (or via Ensure).
+// New builds a gateway: the shared network, the ring, S empty shards and
+// (when the topology has TCP shards) the remote control plane. LDS groups
+// are created on first use of each key (or via Ensure).
 func New(cfg Config) (*Gateway, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Topology != nil {
+		if err := cfg.Topology.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Shards == 0 {
+			cfg.Shards = len(cfg.Topology.Shards)
+		}
+		if cfg.Shards != len(cfg.Topology.Shards) {
+			return nil, fmt.Errorf("gateway: %d shards configured but topology describes %d",
+				cfg.Shards, len(cfg.Topology.Shards))
+		}
 	}
 	ring, err := NewRing(cfg.Shards, cfg.VirtualNodes)
 	if err != nil {
@@ -211,15 +333,33 @@ func New(cfg Config) (*Gateway, error) {
 			Observer: observer,
 		}),
 	}
+	if cfg.Topology != nil && cfg.Topology.HasRemote() {
+		g.remote, err = newRemoteManager(cfg.Topology, cfg.Params, code, cfg.InitialValue)
+		if err != nil {
+			g.net.Close()
+			return nil, err
+		}
+	}
 	g.route.ring = ring
 	g.route.placement = make(map[string]int)
 	g.route.migrating = make(map[string]bool)
 	g.route.shards = make([]*shard, cfg.Shards)
 	for i := range g.route.shards {
-		g.route.shards[i] = newShard(g, i)
+		g.route.shards[i] = newShard(g, i, g.backendFor(i))
 	}
 	g.closeCtx, g.closeStop = context.WithCancel(context.Background())
 	return g, nil
+}
+
+// backendFor selects shard i's backend from the topology; shards beyond
+// the topology (those a Resize adds) run on the sim backend.
+func (g *Gateway) backendFor(i int) backend {
+	if g.cfg.Topology != nil && i < len(g.cfg.Topology.Shards) {
+		if spec := g.cfg.Topology.Shards[i]; spec.Backend == BackendTCP {
+			return tcpBackend{mgr: g.remote, nodes: nodeAddrs(spec.Nodes)}
+		}
+	}
+	return simBackend{g: g}
 }
 
 // Shards returns the current shard count.
@@ -381,7 +521,7 @@ func (g *Gateway) object(ctx context.Context, key string) (*shard, *object, erro
 		if obj != nil {
 			return sh, obj, nil
 		}
-		obj, ok, err := g.createObject(key, sh)
+		obj, ok, err := g.createObject(ctx, key, sh)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -396,14 +536,14 @@ func (g *Gateway) object(ctx context.Context, key string) (*shard, *object, erro
 // returns ok=false when the key was rerouted off sh mid-build (the
 // caller re-resolves and retries); otherwise the returned object is
 // either the freshly installed group or a concurrent creator's winner.
-func (g *Gateway) createObject(key string, sh *shard) (*object, bool, error) {
-	cluster, ns, err := g.newGroup(nil)
+func (g *Gateway) createObject(ctx context.Context, key string, sh *shard) (*object, bool, error) {
+	grp, ns, err := g.buildGroup(ctx, sh.be, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	obj, err := newObject(cluster, ns, g.cfg.PoolSize, sh.observe)
+	obj, err := newObject(grp, ns, g.cfg.PoolSize, sh.observe)
 	if err != nil {
-		cluster.Close()
+		grp.Close()
 		g.recycleNamespace(ns)
 		return nil, false, err
 	}
@@ -411,7 +551,7 @@ func (g *Gateway) createObject(key string, sh *shard) (*object, bool, error) {
 	if winner {
 		return obj, true, nil
 	}
-	obj.cluster.Close()
+	obj.grp.Close()
 	g.recycleNamespace(ns)
 	if existing != nil {
 		return existing, true, nil
@@ -437,10 +577,10 @@ func (g *Gateway) install(key string, sh *shard, obj *object) (winner bool, exis
 	// A shard-level crash covers future groups too: the shard's servers
 	// are conceptually crashed, and every group runs on them.
 	for _, i := range sh.crashedL1 {
-		obj.cluster.CrashL1(i)
+		obj.grp.CrashL1(i)
 	}
 	for _, i := range sh.crashedL2 {
-		obj.cluster.CrashL2(i)
+		obj.grp.CrashL2(i)
 	}
 	sh.objects[key] = obj
 	g.placeLocked(key, sh.index)
@@ -473,7 +613,7 @@ func (g *Gateway) Ensure(ctx context.Context, keys ...string) error {
 			if err := sh.acquire(ctx); err != nil {
 				return g.opErr(err)
 			}
-			_, ok, err := g.createObject(key, sh)
+			_, ok, err := g.createObject(ctx, key, sh)
 			sh.release()
 			if err != nil {
 				return g.opErr(err)
@@ -570,7 +710,9 @@ func (g *Gateway) CrashShardL1(shard, i int) { g.shardList()[shard].crashL1(i) }
 func (g *Gateway) CrashShardL2(shard, i int) { g.shardList()[shard].crashL2(i) }
 
 // WaitIdle blocks until no messages are in flight anywhere on the shared
-// network — every group's asynchronous write-to-L2 tail included.
+// simulated network — every sim group's asynchronous write-to-L2 tail
+// included. Remote shards' traffic crosses real sockets and is not
+// covered; quiescence there is a property of the node processes.
 func (g *Gateway) WaitIdle(timeout time.Duration) error { return g.net.WaitIdle(timeout) }
 
 // Stats returns a per-shard snapshot, indexed by shard.
@@ -602,10 +744,12 @@ func (g *Gateway) PermanentBytes() int64 {
 	return total
 }
 
-// Close shuts every group and the shared network down. Concurrent
+// Close shuts every group and both transports down. Concurrent
 // operations are unblocked promptly (they fail with ErrClosed) and
-// drained before the network is torn down, so no operation ever runs on a
-// dead transport.
+// drained before the networks are torn down, so no operation ever runs on
+// a dead transport. Remote groups get best-effort retires; node processes
+// that miss them discard stale groups when their namespaces are
+// re-served.
 func (g *Gateway) Close() error {
 	g.closeMu.Lock()
 	if g.closed {
@@ -619,7 +763,13 @@ func (g *Gateway) Close() error {
 	for _, sh := range g.shardList() {
 		sh.closeObjects()
 	}
-	return g.net.Close()
+	err := g.net.Close()
+	if g.remote != nil {
+		if rerr := g.remote.close(); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // groupSeed boots a group from a migration snapshot instead of (v0, t0).
@@ -628,33 +778,76 @@ type groupSeed struct {
 	tag   tag.Tag
 }
 
-// newGroup builds one LDS group (a sim.Cluster) in a fresh or recycled
-// namespace of the shared network, optionally seeded from a migration
-// snapshot.
-func (g *Gateway) newGroup(seed *groupSeed) (*sim.Cluster, int32, error) {
+// buildGroup allocates a namespace (fresh or recycled) and asks the
+// backend to build one LDS group in it, optionally seeded from a
+// migration snapshot. The namespace is recycled on failure.
+func (g *Gateway) buildGroup(ctx context.Context, be backend, seed *groupSeed) (group, int32, error) {
 	ns, err := g.nextNamespace()
 	if err != nil {
 		return nil, 0, err
 	}
-	view, err := transport.Namespace(g.net, ns)
+	grp, err := be.newGroup(ctx, ns, seed)
 	if err != nil {
 		g.recycleNamespace(ns)
 		return nil, 0, err
 	}
-	initialValue, initialTag := g.cfg.InitialValue, tag.Zero
-	if seed != nil {
-		initialValue, initialTag = seed.value, seed.tag
+	return grp, ns, nil
+}
+
+// ProbeRemoteNodes health-checks every node process of the topology over
+// the control plane and reports per-node status. It returns ErrNoTopology
+// on a gateway without TCP shards. Probes run with a short per-node
+// deadline derived from ctx, so one dead node does not stall the sweep
+// beyond its share.
+func (g *Gateway) ProbeRemoteNodes(ctx context.Context) ([]NodeStatus, error) {
+	if g.remote == nil {
+		return nil, ErrNoTopology
 	}
-	cluster, err := sim.New(sim.Config{
-		Params:       g.cfg.Params,
-		InitialValue: initialValue,
-		InitialTag:   initialTag,
-		Code:         g.code,
-		Transport:    view,
-	})
-	if err != nil {
-		g.recycleNamespace(ns)
-		return nil, 0, fmt.Errorf("gateway: group %d: %w", ns, err)
+	if err := g.beginOp(); err != nil {
+		return nil, err
 	}
-	return cluster, ns, nil
+	defer g.endOp()
+	ctx, cancel := g.opContext(ctx)
+	defer cancel()
+	ids := make([]int32, 0, len(g.remote.nodes))
+	g.remote.mu.Lock()
+	for id := range g.remote.nodes {
+		ids = append(ids, id)
+	}
+	g.remote.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]NodeStatus, 0, len(ids))
+	for _, id := range ids {
+		st := NodeStatus{ID: id, Addr: g.remote.nodes[id]}
+		probeCtx, probeCancel := context.WithTimeout(ctx, 2*time.Second)
+		start := time.Now()
+		pong, err := g.remote.ping(probeCtx, id)
+		probeCancel()
+		if err == nil {
+			st.Alive = true
+			st.Groups = pong.Groups
+			st.RTT = time.Since(start)
+		}
+		out = append(out, st)
+	}
+	return out, g.opErr(ctx.Err())
+}
+
+// ReprovisionRemote re-serves every live remote group to its node
+// processes. Serving is idempotent where the group still runs; a node
+// that restarted (and so reports hosting nothing) rebuilds its servers at
+// each group's boot seed and rejoins its quorums. Call it after
+// restarting a node — the runbook step that returns the cluster to full
+// fault tolerance.
+func (g *Gateway) ReprovisionRemote(ctx context.Context) error {
+	if g.remote == nil {
+		return ErrNoTopology
+	}
+	if err := g.beginOp(); err != nil {
+		return err
+	}
+	defer g.endOp()
+	ctx, cancel := g.opContext(ctx)
+	defer cancel()
+	return g.opErr(g.remote.reprovision(ctx))
 }

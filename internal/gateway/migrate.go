@@ -113,15 +113,17 @@ func (g *Gateway) migrateKey(ctx context.Context, key string, to int, drain bool
 		return fmt.Errorf("gateway: migrate %q: snapshot: %w", key, err)
 	}
 
-	// Build the seeded successor group at the destination.
-	cluster, ns, err := g.newGroup(&groupSeed{value: value, tag: snapTag})
+	// Build the seeded successor group at the destination, with the
+	// destination shard's backend — a migration may hand a key between
+	// backends (sim -> tcp and back), the snapshot seed works for both.
+	grp, ns, err := g.buildGroup(ctx, toSh.be, &groupSeed{value: value, tag: snapTag})
 	if err != nil {
 		obj.restore(writers, readers)
 		return fmt.Errorf("gateway: migrate %q: %w", key, err)
 	}
-	newObj, err := newObject(cluster, ns, g.cfg.PoolSize, toSh.observe)
+	newObj, err := newObject(grp, ns, g.cfg.PoolSize, toSh.observe)
 	if err != nil {
-		cluster.Close()
+		grp.Close()
 		g.recycleNamespace(ns)
 		obj.restore(writers, readers)
 		return fmt.Errorf("gateway: migrate %q: %w", key, err)
@@ -136,17 +138,17 @@ func (g *Gateway) migrateKey(ctx context.Context, key string, to int, drain bool
 	g.route.mu.Lock()
 	if to >= len(g.route.shards) || g.route.shards[to] != toSh {
 		g.route.mu.Unlock()
-		cluster.Close()
+		grp.Close()
 		g.recycleNamespace(ns)
 		obj.restore(writers, readers)
 		return fmt.Errorf("gateway: migrate %q: destination shard %d was removed by a concurrent resize", key, to)
 	}
 	toSh.mu.Lock()
 	for _, i := range toSh.crashedL1 {
-		newObj.cluster.CrashL1(i)
+		newObj.grp.CrashL1(i)
 	}
 	for _, i := range toSh.crashedL2 {
-		newObj.cluster.CrashL2(i)
+		newObj.grp.CrashL2(i)
 	}
 	toSh.objects[key] = newObj
 	toSh.mu.Unlock()
@@ -161,7 +163,7 @@ func (g *Gateway) migrateKey(ctx context.Context, key string, to int, drain bool
 	// the client and retries against the new home.
 	obj.retired.Store(true)
 	obj.restore(writers, readers)
-	obj.cluster.Close()
+	obj.grp.Close()
 	g.recycleNamespace(obj.ns)
 	return nil
 }
@@ -231,7 +233,7 @@ func (g *Gateway) resize(ctx context.Context, n int) error {
 			sh.mu.Unlock()
 		}
 		for len(g.route.shards) < n {
-			g.route.shards = append(g.route.shards, newShard(g, len(g.route.shards)))
+			g.route.shards = append(g.route.shards, newShard(g, len(g.route.shards), g.backendFor(len(g.route.shards))))
 		}
 		g.route.prev = g.route.ring
 		g.route.ring = newRing

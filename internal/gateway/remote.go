@@ -1,0 +1,469 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	core "github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/nodehost"
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/transport/tcpnet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// gatewayCtlIndex is the gateway's control-endpoint index. Node ids are
+// constrained to be non-negative, so -1 can never collide with a node's
+// control endpoint (a collision would make the gateway deliver its own
+// provisioning requests to itself via the local short-circuit).
+const gatewayCtlIndex = -1
+
+// rpcRetryInterval is how often an unanswered provisioning request is
+// retransmitted. The transport drops frames toward unreachable peers
+// (crash-model semantics), so request/response reliability lives here, at
+// the RPC layer.
+const rpcRetryInterval = 500 * time.Millisecond
+
+// ErrNoTopology is returned by remote-cluster operations on a gateway
+// with no TCP shards.
+var ErrNoTopology = errors.New("gateway: no remote topology configured")
+
+// remoteManager owns everything gateway-side that real-network shards
+// need: the tcpnet listener hosting client endpoints and the control
+// endpoint, the resolver mapping namespaced ids onto node processes, the
+// provisioning RPCs, and the registry of live remote groups (which doubles
+// as the reprovisioning source after a node restart).
+type remoteManager struct {
+	net       *tcpnet.Network
+	ctl       transport.Node
+	advertise string
+	params    core.Params
+	code      erasure.Regenerating
+	bootValue []byte           // Config.InitialValue, the unseeded boot state
+	nodes     map[int32]string // node id -> address (static topology)
+
+	mu      sync.Mutex
+	seq     uint64
+	gen     uint64 // group-incarnation allocator; never reused, unlike namespaces
+	pending map[uint64]chan wire.Message
+	groups  map[int32]*remoteGroupInfo // live remote groups by namespace
+	nextCID int32                      // rolling client-id allocator
+	closed  bool
+}
+
+// remoteGroupInfo is what the manager remembers about one live remote
+// group: enough to resolve its server addresses and to re-serve it (same
+// incarnation, same boot seed) after a node restart.
+type remoteGroupInfo struct {
+	gen       uint64 // the incarnation carried by every serve of this group
+	nodes     []wire.NodeAddr
+	seedValue []byte
+	seedTag   tag.Tag
+}
+
+// NodeStatus is one node process's health as seen by ProbeRemoteNodes.
+type NodeStatus struct {
+	ID    int32  `json:"id"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// Groups is how many groups the node reports hosting; a live node
+	// reporting fewer groups than the gateway placed on it (0 right after
+	// a restart) needs ReprovisionRemote.
+	Groups int32 `json:"groups"`
+	// RTT is the control-plane round trip of the probe.
+	RTT time.Duration `json:"rtt_ns"`
+}
+
+// newRemoteManager boots the gateway-side transport for a topology with
+// TCP shards.
+func newRemoteManager(t *Topology, params core.Params, code erasure.Regenerating, bootValue []byte) (*remoteManager, error) {
+	m := &remoteManager{
+		params:    params,
+		code:      code,
+		bootValue: bootValue,
+		nodes:     t.nodeTable(),
+		pending:   make(map[uint64]chan wire.Message),
+		groups:    make(map[int32]*remoteGroupInfo),
+	}
+	listen := t.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	net, err := tcpnet.NewNetwork(listen, tcpnet.Options{Resolver: m.resolve})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: remote listener: %w", err)
+	}
+	m.net = net
+	m.advertise = t.Advertise
+	if m.advertise == "" {
+		m.advertise = net.Addr()
+	}
+	ctl, err := net.Register(wire.ProcID{Role: wire.RoleControl, Index: gatewayCtlIndex}, m.handleCtl)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	m.ctl = ctl
+	return m, nil
+}
+
+func (m *remoteManager) close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	// Flush fire-and-forget retires enqueued by the groups' Close before
+	// tearing the transport down; a node missing them (unreachable past
+	// the drain budget) discards its stale groups at the next re-serve.
+	m.net.Drain(2 * time.Second)
+	return m.net.Close()
+}
+
+// resolve maps ids onto the live topology: control endpoints via the
+// static node table, namespaced L1/L2 servers via their group's placement.
+// Client ids are never resolved — the gateway hosts all clients locally,
+// and the transport's local short-circuit reaches them first.
+func (m *remoteManager) resolve(id wire.ProcID) (string, bool) {
+	if id.Role == wire.RoleControl {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		addr, ok := m.nodes[id.Index]
+		return addr, ok
+	}
+	if id.Role != wire.RoleL1 && id.Role != wire.RoleL2 {
+		return "", false
+	}
+	ns := id.Index / transport.NamespaceStride
+	local := int(id.Index % transport.NamespaceStride)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.groups[ns]
+	if !ok {
+		return "", false
+	}
+	return info.nodes[nodehost.AssignedNode(local, len(info.nodes))].Addr, true
+}
+
+// handleCtl completes pending RPCs from provisioning responses.
+func (m *remoteManager) handleCtl(env wire.Envelope) {
+	var seq uint64
+	switch msg := env.Msg.(type) {
+	case wire.GroupServeResp:
+		seq = msg.Seq
+	case wire.GroupRetireResp:
+		seq = msg.Seq
+	case wire.NodePong:
+		seq = msg.Seq
+	default:
+		return
+	}
+	m.mu.Lock()
+	ch := m.pending[seq]
+	m.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- env.Msg:
+		default: // duplicate response of a retried request
+		}
+	}
+}
+
+// call performs one at-least-once control RPC against a node: build
+// stamps the request with the RPC's (single) seq, and the identical
+// message is retransmitted every rpcRetryInterval until a response with
+// that seq arrives or ctx expires. Requests are idempotent on the node
+// side, and duplicate responses of a retried request are dropped by the
+// pending-channel buffer, so retransmits are safe. (Do not allocate a
+// fresh seq per retransmit: the pending map is keyed by the one seq.)
+func (m *remoteManager) call(ctx context.Context, nodeID int32, build func(seq uint64) wire.Message) (wire.Message, error) {
+	to := wire.ProcID{Role: wire.RoleControl, Index: nodeID}
+	m.mu.Lock()
+	m.seq++
+	seq := m.seq
+	ch := make(chan wire.Message, 1)
+	m.pending[seq] = ch
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.pending, seq)
+		m.mu.Unlock()
+	}()
+
+	msg := build(seq)
+	ticker := time.NewTicker(rpcRetryInterval)
+	defer ticker.Stop()
+	for {
+		if err := m.ctl.Send(to, msg); err != nil {
+			return nil, fmt.Errorf("gateway: node %d: %w", nodeID, err)
+		}
+		select {
+		case resp := <-ch:
+			return resp, nil
+		case <-ticker.C: // retransmit: the frame may have been dropped
+		case <-ctx.Done():
+			return nil, fmt.Errorf("gateway: node %d control rpc: %w", nodeID, ctx.Err())
+		}
+	}
+}
+
+// serveGroup provisions namespace ns across a shard group's nodes under a
+// fresh incarnation and registers it with the resolver. On failure the
+// partially provisioned nodes are sent best-effort retires.
+func (m *remoteManager) serveGroup(ctx context.Context, ns int32, nodes []wire.NodeAddr, seed *groupSeed) error {
+	value, seedTag := m.bootValue, tag.Zero
+	if seed != nil {
+		value, seedTag = seed.value, seed.tag
+	}
+	// Register before provisioning: the gateway's clients may race the
+	// final acks, so the resolver entry must exist before serveGroup
+	// returns. The fresh gen is what lets a node still hosting a prior
+	// incarnation of this recycled namespace (it missed the retire) tell
+	// this group apart from a redundant re-serve and rebuild.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.gen++
+	info := &remoteGroupInfo{gen: m.gen, nodes: nodes, seedValue: value, seedTag: seedTag}
+	m.groups[ns] = info
+	m.mu.Unlock()
+
+	for _, n := range nodes {
+		if err := m.serveNode(ctx, n.ID, ns, info); err != nil {
+			m.retireGroup(ns)
+			return fmt.Errorf("gateway: serve group %d: %w", ns, err)
+		}
+	}
+	return nil
+}
+
+// serveNode sends one node its GroupServe for the given incarnation and
+// awaits the ack.
+func (m *remoteManager) serveNode(ctx context.Context, nodeID, ns int32, info *remoteGroupInfo) error {
+	resp, err := m.call(ctx, nodeID, func(seq uint64) wire.Message {
+		return wire.GroupServe{
+			Seq:   seq,
+			Group: ns,
+			Gen:   info.gen,
+			N1:    int32(m.params.N1), N2: int32(m.params.N2),
+			F1: int32(m.params.F1), F2: int32(m.params.F2),
+			Nodes:      info.nodes,
+			ClientAddr: m.advertise,
+			Value:      info.seedValue,
+			Tag:        info.seedTag,
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if sr, ok := resp.(wire.GroupServeResp); ok && sr.Err != "" {
+		return fmt.Errorf("gateway: node %d: %s", nodeID, sr.Err)
+	}
+	return nil
+}
+
+// retireGroup forgets a group and fires best-effort retires at its nodes.
+// No response is awaited: a node that misses the retire (down, or the
+// frame dropped) discards the stale group when its namespace is
+// re-served with a new configuration.
+func (m *remoteManager) retireGroup(ns int32) {
+	m.mu.Lock()
+	info, ok := m.groups[ns]
+	if ok {
+		delete(m.groups, ns)
+	}
+	m.mu.Unlock()
+	if ok {
+		m.fireRetire(ns, info.nodes)
+	}
+}
+
+// fireRetire sends unacknowledged GroupRetire frames for ns to nodes.
+func (m *remoteManager) fireRetire(ns int32, nodes []wire.NodeAddr) {
+	m.mu.Lock()
+	m.seq++
+	seq := m.seq
+	m.mu.Unlock()
+	for _, n := range nodes {
+		m.ctl.Send(wire.ProcID{Role: wire.RoleControl, Index: n.ID}, wire.GroupRetire{Seq: seq, Group: ns})
+	}
+}
+
+// clientID allocates a process id for one pooled client. Ids are unique
+// across the manager's lifetime (wrapping only after the namespace
+// stride's worth of allocations), so a late frame from a reaped group's
+// servers can never reach a successor group's client that happens to
+// occupy the recycled namespace — the stale destination id is simply no
+// longer registered.
+func (m *remoteManager) clientID() int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextCID++
+	if m.nextCID >= transport.NamespaceStride {
+		m.nextCID = 1
+	}
+	return m.nextCID
+}
+
+// ping probes one node's control endpoint.
+func (m *remoteManager) ping(ctx context.Context, nodeID int32) (wire.NodePong, error) {
+	resp, err := m.call(ctx, nodeID, func(seq uint64) wire.Message {
+		return wire.NodePing{Seq: seq, ReplyAddr: m.advertise}
+	})
+	if err != nil {
+		return wire.NodePong{}, err
+	}
+	pong, ok := resp.(wire.NodePong)
+	if !ok {
+		return wire.NodePong{}, fmt.Errorf("gateway: node %d: unexpected response %T", nodeID, resp)
+	}
+	return pong, nil
+}
+
+// reprovision re-serves every live remote group to its nodes. Serving is
+// idempotent on nodes that still host the group; nodes that lost it (a
+// restart) rebuild their servers at the group's boot seed. That loses the
+// restarted node's protocol state — acceptable within the paper's fault
+// budget (at most f1 L1 / f2 L2 servers of any group per concurrently
+// restarted node), because every committed write is held by a quorum of
+// the surviving servers.
+func (m *remoteManager) reprovision(ctx context.Context) error {
+	m.mu.Lock()
+	type entry struct {
+		ns   int32
+		info *remoteGroupInfo
+	}
+	entries := make([]entry, 0, len(m.groups))
+	for ns, info := range m.groups {
+		entries = append(entries, entry{ns, info})
+	}
+	m.mu.Unlock()
+	var firstErr error
+	for _, e := range entries {
+		// A group retired since the snapshot (migration reap, Close) must
+		// not be resurrected; skip it if it is no longer the live
+		// incarnation of its namespace.
+		m.mu.Lock()
+		live := m.groups[e.ns] == e.info
+		m.mu.Unlock()
+		if !live {
+			continue
+		}
+		for _, n := range e.info.nodes {
+			if err := m.serveNode(ctx, n.ID, e.ns, e.info); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("gateway: reprovision group %d: %w", e.ns, err)
+			}
+		}
+		// Retired while we were re-serving it: the retire frames may have
+		// lost the race to nodes we just rebuilt, so fire another round.
+		m.mu.Lock()
+		live = m.groups[e.ns] == e.info
+		m.mu.Unlock()
+		if !live {
+			m.fireRetire(e.ns, e.info.nodes)
+		}
+	}
+	return firstErr
+}
+
+// remoteGroup is a group interface implementation whose servers live in
+// node processes; only the pooled clients run gateway-side, registered on
+// the manager's tcpnet listener under the group's namespace.
+type remoteGroup struct {
+	mgr  *remoteManager
+	ns   int32
+	view *transport.NamespacedNetwork
+
+	mu      sync.Mutex
+	writers map[int32]*core.Writer
+	readers map[int32]*core.Reader
+}
+
+var _ group = (*remoteGroup)(nil)
+
+func newRemoteGroup(mgr *remoteManager, ns int32) (*remoteGroup, error) {
+	view, err := transport.Namespace(mgr.net, ns)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteGroup{
+		mgr:     mgr,
+		ns:      ns,
+		view:    view,
+		writers: make(map[int32]*core.Writer),
+		readers: make(map[int32]*core.Reader),
+	}, nil
+}
+
+// Writer implements group. The pool slot wid maps to a manager-unique
+// process id (see remoteManager.clientID), so recycled namespaces never
+// resurrect a predecessor's client addresses.
+func (r *remoteGroup) Writer(wid int32) (*core.Writer, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.writers[wid]; ok {
+		return w, nil
+	}
+	w, err := core.NewWriter(r.mgr.params, r.mgr.clientID())
+	if err != nil {
+		return nil, err
+	}
+	node, err := r.view.Register(w.ID(), w.Handle)
+	if err != nil {
+		return nil, err
+	}
+	w.Bind(node)
+	r.writers[wid] = w
+	return w, nil
+}
+
+// Reader implements group.
+func (r *remoteGroup) Reader(rid int32) (*core.Reader, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rd, ok := r.readers[rid]; ok {
+		return rd, nil
+	}
+	rd, err := core.NewReader(r.mgr.params, r.mgr.clientID(), r.mgr.code)
+	if err != nil {
+		return nil, err
+	}
+	node, err := r.view.Register(rd.ID(), rd.Handle)
+	if err != nil {
+		return nil, err
+	}
+	rd.Bind(node)
+	r.readers[rid] = rd
+	return rd, nil
+}
+
+// CrashL1 implements group. Remote servers are real processes — crash
+// them for real (kill the node); in-process crash injection does not
+// apply, matching tcpnet's lack of a Crasher.
+func (r *remoteGroup) CrashL1(int) {}
+
+// CrashL2 implements group.
+func (r *remoteGroup) CrashL2(int) {}
+
+// TemporaryStorageBytes implements group. Remote occupancy is not sampled
+// over the control plane; stats report zero for TCP shards (see
+// ShardStats.Backend).
+func (r *remoteGroup) TemporaryStorageBytes() int64 { return 0 }
+
+// PermanentStorageBytes implements group.
+func (r *remoteGroup) PermanentStorageBytes() int64 { return 0 }
+
+// OffloadQueueDepth implements group.
+func (r *remoteGroup) OffloadQueueDepth() int64 { return 0 }
+
+// Close implements group: it unregisters the gateway-side clients and
+// fires best-effort retires at the group's nodes.
+func (r *remoteGroup) Close() error {
+	err := r.view.Close()
+	r.mgr.retireGroup(r.ns)
+	return err
+}

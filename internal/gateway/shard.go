@@ -9,19 +9,20 @@ import (
 	"time"
 
 	core "github.com/lds-storage/lds/internal/lds"
-	"github.com/lds-storage/lds/internal/sim"
 )
 
 // statsTopKeys is how many of a shard's hottest keys a snapshot reports.
 const statsTopKeys = 8
 
 // shard is one keyspace partition: a key→group map, the client pools of
-// each group, a concurrency semaphore and the op counters. The map is
-// guarded by mu; code that also needs routing state takes the gateway's
-// route lock first (lock order: route.mu → shard.mu).
+// each group, a concurrency semaphore, the op counters, and the backend
+// that builds its groups (in-process sim, or remote node processes over
+// TCP). The map is guarded by mu; code that also needs routing state
+// takes the gateway's route lock first (lock order: route.mu → shard.mu).
 type shard struct {
 	gw    *Gateway
 	index int
+	be    backend
 	sem   chan struct{} // MaxOpsPerShard tokens
 
 	mu        sync.Mutex
@@ -48,10 +49,11 @@ type shardCounters struct {
 	writeLatency atomic.Int64 // cumulative ns over successful writes
 }
 
-func newShard(g *Gateway, index int) *shard {
+func newShard(g *Gateway, index int, be backend) *shard {
 	return &shard{
 		gw:      g,
 		index:   index,
+		be:      be,
 		sem:     make(chan struct{}, g.cfg.MaxOpsPerShard),
 		objects: make(map[string]*object),
 	}
@@ -100,7 +102,7 @@ func (s *shard) crashL1(i int) {
 	defer s.mu.Unlock()
 	s.crashedL1 = append(s.crashedL1, i)
 	for _, obj := range s.objects {
-		obj.cluster.CrashL1(i)
+		obj.grp.CrashL1(i)
 	}
 }
 
@@ -109,7 +111,7 @@ func (s *shard) crashL2(i int) {
 	defer s.mu.Unlock()
 	s.crashedL2 = append(s.crashedL2, i)
 	for _, obj := range s.objects {
-		obj.cluster.CrashL2(i)
+		obj.grp.CrashL2(i)
 	}
 }
 
@@ -118,7 +120,7 @@ func (s *shard) temporaryBytes() int64 {
 	defer s.mu.Unlock()
 	var total int64
 	for _, obj := range s.objects {
-		total += obj.cluster.TemporaryStorageBytes()
+		total += obj.grp.TemporaryStorageBytes()
 	}
 	return total
 }
@@ -128,7 +130,7 @@ func (s *shard) permanentBytes() int64 {
 	defer s.mu.Unlock()
 	var total int64
 	for _, obj := range s.objects {
-		total += obj.cluster.PermanentStorageBytes()
+		total += obj.grp.PermanentStorageBytes()
 	}
 	return total
 }
@@ -139,9 +141,9 @@ func (s *shard) snapshot() ShardStats {
 	var tmp, perm, offload int64
 	top := make([]KeyLoad, 0, len(s.objects))
 	for key, obj := range s.objects {
-		tmp += obj.cluster.TemporaryStorageBytes()
-		perm += obj.cluster.PermanentStorageBytes()
-		offload += obj.cluster.OffloadQueueDepth()
+		tmp += obj.grp.TemporaryStorageBytes()
+		perm += obj.grp.PermanentStorageBytes()
+		offload += obj.grp.OffloadQueueDepth()
 		top = append(top, KeyLoad{Key: key, Ops: obj.ops.Load()})
 	}
 	s.mu.Unlock()
@@ -156,6 +158,7 @@ func (s *shard) snapshot() ShardStats {
 	}
 	return ShardStats{
 		Shard:             s.index,
+		Backend:           s.be.name(),
 		Keys:              keys,
 		Reads:             s.stats.reads.Load(),
 		Writes:            s.stats.writes.Load(),
@@ -179,15 +182,17 @@ func (s *shard) closeObjects() {
 	s.mu.Unlock()
 	for _, obj := range objects {
 		obj.retired.Store(true)
-		obj.cluster.Close()
+		obj.grp.Close()
 	}
 }
 
 // object is one key's LDS group plus its pooled clients. Pool channels
 // hold idle clients; a checkout is a channel receive, so callers queue
-// fairly and cheaply when a key is hot.
+// fairly and cheaply when a key is hot. The group may be an in-process
+// sim.Cluster or a remoteGroup over node processes — everything from here
+// down is backend-agnostic.
 type object struct {
-	cluster *sim.Cluster
+	grp     group
 	ns      int32 // the group's transport namespace, recycled at reaping
 	writers chan *core.Writer
 	readers chan *core.Reader
@@ -204,9 +209,9 @@ type object struct {
 	retired atomic.Bool
 }
 
-func newObject(cluster *sim.Cluster, ns int32, poolSize int, obs core.OpObserver) (*object, error) {
+func newObject(grp group, ns int32, poolSize int, obs core.OpObserver) (*object, error) {
 	obj := &object{
-		cluster: cluster,
+		grp:     grp,
 		ns:      ns,
 		writers: make(chan *core.Writer, poolSize),
 		readers: make(chan *core.Reader, poolSize),
@@ -214,13 +219,13 @@ func newObject(cluster *sim.Cluster, ns int32, poolSize int, obs core.OpObserver
 	// Client ids start at 1 (0 is reserved by the protocol's validation).
 	// Distinct writer ids are what order concurrent writes with equal z.
 	for i := 1; i <= poolSize; i++ {
-		w, err := cluster.Writer(int32(i))
+		w, err := grp.Writer(int32(i))
 		if err != nil {
 			return nil, err
 		}
 		w.SetObserver(obs)
 		obj.writers <- w
-		r, err := cluster.Reader(int32(i))
+		r, err := grp.Reader(int32(i))
 		if err != nil {
 			return nil, err
 		}
@@ -298,8 +303,13 @@ type KeyLoad struct {
 // failure counts, and the live storage occupancy of the shard's groups.
 // These are the load signals the rebalancer acts on.
 type ShardStats struct {
-	Shard          int
-	Keys           int
+	Shard int
+	// Backend names the shard's group builder: "sim" for in-process
+	// groups (whose storage gauges below are live) or "tcp" for groups on
+	// remote node processes (whose storage lives in those processes and
+	// reads as zero here).
+	Backend string
+	Keys    int
 	Reads          uint64 // successful reads
 	Writes         uint64 // successful writes
 	ReadErrors     uint64

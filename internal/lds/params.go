@@ -11,6 +11,12 @@
 //
 // Fault tolerance: f1 < n1/2 crashes in L1 and f2 < n2/3 crashes in L2,
 // with n1 = 2*f1 + k and n2 = 2*f2 + d for an {(n1+n2, k, d)} MBR code.
+//
+// All four roles are transport-agnostic actors bound to transport.Node
+// endpoints: the same code runs on the simulated network (internal/sim),
+// sharded behind the multi-object gateway (internal/gateway), and across
+// real processes over TCP (internal/nodehost, cmd/lds-node) — see
+// docs/ARCHITECTURE.md for the layer map.
 package lds
 
 import (

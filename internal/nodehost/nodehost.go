@@ -1,0 +1,346 @@
+// Package nodehost runs the server side of a real-network LDS deployment:
+// one Host per process (cmd/lds-node) owns a TCP listener and hosts the
+// L1 and L2 servers of any number of shard groups, provisioned at runtime
+// by a gateway's registration handshake (wire.GroupServe / GroupRetire /
+// NodePing over the ordinary transport).
+//
+// A shard group is a set of node processes that together run full LDS
+// clusters, one per namespaced group (= one per key of the gateway shard
+// the group backs). Server placement is deterministic: within a group
+// whose topology lists the nodes n_0..n_{m-1}, server L1/i and server
+// L2/i run on node n_{i mod m}, so every participant — the gateway's
+// resolver, each node's resolver, and the provisioning handshake — derives
+// the same placement from the same node list without further coordination
+// (see AssignedNode).
+//
+// The Host's address resolver maps each namespaced process id onto the
+// per-process address space this placement induces: L1/L2 ids route to
+// the owning peer node, writer/reader ids route to the gateway listener
+// carried by the group's GroupServe, and control ids route to wherever a
+// handshake last told us the sender lives. Nothing here needs a static
+// address book; topology flows entirely through the handshake.
+//
+// A restarted node comes back empty (crash-stop: its servers' state is
+// gone) and reports Groups=0 to the gateway's NodePing prober, which
+// re-serves the lost groups at their boot seeds. That is safe as long as
+// the nodes restarted concurrently host at most f1 L1 and f2 L2 servers
+// of any one group — the paper's fault budget, which a placement of one
+// L1 and one L2 server per node (m = n1 = n2 nodes) meets for a single
+// node restart.
+package nodehost
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/lds-storage/lds/internal/erasure"
+	"github.com/lds-storage/lds/internal/lds"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/transport/tcpnet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed host.
+var ErrClosed = errors.New("nodehost: closed")
+
+// AssignedNode returns the position in a group's node list that hosts
+// server index i of either layer: round-robin, L1/i and L2/i on node
+// i mod m. Shared by the host (to pick its own servers) and the gateway
+// resolver (to route to them).
+func AssignedNode(serverIndex, numNodes int) int { return serverIndex % numNodes }
+
+// Options tunes a Host.
+type Options struct {
+	// Transport is passed to the underlying tcpnet network (Book and
+	// Resolver are owned by the host and ignored).
+	Transport tcpnet.Options
+	// Log, when non-nil, receives one line per provisioning event.
+	Log func(format string, args ...any)
+}
+
+// Host is one node process's server runtime.
+type Host struct {
+	id   int32
+	net  *tcpnet.Network
+	ctl  transport.Node
+	logf func(format string, args ...any)
+
+	mu       sync.RWMutex
+	groups   map[int32]*hostedGroup
+	ctlAddrs map[wire.ProcID]string // control peers learned from handshakes
+	codes    map[lds.Params]erasure.Regenerating
+	closed   bool
+}
+
+// hostedGroup is this node's slice of one namespaced LDS cluster.
+type hostedGroup struct {
+	gen     uint64 // incarnation (wire.GroupServe.Gen): namespaces recycle, gens never repeat
+	view    *transport.NamespacedNetwork
+	params  lds.Params
+	nodes   []wire.NodeAddr
+	clients string // gateway listener hosting the group's clients
+	servers int    // how many servers this node runs for the group
+}
+
+// New starts a host with the given topology-wide node id, listening on
+// listen (":0" picks a free port; use Addr). The control endpoint ctl/id
+// is registered immediately; groups arrive via the handshake.
+func New(listen string, nodeID int32, opts Options) (*Host, error) {
+	if nodeID < 0 {
+		return nil, fmt.Errorf("nodehost: node id %d, want >= 0", nodeID)
+	}
+	h := &Host{
+		id:       nodeID,
+		groups:   make(map[int32]*hostedGroup),
+		ctlAddrs: make(map[wire.ProcID]string),
+		codes:    make(map[lds.Params]erasure.Regenerating),
+		logf:     opts.Log,
+	}
+	if h.logf == nil {
+		h.logf = func(string, ...any) {}
+	}
+	topts := opts.Transport
+	topts.Resolver = h.resolve
+	net, err := tcpnet.NewNetwork(listen, topts)
+	if err != nil {
+		return nil, err
+	}
+	h.net = net
+	ctl, err := net.Register(wire.ProcID{Role: wire.RoleControl, Index: nodeID}, h.handleCtl)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	h.ctl = ctl
+	return h, nil
+}
+
+// NodeID returns the host's topology-wide node id.
+func (h *Host) NodeID() int32 { return h.id }
+
+// Addr returns the bound listen address.
+func (h *Host) Addr() string { return h.net.Addr() }
+
+// Groups returns the number of groups currently hosted.
+func (h *Host) Groups() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.groups)
+}
+
+// Servers returns the number of protocol servers currently running.
+func (h *Host) Servers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var total int
+	for _, g := range h.groups {
+		total += g.servers
+	}
+	return total
+}
+
+// Close tears every hosted server down and closes the listener.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	views := make([]*transport.NamespacedNetwork, 0, len(h.groups))
+	for _, g := range h.groups {
+		views = append(views, g.view)
+	}
+	h.groups = make(map[int32]*hostedGroup)
+	h.mu.Unlock()
+	for _, v := range views {
+		v.Close()
+	}
+	return h.net.Close()
+}
+
+// resolve is the host's tcpnet Resolver: it maps process ids onto the
+// addresses the live topology implies.
+func (h *Host) resolve(id wire.ProcID) (string, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if id.Role == wire.RoleControl {
+		addr, ok := h.ctlAddrs[id]
+		return addr, ok
+	}
+	ns := id.Index / transport.NamespaceStride
+	local := int(id.Index % transport.NamespaceStride)
+	g, ok := h.groups[ns]
+	if !ok {
+		return "", false
+	}
+	switch id.Role {
+	case wire.RoleL1, wire.RoleL2:
+		return g.nodes[AssignedNode(local, len(g.nodes))].Addr, true
+	case wire.RoleWriter, wire.RoleReader:
+		return g.clients, true
+	}
+	return "", false
+}
+
+// handleCtl is the control endpoint's actor: provisioning requests arrive
+// here one at a time.
+func (h *Host) handleCtl(env wire.Envelope) {
+	switch m := env.Msg.(type) {
+	case wire.GroupServe:
+		h.rememberCtl(env.From, m.ClientAddr)
+		resp := wire.GroupServeResp{Seq: m.Seq, Group: m.Group}
+		if err := h.serve(m); err != nil {
+			resp.Err = err.Error()
+			h.logf("nodehost %d: serve group %d: %v", h.id, m.Group, err)
+		}
+		h.ctl.Send(env.From, resp)
+	case wire.GroupRetire:
+		h.retire(m.Group)
+		h.ctl.Send(env.From, wire.GroupRetireResp{Seq: m.Seq, Group: m.Group})
+	case wire.NodePing:
+		h.rememberCtl(env.From, m.ReplyAddr)
+		h.ctl.Send(env.From, wire.NodePong{Seq: m.Seq, Groups: int32(h.Groups())})
+	}
+}
+
+func (h *Host) rememberCtl(from wire.ProcID, addr string) {
+	if addr == "" {
+		return
+	}
+	h.mu.Lock()
+	h.ctlAddrs[from] = addr
+	h.mu.Unlock()
+}
+
+// serve instantiates this node's slice of the described group. Re-serving
+// an incarnation already hosted (same Gen) is idempotent; a different Gen
+// for the same namespace replaces the old group outright — the namespace
+// was recycled to a successor group and this node missed the retire while
+// unreachable. Descriptions alone cannot make that call: two incarnations
+// of one namespace routinely carry byte-identical geometry/node/seed
+// descriptions while serving different keys.
+func (h *Host) serve(m wire.GroupServe) error {
+	params, err := lds.NewParams(int(m.N1), int(m.N2), int(m.F1), int(m.F2))
+	if err != nil {
+		return err
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("nodehost: group %d has no nodes", m.Group)
+	}
+	myPos := -1
+	for i, n := range m.Nodes {
+		if n.ID == h.id {
+			myPos = i
+			break
+		}
+	}
+	if myPos < 0 {
+		return fmt.Errorf("nodehost: node %d is not in group %d's node list", h.id, m.Group)
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	if g, ok := h.groups[m.Group]; ok {
+		if g.gen == m.Gen {
+			h.mu.Unlock()
+			return nil // idempotent re-serve of the same incarnation
+		}
+		delete(h.groups, m.Group)
+		h.mu.Unlock()
+		g.view.Close() // recycled namespace: replace the stale incarnation
+		h.mu.Lock()
+	}
+	code, err := h.codeLocked(params)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	// Install the registry entry before registering servers: the servers'
+	// first outbound sends need the resolver to know the group.
+	view, err := transport.Namespace(h.net, m.Group)
+	if err != nil {
+		h.mu.Unlock()
+		return err
+	}
+	g := &hostedGroup{gen: m.Gen, view: view, params: params, nodes: m.Nodes, clients: m.ClientAddr}
+	h.groups[m.Group] = g
+	h.mu.Unlock()
+
+	fail := func(err error) error {
+		h.mu.Lock()
+		if h.groups[m.Group] == g {
+			delete(h.groups, m.Group)
+		}
+		h.mu.Unlock()
+		view.Close()
+		return err
+	}
+	for i := 0; i < params.N1; i++ {
+		if AssignedNode(i, len(m.Nodes)) != myPos {
+			continue
+		}
+		srv, err := lds.NewL1ServerSeeded(params, i, code, m.Tag)
+		if err != nil {
+			return fail(err)
+		}
+		node, err := view.Register(srv.ID(), srv.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		if err := srv.Bind(node); err != nil {
+			return fail(err)
+		}
+		g.servers++
+	}
+	for i := 0; i < params.N2; i++ {
+		if AssignedNode(i, len(m.Nodes)) != myPos {
+			continue
+		}
+		srv, err := lds.NewL2ServerSeeded(params, i, code, m.Value, m.Tag)
+		if err != nil {
+			return fail(err)
+		}
+		node, err := view.Register(srv.ID(), srv.Handle)
+		if err != nil {
+			return fail(err)
+		}
+		srv.Bind(node)
+		g.servers++
+	}
+	h.logf("nodehost %d: serving group %d gen %d (%d servers, %d nodes, seed tag %v)",
+		h.id, m.Group, m.Gen, g.servers, len(m.Nodes), m.Tag)
+	return nil
+}
+
+// codeLocked returns the storage code for params, cached; h.mu held.
+func (h *Host) codeLocked(params lds.Params) (erasure.Regenerating, error) {
+	if code, ok := h.codes[params]; ok {
+		return code, nil
+	}
+	code, err := params.NewCode()
+	if err != nil {
+		return nil, err
+	}
+	h.codes[params] = code
+	return code, nil
+}
+
+// retire tears down this node's servers of a group; unknown groups are a
+// no-op (retire is idempotent and may arrive after a restart).
+func (h *Host) retire(group int32) {
+	h.mu.Lock()
+	g, ok := h.groups[group]
+	if ok {
+		delete(h.groups, group)
+	}
+	h.mu.Unlock()
+	if ok {
+		g.view.Close()
+		h.logf("nodehost %d: retired group %d", h.id, group)
+	}
+}

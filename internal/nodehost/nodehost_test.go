@@ -1,0 +1,146 @@
+package nodehost
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/transport/tcpnet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// ctlClient is a minimal stand-in for the gateway's control endpoint.
+type ctlClient struct {
+	net   *tcpnet.Network
+	node  interface{ Send(wire.ProcID, wire.Message) error }
+	resps chan wire.Message
+}
+
+func newCtlClient(t *testing.T, hostAddr string, hostID int32) *ctlClient {
+	t.Helper()
+	c := &ctlClient{resps: make(chan wire.Message, 16)}
+	net, err := tcpnet.New("127.0.0.1:0", tcpnet.AddressBook{
+		{Role: wire.RoleControl, Index: hostID}: hostAddr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { net.Close() })
+	node, err := net.Register(wire.ProcID{Role: wire.RoleControl, Index: -1},
+		func(env wire.Envelope) { c.resps <- env.Msg })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net, c.node = net, node
+	return c
+}
+
+func (c *ctlClient) roundTrip(t *testing.T, to int32, msg wire.Message) wire.Message {
+	t.Helper()
+	if err := c.node.Send(wire.ProcID{Role: wire.RoleControl, Index: to}, msg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case resp := <-c.resps:
+		return resp
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no response to %T", msg)
+		return nil
+	}
+}
+
+func TestAssignedNode(t *testing.T) {
+	// 4 servers over 3 nodes: 0,1,2,0 — the documented round-robin.
+	want := []int{0, 1, 2, 0}
+	for i, w := range want {
+		if got := AssignedNode(i, 3); got != w {
+			t.Errorf("AssignedNode(%d, 3) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestServeRetireHandshake drives the provisioning protocol directly:
+// serve builds the node's server slice, an identical re-serve is
+// idempotent, a conflicting one replaces, retire tears down, and pings
+// report the group count throughout.
+func TestServeRetireHandshake(t *testing.T) {
+	h, err := New("127.0.0.1:0", 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	c := newCtlClient(t, h.Addr(), 1)
+
+	serve := wire.GroupServe{
+		Seq: 1, Group: 7, N1: 3, N2: 4, F1: 1, F2: 1,
+		Nodes:      []wire.NodeAddr{{ID: 1, Addr: h.Addr()}},
+		ClientAddr: c.net.Addr(),
+		Value:      []byte("v0"),
+	}
+	if resp := c.roundTrip(t, 1, serve).(wire.GroupServeResp); resp.Err != "" {
+		t.Fatalf("serve: %s", resp.Err)
+	}
+	// Sole node of the group: it hosts all 3 L1 and all 4 L2 servers.
+	if h.Groups() != 1 || h.Servers() != 7 {
+		t.Fatalf("groups=%d servers=%d, want 1/7", h.Groups(), h.Servers())
+	}
+
+	serve.Seq = 2
+	if resp := c.roundTrip(t, 1, serve).(wire.GroupServeResp); resp.Err != "" {
+		t.Fatalf("idempotent re-serve: %s", resp.Err)
+	}
+	if h.Groups() != 1 || h.Servers() != 7 {
+		t.Fatalf("re-serve changed state: groups=%d servers=%d", h.Groups(), h.Servers())
+	}
+
+	// A new incarnation of the same (recycled) namespace replaces the old
+	// group even when the description is byte-identical — the case where
+	// this node missed the retire and a successor key now occupies the
+	// namespace. Only Gen distinguishes them.
+	replace := serve
+	replace.Seq = 3
+	replace.Gen = serve.Gen + 1
+	if resp := c.roundTrip(t, 1, replace).(wire.GroupServeResp); resp.Err != "" {
+		t.Fatalf("replacing serve: %s", resp.Err)
+	}
+	if h.Groups() != 1 || h.Servers() != 7 {
+		t.Fatalf("replace: groups=%d servers=%d, want 1/7", h.Groups(), h.Servers())
+	}
+
+	// And a further incarnation carrying a migration seed also replaces.
+	migrated := replace
+	migrated.Seq = 4
+	migrated.Gen = replace.Gen + 1
+	migrated.Tag = tag.Tag{Z: 9, W: 1}
+	migrated.Value = []byte("migrated")
+	if resp := c.roundTrip(t, 1, migrated).(wire.GroupServeResp); resp.Err != "" {
+		t.Fatalf("seeded replacing serve: %s", resp.Err)
+	}
+	if h.Groups() != 1 || h.Servers() != 7 {
+		t.Fatalf("seeded replace: groups=%d servers=%d, want 1/7", h.Groups(), h.Servers())
+	}
+
+	// A serve that does not list this node must be refused.
+	foreign := serve
+	foreign.Seq = 4
+	foreign.Group = 8
+	foreign.Nodes = []wire.NodeAddr{{ID: 99, Addr: "10.0.0.9:1"}}
+	if resp := c.roundTrip(t, 1, foreign).(wire.GroupServeResp); resp.Err == "" {
+		t.Fatal("serving a group that excludes this node did not fail")
+	}
+
+	if pong := c.roundTrip(t, 1, wire.NodePing{Seq: 5, ReplyAddr: c.net.Addr()}).(wire.NodePong); pong.Groups != 1 {
+		t.Fatalf("pong groups = %d, want 1", pong.Groups)
+	}
+
+	if resp := c.roundTrip(t, 1, wire.GroupRetire{Seq: 6, Group: 7}).(wire.GroupRetireResp); resp.Group != 7 {
+		t.Fatalf("retire acked group %d", resp.Group)
+	}
+	if h.Groups() != 0 || h.Servers() != 0 {
+		t.Fatalf("after retire: groups=%d servers=%d, want 0/0", h.Groups(), h.Servers())
+	}
+	// Retiring an unknown group is idempotent.
+	if resp := c.roundTrip(t, 1, wire.GroupRetire{Seq: 7, Group: 7}).(wire.GroupRetireResp); resp.Group != 7 {
+		t.Fatalf("idempotent retire acked group %d", resp.Group)
+	}
+}

@@ -1,18 +1,36 @@
 // Package tcpnet implements the transport interfaces over real TCP
 // sockets, so the same protocol code that runs on the simulated network
-// deploys as an actual distributed system (cmd/lds-node, cmd/lds-cli).
+// deploys as an actual distributed system (cmd/lds-node, cmd/lds-cli,
+// and the gateway's remote TCP shards).
 //
-// Topology is static: an AddressBook maps every process id to a host:port.
+// Addressing is pluggable: a static AddressBook maps process ids to
+// host:port pairs, and an optional Resolver answers ids the book does not
+// know — which is how namespaced shard-group ids (L1/(g<<16|i)) are mapped
+// onto the per-process address spaces of a live cluster topology. Locally
+// hosted processes are always delivered directly, without a socket or an
+// address entry.
+//
 // Each Network instance owns one listener and hosts any number of local
-// processes; outbound connections are established lazily, shared per
-// destination address, and redialed once on write failure. Incoming frames
-// are routed to the destination process's mailbox and handled one at a
-// time, preserving the actor discipline the protocol code relies on.
+// processes. Outbound traffic to each remote address is owned by a
+// dedicated sender goroutine behind a bounded queue: Send enqueues and
+// returns, so protocol actors never block on a dead peer's socket. The
+// sender dials lazily (bounded by DialTimeout and aborted by Close),
+// enables TCP keepalive as the link heartbeat, writes under a deadline,
+// and redials once immediately when a write fails — which is what
+// reconnects after a peer process restarts. While a peer stays
+// unreachable the sender drops frames (counted by Dropped) instead of
+// blocking, exactly the crash-model semantics the protocol is proved
+// against: messages to a faulty process vanish, messages to a live one
+// are delivered. Incoming frames are routed to the destination process's
+// mailbox and handled one at a time, preserving the actor discipline the
+// protocol code relies on; torn or oversized frames drop only the
+// offending connection.
 //
 // Framing: 4-byte big-endian length, then wire.EncodeEnvelope bytes.
 package tcpnet
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,6 +39,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/lds-storage/lds/internal/transport"
 	"github.com/lds-storage/lds/internal/wire"
@@ -28,6 +48,15 @@ import (
 
 // maxFrameSize rejects absurd frames before allocating (64 MiB).
 const maxFrameSize = 64 << 20
+
+// Defaults for Options knobs left zero.
+const (
+	defaultDialTimeout   = 5 * time.Second
+	defaultWriteTimeout  = 10 * time.Second
+	defaultKeepAlive     = 15 * time.Second
+	defaultRedialBackoff = 250 * time.Millisecond
+	defaultSendQueue     = 4096
+)
 
 // Common errors.
 var (
@@ -40,6 +69,58 @@ var (
 
 // AddressBook maps process ids to listen addresses.
 type AddressBook map[wire.ProcID]string
+
+// Resolver answers addresses for process ids the static book does not
+// contain. It must be safe for concurrent use; returning ok=false makes
+// Send fail with ErrNoAddress.
+type Resolver func(wire.ProcID) (string, bool)
+
+// Options configures a Network beyond its listen address.
+type Options struct {
+	// Book is the static id -> address map; may be nil when a Resolver is
+	// given. The book is consulted before the resolver.
+	Book AddressBook
+	// Resolver answers ids missing from the book (dynamic topologies:
+	// namespaced shard-group ids, control endpoints learned at runtime).
+	Resolver Resolver
+	// DialTimeout bounds each outbound connection attempt; dials are also
+	// aborted by Close. <= 0 selects 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write, so a sender on a stalled
+	// connection fails over to a redial instead of blocking forever.
+	// <= 0 selects 10s.
+	WriteTimeout time.Duration
+	// KeepAlive is the TCP keepalive period applied to every connection,
+	// the transport's liveness heartbeat. <= 0 selects 15s.
+	KeepAlive time.Duration
+	// RedialBackoff is how long a sender waits after a failed dial before
+	// trying that address again; frames sent meanwhile are dropped (the
+	// peer is crashed as far as the protocol is concerned). <= 0 selects
+	// 250ms.
+	RedialBackoff time.Duration
+	// SendQueue is the per-destination outbound queue length; a full
+	// queue to a live peer backpressures Send. <= 0 selects 4096.
+	SendQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = defaultWriteTimeout
+	}
+	if o.KeepAlive <= 0 {
+		o.KeepAlive = defaultKeepAlive
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = defaultRedialBackoff
+	}
+	if o.SendQueue <= 0 {
+		o.SendQueue = defaultSendQueue
+	}
+	return o
+}
 
 // ParseAddressBook parses "L1/0=host:port,L1/1=host:port,L2/0=host:port".
 func ParseAddressBook(s string) (AddressBook, error) {
@@ -65,7 +146,7 @@ func ParseAddressBook(s string) (AddressBook, error) {
 	return book, nil
 }
 
-// ParseProcID parses "L1/3", "L2/0", "w/1" or "r/2".
+// ParseProcID parses "L1/3", "L2/0", "w/1", "r/2" or "ctl/1".
 func ParseProcID(s string) (wire.ProcID, error) {
 	role, idx, ok := strings.Cut(strings.TrimSpace(s), "/")
 	if !ok {
@@ -81,6 +162,8 @@ func ParseProcID(s string) (wire.ProcID, error) {
 		r = wire.RoleWriter
 	case "r", "R":
 		r = wire.RoleReader
+	case "ctl", "CTL":
+		r = wire.RoleControl
 	default:
 		return wire.ProcID{}, fmt.Errorf("tcpnet: unknown role %q", role)
 	}
@@ -104,33 +187,48 @@ func FormatAddressBook(book AddressBook) string {
 
 // Network hosts local processes and connects to remote ones.
 type Network struct {
-	book     AddressBook
+	opts     Options
 	listener net.Listener
 
-	mu     sync.Mutex
-	nodes  map[wire.ProcID]*node
-	outs   map[string]*outConn
-	ins    map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	// closeCtx aborts in-flight dials and unblocks queued sends when the
+	// network closes.
+	closeCtx  context.Context
+	closeStop context.CancelFunc
+
+	mu      sync.Mutex
+	nodes   map[wire.ProcID]*node
+	senders map[string]*sender
+	ins     map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+
+	dropped atomic.Uint64 // frames discarded toward unreachable peers
+	redials atomic.Uint64 // successful reconnects after a write failure
 }
 
 var _ transport.Network = (*Network)(nil)
 
 // New starts a network listening on listenAddr (for example "127.0.0.1:0";
-// use Addr to discover the bound port) with the given address book.
+// use Addr to discover the bound port) with a static address book and
+// default hardening options.
 func New(listenAddr string, book AddressBook) (*Network, error) {
+	return NewNetwork(listenAddr, Options{Book: book})
+}
+
+// NewNetwork starts a network listening on listenAddr with full options.
+func NewNetwork(listenAddr string, opts Options) (*Network, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen: %w", err)
 	}
 	n := &Network{
-		book:     book,
+		opts:     opts.withDefaults(),
 		listener: ln,
 		nodes:    make(map[wire.ProcID]*node),
-		outs:     make(map[string]*outConn),
+		senders:  make(map[string]*sender),
 		ins:      make(map[net.Conn]struct{}),
 	}
+	n.closeCtx, n.closeStop = context.WithCancel(context.Background())
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -138,6 +236,49 @@ func New(listenAddr string, book AddressBook) (*Network, error) {
 
 // Addr returns the bound listen address.
 func (n *Network) Addr() string { return n.listener.Addr().String() }
+
+// Dropped returns the number of outbound frames discarded because their
+// destination was unreachable (dial failed, write failed after the redial,
+// or the peer stayed in dial backoff). Under the crash model these are
+// messages to faulty processes; a steadily climbing count against a peer
+// that should be alive indicates a topology or network problem.
+func (n *Network) Dropped() uint64 { return n.dropped.Load() }
+
+// Redials returns how many times a sender re-established a connection
+// after a write failure — the "peer restarted" recovery path.
+func (n *Network) Redials() uint64 { return n.redials.Load() }
+
+// Drain waits up to timeout for every outbound queue to empty and every
+// in-flight write to finish, returning whether it got there. It is a
+// best-effort flush for fire-and-forget control traffic ahead of Close
+// (frames to unreachable peers drain by being dropped, so a dead node
+// cannot stall it beyond its dial backoff).
+func (n *Network) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if n.sendersIdle() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (n *Network) sendersIdle() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range n.senders {
+		// pending covers a frame from before it is enqueued until its
+		// write returns, so there is no window where a frame is dequeued
+		// but not yet counted as in flight.
+		if s.pending.Load() > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Register implements transport.Network.
 func (n *Network) Register(id wire.ProcID, h transport.Handler) (transport.Node, error) {
@@ -159,7 +300,9 @@ func (n *Network) Register(id wire.ProcID, h transport.Handler) (transport.Node,
 	return nd, nil
 }
 
-// Close implements transport.Network.
+// Close implements transport.Network. It aborts in-flight dials, closes
+// every connection (unblocking any sender mid-write) and waits for all
+// internal goroutines to exit, so no goroutine or descriptor outlives it.
 func (n *Network) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -171,9 +314,9 @@ func (n *Network) Close() error {
 	for _, nd := range n.nodes {
 		nodes = append(nodes, nd)
 	}
-	outs := make([]*outConn, 0, len(n.outs))
-	for _, c := range n.outs {
-		outs = append(outs, c)
+	senders := make([]*sender, 0, len(n.senders))
+	for _, s := range n.senders {
+		senders = append(senders, s)
 	}
 	ins := make([]net.Conn, 0, len(n.ins))
 	for c := range n.ins {
@@ -181,9 +324,10 @@ func (n *Network) Close() error {
 	}
 	n.mu.Unlock()
 
+	n.closeStop() // aborts dials and wakes queued sends
 	n.listener.Close()
-	for _, c := range outs {
-		c.close()
+	for _, s := range senders {
+		s.closeConn()
 	}
 	// Accepted connections must be closed explicitly: their read loops
 	// otherwise wait for the remote to hang up, and a remote shutting down
@@ -198,13 +342,21 @@ func (n *Network) Close() error {
 	return nil
 }
 
-// send routes an envelope to the destination's host, dialing if necessary.
-func (n *Network) send(env wire.Envelope) error {
-	addr, ok := n.book[env.To]
-	if !ok {
-		return fmt.Errorf("%w: %v", ErrNoAddress, env.To)
+// resolve maps a destination id to its address: static book first, then
+// the dynamic resolver.
+func (n *Network) resolve(id wire.ProcID) (string, bool) {
+	if addr, ok := n.opts.Book[id]; ok {
+		return addr, true
 	}
-	// Local short-circuit: processes on this host skip the socket.
+	if n.opts.Resolver != nil {
+		return n.opts.Resolver(id)
+	}
+	return "", false
+}
+
+// send routes an envelope: locally hosted destinations are delivered
+// directly; remote ones are enqueued on the destination address's sender.
+func (n *Network) send(env wire.Envelope) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -217,61 +369,33 @@ func (n *Network) send(env wire.Envelope) error {
 	}
 	n.mu.Unlock()
 
-	frame := encodeFrame(env)
-	c, err := n.out(addr)
+	addr, ok := n.resolve(env.To)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoAddress, env.To)
+	}
+	s, err := n.senderFor(addr)
 	if err != nil {
 		return err
 	}
-	if err := c.write(frame); err != nil {
-		// One redial: the remote may have restarted.
-		n.dropOut(addr, c)
-		c, err = n.out(addr)
-		if err != nil {
-			return err
-		}
-		return c.write(frame)
-	}
-	return nil
+	return s.enqueue(encodeFrame(env))
 }
 
-func (n *Network) out(addr string) (*outConn, error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if c, ok := n.outs[addr]; ok {
-		n.mu.Unlock()
-		return c, nil
-	}
-	n.mu.Unlock()
-
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnet: dial %s: %w", addr, err)
-	}
-	c := &outConn{conn: conn}
+// senderFor returns (creating if needed) the sender goroutine owning the
+// outbound link to addr.
+func (n *Network) senderFor(addr string) (*sender, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		conn.Close()
 		return nil, ErrClosed
 	}
-	if existing, ok := n.outs[addr]; ok {
-		conn.Close() // lost the race; use the winner
-		return existing, nil
+	if s, ok := n.senders[addr]; ok {
+		return s, nil
 	}
-	n.outs[addr] = c
-	return c, nil
-}
-
-func (n *Network) dropOut(addr string, c *outConn) {
-	n.mu.Lock()
-	if n.outs[addr] == c {
-		delete(n.outs, addr)
-	}
-	n.mu.Unlock()
-	c.close()
+	s := &sender{net: n, addr: addr, q: make(chan []byte, n.opts.SendQueue)}
+	n.senders[addr] = s
+	n.wg.Add(1)
+	go s.loop()
+	return s, nil
 }
 
 // acceptLoop ingests remote frames.
@@ -282,6 +406,7 @@ func (n *Network) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		configureConn(conn, n.opts.KeepAlive)
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
@@ -306,7 +431,10 @@ func (n *Network) readLoop(conn net.Conn) {
 	for {
 		env, err := readFrame(conn)
 		if err != nil {
-			return // connection closed or corrupt peer
+			// EOF, a torn frame (the peer died mid-write), an oversized
+			// length prefix or a corrupt body: drop this connection; the
+			// peer's sender will redial and stream fresh, whole frames.
+			return
 		}
 		n.mu.Lock()
 		nd, ok := n.nodes[env.To]
@@ -316,6 +444,14 @@ func (n *Network) readLoop(conn net.Conn) {
 		}
 		// Frames for processes not hosted here are dropped: static topology
 		// errors, not transient conditions.
+	}
+}
+
+// configureConn applies the keepalive heartbeat to a connection.
+func configureConn(conn net.Conn, period time.Duration) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(period)
 	}
 }
 
@@ -334,7 +470,11 @@ var _ transport.Node = (*node)(nil)
 // ID implements transport.Node.
 func (nd *node) ID() wire.ProcID { return nd.id }
 
-// Send implements transport.Node.
+// Send implements transport.Node. A nil return means the message was
+// delivered locally or committed to the destination's outbound queue;
+// messages to unreachable peers are silently dropped later, which is the
+// crash-model behavior protocol code expects (a crashed process receives
+// nothing, a live one everything).
 func (nd *node) Send(to wire.ProcID, msg wire.Message) error {
 	return nd.net.send(wire.Envelope{From: nd.id, To: to, Msg: msg})
 }
@@ -371,23 +511,135 @@ func (nd *node) loop() {
 	}
 }
 
-// outConn is a shared outbound connection; writes are serialized.
-type outConn struct {
-	mu   sync.Mutex
+// sender owns the outbound link to one remote address: a bounded frame
+// queue drained by a single goroutine that dials lazily, writes under a
+// deadline, redials once on write failure, and drops frames (counted)
+// while the peer is unreachable. Send callers therefore never touch a
+// socket and can never be blocked by a dead peer; Close unblocks a write
+// in progress by closing the connection out from under it.
+type sender struct {
+	net  *Network
+	addr string
+	q    chan []byte
+
+	mu   sync.Mutex // guards conn handoff between loop and closeConn
 	conn net.Conn
+
+	// pending counts frames accepted by enqueue whose write (or drop) has
+	// not finished yet; Drain's idleness test reads it, so it must be
+	// incremented before a frame becomes visible in q and decremented only
+	// after the frame is fully handled.
+	pending      atomic.Int64
+	noDialBefore time.Time // dial backoff deadline after a failed attempt
 }
 
-func (c *outConn) write(frame []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, err := c.conn.Write(frame)
+// enqueue commits a frame to the sender's queue. It blocks only when the
+// queue is full toward a live-but-slow peer (backpressure); a dead peer's
+// queue keeps draining via drops, and Close wakes all waiters.
+func (s *sender) enqueue(frame []byte) error {
+	s.pending.Add(1)
+	select {
+	case s.q <- frame:
+		return nil
+	case <-s.net.closeCtx.Done():
+		s.pending.Add(-1)
+		return ErrClosed
+	}
+}
+
+func (s *sender) loop() {
+	defer s.net.wg.Done()
+	defer s.closeConn()
+	for {
+		select {
+		case frame := <-s.q:
+			s.write(frame)
+			s.pending.Add(-1)
+		case <-s.net.closeCtx.Done():
+			return
+		}
+	}
+}
+
+// write pushes one frame, establishing the connection if needed. Failures
+// drop the frame and count it; the peer is crashed as far as the protocol
+// is concerned until a later dial succeeds.
+func (s *sender) write(frame []byte) {
+	conn := s.current()
+	if conn == nil {
+		if time.Now().Before(s.noDialBefore) {
+			s.net.dropped.Add(1)
+			return
+		}
+		var err error
+		if conn, err = s.dial(); err != nil {
+			s.noDialBefore = time.Now().Add(s.net.opts.RedialBackoff)
+			s.net.dropped.Add(1)
+			return
+		}
+		s.noDialBefore = time.Time{}
+	}
+	if err := s.writeConn(conn, frame); err != nil {
+		// One immediate redial: the remote may have restarted.
+		s.closeConn()
+		conn, err = s.dial()
+		if err != nil {
+			s.noDialBefore = time.Now().Add(s.net.opts.RedialBackoff)
+			s.net.dropped.Add(1)
+			return
+		}
+		if err = s.writeConn(conn, frame); err != nil {
+			s.closeConn()
+			s.net.dropped.Add(1)
+			return
+		}
+		s.net.redials.Add(1)
+	}
+}
+
+// dial establishes the connection, bounded by DialTimeout and aborted by
+// network Close.
+func (s *sender) dial() (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(s.net.closeCtx, s.net.opts.DialTimeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", s.addr)
+	if err != nil {
+		return nil, err
+	}
+	configureConn(conn, s.net.opts.KeepAlive)
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	return conn, nil
+}
+
+func (s *sender) current() net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
+
+// writeConn writes one frame under the write deadline. The deadline (and
+// closeConn closing the socket concurrently) bounds how long the sender
+// can be stuck on a stalled or dead connection.
+func (s *sender) writeConn(conn net.Conn, frame []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.net.opts.WriteTimeout))
+	_, err := conn.Write(frame)
 	return err
 }
 
-func (c *outConn) close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.conn.Close()
+// closeConn closes the current connection (if any) without touching the
+// queue. Safe to call from outside the sender goroutine: net.Conn.Close
+// is concurrency-safe and unblocks an in-flight Write.
+func (s *sender) closeConn() {
+	s.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 func encodeFrame(env wire.Envelope) []byte {

@@ -2,14 +2,18 @@
 // run on: reliable point-to-point links between named processes (paper,
 // Section II-a). Two implementations exist: channet, an in-memory
 // simulated network with configurable latency classes, crash injection and
-// cost accounting, and tcpnet, a real TCP transport for deployments. On
-// top of either, Namespace carves one network into disjoint per-group
-// process-id spaces, which is how many independent LDS groups (the
-// gateway's shards) share a single transport.
+// cost accounting, and tcpnet, a real TCP transport for deployments
+// (static address books, or dynamic resolvers that map process ids onto a
+// live cluster topology). On top of either, Namespace carves one network
+// into disjoint per-group process-id spaces, which is how many
+// independent LDS groups (the gateway's shards) share a single transport
+// — in one process on channet, or across machines on tcpnet.
 //
-// The reliability contract is the paper's: once Send returns, delivery to a
-// non-faulty destination is guaranteed even if the sender subsequently
-// crashes; links need not be FIFO.
+// The reliability contract is the paper's: once Send returns, delivery to
+// a non-faulty destination is guaranteed even if the sender subsequently
+// crashes; links need not be FIFO. A destination the transport cannot
+// reach (a crashed process; over TCP, an unreachable peer) receives
+// nothing — the crash-stop behavior every quorum argument assumes.
 package transport
 
 import (

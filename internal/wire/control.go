@@ -1,0 +1,301 @@
+package wire
+
+import "github.com/lds-storage/lds/internal/tag"
+
+// This file defines the deployment control plane: the messages a gateway's
+// shard-group manager exchanges with node-host processes (cmd/lds-node,
+// internal/nodehost) to provision, retire and health-check LDS groups over
+// the real network. None of these messages belong to the paper's protocol;
+// they ride the same transport so a deployment needs exactly one listener
+// per process. Every request carries a Seq the sender uses to match the
+// response, because links need not be FIFO and responses of retried
+// requests may arrive late.
+
+// NodeAddr names one node-host process of a shard group: its topology-wide
+// node id (the index of its control endpoint, ctl/ID) and its listen
+// address.
+type NodeAddr struct {
+	ID   int32
+	Addr string
+}
+
+// GroupServe asks a node host to instantiate its slice of one LDS group:
+// the L1 and L2 servers of namespace Group that the deterministic
+// round-robin assignment (L1/i and L2/i go to Nodes[i mod len(Nodes)])
+// places on the receiver. The servers boot seeded at (Value, Tag) — the
+// zero tag is the paper's initial state, a non-zero tag a migration
+// snapshot. ClientAddr is where the group's clients (and the sender's
+// control endpoint) live, so the receiver can route responses without any
+// static address book. Serving an already-hosted group with the same Gen
+// is idempotent and just re-acknowledges; a different Gen replaces the
+// hosted group outright.
+type GroupServe struct {
+	Seq   uint64
+	Group int32
+	// Gen is the group's incarnation, unique per (gateway, group build):
+	// namespaces are recycled, and two incarnations of one namespace can
+	// carry byte-identical geometry/node/seed descriptions while serving
+	// different keys. Gen is what lets a node that missed a GroupRetire
+	// distinguish a redundant re-serve (same Gen: keep the servers) from
+	// a successor group in a recycled namespace (new Gen: discard the
+	// stale servers and rebuild).
+	Gen uint64
+	// Geometry of the group (lds.Params is derived from these on the node).
+	N1, N2, F1, F2 int32
+	// Nodes is the full shard group, in assignment order.
+	Nodes []NodeAddr
+	// ClientAddr is the gateway-side listener hosting the group's writers,
+	// readers and the control endpoint the response goes to.
+	ClientAddr string
+	// Value and Tag seed the group's servers (sim.Config.InitialValue /
+	// InitialTag equivalents).
+	Value []byte
+	Tag   tag.Tag
+}
+
+// Kind implements Message.
+func (GroupServe) Kind() Kind { return KindGroupServe }
+
+// AppendTo implements Message.
+func (m GroupServe) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	b = appendUvarint(b, m.Gen)
+	b = appendInt32(b, m.N1)
+	b = appendInt32(b, m.N2)
+	b = appendInt32(b, m.F1)
+	b = appendInt32(b, m.F2)
+	b = appendUvarint(b, uint64(len(m.Nodes)))
+	for _, n := range m.Nodes {
+		b = appendInt32(b, n.ID)
+		b = appendBytes(b, []byte(n.Addr))
+	}
+	b = appendBytes(b, []byte(m.ClientAddr))
+	b = appendTag(b, m.Tag)
+	return appendBytes(b, m.Value)
+}
+
+// PayloadBytes implements Message: the seed value is data, the rest is
+// provisioning metadata.
+func (m GroupServe) PayloadBytes() int { return len(m.Value) }
+
+// GroupServeResp acknowledges a GroupServe; a non-empty Err reports why
+// the receiver could not host its slice of the group.
+type GroupServeResp struct {
+	Seq   uint64
+	Group int32
+	Err   string
+}
+
+// Kind implements Message.
+func (GroupServeResp) Kind() Kind { return KindGroupServeResp }
+
+// AppendTo implements Message.
+func (m GroupServeResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	return appendBytes(b, []byte(m.Err))
+}
+
+// PayloadBytes implements Message.
+func (GroupServeResp) PayloadBytes() int { return 0 }
+
+// GroupRetire asks a node host to tear down its servers of namespace
+// Group. Retiring an unknown group acknowledges trivially, so retire is
+// idempotent and safe to fire at restarted (amnesiac) nodes.
+type GroupRetire struct {
+	Seq   uint64
+	Group int32
+}
+
+// Kind implements Message.
+func (GroupRetire) Kind() Kind { return KindGroupRetire }
+
+// AppendTo implements Message.
+func (m GroupRetire) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	return appendInt32(b, m.Group)
+}
+
+// PayloadBytes implements Message.
+func (GroupRetire) PayloadBytes() int { return 0 }
+
+// GroupRetireResp acknowledges a GroupRetire.
+type GroupRetireResp struct {
+	Seq   uint64
+	Group int32
+}
+
+// Kind implements Message.
+func (GroupRetireResp) Kind() Kind { return KindGroupRetireResp }
+
+// AppendTo implements Message.
+func (m GroupRetireResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	return appendInt32(b, m.Group)
+}
+
+// PayloadBytes implements Message.
+func (GroupRetireResp) PayloadBytes() int { return 0 }
+
+// NodePing health-checks a node host. ReplyAddr tells the receiver where
+// the sender's control endpoint lives (a ping may precede any GroupServe,
+// so the receiver cannot be assumed to know the sender yet).
+type NodePing struct {
+	Seq       uint64
+	ReplyAddr string
+}
+
+// Kind implements Message.
+func (NodePing) Kind() Kind { return KindNodePing }
+
+// AppendTo implements Message.
+func (m NodePing) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	return appendBytes(b, []byte(m.ReplyAddr))
+}
+
+// PayloadBytes implements Message.
+func (NodePing) PayloadBytes() int { return 0 }
+
+// NodePong answers a NodePing with the number of groups the node
+// currently hosts — zero after a restart, which is how the gateway's
+// prober detects an amnesiac node that needs reprovisioning.
+type NodePong struct {
+	Seq    uint64
+	Groups int32
+}
+
+// Kind implements Message.
+func (NodePong) Kind() Kind { return KindNodePong }
+
+// AppendTo implements Message.
+func (m NodePong) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	return appendInt32(b, m.Groups)
+}
+
+// PayloadBytes implements Message.
+func (NodePong) PayloadBytes() int { return 0 }
+
+// --- decoders ---------------------------------------------------------------
+
+func init() { registerControlDecoders() }
+
+func registerControlDecoders() {
+	register(KindGroupServe, func(b []byte) (Message, error) {
+		var (
+			m   GroupServe
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Gen, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.N1, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.N2, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.F1, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.F2, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(b)) {
+			return nil, ErrTruncated
+		}
+		m.Nodes = make([]NodeAddr, n)
+		for i := range m.Nodes {
+			if m.Nodes[i].ID, b, err = readInt32(b); err != nil {
+				return nil, err
+			}
+			var addr []byte
+			if addr, b, err = readBytes(b); err != nil {
+				return nil, err
+			}
+			m.Nodes[i].Addr = string(addr)
+		}
+		var client []byte
+		if client, b, err = readBytes(b); err != nil {
+			return nil, err
+		}
+		m.ClientAddr = string(client)
+		if m.Tag, b, err = readTag(b); err != nil {
+			return nil, err
+		}
+		m.Value, _, err = readBytes(b)
+		return m, err
+	})
+	register(KindGroupServeResp, func(b []byte) (Message, error) {
+		var (
+			m   GroupServeResp
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		msg, _, err := readBytes(b)
+		m.Err = string(msg)
+		return m, err
+	})
+	register(KindGroupRetire, func(b []byte) (Message, error) {
+		var (
+			m   GroupRetire
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		m.Group, _, err = readInt32(b)
+		return m, err
+	})
+	register(KindGroupRetireResp, func(b []byte) (Message, error) {
+		var (
+			m   GroupRetireResp
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		m.Group, _, err = readInt32(b)
+		return m, err
+	})
+	register(KindNodePing, func(b []byte) (Message, error) {
+		var (
+			m   NodePing
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		addr, _, err := readBytes(b)
+		m.ReplyAddr = string(addr)
+		return m, err
+	})
+	register(KindNodePong, func(b []byte) (Message, error) {
+		var (
+			m   NodePong
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		m.Groups, _, err = readInt32(b)
+		return m, err
+	})
+}

@@ -22,11 +22,16 @@ type Role uint8
 
 // Process roles. Clients (writers and readers) interact only with L1;
 // L1 servers additionally interact with L2 servers (paper, Section II).
+// RoleControl is outside the paper's protocol: it names the provisioning
+// endpoints of real deployments (the gateway's shard-group manager and
+// each node process's group host), which exchange the GroupServe /
+// GroupRetire / NodePing handshake over the same transport.
 const (
 	RoleWriter Role = iota + 1
 	RoleReader
 	RoleL1
 	RoleL2
+	RoleControl
 )
 
 // String returns a short human-readable role name.
@@ -40,6 +45,8 @@ func (r Role) String() string {
 		return "L1"
 	case RoleL2:
 		return "L2"
+	case RoleControl:
+		return "ctl"
 	default:
 		return fmt.Sprintf("role(%d)", uint8(r))
 	}
@@ -95,6 +102,15 @@ const (
 	// wire discriminators of every earlier message stay stable).
 	KindWriteCodeElemBatch
 	KindAckCodeElemBatch
+
+	// Deployment control plane (gateway <-> node host provisioning; see
+	// control.go). Appended last, as above.
+	KindGroupServe
+	KindGroupServeResp
+	KindGroupRetire
+	KindGroupRetireResp
+	KindNodePing
+	KindNodePong
 )
 
 // Message is the interface all protocol messages implement.

@@ -43,6 +43,24 @@ func allMessages() []Message {
 		ABDQueryResp{OpID: 7, Tag: t1, Value: []byte("abd")},
 		ABDUpdate{OpID: 8, Tag: t1, Value: []byte("abd2")},
 		ABDUpdateAck{OpID: 8},
+		GroupServe{
+			Seq: 9, Group: 12, Gen: 42, N1: 4, N2: 5, F1: 1, F2: 1,
+			Nodes: []NodeAddr{
+				{ID: 1, Addr: "127.0.0.1:7101"},
+				{ID: 2, Addr: "127.0.0.1:7102"},
+			},
+			ClientAddr: "127.0.0.1:9000",
+			Value:      []byte("seed value"),
+			Tag:        t1,
+		},
+		GroupServe{Seq: 10, Group: 0, N1: 3, N2: 3, F1: 1, F2: 1,
+			Nodes: []NodeAddr{{ID: 1, Addr: "h:1"}}, ClientAddr: "h:2"},
+		GroupServeResp{Seq: 9, Group: 12},
+		GroupServeResp{Seq: 9, Group: 12, Err: "node 3 not in group"},
+		GroupRetire{Seq: 11, Group: 12},
+		GroupRetireResp{Seq: 11, Group: 12},
+		NodePing{Seq: 12, ReplyAddr: "127.0.0.1:9000"},
+		NodePong{Seq: 12, Groups: 3},
 	}
 }
 
@@ -86,6 +104,9 @@ func normalize(m Message) Message {
 		v.Value = orEmpty(v.Value)
 		return v
 	case ABDUpdate:
+		v.Value = orEmpty(v.Value)
+		return v
+	case GroupServe:
 		v.Value = orEmpty(v.Value)
 		return v
 	default:
