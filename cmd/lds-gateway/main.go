@@ -8,6 +8,16 @@
 //
 //	lds-gateway -listen :8080 -shards 4 -n1 4 -n2 5 -f1 1 -f2 1
 //	lds-gateway -listen :8080 -topology cluster.json -n1 3 -n2 4
+//	lds-gateway -listen :8080 -topology cluster.json -catalog /var/lib/lds/catalog
+//
+// With -catalog the gateway persists its routing plane (key placement,
+// group namespaces and incarnations, boot seeds) to a crash-safe
+// snapshot+WAL directory, giving it graceful-restart semantics: a
+// restarted gateway — clean SIGTERM or SIGKILL alike — reloads the
+// catalog, re-adopts the groups its node fleet still holds under their
+// persisted generations (healthy nodes keep their state; no boot-seed
+// reset), and resumes serving the same keyspace. Without -catalog a
+// restart abandons the keyspace, as before.
 //
 //	curl -X PUT --data-binary 'hello' localhost:8080/v1/kv/greeting
 //	curl localhost:8080/v1/kv/greeting
@@ -22,8 +32,10 @@
 //	                     tag in X-LDS-Tag and the owning shard in X-LDS-Shard
 //	GET  /v1/kv/{key}    read the value; same headers
 //	GET  /v1/stats       per-shard JSON: keys, ops, bytes, mean latencies,
-//	                     temporary/permanent storage, hottest keys, plus the
-//	                     routing epoch and namespace-recycling gauges
+//	                     temporary/permanent storage (live for tcp shards
+//	                     too, sampled from the nodes), hottest keys, plus
+//	                     the routing epoch, namespace-recycling gauges and
+//	                     catalog health
 //	POST /v1/rebalance   body {}           → plan hot-key moves from the live
 //	                                         stats and execute them
 //	                     body {"shards":N} → grow/shrink the ring to N shards
@@ -49,12 +61,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/lds-storage/lds/internal/catalog"
 	"github.com/lds-storage/lds/internal/gateway"
 	"github.com/lds-storage/lds/internal/lds"
 	"github.com/lds-storage/lds/internal/transport"
@@ -74,6 +88,7 @@ func run() error {
 		listen  = flag.String("listen", ":8080", "HTTP listen address")
 		shards  = flag.Int("shards", 4, "number of keyspace shards (ignored with -topology)")
 		topo    = flag.String("topology", "", "cluster topology JSON (docs/OPERATIONS.md); shard count and backends come from it")
+		catPath = flag.String("catalog", "", "durable routing-catalog directory; restarts resume the keyspace and re-adopt node-held groups")
 		n1      = flag.Int("n1", 4, "edge layer size per group")
 		n2      = flag.Int("n2", 5, "back-end layer size per group")
 		f1      = flag.Int("f1", 1, "edge layer fault tolerance")
@@ -104,17 +119,39 @@ func run() error {
 		cfg.Topology = t
 		cfg.Shards = 0 // adopt the topology's shard count
 	}
+	if *catPath != "" {
+		cat, err := catalog.Open(*catPath)
+		if err != nil {
+			return err
+		}
+		defer cat.Close()
+		cfg.Catalog = cat
+	}
 	gw, err := gateway.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer gw.Close()
+	if info := gw.RestoreInfo(); info != nil {
+		log.Printf("lds-gateway: catalog restored %d keys (%d dropped, %d orphans retired); re-adopted %d node-held groups",
+			info.Objects, info.Dropped, info.Orphans, info.AdoptedGroups)
+		for _, e := range info.AdoptErrors {
+			log.Printf("lds-gateway: re-adoption incomplete (%s); run POST /v1/reprovision once the node returns", e)
+		}
+	}
 
-	srv := &http.Server{Addr: *listen, Handler: newHandler(gw, *timeout)}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newHandler(gw, *timeout)}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("lds-gateway: %d shards of (n1=%d, n2=%d, f1=%d, f2=%d) groups on %s",
-		gw.Shards(), *n1, *n2, *f1, *f2, *listen)
+	go func() { errc <- srv.Serve(ln) }()
+	// The "listening on" line is parsed by tooling (and the restart e2e)
+	// to learn the bound port when -listen used ":0"; keep it stable.
+	log.Printf("lds-gateway: listening on %s", ln.Addr())
+	log.Printf("lds-gateway: %d shards of (n1=%d, n2=%d, f1=%d, f2=%d) groups",
+		gw.Shards(), *n1, *n2, *f1, *f2)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -122,6 +159,9 @@ func run() error {
 	case err := <-errc:
 		return err
 	case <-sigc:
+		// The deferred gw.Close detaches from node-held groups when a
+		// catalog is configured (graceful restart) and retires them
+		// otherwise.
 		log.Print("lds-gateway: shutting down")
 		return srv.Close()
 	}
@@ -139,6 +179,10 @@ type statsResponse struct {
 	// mark, free counts reaped namespaces awaiting reuse.
 	NamespacesAllocated int `json:"namespaces_allocated"`
 	NamespacesFree      int `json:"namespaces_free"`
+	// CatalogError surfaces a failing routing catalog (persistence is
+	// degraded; operations keep serving). Empty when healthy or when no
+	// catalog is configured.
+	CatalogError string `json:"catalog_error,omitempty"`
 }
 
 // shardStatsJSON flattens gateway.ShardStats with the derived means.
@@ -206,6 +250,12 @@ func newHandler(gw *gateway.Gateway, timeout time.Duration) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		// Refresh the remote shards' storage gauges first so TCP shards
+		// report live occupancy; stale gauges (a node mid-restart) are
+		// served rather than failing the whole stats call.
+		ctx, cancel := timeoutContext(r, timeout)
+		gw.SyncRemoteStats(ctx)
+		cancel()
 		stats := gw.Stats()
 		resp := statsResponse{
 			Shards:              make([]shardStatsJSON, len(stats)),
@@ -216,6 +266,9 @@ func newHandler(gw *gateway.Gateway, timeout time.Duration) http.Handler {
 			PinnedKeys:          gw.PinnedKeys(),
 			NamespacesAllocated: gw.AllocatedNamespaces(),
 			NamespacesFree:      gw.FreeNamespaces(),
+		}
+		if cerr := gw.CatalogErr(); cerr != nil {
+			resp.CatalogError = cerr.Error()
 		}
 		for i, s := range stats {
 			resp.Shards[i] = shardStatsJSON{

@@ -226,25 +226,45 @@ func TestTopologyHTTPEndToEnd(t *testing.T) {
 
 	var stats struct {
 		Shards []struct {
-			Backend string `json:"Backend"`
+			Backend        string `json:"Backend"`
+			Keys           int    `json:"Keys"`
+			PermanentBytes int64  `json:"PermanentBytes"`
 		} `json:"shards"`
 	}
-	resp, err := client.Get(srv.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
+	readStats := func() {
+		t.Helper()
+		resp, err := client.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
+	readStats()
 	if len(stats.Shards) != 2 || stats.Shards[0].Backend != "tcp" || stats.Shards[1].Backend != "sim" {
 		t.Fatalf("stats backends wrong: %+v", stats.Shards)
+	}
+	// The tcp shard's storage gauges are sampled from the node processes
+	// by the stats handler; with keys written they must become non-zero
+	// (the pre-GroupStats behavior hardcoded 0). The write-to-L2 offload
+	// is asynchronous, so allow it a moment to land.
+	if stats.Shards[0].Keys > 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for stats.Shards[0].PermanentBytes == 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+			readStats()
+		}
+		if stats.Shards[0].PermanentBytes == 0 {
+			t.Errorf("tcp shard holds %d keys but reports zero permanent bytes", stats.Shards[0].Keys)
+		}
 	}
 
 	var nodes struct {
 		Nodes []gateway.NodeStatus `json:"nodes"`
 	}
-	resp, err = client.Get(srv.URL + "/v1/nodes")
+	resp, err := client.Get(srv.URL + "/v1/nodes")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,10 +275,18 @@ func TestTopologyHTTPEndToEnd(t *testing.T) {
 	if len(nodes.Nodes) != 2 {
 		t.Fatalf("probed %d nodes, want 2", len(nodes.Nodes))
 	}
+	var nodePerm int64
 	for _, n := range nodes.Nodes {
 		if !n.Alive {
 			t.Errorf("node %d reported dead", n.ID)
 		}
+		if n.Servers == 0 {
+			t.Errorf("node %d reports no servers", n.ID)
+		}
+		nodePerm += n.PermanentBytes
+	}
+	if nodePerm == 0 {
+		t.Error("node probes report zero permanent bytes after writes")
 	}
 
 	resp, err = client.Post(srv.URL+"/v1/reprovision", "application/json", nil)

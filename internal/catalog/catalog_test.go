@@ -1,0 +1,335 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lds-storage/lds/internal/tag"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// reopen closes f and opens the same directory again, as a restarted
+// process would.
+func reopen(t *testing.T, f *File) *File {
+	t.Helper()
+	dir := f.dir
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	g, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func open(t *testing.T) *File {
+	t.Helper()
+	f, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := open(t)
+	nodes := []wire.NodeAddr{{ID: 1, Addr: "127.0.0.1:7101"}, {ID: 2, Addr: "127.0.0.1:7102"}}
+	recs := []Record{
+		{Type: TypeRing, Version: 0, Shards: 2},
+		{Type: TypeNSAlloc, NS: 0},
+		{Type: TypeGroupServe, NS: 0, Gen: 1, Nodes: nodes, Value: []byte("v0"), Tag: tag.Zero},
+		{Type: TypeObjectSet, Key: "alpha", NS: 0, Shard: 1},
+		{Type: TypePlace, Key: "alpha", Shard: 1},
+		{Type: TypeNSAlloc, NS: 1},
+		{Type: TypeGroupServe, NS: 1, Gen: 2, Nodes: nodes, Value: []byte("snap"), Tag: tag.Tag{Z: 7, W: 1}},
+		{Type: TypeObjectSet, Key: "beta", NS: 1, Shard: 0},
+	}
+	if err := f.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(st State) {
+		t.Helper()
+		if st.RingVersion != 0 || st.Shards != 2 {
+			t.Errorf("ring = (v%d, %d shards), want (v0, 2)", st.RingVersion, st.Shards)
+		}
+		if st.NextNS != 2 || len(st.FreeNS) != 0 {
+			t.Errorf("ns allocator = (next %d, free %v), want (2, none)", st.NextNS, st.FreeNS)
+		}
+		if got := st.Objects["alpha"]; got != (Object{NS: 0, Shard: 1}) {
+			t.Errorf("alpha = %+v, want {NS:0 Shard:1}", got)
+		}
+		if got := st.Objects["beta"]; got != (Object{NS: 1, Shard: 0}) {
+			t.Errorf("beta = %+v, want {NS:1 Shard:0}", got)
+		}
+		if got := st.Placement["alpha"]; got != 1 {
+			t.Errorf("placement[alpha] = %d, want 1", got)
+		}
+		g := st.Groups[1]
+		if g.Gen != 2 || string(g.Value) != "snap" || g.Tag != (tag.Tag{Z: 7, W: 1}) {
+			t.Errorf("group 1 = %+v, want gen 2 seeded (snap, (7,1))", g)
+		}
+		if len(g.Nodes) != 2 || g.Nodes[1].Addr != "127.0.0.1:7102" {
+			t.Errorf("group 1 nodes = %v", g.Nodes)
+		}
+		if st.NextGen != 3 {
+			t.Errorf("NextGen = %d, want 3", st.NextGen)
+		}
+	}
+	check(f.State())
+	// Survives a restart (snapshot via the open-time compaction).
+	check(reopen(t, f).State())
+}
+
+// TestTruncatedWALTail covers the crash-mid-append case: a torn final
+// frame must be dropped and every preceding record preserved.
+func TestTruncatedWALTail(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"torn header":  func(b []byte) []byte { return append(b, 0x03) },
+		"torn payload": func(b []byte) []byte { return appendFrame(b, []byte(`{"t":4,"key":"lost"`), true) },
+		"bad crc":      func(b []byte) []byte { return appendFrame(b, []byte(`{"t":4,"key":"lost"}`), false) },
+		"junk json":    func(b []byte) []byte { return appendFrame(b, []byte(`not json at all`), true) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			f, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Append(
+				Record{Type: TypeNSAlloc, NS: 0},
+				Record{Type: TypeObjectSet, Key: "kept", NS: 0, Shard: 3},
+			); err != nil {
+				t.Fatal(err)
+			}
+			// Simulate the crash: stop using f (no Close, which would
+			// compact) and mangle the WAL tail directly.
+			walPath := filepath.Join(dir, walName)
+			data, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(walPath, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			f.wal.Close()
+			f.lock.Close() // the crashed process's flock dies with it
+
+			g, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open after torn tail: %v", err)
+			}
+			defer g.Close()
+			st := g.State()
+			if got := st.Objects["kept"]; got != (Object{NS: 0, Shard: 3}) {
+				t.Errorf("kept = %+v, want {NS:0 Shard:3}", got)
+			}
+			if _, ok := st.Objects["lost"]; ok {
+				t.Error("torn record was replayed")
+			}
+			// The catalog must accept appends after recovery.
+			if err := g.Append(Record{Type: TypeObjectSet, Key: "after", NS: 1, Shard: 0}); err != nil {
+				t.Fatalf("Append after recovery: %v", err)
+			}
+			if got := g.State().Objects["after"]; got != (Object{NS: 1, Shard: 0}) {
+				t.Errorf("after = %+v", got)
+			}
+		})
+	}
+}
+
+// appendFrame writes one WAL frame; validCRC=false corrupts the checksum.
+func appendFrame(b, payload []byte, validCRC bool) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	sum := crc32.ChecksumIEEE(payload)
+	if !validCRC {
+		sum ^= 0xdeadbeef
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], sum)
+	return append(append(b, hdr[:]...), payload...)
+}
+
+// TestRecycleThenRealloc is the namespace-lifecycle replay edge case: a
+// namespace is retired, recycled and re-allocated to a different key with
+// a fresh generation; replay must keep only the successor.
+func TestRecycleThenRealloc(t *testing.T) {
+	f := open(t)
+	nodes := []wire.NodeAddr{{ID: 1, Addr: "127.0.0.1:7101"}}
+	if err := f.Append(
+		Record{Type: TypeNSAlloc, NS: 0},
+		Record{Type: TypeGroupServe, NS: 0, Gen: 1, Nodes: nodes},
+		Record{Type: TypeObjectSet, Key: "old", NS: 0, Shard: 0},
+		// Migration reap of "old": successor binding replaces it first.
+		Record{Type: TypeNSAlloc, NS: 1},
+		Record{Type: TypeGroupServe, NS: 1, Gen: 2, Nodes: nodes, Value: []byte("moved")},
+		Record{Type: TypeObjectSet, Key: "old", NS: 1, Shard: 0},
+		Record{Type: TypeGroupRetire, NS: 0},
+		Record{Type: TypeNSRecycle, NS: 0},
+		// Re-allocation of namespace 0 to a brand-new key.
+		Record{Type: TypeNSAlloc, NS: 0},
+		Record{Type: TypeGroupServe, NS: 0, Gen: 3, Nodes: nodes, Value: []byte("fresh")},
+		Record{Type: TypeObjectSet, Key: "new", NS: 0, Shard: 0},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := reopen(t, f).State()
+	if got := st.Objects["old"]; got != (Object{NS: 1, Shard: 0}) {
+		t.Errorf("old = %+v, want {NS:1}", got)
+	}
+	if got := st.Objects["new"]; got != (Object{NS: 0, Shard: 0}) {
+		t.Errorf("new = %+v, want {NS:0}", got)
+	}
+	if g := st.Groups[0]; g.Gen != 3 || string(g.Value) != "fresh" {
+		t.Errorf("group 0 = gen %d value %q, want the gen-3 successor", g.Gen, g.Value)
+	}
+	if len(st.FreeNS) != 0 {
+		t.Errorf("free list = %v, want empty (0 was re-allocated)", st.FreeNS)
+	}
+	if st.NextNS != 2 {
+		t.Errorf("NextNS = %d, want 2", st.NextNS)
+	}
+	if st.NextGen != 4 {
+		t.Errorf("NextGen = %d, want 4 (no persisted gen may be re-issued)", st.NextGen)
+	}
+}
+
+// TestImpliedAllocation: a TypeNSAlloc lost to a tolerated append
+// failure must not let the allocator re-issue a namespace that later
+// durable records show is in use — group and object records imply the
+// allocation.
+func TestImpliedAllocation(t *testing.T) {
+	f := open(t)
+	nodes := []wire.NodeAddr{{ID: 1, Addr: "127.0.0.1:7101"}}
+	if err := f.Append(
+		// No NSAlloc for 5 or 7: those records were lost.
+		Record{Type: TypeObjectSet, Key: "a", NS: 5, Shard: 0},
+		Record{Type: TypeGroupServe, NS: 7, Gen: 1, Nodes: nodes},
+		// And a recycle of 3 followed by a lost NSAlloc + durable bind.
+		Record{Type: TypeNSAlloc, NS: 3},
+		Record{Type: TypeNSRecycle, NS: 3},
+		Record{Type: TypeObjectSet, Key: "b", NS: 3, Shard: 0},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := reopen(t, f).State()
+	if st.NextNS != 8 {
+		t.Errorf("NextNS = %d, want 8 (implied by the bound namespaces)", st.NextNS)
+	}
+	if len(st.FreeNS) != 0 {
+		t.Errorf("FreeNS = %v, want empty (3 was re-bound)", st.FreeNS)
+	}
+
+	// A recycle whose NSAlloc record was lost also implies the
+	// allocation: the namespace may sit on the free list, but the
+	// high-water mark must cover it or it would be issued twice.
+	g := open(t)
+	if err := g.Append(Record{Type: TypeNSRecycle, NS: 9}); err != nil {
+		t.Fatal(err)
+	}
+	st = g.State()
+	if st.NextNS != 10 {
+		t.Errorf("NextNS = %d after orphan recycle of 9, want 10", st.NextNS)
+	}
+	if len(st.FreeNS) != 1 || st.FreeNS[0] != 9 {
+		t.Errorf("FreeNS = %v, want [9]", st.FreeNS)
+	}
+}
+
+// TestObjectDelAndUnplace checks the forgetting records.
+func TestObjectDelAndUnplace(t *testing.T) {
+	f := open(t)
+	if err := f.Append(
+		Record{Type: TypeObjectSet, Key: "k", NS: 5, Shard: 2},
+		Record{Type: TypePlace, Key: "k", Shard: 2},
+		Record{Type: TypeObjectDel, Key: "k"},
+		Record{Type: TypeUnplace, Key: "k"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := reopen(t, f).State()
+	if len(st.Objects) != 0 || len(st.Placement) != 0 {
+		t.Errorf("state = objects %v placement %v, want both empty", st.Objects, st.Placement)
+	}
+}
+
+// TestCompactionBoundsWAL drives enough appends to cross the auto-compact
+// threshold and checks the WAL was folded into the snapshot.
+func TestCompactionBoundsWAL(t *testing.T) {
+	f := open(t)
+	for i := 0; i < compactThreshold+10; i++ {
+		if err := f.Append(Record{Type: TypePlace, Key: "k", Shard: i % 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.mu.Lock()
+	n := f.walRecords
+	f.mu.Unlock()
+	if n >= compactThreshold {
+		t.Errorf("walRecords = %d after threshold crossing, want < %d", n, compactThreshold)
+	}
+	if got := f.State().Placement["k"]; got != (compactThreshold+9)%7 {
+		t.Errorf("placement[k] = %d, want %d", got, (compactThreshold+9)%7)
+	}
+	info, err := os.Stat(filepath.Join(f.dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > 1<<16 {
+		t.Errorf("wal is %d bytes after compaction, want small", info.Size())
+	}
+}
+
+// TestOpenLocksDirectory: two live handles on one catalog would corrupt
+// it (a restart overlap truncating the WAL under the old process), so
+// the second Open must fail fast until the first closes.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	g.Close()
+}
+
+// TestMissingSnapshot opens a directory whose snapshot never existed (only
+// a WAL) — the first-crash-before-first-compaction case.
+func TestMissingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(Record{Type: TypeNSAlloc, NS: 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.wal.Close() // abandon without Close: snapshot holds the compacted open-state only
+	f.lock.Close()
+	os.Remove(filepath.Join(dir, snapshotName))
+
+	g, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if st := g.State(); st.NextNS != 1 {
+		t.Errorf("NextNS = %d, want 1 (replayed from WAL alone)", st.NextNS)
+	}
+}

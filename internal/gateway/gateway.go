@@ -70,8 +70,10 @@
 // only toward the error counters so the load signals stay exact), and
 // Stats() adds the live temporary- and permanent-storage bytes of each
 // shard's groups plus its hottest keys — the inputs the rebalancer acts
-// on. Remote shards' storage lives in their node processes and reads as
-// zero here; their node-level health comes from ProbeRemoteNodes instead.
+// on. Remote shards' storage lives in their node processes; it is sampled
+// over the control plane by SyncRemoteStats (the GroupStats RPC) into
+// per-group gauges that Stats() then reads, and node-level health and
+// totals come from ProbeRemoteNodes.
 //
 // # Fault tolerance over real networks
 //
@@ -92,6 +94,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/lds-storage/lds/internal/catalog"
 	"github.com/lds-storage/lds/internal/cost"
 	"github.com/lds-storage/lds/internal/erasure"
 	"github.com/lds-storage/lds/internal/lds"
@@ -148,6 +151,19 @@ type Config struct {
 	// be left 0 to adopt the topology's count). Nil keeps every shard on
 	// the sim backend.
 	Topology *Topology
+	// Catalog, when non-nil, persists the routing plane (key→shard
+	// placement, object→group bindings, namespace allocation, ring epoch,
+	// remote-group incarnations and boot seeds) so a restarted gateway
+	// resumes the same keyspace: New reloads the catalog, re-adopts the
+	// remote groups still held by live node processes under their
+	// persisted generations, and Close detaches from them instead of
+	// retiring them. Nil keeps routing in memory only.
+	Catalog Catalog
+	// RestoreTimeout bounds the re-adoption handshake New runs when
+	// Catalog holds live remote groups; <= 0 selects the default (30s).
+	// Nodes that stay silent are skipped (their groups keep serving on
+	// the surviving quorum) and reported via RestoreInfo.
+	RestoreTimeout time.Duration
 }
 
 // group is the backend-agnostic surface of one key's LDS cluster: pooled
@@ -283,11 +299,34 @@ type Gateway struct {
 	closeCtx  context.Context
 	closeStop context.CancelFunc
 	inflight  sync.WaitGroup
+
+	// Catalog bookkeeping: the first append failure (CatalogErr) and what
+	// New recovered (RestoreInfo); see catalog.go.
+	catMu       sync.Mutex
+	catErr      error
+	restoreInfo *RestoreInfo
+
+	// statsSync debounces SyncRemoteStats: concurrent callers coalesce
+	// onto one in-flight sweep, and a sweep fresher than statsSyncTTL is
+	// served from the cached gauges.
+	statsSync struct {
+		mu   sync.Mutex
+		last time.Time
+		busy bool
+	}
 }
+
+// statsSyncTTL is how long a remote-gauge sweep stays fresh; stats calls
+// within the window serve the cached gauges instead of re-sweeping the
+// fleet.
+const statsSyncTTL = time.Second
 
 // New builds a gateway: the shared network, the ring, S empty shards and
 // (when the topology has TCP shards) the remote control plane. LDS groups
-// are created on first use of each key (or via Ensure).
+// are created on first use of each key (or via Ensure). With a Catalog,
+// New additionally reloads the persisted routing plane and re-adopts the
+// remote groups a previous gateway process left running on the node
+// fleet — see catalog.go and RestoreInfo.
 func New(cfg Config) (*Gateway, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -302,6 +341,17 @@ func New(cfg Config) (*Gateway, error) {
 		if cfg.Shards != len(cfg.Topology.Shards) {
 			return nil, fmt.Errorf("gateway: %d shards configured but topology describes %d",
 				cfg.Shards, len(cfg.Topology.Shards))
+		}
+	}
+	var restored *catalog.State
+	if cfg.Catalog != nil {
+		st := cfg.Catalog.State()
+		restored = &st
+		// A persisted resize outlives the process: the catalog's shard
+		// count wins when it grew past the configuration (extra shards are
+		// sim-backed, exactly as Resize added them).
+		if st.Shards > cfg.Shards {
+			cfg.Shards = st.Shards
 		}
 	}
 	ring, err := NewRing(cfg.Shards, cfg.VirtualNodes)
@@ -339,6 +389,7 @@ func New(cfg Config) (*Gateway, error) {
 			g.net.Close()
 			return nil, err
 		}
+		g.remote.log = g.logRecord
 	}
 	g.route.ring = ring
 	g.route.placement = make(map[string]int)
@@ -348,6 +399,32 @@ func New(cfg Config) (*Gateway, error) {
 		g.route.shards[i] = newShard(g, i, g.backendFor(i))
 	}
 	g.closeCtx, g.closeStop = context.WithCancel(context.Background())
+	if restored != nil {
+		g.route.version = restored.RingVersion
+		info, err := g.restoreFromCatalog(*restored)
+		if err != nil {
+			g.net.Close()
+			if g.remote != nil {
+				g.remote.close()
+			}
+			return nil, err
+		}
+		if g.remote != nil {
+			timeout := cfg.RestoreTimeout
+			if timeout <= 0 {
+				timeout = 30 * time.Second
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			info.AdoptedGroups, info.AdoptErrors = g.remote.adopt(ctx)
+			cancel()
+		}
+		if info.Objects+info.Dropped+info.Orphans+info.AdoptedGroups > 0 || len(restored.Placement) > 0 {
+			g.restoreInfo = info
+		}
+		// Pin the resumed routing shape so a catalog created before this
+		// boot (or one from an older shard count) reads back consistently.
+		g.logRecord(catalog.Record{Type: catalog.TypeRing, Version: g.route.version, Shards: cfg.Shards})
+	}
 	return g, nil
 }
 
@@ -453,13 +530,17 @@ func (g *Gateway) opErr(err error) error {
 }
 
 // nextNamespace allocates a process-id namespace for a new group,
-// preferring recycled ones.
+// preferring recycled ones. The allocation is logged so a restarted
+// gateway resumes the allocator where it stopped (a namespace that never
+// reaches an object or group record is swept back to the free list by the
+// restore reconciliation).
 func (g *Gateway) nextNamespace() (int32, error) {
 	g.ns.mu.Lock()
 	defer g.ns.mu.Unlock()
 	if n := len(g.ns.free); n > 0 {
 		ns := g.ns.free[n-1]
 		g.ns.free = g.ns.free[:n-1]
+		g.logRecord(catalog.Record{Type: catalog.TypeNSAlloc, NS: ns})
 		return ns, nil
 	}
 	if g.ns.next >= transport.MaxNamespaceGroups {
@@ -467,6 +548,7 @@ func (g *Gateway) nextNamespace() (int32, error) {
 	}
 	ns := g.ns.next
 	g.ns.next++
+	g.logRecord(catalog.Record{Type: catalog.TypeNSAlloc, NS: ns})
 	return ns, nil
 }
 
@@ -474,6 +556,7 @@ func (g *Gateway) nextNamespace() (int32, error) {
 func (g *Gateway) recycleNamespace(ns int32) {
 	g.ns.mu.Lock()
 	g.ns.free = append(g.ns.free, ns)
+	g.logRecord(catalog.Record{Type: catalog.TypeNSRecycle, NS: ns})
 	g.ns.mu.Unlock()
 }
 
@@ -583,7 +666,12 @@ func (g *Gateway) install(key string, sh *shard, obj *object) (winner bool, exis
 		obj.grp.CrashL2(i)
 	}
 	sh.objects[key] = obj
-	g.placeLocked(key, sh.index)
+	// The ObjectSet record is the creation's commit point; any placement
+	// correction rides the same single-fsync batch (and restore realigns
+	// the pin with the ObjectSet if a torn tail splits them).
+	recs := append([]catalog.Record{{Type: catalog.TypeObjectSet, Key: key, NS: obj.ns, Shard: sh.index}},
+		g.placeRecsLocked(key, sh.index)...)
+	g.logRecord(recs...)
 	return true, nil
 }
 
@@ -747,9 +835,14 @@ func (g *Gateway) PermanentBytes() int64 {
 // Close shuts every group and both transports down. Concurrent
 // operations are unblocked promptly (they fail with ErrClosed) and
 // drained before the networks are torn down, so no operation ever runs on
-// a dead transport. Remote groups get best-effort retires; node processes
-// that miss them discard stale groups when their namespaces are
-// re-served.
+// a dead transport.
+//
+// Remote-group teardown depends on the catalog. Without one, Close fires
+// best-effort retires (node processes that miss them discard stale groups
+// when their namespaces are re-served). With a catalog, Close instead
+// detaches: the node-held servers keep running, the catalog keeps
+// describing them, and the next New against the same catalog re-adopts
+// them under their persisted generations — the graceful-restart path.
 func (g *Gateway) Close() error {
 	g.closeMu.Lock()
 	if g.closed {
@@ -760,8 +853,9 @@ func (g *Gateway) Close() error {
 	g.closeMu.Unlock()
 	g.closeStop()
 	g.inflight.Wait()
+	detach := g.cfg.Catalog != nil
 	for _, sh := range g.shardList() {
-		sh.closeObjects()
+		sh.closeObjects(detach)
 	}
 	err := g.net.Close()
 	if g.remote != nil {
@@ -809,28 +903,90 @@ func (g *Gateway) ProbeRemoteNodes(ctx context.Context) ([]NodeStatus, error) {
 	defer g.endOp()
 	ctx, cancel := g.opContext(ctx)
 	defer cancel()
-	ids := make([]int32, 0, len(g.remote.nodes))
+	// Snapshot ids and addresses together under the lock: the sweep must
+	// not read the node table unlocked afterwards, or the locking
+	// discipline breaks the first time the topology becomes dynamic.
+	type nodeEntry struct {
+		id   int32
+		addr string
+	}
 	g.remote.mu.Lock()
-	for id := range g.remote.nodes {
-		ids = append(ids, id)
+	entries := make([]nodeEntry, 0, len(g.remote.nodes))
+	for id, addr := range g.remote.nodes {
+		entries = append(entries, nodeEntry{id, addr})
 	}
 	g.remote.mu.Unlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]NodeStatus, 0, len(ids))
-	for _, id := range ids {
-		st := NodeStatus{ID: id, Addr: g.remote.nodes[id]}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]NodeStatus, 0, len(entries))
+	for _, e := range entries {
+		st := NodeStatus{ID: e.id, Addr: e.addr}
 		probeCtx, probeCancel := context.WithTimeout(ctx, 2*time.Second)
 		start := time.Now()
-		pong, err := g.remote.ping(probeCtx, id)
+		pong, err := g.remote.ping(probeCtx, e.id)
 		probeCancel()
 		if err == nil {
 			st.Alive = true
 			st.Groups = pong.Groups
+			st.Servers = pong.Servers
+			st.TemporaryBytes = pong.TemporaryBytes
+			st.PermanentBytes = pong.PermanentBytes
+			st.OffloadQueueDepth = pong.OffloadQueueDepth
 			st.RTT = time.Since(start)
 		}
 		out = append(out, st)
 	}
 	return out, g.opErr(ctx.Err())
+}
+
+// SyncRemoteStats refreshes the cached storage gauges of every remote
+// group by sampling the node fleet over the control plane — one bulk
+// wire.GroupStats RPC per node (fanned out concurrently), so the sweep
+// costs O(nodes) RPCs and about one statsNodeTimeout of wall clock no
+// matter how many keys are live — after which Stats(), TemporaryBytes
+// and PermanentBytes report live occupancy for TCP shards. It returns
+// ErrNoTopology on a gateway without TCP shards. Sweeps are debounced:
+// calls within statsSyncTTL of the last sweep (or while one is running)
+// return immediately and readers see the cached gauges, so a monitoring
+// scraper cannot stampede the control plane. On failure every gauge
+// keeps its previous sample.
+func (g *Gateway) SyncRemoteStats(ctx context.Context) error {
+	if g.remote == nil {
+		return ErrNoTopology
+	}
+	g.statsSync.mu.Lock()
+	if g.statsSync.busy || time.Since(g.statsSync.last) < statsSyncTTL {
+		g.statsSync.mu.Unlock()
+		return nil
+	}
+	g.statsSync.busy = true
+	g.statsSync.mu.Unlock()
+	defer func() {
+		g.statsSync.mu.Lock()
+		g.statsSync.busy = false
+		g.statsSync.last = time.Now()
+		g.statsSync.mu.Unlock()
+	}()
+	if err := g.beginOp(); err != nil {
+		return err
+	}
+	defer g.endOp()
+	ctx, cancel := g.opContext(ctx)
+	defer cancel()
+
+	targets := make(map[int32]*remoteGroup)
+	for _, sh := range g.shardList() {
+		sh.mu.Lock()
+		for _, obj := range sh.objects {
+			if rg, ok := obj.grp.(*remoteGroup); ok {
+				targets[rg.ns] = rg
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	return g.opErr(g.remote.sampleStats(ctx, targets))
 }
 
 // ReprovisionRemote re-serves every live remote group to its node

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"github.com/lds-storage/lds/internal/catalog"
 )
 
 // Migration errors.
@@ -155,7 +157,15 @@ func (g *Gateway) migrateKey(ctx context.Context, key string, to int, drain bool
 	fromSh.mu.Lock()
 	delete(fromSh.objects, key)
 	fromSh.mu.Unlock()
-	g.placeLocked(key, to)
+	// The ObjectSet record is the migration's durable commit point: once
+	// it lands, a restart resumes the key on the successor group. The pin
+	// change rides the same batch (one fsync); should a torn tail lose
+	// the trailing Place record anyway, restore realigns the pin with the
+	// ObjectSet. Until the batch lands, a restart resumes the key on the
+	// old group, which is still intact.
+	recs := append([]catalog.Record{{Type: catalog.TypeObjectSet, Key: key, NS: newObj.ns, Shard: to}},
+		g.placeRecsLocked(key, to)...)
+	g.logRecord(recs...)
 	g.route.mu.Unlock()
 
 	// Reap: retire before releasing the quiesced clients, so a parked
@@ -169,13 +179,30 @@ func (g *Gateway) migrateKey(ctx context.Context, key string, to int, drain bool
 }
 
 // placeLocked records that key now lives on shard sh, dropping the entry
-// when the ring already says so; callers hold route.mu.
+// when the ring already says so; callers hold route.mu. The change is
+// logged to the catalog so a restarted gateway routes the key the same
+// way.
 func (g *Gateway) placeLocked(key string, sh int) {
+	g.logRecord(g.placeRecsLocked(key, sh)...)
+}
+
+// placeRecsLocked applies the placement change and returns the catalog
+// records describing it (none when nothing changed), so callers with
+// several records to persist can batch them into one fsync'd Append;
+// callers hold route.mu.
+func (g *Gateway) placeRecsLocked(key string, sh int) []catalog.Record {
 	if g.route.ring.Shard(key) == sh {
-		delete(g.route.placement, key)
-	} else {
-		g.route.placement[key] = sh
+		if _, pinned := g.route.placement[key]; pinned {
+			delete(g.route.placement, key)
+			return []catalog.Record{{Type: catalog.TypeUnplace, Key: key}}
+		}
+		return nil
 	}
+	if cur, pinned := g.route.placement[key]; pinned && cur == sh {
+		return nil
+	}
+	g.route.placement[key] = sh
+	return []catalog.Record{{Type: catalog.TypePlace, Key: key, Shard: sh}}
 }
 
 // Resize changes the shard count to n online. The ring swap is immediate
@@ -223,11 +250,16 @@ func (g *Gateway) resize(ctx context.Context, n int) error {
 	if n != old {
 		// Materialize the outgoing ring's answer for every live key: the
 		// old ring keeps answering for them (as pins) while they drain.
+		// The pins and the ring swap land in the catalog as one batch —
+		// a crash replays either the whole swap or none of it (modulo a
+		// torn tail, which restore reconciles from the object bindings).
+		var recs []catalog.Record
 		for _, sh := range g.route.shards {
 			sh.mu.Lock()
 			for key := range sh.objects {
 				if _, ok := g.route.placement[key]; !ok {
 					g.route.placement[key] = sh.index
+					recs = append(recs, catalog.Record{Type: catalog.TypePlace, Key: key, Shard: sh.index})
 				}
 			}
 			sh.mu.Unlock()
@@ -238,6 +270,12 @@ func (g *Gateway) resize(ctx context.Context, n int) error {
 		g.route.prev = g.route.ring
 		g.route.ring = newRing
 		g.route.version++
+		// The record carries the live shard count — for a shrink that is
+		// still the old count until the drain empties the doomed tail, so
+		// a restart mid-drain rebuilds every shard the pinned keys still
+		// reference (and a later Resize resumes the drain).
+		recs = append(recs, catalog.Record{Type: catalog.TypeRing, Version: g.route.version, Shards: len(g.route.shards)})
+		g.logRecord(recs...)
 	}
 	// The drain list: every pinned key not already at its ring home.
 	// (With n == old this turns Resize into a pure drain of leftover pins
@@ -282,6 +320,7 @@ func (g *Gateway) resize(ctx context.Context, n int) error {
 			}
 		}
 		g.route.shards = g.route.shards[:n:n]
+		g.logRecord(catalog.Record{Type: catalog.TypeRing, Version: g.route.version, Shards: n})
 	}
 	g.route.prev = nil
 	g.route.mu.Unlock()

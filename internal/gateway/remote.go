@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/lds-storage/lds/internal/catalog"
 	"github.com/lds-storage/lds/internal/erasure"
 	core "github.com/lds-storage/lds/internal/lds"
 	"github.com/lds-storage/lds/internal/nodehost"
@@ -45,6 +48,10 @@ type remoteManager struct {
 	code      erasure.Regenerating
 	bootValue []byte           // Config.InitialValue, the unseeded boot state
 	nodes     map[int32]string // node id -> address (static topology)
+	// log persists routing records to the gateway's catalog; nil when the
+	// gateway has none. serveGroup uses it write-ahead: a generation is
+	// durable before any node can learn it.
+	log func(...catalog.Record) error
 
 	mu      sync.Mutex
 	seq     uint64
@@ -52,6 +59,7 @@ type remoteManager struct {
 	pending map[uint64]chan wire.Message
 	groups  map[int32]*remoteGroupInfo // live remote groups by namespace
 	nextCID int32                      // rolling client-id allocator
+	cids    map[int32]struct{}         // client ids currently bound to live pooled clients
 	closed  bool
 }
 
@@ -74,6 +82,14 @@ type NodeStatus struct {
 	// reporting fewer groups than the gateway placed on it (0 right after
 	// a restart) needs ReprovisionRemote.
 	Groups int32 `json:"groups"`
+	// Servers is how many protocol servers (L1 + L2 slices) the node runs.
+	Servers int32 `json:"servers"`
+	// TemporaryBytes / PermanentBytes / OffloadQueueDepth are the node-wide
+	// storage gauges carried back in the pong — the real occupancy of the
+	// node process, summed over every group slice it hosts.
+	TemporaryBytes    int64 `json:"temporary_bytes"`
+	PermanentBytes    int64 `json:"permanent_bytes"`
+	OffloadQueueDepth int64 `json:"offload_queue_depth"`
 	// RTT is the control-plane round trip of the probe.
 	RTT time.Duration `json:"rtt_ns"`
 }
@@ -88,6 +104,7 @@ func newRemoteManager(t *Topology, params core.Params, code erasure.Regenerating
 		nodes:     t.nodeTable(),
 		pending:   make(map[uint64]chan wire.Message),
 		groups:    make(map[int32]*remoteGroupInfo),
+		cids:      make(map[int32]struct{}),
 	}
 	listen := t.Listen
 	if listen == "" {
@@ -157,6 +174,8 @@ func (m *remoteManager) handleCtl(env wire.Envelope) {
 		seq = msg.Seq
 	case wire.NodePong:
 		seq = msg.Seq
+	case wire.GroupStatsResp:
+		seq = msg.Seq
 	default:
 		return
 	}
@@ -217,6 +236,34 @@ func (m *remoteManager) serveGroup(ctx context.Context, ns int32, nodes []wire.N
 	if seed != nil {
 		value, seedTag = seed.value, seed.tag
 	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.gen++
+	info := &remoteGroupInfo{gen: m.gen, nodes: nodes, seedValue: value, seedTag: seedTag}
+	m.mu.Unlock()
+
+	// Write-ahead: the incarnation (and the boot seed a restarted node
+	// would rebuild from) must be durable before any node can learn the
+	// gen, or a crashed-and-restarted gateway could re-issue it for
+	// different state and a node would wrongly keep stale servers. The
+	// group is deliberately not registered yet — registration would let a
+	// concurrent ReprovisionRemote serve the gen to nodes before the
+	// record lands. A logged gen whose serve never completes is just an
+	// orphan the next restore retires.
+	if m.log != nil {
+		if err := m.log(catalog.Record{
+			Type: catalog.TypeGroupServe, NS: ns, Gen: info.gen,
+			Nodes: nodes, Value: value, Tag: seedTag,
+			N1: int32(m.params.N1), N2: int32(m.params.N2),
+			F1: int32(m.params.F1), F2: int32(m.params.F2),
+		}); err != nil {
+			return fmt.Errorf("gateway: serve group %d: catalog: %w", ns, err)
+		}
+	}
+
 	// Register before provisioning: the gateway's clients may race the
 	// final acks, so the resolver entry must exist before serveGroup
 	// returns. The fresh gen is what lets a node still hosting a prior
@@ -227,8 +274,6 @@ func (m *remoteManager) serveGroup(ctx context.Context, ns int32, nodes []wire.N
 		m.mu.Unlock()
 		return ErrClosed
 	}
-	m.gen++
-	info := &remoteGroupInfo{gen: m.gen, nodes: nodes, seedValue: value, seedTag: seedTag}
 	m.groups[ns] = info
 	m.mu.Unlock()
 
@@ -278,6 +323,9 @@ func (m *remoteManager) retireGroup(ns int32) {
 	}
 	m.mu.Unlock()
 	if ok {
+		if m.log != nil {
+			m.log(catalog.Record{Type: catalog.TypeGroupRetire, NS: ns})
+		}
 		m.fireRetire(ns, info.nodes)
 	}
 }
@@ -293,20 +341,39 @@ func (m *remoteManager) fireRetire(ns int32, nodes []wire.NodeAddr) {
 	}
 }
 
-// clientID allocates a process id for one pooled client. Ids are unique
-// across the manager's lifetime (wrapping only after the namespace
-// stride's worth of allocations), so a late frame from a reaped group's
-// servers can never reach a successor group's client that happens to
-// occupy the recycled namespace — the stale destination id is simply no
-// longer registered.
-func (m *remoteManager) clientID() int32 {
+// clientID allocates a process id for one pooled client and marks it
+// in-use until releaseClientIDs. Ids are unique among live clients *and*
+// fresh relative to reaped ones until the allocator wraps, so a late
+// frame from a reaped group's servers can never reach a successor group's
+// client that happens to occupy the recycled namespace — the stale
+// destination id is simply no longer registered. On wrap (after a
+// NamespaceStride's worth of allocations) ids still held by live pooled
+// clients are skipped: handing a live client's id to a second client
+// would give two clients one tcpnet address and misroute responses.
+func (m *remoteManager) clientID() (int32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.nextCID++
-	if m.nextCID >= transport.NamespaceStride {
-		m.nextCID = 1
+	for tries := int32(1); tries < transport.NamespaceStride; tries++ {
+		m.nextCID++
+		if m.nextCID >= transport.NamespaceStride {
+			m.nextCID = 1
+		}
+		if _, inUse := m.cids[m.nextCID]; !inUse {
+			m.cids[m.nextCID] = struct{}{}
+			return m.nextCID, nil
+		}
 	}
-	return m.nextCID
+	return 0, fmt.Errorf("gateway: all %d client ids are bound to live clients", transport.NamespaceStride-1)
+}
+
+// releaseClientIDs returns client ids to the allocator when their pooled
+// clients are torn down (group reap, detach, or a failed pool build).
+func (m *remoteManager) releaseClientIDs(ids []int32) {
+	m.mu.Lock()
+	for _, id := range ids {
+		delete(m.cids, id)
+	}
+	m.mu.Unlock()
 }
 
 // ping probes one node's control endpoint.
@@ -381,6 +448,15 @@ type remoteGroup struct {
 	mu      sync.Mutex
 	writers map[int32]*core.Writer
 	readers map[int32]*core.Reader
+	cids    []int32 // manager client ids held by the pooled clients
+
+	// Cached storage gauges, refreshed by sampling the group's nodes over
+	// the control plane (refresh / Gateway.SyncRemoteStats) and read by
+	// the group interface's probes — which run under shard locks and must
+	// not block on RPCs.
+	gaugeTemp    atomic.Int64
+	gaugePerm    atomic.Int64
+	gaugeOffload atomic.Int64
 }
 
 var _ group = (*remoteGroup)(nil)
@@ -408,16 +484,23 @@ func (r *remoteGroup) Writer(wid int32) (*core.Writer, error) {
 	if w, ok := r.writers[wid]; ok {
 		return w, nil
 	}
-	w, err := core.NewWriter(r.mgr.params, r.mgr.clientID())
+	cid, err := r.mgr.clientID()
 	if err != nil {
+		return nil, err
+	}
+	w, err := core.NewWriter(r.mgr.params, cid)
+	if err != nil {
+		r.mgr.releaseClientIDs([]int32{cid})
 		return nil, err
 	}
 	node, err := r.view.Register(w.ID(), w.Handle)
 	if err != nil {
+		r.mgr.releaseClientIDs([]int32{cid})
 		return nil, err
 	}
 	w.Bind(node)
 	r.writers[wid] = w
+	r.cids = append(r.cids, cid)
 	return w, nil
 }
 
@@ -428,16 +511,23 @@ func (r *remoteGroup) Reader(rid int32) (*core.Reader, error) {
 	if rd, ok := r.readers[rid]; ok {
 		return rd, nil
 	}
-	rd, err := core.NewReader(r.mgr.params, r.mgr.clientID(), r.mgr.code)
+	cid, err := r.mgr.clientID()
 	if err != nil {
+		return nil, err
+	}
+	rd, err := core.NewReader(r.mgr.params, cid, r.mgr.code)
+	if err != nil {
+		r.mgr.releaseClientIDs([]int32{cid})
 		return nil, err
 	}
 	node, err := r.view.Register(rd.ID(), rd.Handle)
 	if err != nil {
+		r.mgr.releaseClientIDs([]int32{cid})
 		return nil, err
 	}
 	rd.Bind(node)
 	r.readers[rid] = rd
+	r.cids = append(r.cids, cid)
 	return rd, nil
 }
 
@@ -449,21 +539,150 @@ func (r *remoteGroup) CrashL1(int) {}
 // CrashL2 implements group.
 func (r *remoteGroup) CrashL2(int) {}
 
-// TemporaryStorageBytes implements group. Remote occupancy is not sampled
-// over the control plane; stats report zero for TCP shards (see
-// ShardStats.Backend).
-func (r *remoteGroup) TemporaryStorageBytes() int64 { return 0 }
+// TemporaryStorageBytes implements group: the last control-plane sample
+// of the group's L1 occupancy (see refresh / Gateway.SyncRemoteStats);
+// zero until the first sample.
+func (r *remoteGroup) TemporaryStorageBytes() int64 { return r.gaugeTemp.Load() }
 
-// PermanentStorageBytes implements group.
-func (r *remoteGroup) PermanentStorageBytes() int64 { return 0 }
+// PermanentStorageBytes implements group (sampled, as above).
+func (r *remoteGroup) PermanentStorageBytes() int64 { return r.gaugePerm.Load() }
 
-// OffloadQueueDepth implements group.
-func (r *remoteGroup) OffloadQueueDepth() int64 { return 0 }
+// OffloadQueueDepth implements group (sampled, as above).
+func (r *remoteGroup) OffloadQueueDepth() int64 { return r.gaugeOffload.Load() }
 
-// Close implements group: it unregisters the gateway-side clients and
-// fires best-effort retires at the group's nodes.
+// statsNodeTimeout bounds each node's share of a gauge sweep.
+const statsNodeTimeout = 2 * time.Second
+
+// sampleStats refreshes the cached gauges of the given remote groups
+// (keyed by namespace) with one bulk GroupStats RPC per distinct node —
+// O(nodes) round trips regardless of how many groups are live. Each
+// node answers for the server slices it hosts; summing over nodes yields
+// each group's occupancy. A node that no longer hosts a group (restarted,
+// not yet reprovisioned) simply omits it. An unreachable node does not
+// abort the sweep: the remaining nodes are still sampled, gauges are
+// stored only for groups whose entire node set answered (a partial sum
+// would read as missing data), and the first failure is returned at the
+// end — so a single dead node never freezes the healthy nodes' gauges.
+func (m *remoteManager) sampleStats(ctx context.Context, targets map[int32]*remoteGroup) error {
+	groupNodes := make(map[int32][]int32, len(targets)) // ns -> distinct node ids
+	nodeIDs := make(map[int32]bool)
+	m.mu.Lock()
+	for ns := range targets {
+		info := m.groups[ns]
+		if info == nil {
+			continue
+		}
+		seen := make(map[int32]bool, len(info.nodes))
+		for _, n := range info.nodes {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				groupNodes[ns] = append(groupNodes[ns], n.ID)
+				nodeIDs[n.ID] = true
+			}
+		}
+	}
+	m.mu.Unlock()
+	ids := make([]int32, 0, len(nodeIDs))
+	for id := range nodeIDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// The per-node calls fan out concurrently, so a sweep costs ~one
+	// statsNodeTimeout even when several nodes are down — the degraded
+	// fleets operators scrape stats to diagnose must not make the scrape
+	// itself crawl.
+	type nodeResult struct {
+		id   int32
+		resp wire.GroupStatsResp
+		err  error
+	}
+	results := make([]nodeResult, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id int32) {
+			defer wg.Done()
+			nctx, cancel := context.WithTimeout(ctx, statsNodeTimeout)
+			defer cancel()
+			resp, err := m.call(nctx, id, func(seq uint64) wire.Message {
+				return wire.GroupStats{Seq: seq, Group: wire.AllGroups, ReplyAddr: m.advertise}
+			})
+			if err == nil {
+				st, ok := resp.(wire.GroupStatsResp)
+				if !ok {
+					err = fmt.Errorf("gateway: node %d: unexpected response %T", id, resp)
+				}
+				results[i] = nodeResult{id: id, resp: st, err: err}
+				return
+			}
+			results[i] = nodeResult{id: id, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	var firstErr error
+	failed := make(map[int32]bool)
+	sums := make(map[int32]wire.GroupGauges, len(targets))
+	for _, r := range results {
+		if r.err != nil {
+			failed[r.id] = true
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		for _, g := range r.resp.Groups {
+			if _, wanted := targets[g.Group]; !wanted {
+				continue
+			}
+			s := sums[g.Group]
+			s.TemporaryBytes += g.TemporaryBytes
+			s.PermanentBytes += g.PermanentBytes
+			s.OffloadQueueDepth += g.OffloadQueueDepth
+			sums[g.Group] = s
+		}
+	}
+	for ns, rg := range targets {
+		complete := len(groupNodes[ns]) > 0
+		for _, id := range groupNodes[ns] {
+			if failed[id] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue // keep the previous sample rather than a partial sum
+		}
+		s := sums[ns] // zero value when no node hosts the group right now
+		rg.gaugeTemp.Store(s.TemporaryBytes)
+		rg.gaugePerm.Store(s.PermanentBytes)
+		rg.gaugeOffload.Store(s.OffloadQueueDepth)
+	}
+	return firstErr
+}
+
+// Close implements group: it unregisters the gateway-side clients,
+// releases their ids and fires best-effort retires at the group's nodes.
 func (r *remoteGroup) Close() error {
-	err := r.view.Close()
+	err := r.detach()
 	r.mgr.retireGroup(r.ns)
+	return err
+}
+
+// Detach releases the gateway-side half of the group — client
+// registrations and their ids — while leaving the node-held servers
+// running and the manager's registry entry intact. It is the
+// graceful-restart teardown: a gateway closing over a durable catalog
+// detaches, and its successor re-adopts the same groups.
+func (r *remoteGroup) Detach() error { return r.detach() }
+
+func (r *remoteGroup) detach() error {
+	err := r.view.Close()
+	r.mu.Lock()
+	cids := r.cids
+	r.cids = nil
+	r.mu.Unlock()
+	r.mgr.releaseClientIDs(cids)
 	return err
 }

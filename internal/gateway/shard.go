@@ -175,13 +175,24 @@ func (s *shard) snapshot() ShardStats {
 	}
 }
 
-func (s *shard) closeObjects() {
+// closeObjects tears down the shard's groups at gateway Close. With
+// detach (the gateway has a durable catalog), groups that support it are
+// detached instead of closed: node-held servers keep running for the next
+// gateway process to re-adopt. Groups without a Detach (sim clusters,
+// whose state lives in this process regardless) are closed either way.
+func (s *shard) closeObjects(detach bool) {
 	s.mu.Lock()
 	objects := s.objects
 	s.objects = make(map[string]*object)
 	s.mu.Unlock()
 	for _, obj := range objects {
 		obj.retired.Store(true)
+		if detach {
+			if d, ok := obj.grp.(interface{ Detach() error }); ok {
+				d.Detach()
+				continue
+			}
+		}
 		obj.grp.Close()
 	}
 }
@@ -305,9 +316,9 @@ type KeyLoad struct {
 type ShardStats struct {
 	Shard int
 	// Backend names the shard's group builder: "sim" for in-process
-	// groups (whose storage gauges below are live) or "tcp" for groups on
-	// remote node processes (whose storage lives in those processes and
-	// reads as zero here).
+	// groups (whose storage gauges below are read live) or "tcp" for
+	// groups on remote node processes (whose storage gauges are the last
+	// control-plane sample — call Gateway.SyncRemoteStats to refresh).
 	Backend string
 	Keys    int
 	Reads          uint64 // successful reads

@@ -81,6 +81,22 @@ type hostedGroup struct {
 	nodes   []wire.NodeAddr
 	clients string // gateway listener hosting the group's clients
 	servers int    // how many servers this node runs for the group
+	// l1s/l2s retain the servers so the GroupStats control RPC can sample
+	// their storage gauges (all atomics — safe to read off the actor).
+	l1s []*lds.L1Server
+	l2s []*lds.L2Server
+}
+
+// gauges sums the group's storage gauges over this node's servers.
+func (g *hostedGroup) gauges() (temp, perm, offload int64) {
+	for _, s := range g.l1s {
+		temp += s.TemporaryBytes()
+		offload += s.OffloadQueueDepth()
+	}
+	for _, s := range g.l2s {
+		perm += s.StoredBytes()
+	}
+	return temp, perm, offload
 }
 
 // New starts a host with the given topology-wide node id, listening on
@@ -201,8 +217,43 @@ func (h *Host) handleCtl(env wire.Envelope) {
 		h.ctl.Send(env.From, wire.GroupRetireResp{Seq: m.Seq, Group: m.Group})
 	case wire.NodePing:
 		h.rememberCtl(env.From, m.ReplyAddr)
-		h.ctl.Send(env.From, wire.NodePong{Seq: m.Seq, Groups: int32(h.Groups())})
+		h.ctl.Send(env.From, h.pong(m.Seq))
+	case wire.GroupStats:
+		h.rememberCtl(env.From, m.ReplyAddr)
+		resp := wire.GroupStatsResp{Seq: m.Seq}
+		h.mu.RLock()
+		if m.Group == wire.AllGroups {
+			for ns, g := range h.groups {
+				resp.Groups = append(resp.Groups, gaugesOf(ns, g))
+			}
+		} else if g, ok := h.groups[m.Group]; ok {
+			resp.Groups = append(resp.Groups, gaugesOf(m.Group, g))
+		}
+		h.mu.RUnlock()
+		h.ctl.Send(env.From, resp)
 	}
+}
+
+// gaugesOf samples one hosted group's share of the storage gauges.
+func gaugesOf(ns int32, g *hostedGroup) wire.GroupGauges {
+	temp, perm, offload := g.gauges()
+	return wire.GroupGauges{Group: ns, TemporaryBytes: temp, PermanentBytes: perm, OffloadQueueDepth: offload}
+}
+
+// pong builds the NodePing response: group/server counts plus the
+// node-wide storage totals.
+func (h *Host) pong(seq uint64) wire.NodePong {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	pong := wire.NodePong{Seq: seq, Groups: int32(len(h.groups))}
+	for _, g := range h.groups {
+		pong.Servers += int32(g.servers)
+		temp, perm, offload := g.gauges()
+		pong.TemporaryBytes += temp
+		pong.PermanentBytes += perm
+		pong.OffloadQueueDepth += offload
+	}
+	return pong
 }
 
 func (h *Host) rememberCtl(from wire.ProcID, addr string) {
@@ -247,8 +298,25 @@ func (h *Host) serve(m wire.GroupServe) error {
 	}
 	if g, ok := h.groups[m.Group]; ok {
 		if g.gen == m.Gen {
+			if g.params != params {
+				// One incarnation has exactly one geometry; a same-gen serve
+				// with different params would pair mismatched clients with
+				// the kept servers. Refuse rather than keep or rebuild —
+				// the sender's configuration is wrong, not this node.
+				h.mu.Unlock()
+				return fmt.Errorf("nodehost: group %d gen %d is hosted as (n1=%d, n2=%d, f1=%d, f2=%d), refusing re-serve as (n1=%d, n2=%d, f1=%d, f2=%d)",
+					m.Group, m.Gen, g.params.N1, g.params.N2, g.params.F1, g.params.F2,
+					params.N1, params.N2, params.F1, params.F2)
+			}
+			// Idempotent re-serve of the same incarnation: keep the servers
+			// and their state, but adopt the (possibly new) addresses — a
+			// gateway that restarted against a durable catalog re-serves
+			// with the generation it persisted, and its client listener has
+			// usually moved.
+			g.nodes = m.Nodes
+			g.clients = m.ClientAddr
 			h.mu.Unlock()
-			return nil // idempotent re-serve of the same incarnation
+			return nil
 		}
 		delete(h.groups, m.Group)
 		h.mu.Unlock()
@@ -280,6 +348,13 @@ func (h *Host) serve(m wire.GroupServe) error {
 		view.Close()
 		return err
 	}
+	// Servers are built into locals and published under the lock at the
+	// end, so concurrent Host readers (Servers, the stats handlers) never
+	// observe a half-registered group.
+	var (
+		l1s []*lds.L1Server
+		l2s []*lds.L2Server
+	)
 	for i := 0; i < params.N1; i++ {
 		if AssignedNode(i, len(m.Nodes)) != myPos {
 			continue
@@ -295,7 +370,7 @@ func (h *Host) serve(m wire.GroupServe) error {
 		if err := srv.Bind(node); err != nil {
 			return fail(err)
 		}
-		g.servers++
+		l1s = append(l1s, srv)
 	}
 	for i := 0; i < params.N2; i++ {
 		if AssignedNode(i, len(m.Nodes)) != myPos {
@@ -310,10 +385,14 @@ func (h *Host) serve(m wire.GroupServe) error {
 			return fail(err)
 		}
 		srv.Bind(node)
-		g.servers++
+		l2s = append(l2s, srv)
 	}
+	h.mu.Lock()
+	g.l1s, g.l2s = l1s, l2s
+	g.servers = len(l1s) + len(l2s)
+	h.mu.Unlock()
 	h.logf("nodehost %d: serving group %d gen %d (%d servers, %d nodes, seed tag %v)",
-		h.id, m.Group, m.Gen, g.servers, len(m.Nodes), m.Tag)
+		h.id, m.Group, m.Gen, len(l1s)+len(l2s), len(m.Nodes), m.Tag)
 	return nil
 }
 

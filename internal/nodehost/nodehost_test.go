@@ -120,6 +120,42 @@ func TestServeRetireHandshake(t *testing.T) {
 		t.Fatalf("seeded replace: groups=%d servers=%d, want 1/7", h.Groups(), h.Servers())
 	}
 
+	// An idempotent re-serve with the same Gen but a new client address —
+	// what a gateway restarted against its catalog sends, its listener
+	// having moved — must keep the servers but adopt the new address. The
+	// second ctl client plays the restarted gateway; the ack routes to it
+	// because the node adopts the address it advertises.
+	c2 := newCtlClient(t, h.Addr(), 1)
+	moved := migrated
+	moved.Seq = 5
+	moved.ClientAddr = c2.net.Addr()
+	if resp := c2.roundTrip(t, 1, moved).(wire.GroupServeResp); resp.Err != "" {
+		t.Fatalf("re-serve with moved client addr: %s", resp.Err)
+	}
+	if h.Groups() != 1 || h.Servers() != 7 {
+		t.Fatalf("moved-addr re-serve rebuilt: groups=%d servers=%d", h.Groups(), h.Servers())
+	}
+	if addr, ok := h.resolve(wire.ProcID{Role: wire.RoleWriter, Index: 7 << 16}); !ok || addr != c2.net.Addr() {
+		t.Fatalf("writer resolve after moved-addr re-serve = (%q, %v), want %q", addr, ok, c2.net.Addr())
+	}
+
+	// GroupStats samples this node's share of the group's gauges; the L2
+	// seed value makes PermanentBytes non-zero immediately.
+	if st := c2.roundTrip(t, 1, wire.GroupStats{Seq: 6, Group: 7, ReplyAddr: c2.net.Addr()}).(wire.GroupStatsResp); len(st.Groups) != 1 || st.Groups[0].Group != 7 || st.Groups[0].PermanentBytes == 0 {
+		t.Fatalf("GroupStats = %+v, want one entry for group 7 with seeded permanent bytes", st)
+	}
+	if st := c2.roundTrip(t, 1, wire.GroupStats{Seq: 7, Group: 404, ReplyAddr: c2.net.Addr()}).(wire.GroupStatsResp); len(st.Groups) != 0 {
+		t.Fatalf("GroupStats for an unknown group = %+v, want no entries", st)
+	}
+	// The bulk form answers for every hosted group in one round trip.
+	if st := c2.roundTrip(t, 1, wire.GroupStats{Seq: 8, Group: wire.AllGroups, ReplyAddr: c2.net.Addr()}).(wire.GroupStatsResp); len(st.Groups) != 1 || st.Groups[0].Group != 7 {
+		t.Fatalf("bulk GroupStats = %+v, want the node's one hosted group", st)
+	}
+
+	// Hand the control conversation back to the original client for the
+	// remaining checks.
+	c.roundTrip(t, 1, wire.NodePing{Seq: 8, ReplyAddr: c.net.Addr()})
+
 	// A serve that does not list this node must be refused.
 	foreign := serve
 	foreign.Seq = 4

@@ -224,6 +224,56 @@ func TestDialTimeoutHonorsClose(t *testing.T) {
 	}
 }
 
+// TestUnknownKindSkipsFrameKeepsConnection sends a whole, well-framed
+// message whose kind byte this binary does not know (a newer peer in a
+// mixed-version fleet), followed by a valid frame on the SAME
+// connection: the unknown frame is dropped, the connection survives and
+// the valid frame is delivered — resetting the connection would punish
+// every flow sharing it.
+func TestUnknownKindSkipsFrameKeepsConnection(t *testing.T) {
+	idB := wire.ProcID{Role: wire.RoleL1, Index: 1}
+	host, err := New("127.0.0.1:0", AddressBook{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	got := make(chan wire.Envelope, 1)
+	if _, err := host.Register(idB, func(env wire.Envelope) { got <- env }); err != nil {
+		t.Fatal(err)
+	}
+
+	valid := encodeFrame(wire.Envelope{
+		From: wire.ProcID{Role: wire.RoleL1, Index: 0},
+		To:   idB,
+		Msg:  wire.PutData{OpID: 1, Tag: tag.Tag{Z: 1, W: 1}, Value: []byte("after unknown")},
+	})
+	// A well-framed envelope body: the valid frame's From+To (4 bytes:
+	// two 1-byte roles with 1-byte varint indices), then an unregistered
+	// kind byte and junk.
+	unknownBody := append(append([]byte{}, valid[4:8]...), 0xEE, 0x01, 0x02)
+	unknown := make([]byte, 4+len(unknownBody))
+	binary.BigEndian.PutUint32(unknown, uint32(len(unknownBody)))
+	copy(unknown[4:], unknownBody)
+
+	conn, err := net.Dial("tcp", host.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(append(unknown, valid...)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-got:
+		pd, okCast := env.Msg.(wire.PutData)
+		if !okCast || string(pd.Value) != "after unknown" {
+			t.Fatalf("unexpected delivery %#v", env.Msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("valid frame after an unknown-kind frame was not delivered on the same connection")
+	}
+}
+
 // TestTornFrameDropsOnlyThatConnection feeds the listener a frame that
 // ends mid-body and then a fresh, whole frame on a new connection: the
 // torn connection must be discarded without wedging the network, and the

@@ -431,9 +431,18 @@ func (n *Network) readLoop(conn net.Conn) {
 	for {
 		env, err := readFrame(conn)
 		if err != nil {
-			// EOF, a torn frame (the peer died mid-write), an oversized
-			// length prefix or a corrupt body: drop this connection; the
-			// peer's sender will redial and stream fresh, whole frames.
+			if errors.Is(err, errSkipFrame) {
+				// The frame was consumed whole but does not decode — most
+				// likely a message kind from a newer binary on the peer
+				// (a mixed-version fleet mid-upgrade). The length-prefixed
+				// stream is still aligned, so dropping just this frame is
+				// the crash-model drop; resetting the connection would
+				// punish every other flow sharing it.
+				continue
+			}
+			// EOF, a torn frame (the peer died mid-write) or an oversized
+			// length prefix: drop this connection; the peer's sender will
+			// redial and stream fresh, whole frames.
 			return
 		}
 		n.mu.Lock()
@@ -650,6 +659,11 @@ func encodeFrame(env wire.Envelope) []byte {
 	return frame
 }
 
+// errSkipFrame wraps a decode failure of a frame that was consumed whole:
+// the stream is still frame-aligned, so the reader may skip it and carry
+// on (unknown message kinds from a newer peer binary land here).
+var errSkipFrame = errors.New("tcpnet: undecodable frame")
+
 func readFrame(r io.Reader) (wire.Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -663,5 +677,9 @@ func readFrame(r io.Reader) (wire.Envelope, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return wire.Envelope{}, err
 	}
-	return wire.DecodeEnvelope(body)
+	env, err := wire.DecodeEnvelope(body)
+	if err != nil {
+		return wire.Envelope{}, fmt.Errorf("%w: %v", errSkipFrame, err)
+	}
+	return env, nil
 }

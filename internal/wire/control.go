@@ -160,10 +160,20 @@ func (NodePing) PayloadBytes() int { return 0 }
 
 // NodePong answers a NodePing with the number of groups the node
 // currently hosts — zero after a restart, which is how the gateway's
-// prober detects an amnesiac node that needs reprovisioning.
+// prober detects an amnesiac node that needs reprovisioning — plus the
+// node-wide storage gauges, so a health probe doubles as a capacity
+// sample without a second RPC.
 type NodePong struct {
 	Seq    uint64
 	Groups int32
+	// Servers is how many protocol servers (L1 + L2 slices) the node runs.
+	Servers int32
+	// TemporaryBytes / PermanentBytes / OffloadQueueDepth sum the paper's
+	// storage gauges over every server the node hosts (the per-group split
+	// is the GroupStats RPC's job).
+	TemporaryBytes    int64
+	PermanentBytes    int64
+	OffloadQueueDepth int64
 }
 
 // Kind implements Message.
@@ -172,11 +182,82 @@ func (NodePong) Kind() Kind { return KindNodePong }
 // AppendTo implements Message.
 func (m NodePong) AppendTo(b []byte) []byte {
 	b = appendUvarint(b, m.Seq)
-	return appendInt32(b, m.Groups)
+	b = appendInt32(b, m.Groups)
+	b = appendInt32(b, m.Servers)
+	b = appendInt64(b, m.TemporaryBytes)
+	b = appendInt64(b, m.PermanentBytes)
+	return appendInt64(b, m.OffloadQueueDepth)
 }
 
 // PayloadBytes implements Message.
 func (NodePong) PayloadBytes() int { return 0 }
+
+// GroupStats asks a node host for its share of the storage gauges of one
+// group (Group >= 0) or of every group it hosts (Group == AllGroups).
+// The gateway sums the per-node answers to get the live occupancy of its
+// remote groups — what sim shards read directly from their in-process
+// servers. The bulk form keeps a stats sweep at one RPC per node instead
+// of one per (group, node).
+type GroupStats struct {
+	Seq   uint64
+	Group int32
+	// ReplyAddr tells the receiver where the sender's control endpoint
+	// lives (stats may be sampled before any GroupServe taught the node
+	// the gateway's address, e.g. right after a gateway restart).
+	ReplyAddr string
+}
+
+// AllGroups as GroupStats.Group selects every group the node hosts.
+const AllGroups int32 = -1
+
+// Kind implements Message.
+func (GroupStats) Kind() Kind { return KindGroupStats }
+
+// AppendTo implements Message.
+func (m GroupStats) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	return appendBytes(b, []byte(m.ReplyAddr))
+}
+
+// PayloadBytes implements Message.
+func (GroupStats) PayloadBytes() int { return 0 }
+
+// GroupGauges is one group's storage gauges as summed over the L1 and L2
+// server slices a single node hosts for it.
+type GroupGauges struct {
+	Group             int32
+	TemporaryBytes    int64
+	PermanentBytes    int64
+	OffloadQueueDepth int64
+}
+
+// GroupStatsResp answers a GroupStats with one entry per requested group
+// the node actually hosts; a requested group that is absent (a restarted
+// node before reprovisioning, or a raced retire) simply has no entry.
+type GroupStatsResp struct {
+	Seq    uint64
+	Groups []GroupGauges
+}
+
+// Kind implements Message.
+func (GroupStatsResp) Kind() Kind { return KindGroupStatsResp }
+
+// AppendTo implements Message.
+func (m GroupStatsResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendUvarint(b, uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		b = appendInt32(b, g.Group)
+		b = appendInt64(b, g.TemporaryBytes)
+		b = appendInt64(b, g.PermanentBytes)
+		b = appendInt64(b, g.OffloadQueueDepth)
+	}
+	return b
+}
+
+// PayloadBytes implements Message.
+func (GroupStatsResp) PayloadBytes() int { return 0 }
 
 // --- decoders ---------------------------------------------------------------
 
@@ -295,7 +376,74 @@ func registerControlDecoders() {
 		if m.Seq, b, err = readUvarint(b); err != nil {
 			return nil, err
 		}
-		m.Groups, _, err = readInt32(b)
+		if m.Groups, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		// The gauge fields were appended to the encoding later; decode
+		// them as optional (zero when absent) so a gateway restarted onto
+		// a new binary still reads pongs from not-yet-upgraded nodes —
+		// the mixed-version window the catalog restart runbook creates.
+		if len(b) == 0 {
+			return m, nil
+		}
+		if m.Servers, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.TemporaryBytes, b, err = readInt64(b); err != nil {
+			return nil, err
+		}
+		if m.PermanentBytes, b, err = readInt64(b); err != nil {
+			return nil, err
+		}
+		m.OffloadQueueDepth, _, err = readInt64(b)
 		return m, err
+	})
+	register(KindGroupStats, func(b []byte) (Message, error) {
+		var (
+			m   GroupStats
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		addr, _, err := readBytes(b)
+		m.ReplyAddr = string(addr)
+		return m, err
+	})
+	register(KindGroupStatsResp, func(b []byte) (Message, error) {
+		var (
+			m   GroupStatsResp
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(b)) {
+			return nil, ErrTruncated
+		}
+		m.Groups = make([]GroupGauges, n)
+		for i := range m.Groups {
+			g := &m.Groups[i]
+			if g.Group, b, err = readInt32(b); err != nil {
+				return nil, err
+			}
+			if g.TemporaryBytes, b, err = readInt64(b); err != nil {
+				return nil, err
+			}
+			if g.PermanentBytes, b, err = readInt64(b); err != nil {
+				return nil, err
+			}
+			if g.OffloadQueueDepth, b, err = readInt64(b); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
 	})
 }

@@ -111,6 +111,11 @@ const (
 	KindGroupRetireResp
 	KindNodePing
 	KindNodePong
+
+	// Per-group storage-gauge sampling (gateway <-> node host; see
+	// control.go). Appended last, as above.
+	KindGroupStats
+	KindGroupStatsResp
 )
 
 // Message is the interface all protocol messages implement.
@@ -224,6 +229,18 @@ func readInt32(b []byte) (int32, []byte, error) {
 		return 0, nil, ErrTruncated
 	}
 	return int32(v), b[n:], nil
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func readInt64(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, ErrTruncated
+	}
+	return v, b[n:], nil
 }
 
 func appendBytes(b, data []byte) []byte {

@@ -61,6 +61,15 @@ func allMessages() []Message {
 		GroupRetireResp{Seq: 11, Group: 12},
 		NodePing{Seq: 12, ReplyAddr: "127.0.0.1:9000"},
 		NodePong{Seq: 12, Groups: 3},
+		NodePong{Seq: 13, Groups: 2, Servers: 6,
+			TemporaryBytes: 4096, PermanentBytes: 123456, OffloadQueueDepth: 7},
+		GroupStats{Seq: 14, Group: 12, ReplyAddr: "127.0.0.1:9000"},
+		GroupStats{Seq: 15, Group: AllGroups, ReplyAddr: "127.0.0.1:9000"},
+		GroupStatsResp{Seq: 14, Groups: []GroupGauges{
+			{Group: 12, TemporaryBytes: 100, PermanentBytes: 2048, OffloadQueueDepth: 3},
+			{Group: 13, PermanentBytes: 96},
+		}},
+		GroupStatsResp{Seq: 15, Groups: []GroupGauges{}},
 	}
 }
 
@@ -119,6 +128,28 @@ func orEmpty(b []byte) []byte {
 		return []byte{}
 	}
 	return b
+}
+
+// TestNodePongDecodesLegacyEncoding: the storage-gauge fields were
+// appended to NodePong later; a pong from a node running the older
+// binary (Seq + Groups only) must decode with zero gauges, not fail —
+// gateway-first restarts create exactly that mixed-version window.
+func TestNodePongDecodesLegacyEncoding(t *testing.T) {
+	legacy := []byte{byte(KindNodePong)}
+	legacy = appendUvarint(legacy, 12)
+	legacy = appendInt32(legacy, 3)
+	msg, err := Decode(legacy)
+	if err != nil {
+		t.Fatalf("Decode(legacy NodePong): %v", err)
+	}
+	pong, ok := msg.(NodePong)
+	if !ok {
+		t.Fatalf("decoded %T, want NodePong", msg)
+	}
+	want := NodePong{Seq: 12, Groups: 3}
+	if pong != want {
+		t.Errorf("decoded %+v, want %+v", pong, want)
+	}
 }
 
 func TestAllKindsRegistered(t *testing.T) {
