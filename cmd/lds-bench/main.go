@@ -8,14 +8,16 @@
 //	lds-bench -exp fig6
 //
 // Experiments: write-cost, read-cost, storage, latency, offload, rebalance,
-// tcpgateway, fig6, msr-ablation, abd, faults, all.
+// tcpgateway, fig6, msr-ablation, abd, faults, repair, all.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -39,7 +41,7 @@ var geometries = [][4]int{ // n1, n2, f1, f2
 const valueSize = 4096
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,fig6,msr-ablation,abd,faults,all")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,fig6,msr-ablation,abd,faults,repair,all")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -69,6 +71,59 @@ func main() {
 	run("msr-ablation", msrAblation)
 	run("abd", abdComparison)
 	run("faults", faults)
+	run("repair", repairBench)
+}
+
+// repairBench compares the repair bandwidth of the regenerating helper
+// path against the naive decode-reencode fallback, first against the pure
+// code at each benchmark geometry, then against a live fleet whose
+// anti-entropy pass is forced down each path in turn. It records the rows
+// in BENCH_repair.json so EXPERIMENTS.md numbers are reproducible.
+func repairBench() error {
+	fmt.Println("Repair bandwidth for one lost L2 element: d helper payloads (regenerating)")
+	fmt.Println("vs k full elements (naive RS decode-reencode):")
+	fmt.Printf("  %-26s %12s %12s %9s\n", "geometry", "regen bytes", "naive bytes", "savings")
+	out := struct {
+		ValueSize int                          `json:"value_size"`
+		Points    []experiments.RepairPoint    `json:"points"`
+		Live      experiments.RepairLiveResult `json:"live"`
+	}{ValueSize: valueSize}
+	for _, g := range geometries {
+		p := params(g)
+		res, err := experiments.MeasureRepairBandwidth(p, valueSize)
+		if err != nil {
+			return err
+		}
+		if res.RegenBytes >= res.NaiveBytes {
+			return fmt.Errorf("n1=%d n2=%d: regenerating repair moved %d bytes, not below naive %d",
+				p.N1, p.N2, res.RegenBytes, res.NaiveBytes)
+		}
+		fmt.Printf("  n1=%-3d n2=%-3d k=%-3d d=%-4d %12d %12d %8.2fx\n",
+			p.N1, p.N2, p.K, p.D, res.RegenBytes, res.NaiveBytes, res.Savings())
+		out.Points = append(out.Points, res)
+	}
+
+	live, err := experiments.MeasureRepairLive(params([4]int{6, 8, 1, 2}), valueSize, 4, 3, 3)
+	if err != nil {
+		return err
+	}
+	if live.RegenBytes >= live.NaiveBytes {
+		return fmt.Errorf("live fleet: regenerating pass moved %d bytes, not below naive %d",
+			live.RegenBytes, live.NaiveBytes)
+	}
+	fmt.Printf("  live fleet n1=%d n2=%d: %d corrupt elements healed, regen %d B vs naive %d B (%.2fx)\n",
+		live.Params.N1, live.Params.N2, live.Corrupted, live.RegenBytes, live.NaiveBytes, live.Savings())
+	out.Live = live
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_repair.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_repair.json")
+	return nil
 }
 
 func params(g [4]int) lds.Params {

@@ -44,6 +44,14 @@
 //	GET  /v1/nodes       probe every remote node process (topology
 //	                     deployments): id, address, liveness, hosted
 //	                     groups, control-plane RTT
+//	GET  /v1/scrub       sweep every node-held L2 element and report
+//	                     missing/stale/corrupt counts per group (read-only)
+//	POST /v1/repair      run one anti-entropy pass: re-serve lost group
+//	                     slices, regenerate bad elements (helper path when
+//	                     d donors are up, decode-reencode fallback at k),
+//	                     and return the full RepairReport; -repair-interval
+//	                     runs the same pass on a timer, -repair-rate caps
+//	                     its bandwidth
 //	POST /v1/reprovision re-serve every live remote group; run it after
 //	                     restarting a node process (see docs/OPERATIONS.md)
 //
@@ -97,6 +105,9 @@ func run() error {
 		maxOps  = flag.Int("max-ops", 32, "concurrent operations per shard (backpressure)")
 		latency = flag.Duration("latency", 0, "uniform simulated link latency (0 = instant)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-operation timeout")
+
+		repairEvery = flag.Duration("repair-interval", 0, "background anti-entropy period for tcp shards (0 = manual via POST /v1/repair)")
+		repairRate  = flag.Int64("repair-rate", 0, "repair bandwidth budget in bytes/sec (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -118,6 +129,12 @@ func run() error {
 		}
 		cfg.Topology = t
 		cfg.Shards = 0 // adopt the topology's shard count
+	}
+	if *repairEvery > 0 || *repairRate > 0 {
+		cfg.Repair = &gateway.RepairOptions{
+			Interval:        *repairEvery,
+			RateBytesPerSec: *repairRate,
+		}
 	}
 	if *catPath != "" {
 		cat, err := catalog.Open(*catPath)
@@ -288,6 +305,26 @@ func newHandler(gw *gateway.Gateway, timeout time.Duration) http.Handler {
 			return
 		}
 		writeJSON(w, map[string]any{"nodes": nodes})
+	})
+	mux.HandleFunc("GET /v1/scrub", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := timeoutContext(r, timeout)
+		defer cancel()
+		report, err := gw.ScrubRemote(ctx)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"clean": report.Clean(), "totals": report.Totals(), "report": report})
+	})
+	mux.HandleFunc("POST /v1/repair", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := timeoutContext(r, timeout)
+		defer cancel()
+		report, err := gw.RepairRemote(ctx)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"clean": report.After.Clean(), "report": report})
 	})
 	mux.HandleFunc("POST /v1/reprovision", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := timeoutContext(r, timeout)

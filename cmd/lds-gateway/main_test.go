@@ -311,3 +311,172 @@ func TestNodesEndpointWithoutTopology(t *testing.T) {
 		t.Fatalf("GET /v1/nodes without topology: %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestRepairHTTPEndpoints drives the anti-entropy control plane through
+// the front door: GET /v1/scrub detects injected bit rot, POST /v1/repair
+// heals it, and the repair counters surface in GET /v1/stats.
+func TestRepairHTTPEndpoints(t *testing.T) {
+	hosts := make([]*nodehost.Host, 2)
+	specs := make([]gateway.NodeSpec, 2)
+	for i := range hosts {
+		h, err := nodehost.New("127.0.0.1:0", int32(i+1), nodehost.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		hosts[i] = h
+		specs[i] = gateway.NodeSpec{ID: h.NodeID(), Addr: h.Addr()}
+	}
+	params, err := lds.NewParams(4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{
+		Params: params,
+		Topology: &gateway.Topology{
+			Shards: []gateway.ShardSpec{{Backend: gateway.BackendTCP, Nodes: specs}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(gw, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		gw.Close()
+	})
+	client := srv.Client()
+
+	for i := 0; i < 4; i++ {
+		key, value := fmt.Sprintf("scrub-%d", i), fmt.Sprintf("v-%d", i)
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/"+key, strings.NewReader(value))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("PUT %s: %d", key, resp.StatusCode)
+		}
+	}
+
+	type scrubResp struct {
+		Clean  bool `json:"clean"`
+		Totals struct {
+			Corrupt int `json:"corrupt"`
+		} `json:"totals"`
+		Report struct {
+			Groups []struct {
+				NS int32 `json:"ns"`
+			} `json:"groups"`
+		} `json:"report"`
+	}
+	getScrub := func() scrubResp {
+		t.Helper()
+		resp, err := client.Get(srv.URL + "/v1/scrub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/scrub: %d", resp.StatusCode)
+		}
+		var sr scrubResp
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	// Wait for the offload pipeline to drain, then inject bit rot.
+	var settled scrubResp
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		settled = getScrub()
+		if settled.Clean && len(settled.Report.Groups) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrub never settled clean")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	corrupted := false
+	for _, g := range settled.Report.Groups {
+		for _, h := range hosts {
+			if s := h.L2(g.NS, 0); s != nil {
+				corrupted = s.CorruptStored()
+				break
+			}
+		}
+		if corrupted {
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("corrupted no elements; harness bug")
+	}
+	if sr := getScrub(); sr.Clean || sr.Totals.Corrupt == 0 {
+		t.Fatalf("scrub after corruption: clean=%v corrupt=%d, want dirty", sr.Clean, sr.Totals.Corrupt)
+	}
+
+	resp, err := client.Post(srv.URL+"/v1/repair", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr struct {
+		Clean  bool `json:"clean"`
+		Report struct {
+			Repaired int `json:"repaired"`
+		} `json:"report"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/repair: %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rr.Clean || rr.Report.Repaired == 0 {
+		t.Fatalf("repair: clean=%v repaired=%d, want clean with repairs", rr.Clean, rr.Report.Repaired)
+	}
+
+	resp, err = client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Shards []struct {
+			RepairScrubs  uint64 `json:"RepairScrubs"`
+			RepairedElems uint64 `json:"RepairedElems"`
+			RepairBytes   uint64 `json:"RepairBytes"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var scrubs, repaired, bytes uint64
+	for _, s := range stats.Shards {
+		scrubs += s.RepairScrubs
+		repaired += s.RepairedElems
+		bytes += s.RepairBytes
+	}
+	if scrubs == 0 || repaired == 0 || bytes == 0 {
+		t.Errorf("stats repair counters scrubs=%d repaired=%d bytes=%d, want all > 0", scrubs, repaired, bytes)
+	}
+}
+
+// TestRepairEndpointWithoutTopology maps ErrNoTopology onto 404 for the
+// repair plane too.
+func TestRepairEndpointWithoutTopology(t *testing.T) {
+	srv, _ := testServer(t, 2)
+	resp, err := srv.Client().Post(srv.URL+"/v1/repair", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/repair without topology: %d, want 404", resp.StatusCode)
+	}
+}

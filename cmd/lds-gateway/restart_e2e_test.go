@@ -84,17 +84,6 @@ func startChild(t *testing.T, name string, bin string, args ...string) *childPro
 	}
 }
 
-// buildBinary go-builds a command directory into dir.
-func buildBinary(t *testing.T, dir, pkgDir, name string) string {
-	t.Helper()
-	bin := filepath.Join(dir, name)
-	build := exec.Command("go", "build", "-o", bin, pkgDir)
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build %s: %v\n%s", pkgDir, err, out)
-	}
-	return bin
-}
-
 // httpKV drives the gateway's HTTP front door and parses the tag header.
 type httpKV struct {
 	base   string
@@ -158,9 +147,7 @@ func TestGatewayCrashRestartE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping child-process e2e (needs go build)")
 	}
-	bindir := t.TempDir()
-	nodeBin := buildBinary(t, bindir, "../lds-node", "lds-node")
-	gwBin := buildBinary(t, bindir, ".", "lds-gateway")
+	// nodeBin and gwBin are built once per package by TestMain.
 
 	// Three node processes; geometry (3,4,1,1) puts one L1 and at least
 	// one L2 slice of every group on each node.

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// nodeBin and gwBin are the child binaries shared by every e2e test in
+// this package, built exactly once by TestMain. Empty in -short mode,
+// where the e2e tests skip themselves before touching them.
+var (
+	nodeBin string
+	gwBin   string
+)
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(testMain(m))
+}
+
+func testMain(m *testing.M) int {
+	if !testing.Short() {
+		dir, err := os.MkdirTemp("", "lds-gateway-e2e-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		for _, b := range []struct {
+			pkgDir, name string
+			out          *string
+		}{
+			{"../lds-node", "lds-node", &nodeBin},
+			{".", "lds-gateway", &gwBin},
+		} {
+			bin := filepath.Join(dir, b.name)
+			if out, err := exec.Command("go", "build", "-o", bin, b.pkgDir).CombinedOutput(); err != nil {
+				fmt.Fprintf(os.Stderr, "go build %s: %v\n%s", b.pkgDir, err, out)
+				return 1
+			}
+			*b.out = bin
+		}
+	}
+	return m.Run()
+}

@@ -1,11 +1,9 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"fmt"
 	"os/exec"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,58 +13,16 @@ import (
 	"github.com/lds-storage/lds/internal/lds"
 )
 
-// nodeProc is one lds-node child process.
-type nodeProc struct {
-	cmd  *exec.Cmd
-	addr string
-}
-
-// startNode launches the built lds-node binary in group-host mode and
-// waits for its "listening on" line to learn the bound address.
-func startNode(t *testing.T, bin string, id int32, listen string) *nodeProc {
-	t.Helper()
-	cmd := exec.Command(bin, "-node", fmt.Sprint(id), "-listen", listen)
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		t.Fatalf("start lds-node %d: %v", id, err)
-	}
-	t.Cleanup(func() {
-		cmd.Process.Kill()
-		cmd.Wait()
-	})
-
-	addrs := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(stderr)
-		for sc.Scan() {
-			line := sc.Text()
-			if _, after, ok := strings.Cut(line, "listening on "); ok {
-				select {
-				case addrs <- strings.TrimSpace(after):
-				default:
-				}
-			}
-		}
-	}()
-	select {
-	case addr := <-addrs:
-		return &nodeProc{cmd: cmd, addr: addr}
-	case <-time.After(30 * time.Second):
-		t.Fatalf("lds-node %d never reported its listen address", id)
-		return nil
-	}
-}
-
-// TestMultiProcessTCPGateway is the real-process acceptance test: it
-// builds the lds-node binary, runs three node processes, fronts them with
-// a gateway holding two remote TCP shard groups, drives a concurrent
-// history-recorded workload, kills and restarts one process mid-workload,
-// reprovisions it, and verifies every per-key history against the
-// paper's atomicity conditions.
-func TestMultiProcessTCPGateway(t *testing.T) {
+// TestMultiProcessRepairAfterKill is the repair subsystem's acceptance
+// test: three real lds-node processes host two TCP shard groups, a
+// concurrent history-recorded workload runs, and one node is SIGKILLed
+// mid-workload and restarted empty. Full redundancy must come back via
+// RepairRemote — the anti-entropy pass that re-serves the lost group
+// slices and regenerates their elements at the current committed tag —
+// not via reprovision-from-seed. The test passes only when a post-repair
+// scrub reports zero missing, stale or corrupt elements while every
+// per-key history still satisfies the paper's atomicity conditions.
+func TestMultiProcessRepairAfterKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping child-process e2e (needs go build)")
 	}
@@ -83,11 +39,17 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Geometry (3,4,1,1) over 3 nodes: node i hosts L1/i, plus L2/i (and
-	// node 0 additionally L2/3). Killing procs[2] costs one L1 and one L2
-	// per group — exactly the (f1, f2) crash budget.
+	// Same geometry as TestMultiProcessTCPGateway: killing procs[2] costs
+	// one L1 and one L2 per group — within the (f1, f2) crash budget, so
+	// the workload keeps running while redundancy is degraded.
 	g, err := gateway.New(gateway.Config{
 		Params: params,
+		Repair: &gateway.RepairOptions{
+			// A generous rate limit so the limiter path runs without
+			// throttling the test; the background loop stays off — the test
+			// drives explicit passes to assert on their reports.
+			RateBytesPerSec: 64 << 20,
+		},
 		Topology: &gateway.Topology{
 			Shards: []gateway.ShardSpec{
 				{Backend: gateway.BackendTCP, Nodes: specs},
@@ -99,14 +61,14 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer g.Close()
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
 	defer cancel()
 
 	const (
 		keys         = 4
 		opsPerClient = 6
 	)
-	keyName := func(i int) string { return fmt.Sprintf("proc-%d", i) }
+	keyName := func(i int) string { return fmt.Sprintf("repair-%d", i) }
 	recorders := make([]*history.Recorder, keys)
 	for i := range recorders {
 		recorders[i] = history.NewRecorder()
@@ -116,9 +78,9 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 	}
 
 	var (
-		wg        sync.WaitGroup
-		failed    sync.Map
-		restarted = make(chan struct{})
+		wg       sync.WaitGroup
+		failed   sync.Map
+		repaired = make(chan struct{})
 	)
 	for ki := 0; ki < keys; ki++ {
 		key, rec := keyName(ki), recorders[ki]
@@ -127,7 +89,7 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 			defer wg.Done()
 			for op := 0; op < opsPerClient; op++ {
 				if op == opsPerClient/2 {
-					<-restarted
+					<-repaired
 				}
 				value := fmt.Sprintf("%s/w/%d", key, op)
 				start := time.Now()
@@ -144,7 +106,7 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 			defer wg.Done()
 			for op := 0; op < opsPerClient; op++ {
 				if op == opsPerClient/2 {
-					<-restarted
+					<-repaired
 				}
 				start := time.Now()
 				v, tg, err := g.Get(ctx, key)
@@ -158,14 +120,13 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 		}()
 	}
 
-	// Kill the third process outright (SIGKILL: no graceful teardown) and
-	// restart it on the same port, as an operator would.
+	// SIGKILL the third node mid-workload and restart it on the same port,
+	// empty.
 	addr := procs[2].addr
 	if err := procs[2].cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
 	procs[2].cmd.Wait()
-	// The port may linger briefly; retry the rebind.
 	var fresh *nodeProc
 	deadline := time.Now().Add(15 * time.Second)
 	for {
@@ -191,8 +152,39 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 	if fresh == nil {
 		t.Fatalf("could not restart lds-node on %s", addr)
 	}
-	if err := g.ReprovisionRemote(ctx); err != nil {
-		t.Fatalf("ReprovisionRemote: %v", err)
+
+	// Repair — not reprovision. The first pass must re-serve the lost
+	// group slices (Reserved > 0) and regenerate elements onto the reborn
+	// node; concurrent writes may move tags mid-pass, so iterate until a
+	// pass closes with a clean scrub.
+	var totalReserved, totalRepaired int
+	var clean *gateway.ScrubReport
+	repairDeadline := time.Now().Add(60 * time.Second)
+	for {
+		report, err := g.RepairRemote(ctx)
+		if err != nil {
+			t.Fatalf("RepairRemote: %v", err)
+		}
+		totalReserved += report.Reserved
+		totalRepaired += report.Repaired
+		if report.After.Clean() {
+			clean = &report.After
+			break
+		}
+		if time.Now().After(repairDeadline) {
+			t.Fatalf("repair never converged: %+v (errors: %v)", report.After, report.Errors)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if totalReserved == 0 {
+		t.Error("repair re-served no group slices on the killed node (reprovision path, not repair?)")
+	}
+	if totalRepaired == 0 {
+		t.Error("repair regenerated no elements onto the killed node")
+	}
+	total := clean.Totals()
+	if total.Missing != 0 || total.Corrupt != 0 || total.Stale != 0 || total.Unknown != 0 {
+		t.Errorf("post-repair scrub: %+v, want zero missing/corrupt/stale/unknown", total)
 	}
 	nodes, err := g.ProbeRemoteNodes(ctx)
 	if err != nil {
@@ -200,13 +192,13 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 	}
 	for _, n := range nodes {
 		if !n.Alive {
-			t.Errorf("node %d dead after restart+reprovision", n.ID)
+			t.Errorf("node %d dead after kill+repair", n.ID)
 		}
 		if n.ID == 3 && n.Groups == 0 {
-			t.Error("restarted node hosts no groups after reprovisioning")
+			t.Error("killed node hosts no groups after repair")
 		}
 	}
-	close(restarted)
+	close(repaired)
 
 	wg.Wait()
 	failed.Range(func(k, v any) bool {
@@ -224,5 +216,27 @@ func TestMultiProcessTCPGateway(t *testing.T) {
 		for _, v := range history.VerifyUniqueValues(ops, "") {
 			t.Errorf("key %d: %v", ki, v)
 		}
+	}
+
+	// A final scrub after the full workload must also settle clean once the
+	// offload pipeline drains the last writes.
+	scrubDeadline := time.Now().Add(60 * time.Second)
+	for {
+		report, err := g.ScrubRemote(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Clean() {
+			break
+		}
+		if time.Now().After(scrubDeadline) {
+			t.Fatalf("final scrub never settled clean: %+v", report)
+		}
+		// Late offloads leave elements briefly stale; repair passes close
+		// the gap deterministically instead of waiting out the pipeline.
+		if _, err := g.RepairRemote(ctx); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }

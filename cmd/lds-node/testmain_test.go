@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// nodeBin is the lds-node binary shared by every e2e test in this package,
+// built exactly once by TestMain. Empty in -short mode, where the e2e
+// tests skip themselves before touching it.
+var nodeBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(testMain(m))
+}
+
+func testMain(m *testing.M) int {
+	if !testing.Short() {
+		dir, err := os.MkdirTemp("", "lds-node-e2e-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		nodeBin = filepath.Join(dir, "lds-node")
+		if out, err := exec.Command("go", "build", "-o", nodeBin, ".").CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "go build lds-node: %v\n%s", err, out)
+			return 1
+		}
+	}
+	return m.Run()
+}

@@ -164,6 +164,11 @@ type Config struct {
 	// Nodes that stay silent are skipped (their groups keep serving on
 	// the surviving quorum) and reported via RestoreInfo.
 	RestoreTimeout time.Duration
+	// Repair, when non-nil, configures the anti-entropy subsystem (see
+	// repair.go): scrub cadence, repair-bandwidth rate limit, and the
+	// naive-repair override for experiments. Nil disables the background
+	// loop but explicit ScrubRemote/RepairRemote calls always work.
+	Repair *RepairOptions
 }
 
 // group is the backend-agnostic surface of one key's LDS cluster: pooled
@@ -314,6 +319,12 @@ type Gateway struct {
 		last time.Time
 		busy bool
 	}
+
+	// Repair subsystem (repair.go): the traffic rate limiter shared by all
+	// repair passes, and the background loop's exit signal (nil when no
+	// loop was started).
+	repairLimiter *tokenBucket
+	repairStopped chan struct{}
 }
 
 // statsSyncTTL is how long a remote-gauge sweep stays fresh; stats calls
@@ -399,6 +410,9 @@ func New(cfg Config) (*Gateway, error) {
 		g.route.shards[i] = newShard(g, i, g.backendFor(i))
 	}
 	g.closeCtx, g.closeStop = context.WithCancel(context.Background())
+	if cfg.Repair != nil {
+		g.repairLimiter = newTokenBucket(cfg.Repair.RateBytesPerSec, cfg.Repair.BurstBytes)
+	}
 	if restored != nil {
 		g.route.version = restored.RingVersion
 		info, err := g.restoreFromCatalog(*restored)
@@ -424,6 +438,10 @@ func New(cfg Config) (*Gateway, error) {
 		// Pin the resumed routing shape so a catalog created before this
 		// boot (or one from an older shard count) reads back consistently.
 		g.logRecord(catalog.Record{Type: catalog.TypeRing, Version: g.route.version, Shards: cfg.Shards})
+	}
+	if cfg.Repair != nil && cfg.Repair.Interval > 0 && g.remote != nil {
+		g.repairStopped = make(chan struct{})
+		go g.repairLoop(cfg.Repair.Interval)
 	}
 	return g, nil
 }
@@ -852,6 +870,9 @@ func (g *Gateway) Close() error {
 	g.closed = true
 	g.closeMu.Unlock()
 	g.closeStop()
+	if g.repairStopped != nil {
+		<-g.repairStopped // the background repair loop is off the transport
+	}
 	g.inflight.Wait()
 	detach := g.cfg.Catalog != nil
 	for _, sh := range g.shardList() {

@@ -176,6 +176,12 @@ func (m *remoteManager) handleCtl(env wire.Envelope) {
 		seq = msg.Seq
 	case wire.GroupStatsResp:
 		seq = msg.Seq
+	case wire.ElemInventoryResp:
+		seq = msg.Seq
+	case wire.ElemFetchResp:
+		seq = msg.Seq
+	case wire.ElemRepairResp:
+		seq = msg.Seq
 	default:
 		return
 	}

@@ -1,0 +1,523 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/nodehost"
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/transport/faultnet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// startChaosHosts boots node hosts whose networks run through a seeded
+// faultnet injecting duplication and delay on every message. Drops are
+// deliberately excluded: protocol (quorum) traffic assumes reliable links,
+// and the paper's model permits exactly duplication and reordering — so
+// this is the harshest chaos the repair plane must shrug off while staying
+// within the model the correctness proofs cover.
+func startChaosHosts(t *testing.T, n int, seed int64) ([]*nodehost.Host, []NodeSpec) {
+	t.Helper()
+	hosts := make([]*nodehost.Host, n)
+	specs := make([]NodeSpec, n)
+	for i := range hosts {
+		h, err := nodehost.New("127.0.0.1:0", int32(i+1), nodehost.Options{
+			WrapNet: func(base transport.Network) transport.Network {
+				return faultnet.New(base, faultnet.Options{
+					Seed:    seed + int64(i),
+					Default: faultnet.Rule{Dup: 0.15, DelayMax: 2 * time.Millisecond},
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		hosts[i] = h
+		specs[i] = NodeSpec{ID: h.NodeID(), Addr: h.Addr()}
+	}
+	return hosts, specs
+}
+
+// waitScrubSettled polls until every remote group scrubs clean at a
+// non-zero reference tag — i.e. the offload pipeline has drained the
+// latest writes into the permanent layer on every element.
+func waitScrubSettled(t *testing.T, ctx context.Context, g *Gateway) *ScrubReport {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		report, err := g.ScrubRemote(ctx)
+		if err != nil {
+			t.Fatalf("ScrubRemote: %v", err)
+		}
+		settled := report.Clean() && len(report.Groups) > 0
+		for _, gr := range report.Groups {
+			if gr.RefTag.IsZero() {
+				settled = false
+			}
+		}
+		if settled {
+			return report
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrub never settled clean: %+v", report)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// corruptElements flips stored bytes of count elements across distinct
+// groups, returning how many it actually corrupted. It probes every host
+// for every scrubbed namespace, so it needs no placement knowledge.
+func corruptElements(t *testing.T, hosts []*nodehost.Host, report *ScrubReport, count int) int {
+	t.Helper()
+	corrupted := 0
+	for _, gr := range report.Groups {
+		if corrupted == count {
+			break
+		}
+		for _, h := range hosts {
+			if s := h.L2(gr.NS, 0); s != nil {
+				if s.CorruptStored() {
+					corrupted++
+				}
+				break
+			}
+		}
+	}
+	return corrupted
+}
+
+// TestRepairHealsCorruption is the core anti-entropy integration test: a
+// gateway over three chaos-wrapped node hosts writes a handful of keys,
+// bit rot is injected into stored elements, the scrub detects exactly the
+// corrupted ones, and one RepairRemote pass regenerates them through the
+// helper path — after which the fleet scrubs clean and every value still
+// reads back correctly.
+func TestRepairHealsCorruption(t *testing.T) {
+	hosts, specs := startChaosHosts(t, 3, 1)
+	g, err := New(Config{
+		Params:   testParams(t, 3, 4, 1, 1),
+		PoolSize: 2,
+		Topology: &Topology{
+			Shards: []ShardSpec{
+				{Backend: BackendTCP, Nodes: specs},
+				{Backend: BackendTCP, Nodes: specs},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	values := map[string]string{}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("repair-%d", i)
+		values[key] = fmt.Sprintf("payload-%d-for-repair-testing", i)
+		if _, err := g.Put(ctx, key, []byte(values[key])); err != nil {
+			t.Fatalf("Put %q: %v", key, err)
+		}
+	}
+	clean := waitScrubSettled(t, ctx, g)
+
+	want := corruptElements(t, hosts, clean, 3)
+	if want == 0 {
+		t.Fatal("corrupted no elements; harness bug")
+	}
+	detect, err := g.ScrubRemote(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := detect.Totals().Corrupt; got != want {
+		t.Fatalf("scrub detected %d corrupt elements, injected %d", got, want)
+	}
+
+	report, err := g.RepairRemote(ctx)
+	if err != nil {
+		t.Fatalf("RepairRemote: %v", err)
+	}
+	if !report.After.Clean() {
+		t.Fatalf("post-repair scrub not clean: %+v", report.After)
+	}
+	if report.Repaired != want {
+		t.Errorf("Repaired = %d, want %d", report.Repaired, want)
+	}
+	if report.Regenerated != want || report.Naive != 0 {
+		t.Errorf("Regenerated/Naive = %d/%d, want %d/0 (helper path must win with d donors up)",
+			report.Regenerated, report.Naive, want)
+	}
+	if report.HelperBytes <= 0 {
+		t.Errorf("HelperBytes = %d, want > 0", report.HelperBytes)
+	}
+
+	// The repair must not have disturbed readable state.
+	for key, want := range values {
+		got, _, err := g.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get %q after repair: %v", key, err)
+		}
+		if string(got) != want {
+			t.Fatalf("Get %q = %q after repair, want %q", key, got, want)
+		}
+	}
+
+	// Counters: scrubs ran, elements repaired, bytes accounted.
+	var scrubs, repaired, bytes uint64
+	for _, st := range g.Stats() {
+		scrubs += st.RepairScrubs
+		repaired += st.RepairedElems
+		bytes += st.RepairBytes
+	}
+	if scrubs == 0 || repaired != uint64(want) || bytes == 0 {
+		t.Errorf("repair counters scrubs=%d repaired=%d bytes=%d, want >0/%d/>0",
+			scrubs, repaired, bytes, want)
+	}
+}
+
+// TestRepairForceNaive pins the fallback path: with ForceNaive the same
+// corruption is healed by decode-reencode from k full elements, and the
+// fetched payload is accounted as FullBytes.
+func TestRepairForceNaive(t *testing.T) {
+	hosts, specs := startChaosHosts(t, 3, 7)
+	g, err := New(Config{
+		Params:   testParams(t, 3, 4, 1, 1),
+		PoolSize: 2,
+		Repair:   &RepairOptions{ForceNaive: true},
+		Topology: &Topology{
+			Shards: []ShardSpec{{Backend: BackendTCP, Nodes: specs}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	if _, err := g.Put(ctx, "naive", []byte("naive-repair-payload")); err != nil {
+		t.Fatal(err)
+	}
+	clean := waitScrubSettled(t, ctx, g)
+	if corruptElements(t, hosts, clean, 1) != 1 {
+		t.Fatal("failed to corrupt an element")
+	}
+	report, err := g.RepairRemote(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.After.Clean() {
+		t.Fatalf("post-repair scrub not clean: %+v", report.After)
+	}
+	if report.Naive != 1 || report.Regenerated != 0 {
+		t.Errorf("Naive/Regenerated = %d/%d, want 1/0 under ForceNaive", report.Naive, report.Regenerated)
+	}
+	if report.FullBytes <= 0 || report.HelperBytes != 0 {
+		t.Errorf("FullBytes/HelperBytes = %d/%d, want >0/0", report.FullBytes, report.HelperBytes)
+	}
+}
+
+// TestRepairRestartedNodeRegeneratesCurrentElements is the distinction
+// between repair and reprovisioning: a node restarts amnesiac, and a
+// single RepairRemote pass both re-serves the lost group slices and
+// regenerates their elements at the *current* committed tag — the
+// restarted node must end up holding current redundancy, not its boot
+// seed.
+func TestRepairRestartedNodeRegeneratesCurrentElements(t *testing.T) {
+	hosts, specs := startChaosHosts(t, 3, 11)
+	g, err := New(Config{
+		Params:   testParams(t, 3, 4, 1, 1),
+		PoolSize: 2,
+		Topology: &Topology{
+			Shards: []ShardSpec{
+				{Backend: BackendTCP, Nodes: specs},
+				{Backend: BackendTCP, Nodes: specs},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	values := map[string]string{}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("restart-%d", i)
+		values[key] = fmt.Sprintf("surviving-value-%d", i)
+		if _, err := g.Put(ctx, key, []byte(values[key])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settled := waitScrubSettled(t, ctx, g)
+	refTags := map[int32]string{}
+	for _, gr := range settled.Groups {
+		refTags[gr.NS] = gr.RefTag.String()
+	}
+
+	// Kill node 3 and bring it back empty on the same address (no faultnet
+	// on the reborn node: the failure under test is amnesia, not the link).
+	addr := hosts[2].Addr()
+	if err := hosts[2].Close(); err != nil {
+		t.Error(err)
+	}
+	reborn, err := nodehost.New(addr, hosts[2].NodeID(), nodehost.Options{})
+	if err != nil {
+		t.Fatalf("restart node: %v", err)
+	}
+	t.Cleanup(func() { reborn.Close() })
+
+	report, err := g.RepairRemote(ctx)
+	if err != nil {
+		t.Fatalf("RepairRemote: %v", err)
+	}
+	if report.Reserved == 0 {
+		t.Error("repair re-served no group slices on the amnesiac node")
+	}
+	if report.Repaired == 0 {
+		t.Error("repair regenerated no elements on the amnesiac node")
+	}
+	if !report.After.Clean() {
+		t.Fatalf("post-repair scrub not clean: %+v", report.After)
+	}
+	// The restored elements must sit at the pre-crash reference tag, not at
+	// a freshly booted seed tag.
+	for _, gr := range report.After.Groups {
+		if want, ok := refTags[gr.NS]; ok && gr.RefTag.String() != want {
+			t.Errorf("group %d reference tag %s after repair, want %s", gr.NS, gr.RefTag, want)
+		}
+	}
+	for key, want := range values {
+		got, _, err := g.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get %q after restart+repair: %v", key, err)
+		}
+		if string(got) != want {
+			t.Fatalf("Get %q = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestRepairLoopBackground: with a positive Interval the scheduler heals
+// injected corruption on its own, and gateway Close drains the loop
+// cleanly.
+func TestRepairLoopBackground(t *testing.T) {
+	hosts, specs := startChaosHosts(t, 3, 23)
+	g, err := New(Config{
+		Params:   testParams(t, 3, 4, 1, 1),
+		PoolSize: 2,
+		Repair:   &RepairOptions{Interval: 50 * time.Millisecond},
+		Topology: &Topology{
+			Shards: []ShardSpec{{Backend: BackendTCP, Nodes: specs}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	if _, err := g.Put(ctx, "background", []byte("background-repair-payload")); err != nil {
+		t.Fatal(err)
+	}
+	clean := waitScrubSettled(t, ctx, g)
+	if corruptElements(t, hosts, clean, 1) != 1 {
+		t.Fatal("failed to corrupt an element")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		report, err := g.ScrubRemote(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Clean() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background loop never healed the corruption: %+v", report)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close with background repair running: %v", err)
+	}
+}
+
+// TestRepairInstallRefusesRollback pins the install guard over the wire: a
+// repair carrying an older tag than the stored element must be refused (a
+// racing write wins over a stale repair), while an equal-tag install is
+// adopted (that is what heals bit rot).
+func TestRepairInstallRefusesRollback(t *testing.T) {
+	_, specs := startChaosHosts(t, 3, 31)
+	g, err := New(Config{
+		Params:   testParams(t, 3, 4, 1, 1),
+		PoolSize: 2,
+		Topology: &Topology{
+			Shards: []ShardSpec{{Backend: BackendTCP, Nodes: specs}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := g.Put(ctx, "rollback", []byte("rollback-guard-payload")); err != nil {
+		t.Fatal(err)
+	}
+	report := waitScrubSettled(t, ctx, g)
+	gr := report.Groups[0]
+
+	// Element 0 lives on the first node of the group's placement.
+	m := g.remote
+	owner := specs[nodehost.AssignedNode(0, len(specs))].ID
+	fr, err := m.elemFetch(ctx, owner, gr.NS, 0, wire.FullElement)
+	if err != nil {
+		t.Fatalf("elemFetch: %v", err)
+	}
+
+	older := fr.Tag
+	older.Z-- // strictly below the stored tag
+	rr, err := m.elemRepair(ctx, owner, wire.ElemRepair{
+		Group: gr.NS, Index: 0, Tag: older, ValueLen: fr.ValueLen, Coded: fr.Data,
+	})
+	if err != nil {
+		t.Fatalf("elemRepair (older tag): %v", err)
+	}
+	if rr.Installed {
+		t.Error("older-tag repair was installed; the rollback guard is broken")
+	}
+
+	rr, err = m.elemRepair(ctx, owner, wire.ElemRepair{
+		Group: gr.NS, Index: 0, Tag: fr.Tag, ValueLen: fr.ValueLen, Coded: fr.Data,
+	})
+	if err != nil {
+		t.Fatalf("elemRepair (equal tag): %v", err)
+	}
+	if !rr.Installed {
+		t.Error("equal-tag repair refused; bit rot at the highest tag could never heal")
+	}
+
+	after, err := g.ScrubRemote(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() {
+		t.Errorf("scrub dirty after install probes: %+v", after)
+	}
+}
+
+// TestRepairLongSoak is the scheduled-CI soak (gated behind
+// LDS_REPAIR_SOAK so PR runs stay fast): many rounds of aggressive
+// corruption — two elements of every group per round, half the group's
+// redundancy at this geometry — against hosts under doubled chaos
+// (duplication and delay), healed by repair passes between fresh writes
+// that keep moving the reference tags.
+func TestRepairLongSoak(t *testing.T) {
+	if os.Getenv("LDS_REPAIR_SOAK") == "" {
+		t.Skip("set LDS_REPAIR_SOAK=1 to run the long soak (scheduled CI)")
+	}
+	hosts := make([]*nodehost.Host, 3)
+	specs := make([]NodeSpec, 3)
+	for i := range hosts {
+		h, err := nodehost.New("127.0.0.1:0", int32(i+1), nodehost.Options{
+			WrapNet: func(base transport.Network) transport.Network {
+				return faultnet.New(base, faultnet.Options{
+					Seed:    42 + int64(i),
+					Default: faultnet.Rule{Dup: 0.3, DelayMax: 4 * time.Millisecond},
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		hosts[i] = h
+		specs[i] = NodeSpec{ID: h.NodeID(), Addr: h.Addr()}
+	}
+	g, err := New(Config{
+		Params:   testParams(t, 3, 4, 1, 1),
+		PoolSize: 2,
+		Repair:   &RepairOptions{RateBytesPerSec: 32 << 20},
+		Topology: &Topology{
+			Shards: []ShardSpec{
+				{Backend: BackendTCP, Nodes: specs},
+				{Backend: BackendTCP, Nodes: specs},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+
+	const (
+		rounds = 10
+		keys   = 4
+	)
+	for round := 0; round < rounds; round++ {
+		want := make(map[string]string, keys)
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("soak-%d", i)
+			want[key] = fmt.Sprintf("%s/round/%d", key, round)
+			if _, err := g.Put(ctx, key, []byte(want[key])); err != nil {
+				t.Fatalf("round %d: Put %q: %v", round, key, err)
+			}
+		}
+		clean := waitScrubSettled(t, ctx, g)
+
+		// Two corrupt elements per group: with n2=4, d=2 that leaves
+		// exactly d healthy donors — the hardest case the regenerating
+		// path still covers without the naive fallback.
+		corrupted := 0
+		for _, gr := range clean.Groups {
+			for idx := int32(0); idx < 2; idx++ {
+				for _, h := range hosts {
+					if s := h.L2(gr.NS, idx); s != nil {
+						if s.CorruptStored() {
+							corrupted++
+						}
+						break
+					}
+				}
+			}
+		}
+		if corrupted == 0 {
+			t.Fatalf("round %d: corrupted no elements; harness bug", round)
+		}
+
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			report, err := g.RepairRemote(ctx)
+			if err != nil {
+				t.Fatalf("round %d: RepairRemote: %v", round, err)
+			}
+			if report.After.Clean() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: repair never converged: %+v (errors: %v)",
+					round, report.After.Totals(), report.Errors)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		for key, value := range want {
+			got, _, err := g.Get(ctx, key)
+			if err != nil {
+				t.Fatalf("round %d: Get %q: %v", round, key, err)
+			}
+			if string(got) != value {
+				t.Fatalf("round %d: Get %q = %q, want %q", round, key, got, value)
+			}
+		}
+	}
+}

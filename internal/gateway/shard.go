@@ -47,6 +47,14 @@ type shardCounters struct {
 	writeBytes   atomic.Uint64
 	readLatency  atomic.Int64 // cumulative ns over successful reads
 	writeLatency atomic.Int64 // cumulative ns over successful writes
+
+	// Anti-entropy accounting (repair.go): scrub sweeps that covered this
+	// shard's groups, elements regenerated and installed, fetched repair
+	// payload bytes, and failed repair attempts.
+	repairScrubs  atomic.Uint64
+	repairedElems atomic.Uint64
+	repairBytes   atomic.Uint64
+	repairErrors  atomic.Uint64
 }
 
 func newShard(g *Gateway, index int, be backend) *shard {
@@ -171,6 +179,10 @@ func (s *shard) snapshot() ShardStats {
 		TemporaryBytes:    tmp,
 		PermanentBytes:    perm,
 		OffloadQueueDepth: offload,
+		RepairScrubs:      s.stats.repairScrubs.Load(),
+		RepairedElems:     s.stats.repairedElems.Load(),
+		RepairBytes:       s.stats.repairBytes.Load(),
+		RepairErrors:      s.stats.repairErrors.Load(),
 		TopKeys:           top,
 	}
 }
@@ -319,8 +331,8 @@ type ShardStats struct {
 	// groups (whose storage gauges below are read live) or "tcp" for
 	// groups on remote node processes (whose storage gauges are the last
 	// control-plane sample — call Gateway.SyncRemoteStats to refresh).
-	Backend string
-	Keys    int
+	Backend        string
+	Keys           int
 	Reads          uint64 // successful reads
 	Writes         uint64 // successful writes
 	ReadErrors     uint64
@@ -337,6 +349,14 @@ type ShardStats struct {
 	// tail, distinct from TemporaryBytes which tracks the paper's
 	// temporary-storage metric.
 	OffloadQueueDepth int64
+	// Anti-entropy counters (tcp shards; see repair.go): scrub sweeps that
+	// covered this shard's groups, code elements regenerated and
+	// installed, repair payload bytes fetched on the shard's behalf, and
+	// failed repair attempts.
+	RepairScrubs  uint64
+	RepairedElems uint64
+	RepairBytes   uint64
+	RepairErrors  uint64
 	// TopKeys lists the shard's hottest keys by per-key operation count,
 	// descending — the signal the rebalancer's hot-key spread consumes.
 	TopKeys []KeyLoad

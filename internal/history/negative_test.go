@@ -1,0 +1,148 @@
+package history
+
+// Negative tests with hand-built violating histories buried inside larger
+// clean ones. The one-op tests in history_test.go prove each rule fires in
+// isolation; these prove the checker still finds the needle when the
+// violation is surrounded by well-formed traffic — the shape a real bug
+// (a repair rolling back the permanent layer, a double-installed element,
+// corrupt bytes served to a reader) would actually produce in an e2e run.
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/tag"
+)
+
+// cleanPrefix is a well-formed history fragment: three writers, interleaved
+// readers, tags strictly increasing with real time.
+func cleanPrefix() []Op {
+	return []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "v1"),
+		rd(10, 15, 25, tag.Tag{Z: 1, W: 1}, "v1"),
+		wr(2, 30, 40, tag.Tag{Z: 2, W: 2}, "v2"),
+		rd(11, 45, 55, tag.Tag{Z: 2, W: 2}, "v2"),
+		wr(3, 60, 70, tag.Tag{Z: 3, W: 3}, "v3"),
+		rd(10, 75, 85, tag.Tag{Z: 3, W: 3}, "v3"),
+	}
+}
+
+func TestCleanPrefixIsClean(t *testing.T) {
+	wantClean(t, Verify(cleanPrefix()))
+	wantClean(t, VerifyUniqueValues(cleanPrefix(), ""))
+}
+
+// TestNegativeRepairRollback models a broken repair that reinstalled an
+// old element as the latest: after v3 is written and observed, a later
+// read returns the long-superseded (tag 1, v1) state. P1 must flag the
+// inversion even though every individual (tag, value) pair is legitimate.
+func TestNegativeRepairRollback(t *testing.T) {
+	ops := append(cleanPrefix(),
+		rd(12, 100, 110, tag.Tag{Z: 1, W: 1}, "v1"),
+	)
+	wantViolation(t, Verify(ops), "P1", "precedes")
+}
+
+// TestNegativeCrossClientInversion: two different readers observe v3 then
+// v2 in strictly sequential real time. Neither read is individually wrong;
+// only the pair violates atomicity, and across distinct clients — the
+// checker must not scope P1 per client.
+func TestNegativeCrossClientInversion(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 2, W: 1}, "v2"),
+		wr(2, 0, 10, tag.Tag{Z: 3, W: 2}, "v3"),
+		rd(10, 20, 30, tag.Tag{Z: 3, W: 2}, "v3"),
+		rd(11, 40, 50, tag.Tag{Z: 2, W: 1}, "v2"),
+	}
+	wantViolation(t, Verify(ops), "P1", "precedes")
+}
+
+// TestNegativeDoubleInstallSharedTag models a double-applied write (e.g. a
+// replayed control frame committing the same tag for two different
+// writers): two completed writes share a tag. P2 must flag it even with
+// clean traffic around it.
+func TestNegativeDoubleInstallSharedTag(t *testing.T) {
+	ops := append(cleanPrefix(),
+		wr(4, 100, 110, tag.Tag{Z: 9, W: 4}, "v9a"),
+		wr(5, 120, 130, tag.Tag{Z: 9, W: 4}, "v9b"),
+	)
+	wantViolation(t, Verify(ops), "P2", "share tag")
+}
+
+// TestNegativeCorruptServe models corrupt element bytes decoding to the
+// wrong value under the right tag (exactly what an unchecked repair
+// install could produce): P3 must flag the tag/value mismatch, and the
+// value check must flag the unknown value independently of tags.
+func TestNegativeCorruptServe(t *testing.T) {
+	ops := append(cleanPrefix(),
+		rd(12, 100, 110, tag.Tag{Z: 3, W: 3}, "garbage"),
+	)
+	wantViolation(t, Verify(ops), "P3", "read by 12")
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "no write produced")
+}
+
+// TestNegativeLostWrite models a write acknowledged but never installed
+// anywhere (all copies lost, no repair): a subsequent read returns the
+// initial value. Both checkers must flag it.
+func TestNegativeLostWrite(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "v1"),
+		rd(10, 20, 30, tag.Zero, ""),
+	}
+	wantViolation(t, Verify(ops), "P1", "precedes")
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "initial value")
+}
+
+// TestNegativeFutureRead: a read returns a value whose write had not yet
+// been invoked when the read completed — the signature of a duplicated
+// frame carrying a later payload into an earlier slot. Only the tag-free
+// checker can catch this without trusting tags.
+func TestNegativeFutureRead(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "v1"),
+		rd(10, 20, 30, tag.Tag{Z: 2, W: 2}, "v2"),
+		wr(2, 40, 50, tag.Tag{Z: 2, W: 2}, "v2"),
+	}
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "before its write")
+}
+
+// TestNegativeMultipleViolationsAllReported: one poisoned history carrying
+// a rollback, a shared tag, and a corrupt value at once — the checker must
+// report every class, not stop at the first.
+func TestNegativeMultipleViolationsAllReported(t *testing.T) {
+	ops := append(cleanPrefix(),
+		rd(12, 100, 110, tag.Tag{Z: 1, W: 1}, "v1"),            // rollback (P1)
+		wr(4, 120, 130, tag.Tag{Z: 2, W: 2}, "dup-tag"),        // shared tag (P2)
+		rd(13, 140, 150, tag.Tag{Z: 3, W: 3}, "not-really-v3"), // corrupt (P3)
+	)
+	vs := Verify(ops)
+	wantViolation(t, vs, "P1", "precedes")
+	wantViolation(t, vs, "P2", "share tag")
+	wantViolation(t, vs, "P3", "read by 13")
+	if len(vs) < 3 {
+		t.Fatalf("expected at least 3 violations, got %d: %v", len(vs), vs)
+	}
+}
+
+// TestNegativeDuplicateValuesFlaggedOnlyByValueChecker: two writes of the
+// same value under distinct tags are fine for Verify (tags are the truth)
+// but break the unique-values precondition the value checker enforces.
+func TestNegativeDuplicateValuesFlaggedOnlyByValueChecker(t *testing.T) {
+	ops := []Op{
+		wr(1, 0, 10, tag.Tag{Z: 1, W: 1}, "same"),
+		wr(2, 20, 30, tag.Tag{Z: 2, W: 2}, "same"),
+	}
+	wantClean(t, Verify(ops))
+	wantViolation(t, VerifyUniqueValues(ops, ""), "value", "duplicate value")
+}
+
+// TestNegativeWriteReadTagTie: a read carrying the same tag as a write is
+// ordered after the write by the paper's partial order, so a read that
+// completed before the write started and still returned the write's tag is
+// a P1 violation (the tie-break half of precedes()).
+func TestNegativeWriteReadTagTie(t *testing.T) {
+	ops := []Op{
+		rd(10, 0, 10, tag.Tag{Z: 5, W: 1}, "v5"),
+		wr(1, 20, 30, tag.Tag{Z: 5, W: 1}, "v5"),
+	}
+	wantViolation(t, Verify(ops), "P1", "precedes")
+}

@@ -40,8 +40,12 @@ type tagHelpers struct {
 // readCounter[r], bound to the reader's operation id so stragglers from an
 // earlier operation of the same reader cannot corrupt a later one.
 type regenState struct {
-	opID   uint64
-	count  int
+	opID uint64
+	// seen tracks which L2 servers have contributed; the channel model
+	// permits duplication, and a duplicated helper must neither count
+	// twice toward the n2-f2 quorum nor appear twice in a helper set
+	// handed to Regenerate.
+	seen   map[int32]bool
 	perTag map[tag.Tag]*tagHelpers
 }
 
@@ -439,7 +443,10 @@ func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
 	if st == nil || st.opID != m.OpID {
 		return // stale helper from a finished or superseded regeneration
 	}
-	st.count++
+	if st.seen[from.Index] {
+		return // duplicated delivery (the model permits duplication)
+	}
+	st.seen[from.Index] = true
 	th := st.perTag[m.Tag]
 	if th == nil {
 		th = &tagHelpers{}
@@ -450,7 +457,7 @@ func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
 		Data:  m.Helper,
 	})
 	th.valueLen = int(m.ValueLen)
-	if st.count < s.params.L2Quorum() {
+	if len(st.seen) < s.params.L2Quorum() {
 		return
 	}
 	// All awaited responses are in: regenerate the highest possible tag.
@@ -567,7 +574,11 @@ func (s *L1Server) updateOffloadDepth() {
 // startRegenerate initiates regenerate-from-L2(r): query all L2 servers for
 // helper data toward this server's own coded element c_j.
 func (s *L1Server) startRegenerate(r wire.ProcID, opID uint64) {
-	s.regen[r] = &regenState{opID: opID, perTag: make(map[tag.Tag]*tagHelpers)}
+	s.regen[r] = &regenState{
+		opID:   opID,
+		seen:   make(map[int32]bool, s.params.N2),
+		perTag: make(map[tag.Tag]*tagHelpers),
+	}
 	for _, id := range s.params.L2IDs() {
 		s.send(id, wire.QueryCodeElem{Reader: r, OpID: opID})
 	}

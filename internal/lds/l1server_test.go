@@ -535,3 +535,64 @@ func encodeNode(code erasure.Regenerating, value []byte, node int) ([]byte, erro
 // erasePad returns the value unchanged; encoding pads internally. Kept as
 // a helper to make the test's intent explicit.
 func erasePad(_ erasure.Regenerating, v []byte) []byte { return v }
+
+// TestL1RegenerationDuplicatedHelperNotDoubleCounted pins the dedup rule
+// of regenerate-from-L2 under the model's duplicating channels: a helper
+// delivered twice must not count twice toward the n2-f2 completion quorum
+// (which would complete the collection early, fail regeneration for want
+// of d distinct helpers, and drop the genuine stragglers as stale — a
+// permanent (bot, bot) that costs the read its liveness), nor appear
+// twice in the helper set handed to Regenerate.
+func TestL1RegenerationDuplicatedHelperNotDoubleCounted(t *testing.T) {
+	s, fn, p := newTestServer(t)
+	code := s.code
+	value := []byte("regenerate me")
+	tg := tag.Tag{Z: 3, W: 1}
+
+	s.Handle(wire.Envelope{From: reader1, To: s.ID(), Msg: wire.QueryData{OpID: 7, Req: tag.Zero}})
+	fn.take()
+
+	helper := func(i int) wire.Envelope {
+		t.Helper()
+		shard, err := encodeNode(code, value, p.L2CodeIndex(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := code.Helper(shard, p.L2CodeIndex(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wire.Envelope{From: wire.ProcID{Role: wire.RoleL2, Index: int32(i)}, To: s.ID(),
+			Msg: wire.SendHelperElem{Reader: reader1, OpID: 7, Tag: tg, Helper: h, ValueLen: int32(len(value))}}
+	}
+
+	// Server 0's helper arrives twice (duplicated delivery), then servers
+	// 1 and 2: only three DISTINCT responders — under the L2Quorum()=4
+	// completion rule the collection must still be open.
+	s.Handle(helper(0))
+	s.Handle(helper(0))
+	s.Handle(helper(1))
+	s.Handle(helper(2))
+	if resps := ofKind(fn.take(), wire.KindQueryDataResp); len(resps) != 0 {
+		t.Fatalf("responded after 3 distinct + 1 duplicated helper: %v (duplicate counted toward quorum)", resps)
+	}
+
+	// The fourth distinct responder completes the quorum; regeneration
+	// must succeed with the duplicate discarded.
+	s.Handle(helper(3))
+	resps := ofKind(fn.take(), wire.KindQueryDataResp)
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses after the quorum completed, want 1", len(resps))
+	}
+	r := resps[0].Msg.(wire.QueryDataResp)
+	if r.Class != wire.PayloadCoded || r.Tag != tg {
+		t.Fatalf("response = %+v, want the regenerated coded element at %v", r, tg)
+	}
+	want, err := encodeNode(code, value, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Data) != string(want) {
+		t.Error("regenerated coded element differs from direct encoding (duplicate helper fed to Regenerate?)")
+	}
+}

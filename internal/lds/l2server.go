@@ -2,6 +2,8 @@ package lds
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 	"sync/atomic"
 
 	"github.com/lds-storage/lds/internal/erasure"
@@ -26,13 +28,30 @@ type L2Server struct {
 
 	// State variables (t, c) plus the original value length, which decoding
 	// ultimately needs because shards are padded to whole stripes.
+	//
+	// mu guards them: the actor's Handle path runs sequentially, but the
+	// node host's control plane (scrub inventories, repair fetches and
+	// installs) reads and writes the pair concurrently with traffic.
+	mu       sync.Mutex
 	tag      tag.Tag
 	coded    []byte
 	valueLen int
+	// storedSum is the FNV-64a digest of coded recorded when the element
+	// was adopted. The scrubber recomputes it on demand: a mismatch means
+	// the stored bytes rotted after adoption (simulated in tests by
+	// CorruptStored, which mutates coded without touching the digest).
+	storedSum uint64
 
 	// storedBytes mirrors len(coded) atomically so storage-cost samplers
 	// can read it while traffic flows.
 	storedBytes atomic.Int64
+}
+
+// elemDigest is the scrub digest over a stored coded element.
+func elemDigest(coded []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(coded)
+	return h.Sum64()
 }
 
 // NewL2Server creates the server with its initial state (t0, c0): the coded
@@ -64,13 +83,14 @@ func NewL2ServerSeeded(params Params, index int, code erasure.Regenerating, valu
 		return nil, fmt.Errorf("lds: encode initial value: %w", err)
 	}
 	s := &L2Server{
-		params:   params,
-		index:    index,
-		id:       wire.ProcID{Role: wire.RoleL2, Index: int32(index)},
-		code:     code,
-		tag:      seed,
-		coded:    c0,
-		valueLen: len(value),
+		params:    params,
+		index:     index,
+		id:        wire.ProcID{Role: wire.RoleL2, Index: int32(index)},
+		code:      code,
+		tag:       seed,
+		coded:     c0,
+		valueLen:  len(value),
+		storedSum: elemDigest(c0),
 	}
 	s.storedBytes.Store(int64(len(c0)))
 	return s, nil
@@ -82,8 +102,106 @@ func (s *L2Server) ID() wire.ProcID { return s.id }
 // Bind attaches the transport node; must be called before traffic flows.
 func (s *L2Server) Bind(node transport.Node) { s.node = node }
 
+// Index returns the L2 server index i in [0, n2).
+func (s *L2Server) Index() int { return s.index }
+
 // Tag returns the currently stored tag (for tests and storage accounting).
-func (s *L2Server) Tag() tag.Tag { return s.tag }
+func (s *L2Server) Tag() tag.Tag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tag
+}
+
+// adoptLocked replaces the stored pair; s.mu held.
+func (s *L2Server) adoptLocked(t tag.Tag, coded []byte, valueLen int) {
+	s.tag = t
+	s.coded = coded
+	s.valueLen = valueLen
+	s.storedSum = elemDigest(coded)
+	s.storedBytes.Store(int64(len(coded)))
+}
+
+// ElemStat reports the stored element's scrub view: tag, recorded digest,
+// sizes, and whether the stored bytes still hash to the recorded digest.
+// Safe to call concurrently with traffic.
+func (s *L2Server) ElemStat() wire.ElemStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wire.ElemStat{
+		Index:     int32(s.index),
+		Tag:       s.tag,
+		Digest:    s.storedSum,
+		StoredLen: int32(len(s.coded)),
+		ValueLen:  int32(s.valueLen),
+		Healthy:   elemDigest(s.coded) == s.storedSum,
+	}
+}
+
+// ElemData returns a copy of the stored (tag, coded element, value length)
+// triple — the RS decode-reencode repair path's fetch unit.
+func (s *L2Server) ElemData() (tag.Tag, []byte, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	coded := make([]byte, len(s.coded))
+	copy(coded, s.coded)
+	return s.tag, coded, s.valueLen
+}
+
+// HelperToward computes the regenerating code's helper data from the
+// stored element toward the repair of code symbol failedCode (n1 + j for
+// L2 server j) — beta bytes per stripe, the repair-bandwidth unit of the
+// MSR/MBR codes. It returns the tag and value length the helper data
+// belongs to.
+func (s *L2Server) HelperToward(failedCode int) (tag.Tag, []byte, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper, err := s.code.Helper(s.coded, s.params.L2CodeIndex(s.index), failedCode)
+	if err != nil {
+		return tag.Tag{}, nil, 0, err
+	}
+	return s.tag, helper, s.valueLen, nil
+}
+
+// InstallRepair adopts a regenerated element unless the stored tag is
+// strictly newer. Equal tags do replace the stored bytes — that is what
+// heals a corrupt element whose tag is already current — while a stored
+// element a racing write just advanced past t wins, so repair can never
+// roll the permanent layer backwards. It reports whether the element was
+// adopted.
+func (s *L2Server) InstallRepair(t tag.Tag, coded []byte, valueLen int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.Less(s.tag) {
+		return false
+	}
+	s.adoptLocked(t, coded, valueLen)
+	return true
+}
+
+// CorruptStored flips one stored byte without updating the recorded
+// digest — simulated bit rot for scrub/repair tests and chaos drills. It
+// reports false when the element is empty.
+func (s *L2Server) CorruptStored() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.coded) == 0 {
+		return false
+	}
+	// Copy-on-corrupt: the slice may be shared with an in-flight message.
+	coded := make([]byte, len(s.coded))
+	copy(coded, s.coded)
+	coded[len(coded)/2] ^= 0xff
+	s.coded = coded
+	return true
+}
+
+// DropStored zeroes the stored element's bytes (keeping tag and digest),
+// simulating a lost or unreadable element for repair tests.
+func (s *L2Server) DropStored() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.coded = make([]byte, len(s.coded))
+}
 
 // StoredBytes returns the size of the stored coded element, the server's
 // contribution to permanent storage cost. Safe to call concurrently with
@@ -108,12 +226,11 @@ func (s *L2Server) Handle(env wire.Envelope) {
 // onWriteCodeElem is write-to-L2-resp (Fig. 3): adopt the element if its
 // tag is newer, and acknowledge either way.
 func (s *L2Server) onWriteCodeElem(from wire.ProcID, m wire.WriteCodeElem) {
+	s.mu.Lock()
 	if s.tag.Less(m.Tag) {
-		s.tag = m.Tag
-		s.coded = m.Coded
-		s.valueLen = int(m.ValueLen)
-		s.storedBytes.Store(int64(len(m.Coded)))
+		s.adoptLocked(m.Tag, m.Coded, int(m.ValueLen))
 	}
+	s.mu.Unlock()
 	s.send(from, wire.AckCodeElem{Tag: m.Tag})
 }
 
@@ -126,15 +243,14 @@ func (s *L2Server) onWriteCodeElemBatch(from wire.ProcID, m wire.WriteCodeElemBa
 		return
 	}
 	tags := make([]tag.Tag, len(m.Elems))
+	s.mu.Lock()
 	for i, el := range m.Elems {
 		if s.tag.Less(el.Tag) {
-			s.tag = el.Tag
-			s.coded = el.Coded
-			s.valueLen = int(el.ValueLen)
-			s.storedBytes.Store(int64(len(el.Coded)))
+			s.adoptLocked(el.Tag, el.Coded, int(el.ValueLen))
 		}
 		tags[i] = el.Tag
 	}
+	s.mu.Unlock()
 	s.send(from, wire.AckCodeElemBatch{Tags: tags})
 }
 
@@ -147,7 +263,10 @@ func (s *L2Server) onQueryCodeElem(from wire.ProcID, m wire.QueryCodeElem) {
 		return
 	}
 	failedIdx := int(from.Index) // L1 server j's code index is j
+	s.mu.Lock()
+	t, valueLen := s.tag, s.valueLen
 	helper, err := s.code.Helper(s.coded, s.params.L2CodeIndex(s.index), failedIdx)
+	s.mu.Unlock()
 	if err != nil {
 		// The stored element is always well-formed; an error here means a
 		// malformed request (e.g. out-of-range sender), which we drop.
@@ -156,9 +275,9 @@ func (s *L2Server) onQueryCodeElem(from wire.ProcID, m wire.QueryCodeElem) {
 	s.send(from, wire.SendHelperElem{
 		Reader:   m.Reader,
 		OpID:     m.OpID,
-		Tag:      s.tag,
+		Tag:      t,
 		Helper:   helper,
-		ValueLen: int32(s.valueLen),
+		ValueLen: int32(valueLen),
 	})
 }
 

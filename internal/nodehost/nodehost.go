@@ -57,12 +57,18 @@ type Options struct {
 	Transport tcpnet.Options
 	// Log, when non-nil, receives one line per provisioning event.
 	Log func(format string, args ...any)
+	// WrapNet, when non-nil, wraps the host's network before any endpoint
+	// registers on it. It exists for chaos tests (e.g. the fault-injection
+	// wrapper in internal/transport/faultnet) and must preserve the
+	// transport contract apart from the faults it deliberately injects.
+	WrapNet func(transport.Network) transport.Network
 }
 
 // Host is one node process's server runtime.
 type Host struct {
 	id   int32
 	net  *tcpnet.Network
+	reg  transport.Network // net, possibly wrapped by Options.WrapNet
 	ctl  transport.Node
 	logf func(format string, args ...any)
 
@@ -123,7 +129,11 @@ func New(listen string, nodeID int32, opts Options) (*Host, error) {
 		return nil, err
 	}
 	h.net = net
-	ctl, err := net.Register(wire.ProcID{Role: wire.RoleControl, Index: nodeID}, h.handleCtl)
+	h.reg = transport.Network(net)
+	if opts.WrapNet != nil {
+		h.reg = opts.WrapNet(h.reg)
+	}
+	ctl, err := h.reg.Register(wire.ProcID{Role: wire.RoleControl, Index: nodeID}, h.handleCtl)
 	if err != nil {
 		net.Close()
 		return nil, err
@@ -231,7 +241,96 @@ func (h *Host) handleCtl(env wire.Envelope) {
 		}
 		h.mu.RUnlock()
 		h.ctl.Send(env.From, resp)
+	case wire.ElemInventory:
+		h.rememberCtl(env.From, m.ReplyAddr)
+		h.ctl.Send(env.From, h.inventory(m))
+	case wire.ElemFetch:
+		h.rememberCtl(env.From, m.ReplyAddr)
+		h.ctl.Send(env.From, h.fetch(m))
+	case wire.ElemRepair:
+		h.rememberCtl(env.From, m.ReplyAddr)
+		h.ctl.Send(env.From, h.repair(m))
 	}
+}
+
+// inventory lists the (tag, digest) of every L2 element this node stores
+// for the requested group(s). Like GroupStats, absent groups simply have
+// no entry; the gateway's scrubber turns that into "missing".
+func (h *Host) inventory(m wire.ElemInventory) wire.ElemInventoryResp {
+	resp := wire.ElemInventoryResp{Seq: m.Seq}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	appendGroup := func(ns int32, g *hostedGroup) {
+		inv := wire.GroupInventory{Group: ns}
+		for _, s := range g.l2s {
+			inv.Elems = append(inv.Elems, s.ElemStat())
+		}
+		resp.Groups = append(resp.Groups, inv)
+	}
+	if m.Group == wire.AllGroups {
+		for ns, g := range h.groups {
+			appendGroup(ns, g)
+		}
+	} else if g, ok := h.groups[m.Group]; ok {
+		appendGroup(m.Group, g)
+	}
+	return resp
+}
+
+// l2of returns the hosted L2 server with the given in-group index, or nil.
+func (h *Host) l2of(group, index int32) *lds.L2Server {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	g, ok := h.groups[group]
+	if !ok {
+		return nil
+	}
+	for _, s := range g.l2s {
+		if s.Index() == int(index) {
+			return s
+		}
+	}
+	return nil
+}
+
+// L2 exposes a hosted L2 server to tests and experiments (corruption
+// injection, direct state checks); nil when this node does not host it.
+func (h *Host) L2(group, index int32) *lds.L2Server { return h.l2of(group, index) }
+
+// fetch serves one element's repair data: the whole stored element
+// (FailedIndex == FullElement) or helper data toward a failed code index.
+func (h *Host) fetch(m wire.ElemFetch) wire.ElemFetchResp {
+	resp := wire.ElemFetchResp{Seq: m.Seq, Group: m.Group, Index: m.Index}
+	s := h.l2of(m.Group, m.Index)
+	if s == nil {
+		resp.Err = fmt.Sprintf("nodehost %d: group %d element %d not hosted", h.id, m.Group, m.Index)
+		return resp
+	}
+	if m.FailedIndex == wire.FullElement {
+		t, coded, valueLen := s.ElemData()
+		resp.Tag, resp.Data, resp.ValueLen = t, coded, int32(valueLen)
+		return resp
+	}
+	t, helper, valueLen, err := s.HelperToward(int(m.FailedIndex))
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Tag, resp.Data, resp.ValueLen = t, helper, int32(valueLen)
+	return resp
+}
+
+// repair installs a regenerated element under the replace-unless-newer
+// rule (see lds.L2Server.InstallRepair).
+func (h *Host) repair(m wire.ElemRepair) wire.ElemRepairResp {
+	resp := wire.ElemRepairResp{Seq: m.Seq, Group: m.Group, Index: m.Index}
+	s := h.l2of(m.Group, m.Index)
+	if s == nil {
+		resp.Err = fmt.Sprintf("nodehost %d: group %d element %d not hosted", h.id, m.Group, m.Index)
+		return resp
+	}
+	resp.Installed = s.InstallRepair(m.Tag, m.Coded, int(m.ValueLen))
+	return resp
 }
 
 // gaugesOf samples one hosted group's share of the storage gauges.
@@ -330,7 +429,7 @@ func (h *Host) serve(m wire.GroupServe) error {
 	}
 	// Install the registry entry before registering servers: the servers'
 	// first outbound sends need the resolver to know the group.
-	view, err := transport.Namespace(h.net, m.Group)
+	view, err := transport.Namespace(h.reg, m.Group)
 	if err != nil {
 		h.mu.Unlock()
 		return err

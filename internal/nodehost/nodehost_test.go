@@ -11,8 +11,10 @@ import (
 
 // ctlClient is a minimal stand-in for the gateway's control endpoint.
 type ctlClient struct {
-	net   *tcpnet.Network
-	node  interface{ Send(wire.ProcID, wire.Message) error }
+	net  *tcpnet.Network
+	node interface {
+		Send(wire.ProcID, wire.Message) error
+	}
 	resps chan wire.Message
 }
 

@@ -1,0 +1,219 @@
+// Package faultnet wraps any transport.Network with deterministic,
+// seeded fault injection: per-message-kind drop, duplication, corruption
+// and delay. It exists for chaos tests — the repair subsystem's in
+// particular — that need misbehaving links without giving up
+// reproducibility: every decision comes from one seeded PRNG, so a failing
+// run replays exactly under the same seed.
+//
+// Faults are injected on the send side, before the base transport sees the
+// frame. Dropping deliberately violates the paper's reliable-link contract;
+// it is only safe against traffic that has its own retry discipline (the
+// control plane's at-least-once RPCs). Protocol messages (quorum traffic)
+// assume reliable links, so chaos tests against them should restrict
+// themselves to duplication and delay — which the paper's model permits
+// (links are not FIFO and duplicate-delivery-safe actors are the norm).
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// Rule is the fault profile applied to one message kind: independent
+// probabilities in [0, 1] for dropping, duplicating and corrupting a
+// message, and a bound on injected extra delay (0 = none).
+type Rule struct {
+	Drop     float64
+	Dup      float64
+	Corrupt  float64
+	DelayMax time.Duration
+}
+
+// zero reports whether the rule injects nothing.
+func (r Rule) zero() bool {
+	return r.Drop == 0 && r.Dup == 0 && r.Corrupt == 0 && r.DelayMax == 0
+}
+
+// Options configures a Network.
+type Options struct {
+	// Seed makes every fault decision reproducible.
+	Seed int64
+	// Default applies to kinds without an entry in PerKind.
+	Default Rule
+	// PerKind overrides the default per message kind.
+	PerKind map[wire.Kind]Rule
+}
+
+// Stats counts injected faults; all fields grow monotonically.
+type Stats struct {
+	Sent       uint64 // messages offered to Send
+	Dropped    uint64
+	Duplicated uint64
+	Corrupted  uint64
+	Delayed    uint64
+}
+
+// Network is the fault-injecting wrapper.
+type Network struct {
+	base transport.Network
+	opts Options
+
+	mu  sync.Mutex // guards rng: Send may be called from many goroutines
+	rng *rand.Rand
+
+	sent       atomic.Uint64
+	dropped    atomic.Uint64
+	duplicated atomic.Uint64
+	corrupted  atomic.Uint64
+	delayed    atomic.Uint64
+
+	wg sync.WaitGroup // in-flight delayed sends, drained by Close
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New wraps base. The base network stays owned by the caller; closing the
+// wrapper closes it.
+func New(base transport.Network, opts Options) *Network {
+	return &Network{
+		base: base,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:       n.sent.Load(),
+		Dropped:    n.dropped.Load(),
+		Duplicated: n.duplicated.Load(),
+		Corrupted:  n.corrupted.Load(),
+		Delayed:    n.delayed.Load(),
+	}
+}
+
+// rule returns the fault profile for a kind.
+func (n *Network) rule(k wire.Kind) Rule {
+	if r, ok := n.opts.PerKind[k]; ok {
+		return r
+	}
+	return n.opts.Default
+}
+
+// decision draws one message's fate under rule r; one lock hold so the
+// PRNG consumption per message is a deterministic function of the message
+// sequence.
+func (n *Network) decision(r Rule) (drop, dup, corrupt bool, delay time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	drop = r.Drop > 0 && n.rng.Float64() < r.Drop
+	dup = r.Dup > 0 && n.rng.Float64() < r.Dup
+	corrupt = r.Corrupt > 0 && n.rng.Float64() < r.Corrupt
+	if r.DelayMax > 0 {
+		delay = time.Duration(n.rng.Int63n(int64(r.DelayMax)))
+	}
+	return
+}
+
+// Register implements transport.Network: the returned node's Send passes
+// every message through the fault profile of its kind.
+func (n *Network) Register(id wire.ProcID, h transport.Handler) (transport.Node, error) {
+	base, err := n.base.Register(id, h)
+	if err != nil {
+		return nil, err
+	}
+	return &node{net: n, base: base}, nil
+}
+
+// Close drains delayed sends and closes the base network.
+func (n *Network) Close() error {
+	n.wg.Wait()
+	return n.base.Close()
+}
+
+type node struct {
+	net  *Network
+	base transport.Node
+}
+
+func (d *node) ID() wire.ProcID { return d.base.ID() }
+
+func (d *node) Close() error { return d.base.Close() }
+
+// Send applies the kind's fault profile and forwards to the base node.
+func (d *node) Send(to wire.ProcID, msg wire.Message) error {
+	n := d.net
+	n.sent.Add(1)
+	r := n.rule(msg.Kind())
+	if r.zero() {
+		return d.base.Send(to, msg)
+	}
+	drop, dup, corrupt, delay := n.decision(r)
+	if drop {
+		n.dropped.Add(1)
+		return nil // committed to the link, never delivered
+	}
+	if corrupt {
+		if m, ok := mutate(msg); ok {
+			n.corrupted.Add(1)
+			msg = m
+		} else {
+			// The flipped byte produced an undecodable frame; a real
+			// receiver would discard it, so corruption degenerates to a
+			// drop.
+			n.corrupted.Add(1)
+			n.dropped.Add(1)
+			return nil
+		}
+	}
+	copies := 1
+	if dup {
+		n.duplicated.Add(1)
+		copies = 2
+	}
+	send := func() error {
+		var err error
+		for i := 0; i < copies; i++ {
+			if e := d.base.Send(to, msg); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	if delay > 0 {
+		n.delayed.Add(1)
+		n.wg.Add(1)
+		timer := time.AfterFunc(delay, func() {
+			defer n.wg.Done()
+			send()
+		})
+		_ = timer
+		return nil
+	}
+	return send()
+}
+
+// mutate flips one byte of the message's encoding and re-decodes it,
+// modelling on-the-wire corruption at the message layer. It reports false
+// when the mutated frame no longer decodes.
+func mutate(msg wire.Message) (wire.Message, bool) {
+	b := wire.Encode(msg)
+	if len(b) < 2 {
+		return nil, false
+	}
+	// Flip a byte in the body, never the kind discriminator: corrupting
+	// the kind would mostly produce unknown-kind frames, which tells chaos
+	// tests nothing about payload robustness.
+	b[1+(len(b)-1)/2] ^= 0xff
+	m, err := wire.Decode(b)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}

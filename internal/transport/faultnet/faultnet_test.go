@@ -1,0 +1,204 @@
+package faultnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/transport/channet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// harness wires a sender and a collecting receiver over a fault-injected
+// channet.
+type harness struct {
+	net    *Network
+	sender interface {
+		Send(to wire.ProcID, msg wire.Message) error
+	}
+	to wire.ProcID
+
+	mu       sync.Mutex
+	received []wire.Message
+}
+
+func newHarness(t *testing.T, opts Options) *harness {
+	t.Helper()
+	base := channet.New(channet.Options{})
+	fn := New(base, opts)
+	t.Cleanup(func() { fn.Close() })
+	h := &harness{net: fn, to: wire.ProcID{Role: wire.RoleControl, Index: 2}}
+	_, err := fn.Register(h.to, func(env wire.Envelope) {
+		h.mu.Lock()
+		h.received = append(h.received, env.Msg)
+		h.mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := fn.Register(wire.ProcID{Role: wire.RoleControl, Index: 1}, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sender = snd
+	return h
+}
+
+// deliveries waits for the in-flight messages to settle and returns what
+// arrived.
+func (h *harness) deliveries(t *testing.T) []wire.Message {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last int
+	for {
+		h.mu.Lock()
+		n := len(h.received)
+		h.mu.Unlock()
+		if n == last && n >= 0 {
+			// Two consecutive identical samples a few ms apart: settled.
+			time.Sleep(20 * time.Millisecond)
+			h.mu.Lock()
+			again := len(h.received)
+			h.mu.Unlock()
+			if again == n {
+				h.mu.Lock()
+				defer h.mu.Unlock()
+				return append([]wire.Message(nil), h.received...)
+			}
+			n = again
+		}
+		last = n
+		if time.Now().After(deadline) {
+			t.Fatal("deliveries never settled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func ping(seq uint64) wire.Message { return wire.NodePing{Seq: seq, ReplyAddr: "addr-abcdef"} }
+
+func TestDropAll(t *testing.T) {
+	h := newHarness(t, Options{Seed: 1, Default: Rule{Drop: 1}})
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := h.sender.Send(h.to, ping(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.deliveries(t); len(got) != 0 {
+		t.Fatalf("delivered %d messages under Drop:1, want 0", len(got))
+	}
+	st := h.net.Stats()
+	if st.Sent != n || st.Dropped != n {
+		t.Fatalf("stats = %+v, want Sent=Dropped=%d", st, n)
+	}
+}
+
+func TestDuplicateAll(t *testing.T) {
+	h := newHarness(t, Options{Seed: 1, Default: Rule{Dup: 1}})
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := h.sender.Send(h.to, ping(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.deliveries(t); len(got) != 2*n {
+		t.Fatalf("delivered %d messages under Dup:1, want %d", len(got), 2*n)
+	}
+	if st := h.net.Stats(); st.Duplicated != n {
+		t.Fatalf("stats = %+v, want Duplicated=%d", st, n)
+	}
+}
+
+func TestCorruptMutatesPayload(t *testing.T) {
+	h := newHarness(t, Options{Seed: 7, Default: Rule{Corrupt: 1}})
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := h.sender.Send(h.to, ping(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := h.deliveries(t)
+	st := h.net.Stats()
+	if st.Corrupted != n {
+		t.Fatalf("stats = %+v, want Corrupted=%d", st, n)
+	}
+	// Undecodable mutations degenerate to drops; everything that did
+	// arrive must differ from what was sent.
+	if uint64(len(got))+st.Dropped != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", len(got), st.Dropped, n)
+	}
+	for _, m := range got {
+		p, ok := m.(wire.NodePing)
+		if !ok {
+			continue // the flip may legitimately change the decoded shape
+		}
+		if p.ReplyAddr == "addr-abcdef" && p.Seq < n {
+			t.Fatalf("corrupted message arrived unmutated: %+v", p)
+		}
+	}
+}
+
+func TestDelayDelivers(t *testing.T) {
+	h := newHarness(t, Options{Seed: 3, Default: Rule{DelayMax: 30 * time.Millisecond}})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := h.sender.Send(h.to, ping(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.deliveries(t); len(got) != n {
+		t.Fatalf("delivered %d delayed messages, want %d", len(got), n)
+	}
+	if st := h.net.Stats(); st.Delayed == 0 {
+		t.Fatalf("stats = %+v, want Delayed > 0", st)
+	}
+}
+
+func TestPerKindRuleScopesFaults(t *testing.T) {
+	h := newHarness(t, Options{
+		Seed:    1,
+		PerKind: map[wire.Kind]Rule{wire.KindNodePing: {Drop: 1}},
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := h.sender.Send(h.to, ping(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.sender.Send(h.to, wire.NodePong{Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := h.deliveries(t)
+	if len(got) != n {
+		t.Fatalf("delivered %d messages, want only the %d pongs", len(got), n)
+	}
+	for _, m := range got {
+		if _, ok := m.(wire.NodePong); !ok {
+			t.Fatalf("unexpected survivor %T under a ping-only drop rule", m)
+		}
+	}
+}
+
+// TestDeterministicReplay is the seeded-chaos contract: identical seeds
+// must produce identical fault sequences, so a failing chaos run replays.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) Stats {
+		h := newHarness(t, Options{Seed: seed, Default: Rule{Drop: 0.3, Dup: 0.3}})
+		for i := 0; i < 200; i++ {
+			if err := h.sender.Send(h.to, ping(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.deliveries(t)
+		return h.net.Stats()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := run(43)
+	if a == c {
+		t.Fatalf("different seeds produced identical fault sequences: %+v", a)
+	}
+}

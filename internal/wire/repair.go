@@ -1,0 +1,400 @@
+package wire
+
+import "github.com/lds-storage/lds/internal/tag"
+
+// This file defines the scrub/repair control plane: the messages the
+// gateway's repair scheduler exchanges with node hosts to detect and
+// restore lost redundancy in the back-end layer. Like the provisioning
+// handshake (control.go) these are outside the paper's protocol; they ride
+// the same transport and the same at-least-once RPC discipline (a Seq per
+// request, idempotent receivers, duplicate responses dropped).
+//
+// The unit of scrub and repair is one L2 server's stored (tag, coded
+// element) pair. L1 temporary state is never repaired: it drains through
+// the offload pipeline by design, so only the permanent layer's redundancy
+// needs an anti-entropy loop.
+
+// ElemInventory asks a node host to list the (tag, digest) of every L2
+// code element it stores for one group (Group >= 0) or for all groups it
+// hosts (Group == AllGroups). ReplyAddr as in GroupStats.
+type ElemInventory struct {
+	Seq       uint64
+	Group     int32
+	ReplyAddr string
+}
+
+// Kind implements Message.
+func (ElemInventory) Kind() Kind { return KindElemInventory }
+
+// AppendTo implements Message.
+func (m ElemInventory) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	return appendBytes(b, []byte(m.ReplyAddr))
+}
+
+// PayloadBytes implements Message.
+func (ElemInventory) PayloadBytes() int { return 0 }
+
+// ElemStat describes one stored L2 code element: which server holds it,
+// the tag it is stored under, a digest of the stored bytes, and whether
+// the bytes still match the digest recorded when the element was adopted
+// (Healthy == false means bit rot, detected node-side so the scrubber
+// needs no per-element ground truth).
+type ElemStat struct {
+	// Index is the L2 server index in [0, n2) within the group.
+	Index int32
+	Tag   tag.Tag
+	// Digest is the FNV-64a sum recorded when the element was adopted.
+	Digest uint64
+	// StoredLen / ValueLen size the element and the original value.
+	StoredLen int32
+	ValueLen  int32
+	// Healthy reports whether the stored bytes still hash to Digest.
+	Healthy bool
+}
+
+// GroupInventory is one group's element listing from a single node.
+type GroupInventory struct {
+	Group int32
+	Elems []ElemStat
+}
+
+// ElemInventoryResp answers an ElemInventory with one entry per requested
+// group the node actually hosts (absent groups have no entry, exactly as
+// in GroupStatsResp).
+type ElemInventoryResp struct {
+	Seq    uint64
+	Groups []GroupInventory
+}
+
+// Kind implements Message.
+func (ElemInventoryResp) Kind() Kind { return KindElemInventoryResp }
+
+// AppendTo implements Message.
+func (m ElemInventoryResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendUvarint(b, uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		b = appendInt32(b, g.Group)
+		b = appendUvarint(b, uint64(len(g.Elems)))
+		for _, e := range g.Elems {
+			b = appendInt32(b, e.Index)
+			b = appendTag(b, e.Tag)
+			b = appendUvarint(b, e.Digest)
+			b = appendInt32(b, e.StoredLen)
+			b = appendInt32(b, e.ValueLen)
+			if e.Healthy {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return b
+}
+
+// PayloadBytes implements Message: an inventory is pure metadata.
+func (ElemInventoryResp) PayloadBytes() int { return 0 }
+
+// ElemFetch asks a node host for repair data from one stored L2 element.
+// With FailedIndex == FullElement the response carries the whole stored
+// element (the RS decode-reencode fallback); otherwise FailedIndex is the
+// *code symbol index* (n1 + j for L2 server j) under repair and the
+// response carries the regenerating code's helper data toward it — beta
+// bytes per stripe instead of alpha, the bandwidth the MSR/MBR codes buy.
+type ElemFetch struct {
+	Seq         uint64
+	Group       int32
+	Index       int32 // L2 server index of the element to read
+	FailedIndex int32
+	ReplyAddr   string
+}
+
+// FullElement as ElemFetch.FailedIndex selects the whole stored element
+// instead of helper data.
+const FullElement int32 = -1
+
+// Kind implements Message.
+func (ElemFetch) Kind() Kind { return KindElemFetch }
+
+// AppendTo implements Message.
+func (m ElemFetch) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	b = appendInt32(b, m.Index)
+	b = appendInt32(b, m.FailedIndex)
+	return appendBytes(b, []byte(m.ReplyAddr))
+}
+
+// PayloadBytes implements Message.
+func (ElemFetch) PayloadBytes() int { return 0 }
+
+// ElemFetchResp answers an ElemFetch. Data is the stored element or the
+// helper payload; a non-empty Err reports why the node could not serve it
+// (group or element not hosted, helper computation failed).
+type ElemFetchResp struct {
+	Seq      uint64
+	Group    int32
+	Index    int32
+	Tag      tag.Tag
+	ValueLen int32
+	Data     []byte
+	Err      string
+}
+
+// Kind implements Message.
+func (ElemFetchResp) Kind() Kind { return KindElemFetchResp }
+
+// AppendTo implements Message.
+func (m ElemFetchResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	b = appendInt32(b, m.Index)
+	b = appendTag(b, m.Tag)
+	b = appendInt32(b, m.ValueLen)
+	b = appendBytes(b, []byte(m.Err))
+	return appendBytes(b, m.Data)
+}
+
+// PayloadBytes implements Message: repair data is data — it is exactly
+// what the paper's bandwidth comparison between regenerating and naive
+// repair counts.
+func (m ElemFetchResp) PayloadBytes() int { return len(m.Data) }
+
+// ElemRepair installs a regenerated element on a node host. The receiver
+// adopts it when the stored tag is not newer than Tag (equal tags replace
+// the stored bytes, which is what heals bit rot; a strictly newer stored
+// element means a racing write already superseded this repair and wins).
+type ElemRepair struct {
+	Seq       uint64
+	Group     int32
+	Index     int32
+	Tag       tag.Tag
+	ValueLen  int32
+	Coded     []byte
+	ReplyAddr string
+}
+
+// Kind implements Message.
+func (ElemRepair) Kind() Kind { return KindElemRepair }
+
+// AppendTo implements Message.
+func (m ElemRepair) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	b = appendInt32(b, m.Index)
+	b = appendTag(b, m.Tag)
+	b = appendInt32(b, m.ValueLen)
+	b = appendBytes(b, []byte(m.ReplyAddr))
+	return appendBytes(b, m.Coded)
+}
+
+// PayloadBytes implements Message.
+func (m ElemRepair) PayloadBytes() int { return len(m.Coded) }
+
+// ElemRepairResp acknowledges an ElemRepair. Installed reports whether the
+// element was adopted (false with empty Err: a newer stored element won).
+type ElemRepairResp struct {
+	Seq       uint64
+	Group     int32
+	Index     int32
+	Installed bool
+	Err       string
+}
+
+// Kind implements Message.
+func (ElemRepairResp) Kind() Kind { return KindElemRepairResp }
+
+// AppendTo implements Message.
+func (m ElemRepairResp) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Seq)
+	b = appendInt32(b, m.Group)
+	b = appendInt32(b, m.Index)
+	if m.Installed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return appendBytes(b, []byte(m.Err))
+}
+
+// PayloadBytes implements Message.
+func (ElemRepairResp) PayloadBytes() int { return 0 }
+
+// --- decoders ---------------------------------------------------------------
+
+func init() { registerRepairDecoders() }
+
+func registerRepairDecoders() {
+	register(KindElemInventory, func(b []byte) (Message, error) {
+		var (
+			m   ElemInventory
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		addr, _, err := readBytes(b)
+		m.ReplyAddr = string(addr)
+		return m, err
+	})
+	register(KindElemInventoryResp, func(b []byte) (Message, error) {
+		var (
+			m   ElemInventoryResp
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(b)) {
+			return nil, ErrTruncated
+		}
+		m.Groups = make([]GroupInventory, n)
+		for i := range m.Groups {
+			g := &m.Groups[i]
+			if g.Group, b, err = readInt32(b); err != nil {
+				return nil, err
+			}
+			var ne uint64
+			if ne, b, err = readUvarint(b); err != nil {
+				return nil, err
+			}
+			if ne > uint64(len(b)) {
+				return nil, ErrTruncated
+			}
+			g.Elems = make([]ElemStat, ne)
+			for j := range g.Elems {
+				e := &g.Elems[j]
+				if e.Index, b, err = readInt32(b); err != nil {
+					return nil, err
+				}
+				if e.Tag, b, err = readTag(b); err != nil {
+					return nil, err
+				}
+				if e.Digest, b, err = readUvarint(b); err != nil {
+					return nil, err
+				}
+				if e.StoredLen, b, err = readInt32(b); err != nil {
+					return nil, err
+				}
+				if e.ValueLen, b, err = readInt32(b); err != nil {
+					return nil, err
+				}
+				if len(b) < 1 {
+					return nil, ErrTruncated
+				}
+				e.Healthy = b[0] == 1
+				b = b[1:]
+			}
+		}
+		return m, nil
+	})
+	register(KindElemFetch, func(b []byte) (Message, error) {
+		var (
+			m   ElemFetch
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Index, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.FailedIndex, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		addr, _, err := readBytes(b)
+		m.ReplyAddr = string(addr)
+		return m, err
+	})
+	register(KindElemFetchResp, func(b []byte) (Message, error) {
+		var (
+			m   ElemFetchResp
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Index, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Tag, b, err = readTag(b); err != nil {
+			return nil, err
+		}
+		if m.ValueLen, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		var msg []byte
+		if msg, b, err = readBytes(b); err != nil {
+			return nil, err
+		}
+		m.Err = string(msg)
+		m.Data, _, err = readBytes(b)
+		return m, err
+	})
+	register(KindElemRepair, func(b []byte) (Message, error) {
+		var (
+			m   ElemRepair
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Index, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Tag, b, err = readTag(b); err != nil {
+			return nil, err
+		}
+		if m.ValueLen, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		var addr []byte
+		if addr, b, err = readBytes(b); err != nil {
+			return nil, err
+		}
+		m.ReplyAddr = string(addr)
+		m.Coded, _, err = readBytes(b)
+		return m, err
+	})
+	register(KindElemRepairResp, func(b []byte) (Message, error) {
+		var (
+			m   ElemRepairResp
+			err error
+		)
+		if m.Seq, b, err = readUvarint(b); err != nil {
+			return nil, err
+		}
+		if m.Group, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if m.Index, b, err = readInt32(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		m.Installed = b[0] == 1
+		b = b[1:]
+		msg, _, err := readBytes(b)
+		m.Err = string(msg)
+		return m, err
+	})
+}

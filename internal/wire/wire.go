@@ -116,6 +116,15 @@ const (
 	// control.go). Appended last, as above.
 	KindGroupStats
 	KindGroupStatsResp
+
+	// Scrub/repair control plane (gateway <-> node host; see repair.go).
+	// Appended last, as above.
+	KindElemInventory
+	KindElemInventoryResp
+	KindElemFetch
+	KindElemFetchResp
+	KindElemRepair
+	KindElemRepairResp
 )
 
 // Message is the interface all protocol messages implement.

@@ -70,6 +70,24 @@ func allMessages() []Message {
 			{Group: 13, PermanentBytes: 96},
 		}},
 		GroupStatsResp{Seq: 15, Groups: []GroupGauges{}},
+		ElemInventory{Seq: 16, Group: 12, ReplyAddr: "127.0.0.1:9000"},
+		ElemInventory{Seq: 17, Group: AllGroups, ReplyAddr: "127.0.0.1:9000"},
+		ElemInventoryResp{Seq: 16, Groups: []GroupInventory{
+			{Group: 12, Elems: []ElemStat{
+				{Index: 0, Tag: t1, Digest: 0xdeadbeef, StoredLen: 64, ValueLen: 128, Healthy: true},
+				{Index: 2, Tag: tag.Tag{Z: 8, W: 3}, Digest: 1, StoredLen: 64, ValueLen: 128, Healthy: false},
+			}},
+			{Group: 13, Elems: []ElemStat{}},
+		}},
+		ElemInventoryResp{Seq: 17, Groups: []GroupInventory{}},
+		ElemFetch{Seq: 18, Group: 12, Index: 2, FailedIndex: 5, ReplyAddr: "127.0.0.1:9000"},
+		ElemFetch{Seq: 19, Group: 12, Index: 0, FailedIndex: FullElement, ReplyAddr: "127.0.0.1:9000"},
+		ElemFetchResp{Seq: 18, Group: 12, Index: 2, Tag: t1, ValueLen: 128, Data: []byte{1, 2, 3, 4}},
+		ElemFetchResp{Seq: 18, Group: 12, Index: 2, Err: "group 12 not hosted"},
+		ElemRepair{Seq: 20, Group: 12, Index: 2, Tag: t1, ValueLen: 128,
+			Coded: []byte{9, 8, 7}, ReplyAddr: "127.0.0.1:9000"},
+		ElemRepairResp{Seq: 20, Group: 12, Index: 2, Installed: true},
+		ElemRepairResp{Seq: 21, Group: 12, Index: 2, Installed: false, Err: "element not hosted"},
 	}
 }
 
@@ -117,6 +135,12 @@ func normalize(m Message) Message {
 		return v
 	case GroupServe:
 		v.Value = orEmpty(v.Value)
+		return v
+	case ElemFetchResp:
+		v.Data = orEmpty(v.Data)
+		return v
+	case ElemRepair:
+		v.Coded = orEmpty(v.Coded)
 		return v
 	default:
 		return m
