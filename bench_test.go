@@ -321,6 +321,9 @@ func BenchmarkGateway(b *testing.B) {
 			value := make([]byte, benchValueSize)
 			var ctr atomic.Uint64
 			b.SetBytes(benchValueSize)
+			// Allocation figures are a guarded regression surface (see the
+			// benchmark-regression CI job and BENCH_hotpath.baseline.json).
+			b.ReportAllocs()
 			// Client concurrency scales with the shard count (2 clients per
 			// shard per core), so added shards receive added load; on a
 			// single-core host the sweep degenerates to a fairness check.

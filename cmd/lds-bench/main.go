@@ -8,7 +8,7 @@
 //	lds-bench -exp fig6
 //
 // Experiments: write-cost, read-cost, storage, latency, offload, rebalance,
-// tcpgateway, fig6, msr-ablation, abd, faults, repair, all.
+// tcpgateway, hotpath, fig6, msr-ablation, abd, faults, repair, all.
 package main
 
 import (
@@ -40,8 +40,15 @@ var geometries = [][4]int{ // n1, n2, f1, f2
 
 const valueSize = 4096
 
+// baselineFlag, when set, makes the hotpath experiment compare its
+// measured allocs/op against the named committed baseline and exit
+// non-zero on a >10% regression; the CI benchmark-regression job runs
+// `lds-bench -exp hotpath -baseline BENCH_hotpath.baseline.json`.
+var baselineFlag *string
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,fig6,msr-ablation,abd,faults,repair,all")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,hotpath,fig6,msr-ablation,abd,faults,repair,all")
+	baselineFlag = flag.String("baseline", "", "hotpath only: baseline JSON to guard allocs/op against (>10% over fails)")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -67,6 +74,7 @@ func main() {
 	run("offload", offloadBatching)
 	run("rebalance", rebalance)
 	run("tcpgateway", tcpGateway)
+	run("hotpath", hotPath)
 	run("fig6", fig6)
 	run("msr-ablation", msrAblation)
 	run("abd", abdComparison)
@@ -279,6 +287,70 @@ func tcpGateway() error {
 	row(res.TCP)
 	fmt.Printf("  tcp/sim ops/s ratio: %.2f\n", res.TCP.OpsPerSec/res.Sim.OpsPerSec)
 	return nil
+}
+
+// hotPath measures heap bytes and heap objects allocated per operation on
+// both gateway backends (process-wide, covering server actors and transport
+// goroutines, not just the client call stack) and records the rows in
+// BENCH_hotpath.json. CI's benchmark-regression job compares the sim
+// backend's allocs/op against BENCH_hotpath.baseline.json and fails on a
+// >10% regression.
+func hotPath() error {
+	p := params([4]int{4, 5, 1, 1})
+	const (
+		valueSize    = 4096
+		keys         = 16
+		clients      = 8
+		opsPerClient = 200
+		nodes        = 3
+	)
+	res, err := experiments.MeasureHotPath(p, valueSize, keys, clients, opsPerClient, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Hot-path allocations per operation (n1=%d n2=%d, %dB values, %d keys,\n", p.N1, p.N2, valueSize, keys)
+	fmt.Printf("%d writer+%d reader clients x %d ops, process-wide ReadMemStats deltas):\n", clients, clients, opsPerClient)
+	fmt.Printf("  %-10s %10s %12s %12s\n", "backend", "ops/s", "B/op", "allocs/op")
+	row := func(pr experiments.HotPathProfile) {
+		fmt.Printf("  %-10s %10.0f %12.0f %12.1f\n", pr.Backend, pr.OpsPerSec, pr.BytesPerOp, pr.AllocsPerOp)
+	}
+	row(res.Sim)
+	row(res.TCP)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_hotpath.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_hotpath.json")
+	if *baselineFlag == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(*baselineFlag)
+	if err != nil {
+		return err
+	}
+	var base experiments.HotPathResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", *baselineFlag, err)
+	}
+	guard := func(name string, got, limit float64) error {
+		max := limit * 1.10
+		status := "ok"
+		if got > max {
+			status = "REGRESSION"
+		}
+		fmt.Printf("  %s allocs/op: %.1f vs baseline %.1f (limit %.1f) %s\n", name, got, limit, max, status)
+		if got > max {
+			return fmt.Errorf("%s allocs/op regressed: %.1f > %.1f (baseline %.1f +10%%)", name, got, max, limit)
+		}
+		return nil
+	}
+	if err := guard("sim", res.Sim.AllocsPerOp, base.Sim.AllocsPerOp); err != nil {
+		return err
+	}
+	return guard("tcp", res.TCP.AllocsPerOp, base.TCP.AllocsPerOp)
 }
 
 func fig6() error {

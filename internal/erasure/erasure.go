@@ -107,10 +107,42 @@ type Regenerating interface {
 // PadToStripes returns value padded with zeros to stripes*stripeSize bytes.
 // A nil or empty value still occupies one stripe.
 func PadToStripes(value []byte, stripeSize int) []byte {
-	stripes := StripeCount(len(value), stripeSize)
-	padded := make([]byte, stripes*stripeSize)
-	copy(padded, value)
-	return padded
+	return PadToStripesInto(nil, value, stripeSize)
+}
+
+// PadToStripesInto pads value into dst's storage, growing dst only when
+// its capacity is short, and returns the padded slice. It is the
+// scratch-buffer form of PadToStripes: encoders call it with a pooled
+// buffer so the per-call padded-copy allocation disappears.
+func PadToStripesInto(dst, value []byte, stripeSize int) []byte {
+	n := StripeCount(len(value), stripeSize) * stripeSize
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	copy(dst, value)
+	clear(dst[len(value):])
+	return dst
+}
+
+// GrowSlice returns a slice of length n backed by dst when its capacity
+// allows, allocating otherwise. Contents are unspecified; callers
+// overwrite every byte. It is the shared caller-owned-buffer idiom of
+// the EncodeInto/DecodeInto variants.
+func GrowSlice(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		return make([]byte, n)
+	}
+	return dst[:n]
+}
+
+// GrowInts is GrowSlice for index scratch ([]int).
+func GrowInts(dst []int, n int) []int {
+	if cap(dst) < n {
+		return make([]int, n)
+	}
+	return dst[:n]
 }
 
 // StripeCount returns the number of stripes a value of the given length
@@ -123,17 +155,19 @@ func StripeCount(valueLen, stripeSize int) int {
 }
 
 // CheckDistinct verifies that shard/helper indices are distinct and within
-// [0, n).
+// [0, n). Indices are bounded by the field size (n <= 256, enforced by
+// Params.Validate), so membership is a four-word stack bitset rather than
+// a per-call map — this runs on every encode/decode/regenerate.
 func CheckDistinct(indices []int, n int) error {
-	seen := make(map[int]bool, len(indices))
+	var seen [4]uint64 // 256 bits; n <= 256 always holds
 	for _, idx := range indices {
-		if idx < 0 || idx >= n {
+		if idx < 0 || idx >= n || idx >= 256 {
 			return fmt.Errorf("%w: %d (n = %d)", ErrIndexRange, idx, n)
 		}
-		if seen[idx] {
+		if seen[idx>>6]&(1<<(uint(idx)&63)) != 0 {
 			return fmt.Errorf("%w: %d", ErrDuplicateItem, idx)
 		}
-		seen[idx] = true
+		seen[idx>>6] |= 1 << (uint(idx) & 63)
 	}
 	return nil
 }

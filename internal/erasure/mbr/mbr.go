@@ -15,10 +15,17 @@
 //     shard and f alone (paper Section II-c insists on this).
 //  2. Operating at the MBR point, beta/B = 2/(k(2d-k+1)), which is what
 //     drives the Theta(1) read cost of Lemma V.2.
+//
+// Buffer ownership: every operation has an Into variant taking a
+// caller-owned dst whose storage is reused when capacity allows; the plain
+// forms are wrappers passing nil dst (fresh allocation). All per-stripe
+// working matrices live in a sync.Pool-backed scratch on the Code, so the
+// stripe loops themselves allocate nothing.
 package mbr
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/lds-storage/lds/internal/erasure"
 	"github.com/lds-storage/lds/internal/gf"
@@ -32,9 +39,39 @@ type Code struct {
 	b      int            // stripe size B in bytes
 	psi    *matrix.Matrix // n x d encoding matrix [Phi | Delta]
 	phi    *matrix.Matrix // n x k left block of psi
+
+	scratch sync.Pool // *codeScratch
 }
 
 var _ erasure.Regenerating = (*Code)(nil)
+
+// codeScratch is the per-call working set of the encode/decode/repair
+// loops. Pooled on the Code so concurrent callers never contend and the
+// per-stripe matrix allocations disappear.
+type codeScratch struct {
+	padded []byte
+	idx    []int
+	rhs    []byte
+	m      *matrix.Matrix // d x d message matrix
+	coded  *matrix.Matrix // stacked stripe codewords
+	sel    *matrix.Matrix // selected psi/phi rows
+	delta  *matrix.Matrix // Delta restriction of the selected rows
+	right  *matrix.Matrix // codeword columns [k, d)
+	left   *matrix.Matrix // codeword columns [0, k)
+	tmat   *matrix.Matrix // recovered T block
+	tmatT  *matrix.Matrix // T^t
+	dtt    *matrix.Matrix // Delta_DC * T^t
+	smat   *matrix.Matrix // recovered S block
+}
+
+func (c *Code) getScratch() *codeScratch {
+	if s, ok := c.scratch.Get().(*codeScratch); ok {
+		return s
+	}
+	return &codeScratch{}
+}
+
+func (c *Code) putScratch(s *codeScratch) { c.scratch.Put(s) }
 
 // New constructs an MBR code for the given parameters.
 func New(p erasure.Params) (*Code, error) {
@@ -75,16 +112,17 @@ func (c *Code) ShardSize(valueLen int) int { return c.Stripes(valueLen) * c.para
 // HelperSize returns beta * stripes bytes.
 func (c *Code) HelperSize(valueLen int) int { return c.Stripes(valueLen) }
 
-// messageMatrix builds the symmetric d x d matrix M for one stripe:
+// messageMatrixInto builds the symmetric d x d matrix M for one stripe
+// into m (reshaped/zeroed as needed; allocated when nil):
 //
 //	M = | S   T |
 //	    | T^t 0 |
 //
 // where S is k x k symmetric (k(k+1)/2 symbols) and T is k x (d-k)
 // (k(d-k) symbols). data must be exactly B bytes.
-func (c *Code) messageMatrix(data []byte) *matrix.Matrix {
+func (c *Code) messageMatrixInto(data []byte, m *matrix.Matrix) *matrix.Matrix {
 	k, d := c.params.K, c.params.D
-	m := matrix.New(d, d)
+	m = matrix.Reuse(m, d, d)
 	p := 0
 	for i := 0; i < k; i++ {
 		for j := i; j < k; j++ {
@@ -103,19 +141,24 @@ func (c *Code) messageMatrix(data []byte) *matrix.Matrix {
 	return m
 }
 
-// extractMessage is the inverse of messageMatrix.
-func (c *Code) extractMessage(m *matrix.Matrix, out []byte) {
-	k, d := c.params.K, c.params.D
+// extractBlocks is the inverse of messageMatrixInto, reading the message
+// symbols straight out of the recovered S (k x k) and T (k x (d-k))
+// blocks without materializing the full d x d matrix. tmat may be nil
+// when d == k.
+func extractBlocks(smat, tmat *matrix.Matrix, k, d int, out []byte) {
 	p := 0
 	for i := 0; i < k; i++ {
 		for j := i; j < k; j++ {
-			out[p] = m.At(i, j)
+			out[p] = smat.At(i, j)
 			p++
 		}
 	}
+	if tmat == nil {
+		return
+	}
 	for i := 0; i < k; i++ {
 		for j := k; j < d; j++ {
-			out[p] = m.At(i, j)
+			out[p] = tmat.At(i, j-k)
 			p++
 		}
 	}
@@ -124,39 +167,64 @@ func (c *Code) extractMessage(m *matrix.Matrix, out []byte) {
 // Encode splits value into n shards of ShardSize(len(value)) bytes each.
 // Shard layout is stripe-major: stripe s occupies bytes [s*alpha, (s+1)*alpha).
 func (c *Code) Encode(value []byte) ([][]byte, error) {
+	return c.EncodeInto(nil, value)
+}
+
+// EncodeInto is Encode with caller-owned shard storage: shard i reuses
+// dst[i]'s backing array when its capacity suffices. dst may be nil or
+// the wrong shape. The returned slices alias dst's storage, so callers
+// that hand shards to retaining consumers (the L2 store keeps coded
+// elements by reference) must not recycle dst while those references
+// live.
+func (c *Code) EncodeInto(dst [][]byte, value []byte) ([][]byte, error) {
 	n, d := c.params.N, c.params.D
-	padded := erasure.PadToStripes(value, c.b)
-	stripes := len(padded) / c.b
-	shards := make([][]byte, n)
-	for i := range shards {
-		shards[i] = make([]byte, stripes*d)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.padded = erasure.PadToStripesInto(s.padded, value, c.b)
+	stripes := len(s.padded) / c.b
+	if cap(dst) < n {
+		dst = make([][]byte, n)
+	} else {
+		dst = dst[:n]
 	}
-	for s := 0; s < stripes; s++ {
-		m := c.messageMatrix(padded[s*c.b : (s+1)*c.b])
-		coded := c.psi.Mul(m) // n x d
+	for i := range dst {
+		dst[i] = erasure.GrowSlice(dst[i], stripes*d)
+	}
+	for st := 0; st < stripes; st++ {
+		s.m = c.messageMatrixInto(s.padded[st*c.b:(st+1)*c.b], s.m)
+		s.coded = c.psi.MulInto(s.m, s.coded) // n x d
 		for i := 0; i < n; i++ {
-			copy(shards[i][s*d:(s+1)*d], coded.Row(i))
+			copy(dst[i][st*d:(st+1)*d], s.coded.Row(i))
 		}
 	}
-	return shards, nil
+	return dst, nil
 }
 
 // EncodeNode computes only node's shard; used where a single coded element
 // is needed without materializing all n.
 func (c *Code) EncodeNode(value []byte, node int) ([]byte, error) {
+	return c.EncodeNodeInto(nil, value, node)
+}
+
+// EncodeNodeInto is EncodeNode into caller-owned storage (see EncodeInto
+// for the aliasing rules).
+func (c *Code) EncodeNodeInto(dst []byte, value []byte, node int) ([]byte, error) {
 	if node < 0 || node >= c.params.N {
 		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, node)
 	}
 	d := c.params.D
-	padded := erasure.PadToStripes(value, c.b)
-	stripes := len(padded) / c.b
-	shard := make([]byte, stripes*d)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.padded = erasure.PadToStripesInto(s.padded, value, c.b)
+	stripes := len(s.padded) / c.b
+	shard := erasure.GrowSlice(dst, stripes*d)
+	clear(shard)
 	row := c.psi.Row(node)
-	for s := 0; s < stripes; s++ {
-		m := c.messageMatrix(padded[s*c.b : (s+1)*c.b])
-		out := shard[s*d : (s+1)*d]
+	for st := 0; st < stripes; st++ {
+		s.m = c.messageMatrixInto(s.padded[st*c.b:(st+1)*c.b], s.m)
+		out := shard[st*d : (st+1)*d]
 		for i, coeff := range row {
-			gf.AddMulSlice(coeff, m.Row(i), out)
+			gf.AddMulSlice(coeff, s.m.Row(i), out)
 		}
 	}
 	return shard, nil
@@ -166,31 +234,49 @@ func (c *Code) EncodeNode(value []byte, node int) ([]byte, error) {
 // servers use it to produce the C2 restriction (the n2 back-end elements)
 // without materializing the full codeword.
 func (c *Code) EncodeNodes(value []byte, nodes []int) ([][]byte, error) {
+	return c.EncodeNodesInto(nil, value, nodes)
+}
+
+// EncodeNodesInto is EncodeNodes into caller-owned storage (see
+// EncodeInto for the aliasing rules).
+func (c *Code) EncodeNodesInto(dst [][]byte, value []byte, nodes []int) ([][]byte, error) {
 	if err := erasure.CheckDistinct(nodes, c.params.N); err != nil {
 		return nil, err
 	}
 	d := c.params.D
-	padded := erasure.PadToStripes(value, c.b)
-	stripes := len(padded) / c.b
-	shards := make([][]byte, len(nodes))
-	for i := range shards {
-		shards[i] = make([]byte, stripes*d)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.padded = erasure.PadToStripesInto(s.padded, value, c.b)
+	stripes := len(s.padded) / c.b
+	if cap(dst) < len(nodes) {
+		dst = make([][]byte, len(nodes))
+	} else {
+		dst = dst[:len(nodes)]
 	}
-	for s := 0; s < stripes; s++ {
-		m := c.messageMatrix(padded[s*c.b : (s+1)*c.b])
+	for i := range dst {
+		dst[i] = erasure.GrowSlice(dst[i], stripes*d)
+		clear(dst[i])
+	}
+	for st := 0; st < stripes; st++ {
+		s.m = c.messageMatrixInto(s.padded[st*c.b:(st+1)*c.b], s.m)
 		for si, node := range nodes {
-			out := shards[si][s*d : (s+1)*d]
+			out := dst[si][st*d : (st+1)*d]
 			for i, coeff := range c.psi.Row(node) {
-				gf.AddMulSlice(coeff, m.Row(i), out)
+				gf.AddMulSlice(coeff, s.m.Row(i), out)
 			}
 		}
 	}
-	return shards, nil
+	return dst, nil
 }
 
 // Helper computes the repair data node helperIdx sends toward the repair of
 // node failedIdx: one byte per stripe, h = c_i . psi_f.
 func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
+	return c.HelperInto(nil, shard, helperIdx, failedIdx)
+}
+
+// HelperInto is Helper into caller-owned storage.
+func (c *Code) HelperInto(dst, shard []byte, helperIdx, failedIdx int) ([]byte, error) {
 	n, d := c.params.N, c.params.D
 	if helperIdx < 0 || helperIdx >= n || failedIdx < 0 || failedIdx >= n {
 		return nil, fmt.Errorf("%w: helper %d, failed %d", erasure.ErrIndexRange, helperIdx, failedIdx)
@@ -203,7 +289,7 @@ func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
 	}
 	stripes := len(shard) / d
 	psiF := c.psi.Row(failedIdx)
-	out := make([]byte, stripes)
+	out := erasure.GrowSlice(dst, stripes)
 	for s := 0; s < stripes; s++ {
 		out[s] = gf.Dot(shard[s*d:(s+1)*d], psiF)
 	}
@@ -215,6 +301,12 @@ func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
 // satisfy Psi_rep * (M psi_f^T) = h, so inverting Psi_rep recovers
 // M psi_f^T, whose transpose is psi_f M (M is symmetric) -- the lost shard.
 func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, error) {
+	return c.RegenerateInto(nil, failedIdx, helpers)
+}
+
+// RegenerateInto is Regenerate into caller-owned storage (see EncodeInto
+// for the aliasing rules).
+func (c *Code) RegenerateInto(dst []byte, failedIdx int, helpers []erasure.Helper) ([]byte, error) {
 	n, d := c.params.N, c.params.D
 	if failedIdx < 0 || failedIdx >= n {
 		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, failedIdx)
@@ -223,13 +315,15 @@ func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, erro
 		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortHelpers, len(helpers), d)
 	}
 	helpers = helpers[:d]
-	idx := make([]int, d)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.idx = erasure.GrowInts(s.idx, d)
 	stripes := -1
 	for i, h := range helpers {
 		if h.Index == failedIdx {
 			return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
 		}
-		idx[i] = h.Index
+		s.idx[i] = h.Index
 		if stripes < 0 {
 			stripes = len(h.Data)
 		} else if len(h.Data) != stripes {
@@ -239,20 +333,21 @@ func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, erro
 	if stripes <= 0 {
 		return nil, fmt.Errorf("%w: empty helper data", erasure.ErrShardSize)
 	}
-	if err := erasure.CheckDistinct(idx, n); err != nil {
+	if err := erasure.CheckDistinct(s.idx, n); err != nil {
 		return nil, err
 	}
-	inv, err := c.psi.SelectRows(idx).Inverse()
+	s.sel = c.psi.SelectRowsInto(s.idx, s.sel)
+	inv, err := s.sel.Inverse()
 	if err != nil {
-		return nil, fmt.Errorf("erasure: repair matrix for helpers %v: %w", idx, err)
+		return nil, fmt.Errorf("erasure: repair matrix for helpers %v: %w", s.idx, err)
 	}
-	shard := make([]byte, stripes*d)
-	rhs := make([]byte, d)
-	for s := 0; s < stripes; s++ {
+	shard := erasure.GrowSlice(dst, stripes*d)
+	s.rhs = erasure.GrowSlice(s.rhs, d)
+	for st := 0; st < stripes; st++ {
 		for i, h := range helpers {
-			rhs[i] = h.Data[s]
+			s.rhs[i] = h.Data[st]
 		}
-		copy(shard[s*d:(s+1)*d], inv.MulVec(rhs))
+		inv.MulVecInto(s.rhs, shard[st*d:(st+1)*d])
 	}
 	return shard, nil
 }
@@ -265,75 +360,64 @@ func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, erro
 //
 // so T = Phi_DC^-1 * C_right and S = Phi_DC^-1 * (C_left - Delta_DC T^t).
 func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
+	return c.DecodeInto(nil, valueLen, shards)
+}
+
+// DecodeInto is Decode into caller-owned storage. The returned value
+// aliases dst, so callers that retain decoded values across operations
+// (the reader returning to the application, the history checker) must
+// pass nil or a buffer they will not recycle.
+func (c *Code) DecodeInto(dst []byte, valueLen int, shards []erasure.Shard) ([]byte, error) {
 	k, d, n := c.params.K, c.params.D, c.params.N
 	if len(shards) < k {
 		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortShards, len(shards), k)
 	}
 	shards = shards[:k]
-	idx := make([]int, k)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.idx = erasure.GrowInts(s.idx, k)
 	stripes := c.Stripes(valueLen)
 	for i, sh := range shards {
-		idx[i] = sh.Index
+		s.idx[i] = sh.Index
 		if len(sh.Data) != stripes*d {
 			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, sh.Index, len(sh.Data), stripes*d)
 		}
 	}
-	if err := erasure.CheckDistinct(idx, n); err != nil {
+	if err := erasure.CheckDistinct(s.idx, n); err != nil {
 		return nil, err
 	}
-	phiInv, err := c.phi.SelectRows(idx).Inverse()
+	s.sel = c.phi.SelectRowsInto(s.idx, s.sel)
+	phiInv, err := s.sel.Inverse()
 	if err != nil {
-		return nil, fmt.Errorf("erasure: decode matrix for shards %v: %w", idx, err)
+		return nil, fmt.Errorf("erasure: decode matrix for shards %v: %w", s.idx, err)
 	}
-	var delta *matrix.Matrix
 	if d > k {
-		delta = c.psi.SelectRows(idx).ColRange(k, d)
+		s.sel = c.psi.SelectRowsInto(s.idx, s.sel)
+		s.delta = s.sel.ColRangeInto(k, d, s.delta)
 	}
 
-	out := make([]byte, stripes*c.b)
-	for s := 0; s < stripes; s++ {
-		rows := make([][]byte, k)
+	out := erasure.GrowSlice(dst, stripes*c.b)
+	for st := 0; st < stripes; st++ {
+		s.coded = matrix.Reuse(s.coded, k, d)
 		for i, sh := range shards {
-			rows[i] = sh.Data[s*d : (s+1)*d]
+			copy(s.coded.Row(i), sh.Data[st*d:(st+1)*d])
 		}
-		coded, err := matrix.FromRows(rows)
-		if err != nil {
-			return nil, err
-		}
-		m := matrix.New(d, d)
-		var tmat *matrix.Matrix
 		if d > k {
-			tmat = phiInv.Mul(coded.ColRange(k, d)) // k x (d-k)
-			left := coded.ColRange(0, k).Add(delta.Mul(tmat.Transpose()))
-			smat := phiInv.Mul(left)
-			fillSym(m, smat, tmat, k, d)
+			s.right = s.coded.ColRangeInto(k, d, s.right)
+			s.tmat = phiInv.MulInto(s.right, s.tmat) // k x (d-k)
+			s.left = s.coded.ColRangeInto(0, k, s.left)
+			s.tmatT = s.tmat.TransposeInto(s.tmatT)
+			s.dtt = s.delta.MulInto(s.tmatT, s.dtt)
+			s.left.AddInPlace(s.dtt)
+			s.smat = phiInv.MulInto(s.left, s.smat)
+			extractBlocks(s.smat, s.tmat, k, d, out[st*c.b:(st+1)*c.b])
 		} else {
-			smat := phiInv.Mul(coded)
-			fillSym(m, smat, nil, k, d)
+			s.smat = phiInv.MulInto(s.coded, s.smat)
+			extractBlocks(s.smat, nil, k, d, out[st*c.b:(st+1)*c.b])
 		}
-		c.extractMessage(m, out[s*c.b:(s+1)*c.b])
 	}
 	if valueLen > len(out) {
 		return nil, fmt.Errorf("erasure: value length %d exceeds decoded data %d", valueLen, len(out))
 	}
 	return out[:valueLen], nil
-}
-
-// fillSym writes the recovered S (k x k) and T (k x (d-k)) blocks into the
-// symmetric message matrix m.
-func fillSym(m, smat, tmat *matrix.Matrix, k, d int) {
-	for i := 0; i < k; i++ {
-		for j := 0; j < k; j++ {
-			m.Set(i, j, smat.At(i, j))
-		}
-	}
-	if tmat == nil {
-		return
-	}
-	for i := 0; i < k; i++ {
-		for j := k; j < d; j++ {
-			m.Set(i, j, tmat.At(i, j-k))
-			m.Set(j, i, tmat.At(i, j-k))
-		}
-	}
 }

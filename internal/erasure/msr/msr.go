@@ -12,10 +12,17 @@
 // M = [S1; S2]; the encoding matrix is Psi = [Phi | Lambda*Phi] with Phi
 // Vandermonde and Lambda diagonal with distinct entries. Node i stores
 // psi_i * M.
+//
+// Buffer ownership mirrors package mbr: Into variants reuse caller-owned
+// dst storage, the plain forms allocate, and all per-stripe working
+// matrices come from a sync.Pool-backed scratch on the Code. Per-call
+// solver matrices (row solvers, inverses) still allocate once per call;
+// only the stripe loops are allocation-free.
 package msr
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/lds-storage/lds/internal/erasure"
 	"github.com/lds-storage/lds/internal/gf"
@@ -31,9 +38,44 @@ type Code struct {
 	phi    *matrix.Matrix // n x alpha
 	lambda []byte         // n distinct diagonal entries
 	psi    *matrix.Matrix // n x d = [Phi | Lambda*Phi]
+
+	scratch sync.Pool // *codeScratch
 }
 
 var _ erasure.Regenerating = (*Code)(nil)
+
+// codeScratch is the pooled per-call working set of the stripe loops.
+type codeScratch struct {
+	padded []byte
+	idx    []int
+	seq    []int
+	rhs    []byte
+	uv     []byte
+	lam    []byte
+	srhs   []byte
+	s1     *matrix.Matrix
+	s2     *matrix.Matrix
+	c1     *matrix.Matrix
+	c2     *matrix.Matrix
+	sel    *matrix.Matrix
+	coded  *matrix.Matrix
+	amat   *matrix.Matrix
+	pmat   *matrix.Matrix
+	qmat   *matrix.Matrix
+	phiS   *matrix.Matrix
+	srows  *matrix.Matrix
+	rs1    *matrix.Matrix
+	rs2    *matrix.Matrix
+}
+
+func (c *Code) getScratch() *codeScratch {
+	if s, ok := c.scratch.Get().(*codeScratch); ok {
+		return s
+	}
+	return &codeScratch{}
+}
+
+func (c *Code) putScratch(s *codeScratch) { c.scratch.Put(s) }
 
 // New constructs an MSR code with n nodes and dimension k >= 2; d is fixed
 // to 2k-2 by the construction.
@@ -104,11 +146,11 @@ func (c *Code) ShardSize(valueLen int) int { return c.Stripes(valueLen) * c.alph
 // HelperSize returns beta * stripes bytes.
 func (c *Code) HelperSize(valueLen int) int { return c.Stripes(valueLen) }
 
-// messageMatrices builds the two symmetric alpha x alpha matrices S1, S2
-// from B bytes of data.
-func (c *Code) messageMatrices(data []byte) (s1, s2 *matrix.Matrix) {
-	s1 = matrix.New(c.alpha, c.alpha)
-	s2 = matrix.New(c.alpha, c.alpha)
+// messageMatricesInto builds the two symmetric alpha x alpha matrices
+// S1, S2 from B bytes of data into the given scratch matrices.
+func (c *Code) messageMatricesInto(data []byte, s1, s2 *matrix.Matrix) (*matrix.Matrix, *matrix.Matrix) {
+	s1 = matrix.Reuse(s1, c.alpha, c.alpha)
+	s2 = matrix.Reuse(s2, c.alpha, c.alpha)
 	p := 0
 	for _, s := range []*matrix.Matrix{s1, s2} {
 		for i := 0; i < c.alpha; i++ {
@@ -122,7 +164,7 @@ func (c *Code) messageMatrices(data []byte) (s1, s2 *matrix.Matrix) {
 	return s1, s2
 }
 
-// extractMessage is the inverse of messageMatrices.
+// extractMessage is the inverse of messageMatricesInto.
 func (c *Code) extractMessage(s1, s2 *matrix.Matrix, out []byte) {
 	p := 0
 	for _, s := range []*matrix.Matrix{s1, s2} {
@@ -138,24 +180,36 @@ func (c *Code) extractMessage(s1, s2 *matrix.Matrix, out []byte) {
 // Encode splits value into n shards; node i stores
 // phi_i*S1 + lambda_i*phi_i*S2 per stripe.
 func (c *Code) Encode(value []byte) ([][]byte, error) {
+	return c.EncodeInto(nil, value)
+}
+
+// EncodeInto is Encode with caller-owned shard storage (same aliasing
+// rules as mbr.Code.EncodeInto: returned slices alias dst).
+func (c *Code) EncodeInto(dst [][]byte, value []byte) ([][]byte, error) {
 	n := c.params.N
-	padded := erasure.PadToStripes(value, c.b)
-	stripes := len(padded) / c.b
-	shards := make([][]byte, n)
-	for i := range shards {
-		shards[i] = make([]byte, stripes*c.alpha)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.padded = erasure.PadToStripesInto(s.padded, value, c.b)
+	stripes := len(s.padded) / c.b
+	if cap(dst) < n {
+		dst = make([][]byte, n)
+	} else {
+		dst = dst[:n]
 	}
-	for s := 0; s < stripes; s++ {
-		s1, s2 := c.messageMatrices(padded[s*c.b : (s+1)*c.b])
-		c1 := c.phi.Mul(s1) // n x alpha
-		c2 := c.phi.Mul(s2)
+	for i := range dst {
+		dst[i] = erasure.GrowSlice(dst[i], stripes*c.alpha)
+	}
+	for st := 0; st < stripes; st++ {
+		s.s1, s.s2 = c.messageMatricesInto(s.padded[st*c.b:(st+1)*c.b], s.s1, s.s2)
+		s.c1 = c.phi.MulInto(s.s1, s.c1) // n x alpha
+		s.c2 = c.phi.MulInto(s.s2, s.c2)
 		for i := 0; i < n; i++ {
-			dst := shards[i][s*c.alpha : (s+1)*c.alpha]
-			copy(dst, c1.Row(i))
-			gf.AddMulSlice(c.lambda[i], c2.Row(i), dst)
+			out := dst[i][st*c.alpha : (st+1)*c.alpha]
+			copy(out, s.c1.Row(i))
+			gf.AddMulSlice(c.lambda[i], s.c2.Row(i), out)
 		}
 	}
-	return shards, nil
+	return dst, nil
 }
 
 // EncodeNode computes a single node's shard.
@@ -170,31 +224,48 @@ func (c *Code) EncodeNode(value []byte, node int) ([]byte, error) {
 // EncodeNodes computes the shards of only the listed nodes (the C2
 // restriction used when MSR substitutes for MBR in the ablation benches).
 func (c *Code) EncodeNodes(value []byte, nodes []int) ([][]byte, error) {
+	return c.EncodeNodesInto(nil, value, nodes)
+}
+
+// EncodeNodesInto is EncodeNodes into caller-owned storage.
+func (c *Code) EncodeNodesInto(dst [][]byte, value []byte, nodes []int) ([][]byte, error) {
 	if err := erasure.CheckDistinct(nodes, c.params.N); err != nil {
 		return nil, err
 	}
-	padded := erasure.PadToStripes(value, c.b)
-	stripes := len(padded) / c.b
-	shards := make([][]byte, len(nodes))
-	for i := range shards {
-		shards[i] = make([]byte, stripes*c.alpha)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.padded = erasure.PadToStripesInto(s.padded, value, c.b)
+	stripes := len(s.padded) / c.b
+	if cap(dst) < len(nodes) {
+		dst = make([][]byte, len(nodes))
+	} else {
+		dst = dst[:len(nodes)]
 	}
-	for s := 0; s < stripes; s++ {
-		s1, s2 := c.messageMatrices(padded[s*c.b : (s+1)*c.b])
+	for i := range dst {
+		dst[i] = erasure.GrowSlice(dst[i], stripes*c.alpha)
+		clear(dst[i])
+	}
+	for st := 0; st < stripes; st++ {
+		s.s1, s.s2 = c.messageMatricesInto(s.padded[st*c.b:(st+1)*c.b], s.s1, s.s2)
 		for si, node := range nodes {
-			dst := shards[si][s*c.alpha : (s+1)*c.alpha]
+			out := dst[si][st*c.alpha : (st+1)*c.alpha]
 			for i, coeff := range c.phi.Row(node) {
-				gf.AddMulSlice(coeff, s1.Row(i), dst)
-				gf.AddMulSlice(gf.Mul(c.lambda[node], coeff), s2.Row(i), dst)
+				gf.AddMulSlice(coeff, s.s1.Row(i), out)
+				gf.AddMulSlice(gf.Mul(c.lambda[node], coeff), s.s2.Row(i), out)
 			}
 		}
 	}
-	return shards, nil
+	return dst, nil
 }
 
 // Helper computes the byte-per-stripe repair data toward failedIdx:
 // h = c_i . phi_f. As with MBR, it depends only on the failed node's index.
 func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
+	return c.HelperInto(nil, shard, helperIdx, failedIdx)
+}
+
+// HelperInto is Helper into caller-owned storage.
+func (c *Code) HelperInto(dst, shard []byte, helperIdx, failedIdx int) ([]byte, error) {
 	n := c.params.N
 	if helperIdx < 0 || helperIdx >= n || failedIdx < 0 || failedIdx >= n {
 		return nil, fmt.Errorf("%w: helper %d, failed %d", erasure.ErrIndexRange, helperIdx, failedIdx)
@@ -207,7 +278,7 @@ func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
 	}
 	stripes := len(shard) / c.alpha
 	phiF := c.phi.Row(failedIdx)
-	out := make([]byte, stripes)
+	out := erasure.GrowSlice(dst, stripes)
 	for s := 0; s < stripes; s++ {
 		out[s] = gf.Dot(shard[s*c.alpha:(s+1)*c.alpha], phiF)
 	}
@@ -219,6 +290,11 @@ func (c *Code) Helper(shard []byte, helperIdx, failedIdx int) ([]byte, error) {
 // inverting Psi_rep yields u = S1 phi_f^T and v = S2 phi_f^T, and the lost
 // shard is u^T + lambda_f * v^T.
 func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, error) {
+	return c.RegenerateInto(nil, failedIdx, helpers)
+}
+
+// RegenerateInto is Regenerate into caller-owned storage.
+func (c *Code) RegenerateInto(dst []byte, failedIdx int, helpers []erasure.Helper) ([]byte, error) {
 	n, d := c.params.N, c.params.D
 	if failedIdx < 0 || failedIdx >= n {
 		return nil, fmt.Errorf("%w: %d", erasure.ErrIndexRange, failedIdx)
@@ -227,13 +303,15 @@ func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, erro
 		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortHelpers, len(helpers), d)
 	}
 	helpers = helpers[:d]
-	idx := make([]int, d)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.idx = erasure.GrowInts(s.idx, d)
 	stripes := -1
 	for i, h := range helpers {
 		if h.Index == failedIdx {
 			return nil, fmt.Errorf("erasure: node %d cannot help repair itself", failedIdx)
 		}
-		idx[i] = h.Index
+		s.idx[i] = h.Index
 		if stripes < 0 {
 			stripes = len(h.Data)
 		} else if len(h.Data) != stripes {
@@ -243,24 +321,26 @@ func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, erro
 	if stripes <= 0 {
 		return nil, fmt.Errorf("%w: empty helper data", erasure.ErrShardSize)
 	}
-	if err := erasure.CheckDistinct(idx, n); err != nil {
+	if err := erasure.CheckDistinct(s.idx, n); err != nil {
 		return nil, err
 	}
-	inv, err := c.psi.SelectRows(idx).Inverse()
+	s.sel = c.psi.SelectRowsInto(s.idx, s.sel)
+	inv, err := s.sel.Inverse()
 	if err != nil {
-		return nil, fmt.Errorf("msr: repair matrix for helpers %v: %w", idx, err)
+		return nil, fmt.Errorf("msr: repair matrix for helpers %v: %w", s.idx, err)
 	}
-	shard := make([]byte, stripes*c.alpha)
-	rhs := make([]byte, d)
+	shard := erasure.GrowSlice(dst, stripes*c.alpha)
+	s.rhs = erasure.GrowSlice(s.rhs, d)
+	s.uv = erasure.GrowSlice(s.uv, d)
 	lamF := c.lambda[failedIdx]
-	for s := 0; s < stripes; s++ {
+	for st := 0; st < stripes; st++ {
 		for i, h := range helpers {
-			rhs[i] = h.Data[s]
+			s.rhs[i] = h.Data[st]
 		}
-		uv := inv.MulVec(rhs) // [u; v], each alpha long
-		dst := shard[s*c.alpha : (s+1)*c.alpha]
-		copy(dst, uv[:c.alpha])
-		gf.AddMulSlice(lamF, uv[c.alpha:], dst)
+		inv.MulVecInto(s.rhs, s.uv) // [u; v], each alpha long
+		out := shard[st*c.alpha : (st+1)*c.alpha]
+		copy(out, s.uv[:c.alpha])
+		gf.AddMulSlice(lamF, s.uv[c.alpha:], out)
 	}
 	return shard, nil
 }
@@ -274,27 +354,35 @@ func (c *Code) Regenerate(failedIdx int, helpers []erasure.Helper) ([]byte, erro
 // independent, and finally S1 = (alpha rows of Phi_DC)^-1 * rows. Same for
 // S2.
 func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
+	return c.DecodeInto(nil, valueLen, shards)
+}
+
+// DecodeInto is Decode into caller-owned storage; the returned value
+// aliases dst (see mbr.Code.DecodeInto for retention rules).
+func (c *Code) DecodeInto(dst []byte, valueLen int, shards []erasure.Shard) ([]byte, error) {
 	k, n := c.params.K, c.params.N
 	if len(shards) < k {
 		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortShards, len(shards), k)
 	}
 	shards = shards[:k]
-	idx := make([]int, k)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.idx = erasure.GrowInts(s.idx, k)
 	stripes := c.Stripes(valueLen)
 	for i, sh := range shards {
-		idx[i] = sh.Index
+		s.idx[i] = sh.Index
 		if len(sh.Data) != stripes*c.alpha {
 			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, sh.Index, len(sh.Data), stripes*c.alpha)
 		}
 	}
-	if err := erasure.CheckDistinct(idx, n); err != nil {
+	if err := erasure.CheckDistinct(s.idx, n); err != nil {
 		return nil, err
 	}
-	phiDC := c.phi.SelectRows(idx) // k x alpha
-	phiDCT := phiDC.Transpose()    // alpha x k
-	lam := make([]byte, k)
-	for i, ix := range idx {
-		lam[i] = c.lambda[ix]
+	phiDC := c.phi.SelectRows(s.idx) // k x alpha
+	phiDCT := phiDC.Transpose()      // alpha x k
+	s.lam = erasure.GrowSlice(s.lam, k)
+	for i, ix := range s.idx {
+		s.lam[i] = c.lambda[ix]
 	}
 	// Per decoder row i, the alpha x alpha system whose columns are the
 	// other rows' phi vectors; invert once outside the stripe loop.
@@ -314,39 +402,39 @@ func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
 		rowSolvers[i] = ginv.Transpose()
 	}
 	// S = (first alpha rows of Phi_DC)^-1 applied to the recovered Phi*S.
-	phiTopInv, err := phiDC.SelectRows(seq(c.alpha)).Inverse()
+	s.seq = erasure.GrowInts(s.seq, c.alpha)
+	for i := range s.seq {
+		s.seq[i] = i
+	}
+	phiTopInv, err := phiDC.SelectRows(s.seq).Inverse()
 	if err != nil {
 		return nil, fmt.Errorf("msr: Phi_DC top block singular: %w", err)
 	}
 
-	out := make([]byte, stripes*c.b)
-	for s := 0; s < stripes; s++ {
-		rows := make([][]byte, k)
+	out := erasure.GrowSlice(dst, stripes*c.b)
+	for st := 0; st < stripes; st++ {
+		s.coded = matrix.Reuse(s.coded, k, c.alpha)
 		for i, sh := range shards {
-			rows[i] = sh.Data[s*c.alpha : (s+1)*c.alpha]
+			copy(s.coded.Row(i), sh.Data[st*c.alpha:(st+1)*c.alpha])
 		}
-		coded, err := matrix.FromRows(rows)
-		if err != nil {
-			return nil, err
-		}
-		a := coded.Mul(phiDCT) // k x k; A = P + Lambda Q
-		pmat := matrix.New(k, k)
-		qmat := matrix.New(k, k)
+		s.amat = s.coded.MulInto(phiDCT, s.amat) // k x k; A = P + Lambda Q
+		s.pmat = matrix.Reuse(s.pmat, k, k)
+		s.qmat = matrix.Reuse(s.qmat, k, k)
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
 				// A_ij = P_ij + lam_i Q_ij ; A_ji = P_ij + lam_j Q_ij.
-				den := gf.Sub(lam[i], lam[j]) // nonzero: lambdas distinct
-				q := gf.Div(gf.Sub(a.At(i, j), a.At(j, i)), den)
-				p := gf.Sub(a.At(i, j), gf.Mul(lam[i], q))
-				pmat.Set(i, j, p)
-				pmat.Set(j, i, p)
-				qmat.Set(i, j, q)
-				qmat.Set(j, i, q)
+				den := gf.Sub(s.lam[i], s.lam[j]) // nonzero: lambdas distinct
+				q := gf.Div(gf.Sub(s.amat.At(i, j), s.amat.At(j, i)), den)
+				p := gf.Sub(s.amat.At(i, j), gf.Mul(s.lam[i], q))
+				s.pmat.Set(i, j, p)
+				s.pmat.Set(j, i, p)
+				s.qmat.Set(i, j, q)
+				s.qmat.Set(j, i, q)
 			}
 		}
-		s1 := c.recoverSym(pmat, rowSolvers, phiTopInv)
-		s2 := c.recoverSym(qmat, rowSolvers, phiTopInv)
-		c.extractMessage(s1, s2, out[s*c.b:(s+1)*c.b])
+		s.rs1 = c.recoverSymInto(s.pmat, rowSolvers, phiTopInv, s, s.rs1)
+		s.rs2 = c.recoverSymInto(s.qmat, rowSolvers, phiTopInv, s, s.rs2)
+		c.extractMessage(s.rs1, s.rs2, out[st*c.b:(st+1)*c.b])
 	}
 	if valueLen > len(out) {
 		return nil, fmt.Errorf("msr: value length %d exceeds decoded data %d", valueLen, len(out))
@@ -354,32 +442,26 @@ func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
 	return out[:valueLen], nil
 }
 
-// recoverSym turns the off-diagonal entries of P = Phi_DC S Phi_DC^T back
-// into the symmetric alpha x alpha matrix S.
-func (c *Code) recoverSym(p *matrix.Matrix, rowSolvers []*matrix.Matrix, phiTopInv *matrix.Matrix) *matrix.Matrix {
+// recoverSymInto turns the off-diagonal entries of P = Phi_DC S Phi_DC^T
+// back into the symmetric alpha x alpha matrix S, using the scratch's
+// phiS/srows/srhs working storage and writing the result into res.
+func (c *Code) recoverSymInto(p *matrix.Matrix, rowSolvers []*matrix.Matrix, phiTopInv *matrix.Matrix, s *codeScratch, res *matrix.Matrix) *matrix.Matrix {
 	k := c.params.K
 	// Row i of Phi_DC*S solves w_i * [phi_j^T]_{j != i} = P_i,offdiag.
-	phiS := matrix.New(k, c.alpha)
-	rhs := make([]byte, c.alpha)
+	s.phiS = matrix.Reuse(s.phiS, k, c.alpha)
+	s.srhs = erasure.GrowSlice(s.srhs, c.alpha)
 	for i := 0; i < k; i++ {
 		pos := 0
 		for j := 0; j < k; j++ {
 			if j != i {
-				rhs[pos] = p.At(i, j)
+				s.srhs[pos] = p.At(i, j)
 				pos++
 			}
 		}
 		// w_i = rhs * G^-1  <=>  w_i^T = (G^-1)^T * rhs^T; rowSolvers[i]
 		// already stores (G^-1)^T.
-		copy(phiS.Row(i), rowSolvers[i].MulVec(rhs))
+		rowSolvers[i].MulVecInto(s.srhs, s.phiS.Row(i))
 	}
-	return phiTopInv.Mul(phiS.SelectRows(seq(c.alpha)))
-}
-
-func seq(n int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = i
-	}
-	return s
+	s.srows = s.phiS.SelectRowsInto(s.seq, s.srows)
+	return phiTopInv.MulInto(s.srows, res)
 }

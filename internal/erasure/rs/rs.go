@@ -15,6 +15,7 @@ package rs
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/lds-storage/lds/internal/erasure"
 	"github.com/lds-storage/lds/internal/gf"
@@ -26,6 +27,40 @@ import (
 type Code struct {
 	params erasure.Params
 	enc    *matrix.Matrix // n x k systematic encoding matrix
+
+	scratch sync.Pool // *codeScratch
+}
+
+// codeScratch pools the data-lane workspace of Encode/Decode; lanes[j]
+// is the j-th byte of every stripe gathered into one long vector.
+type codeScratch struct {
+	padded []byte
+	idx    []int
+	lanes  [][]byte
+	sel    *matrix.Matrix
+}
+
+func (c *Code) getScratch() *codeScratch {
+	if s, ok := c.scratch.Get().(*codeScratch); ok {
+		return s
+	}
+	return &codeScratch{}
+}
+
+func (c *Code) putScratch(s *codeScratch) { c.scratch.Put(s) }
+
+// growLanes resizes the lane workspace to k lanes of length stripes,
+// reusing backing arrays and zeroing each lane.
+func (s *codeScratch) growLanes(k, stripes int) {
+	if cap(s.lanes) < k {
+		s.lanes = make([][]byte, k)
+	} else {
+		s.lanes = s.lanes[:k]
+	}
+	for j := range s.lanes {
+		s.lanes[j] = erasure.GrowSlice(s.lanes[j], stripes)
+		clear(s.lanes[j])
+	}
 }
 
 var _ erasure.Code = (*Code)(nil)
@@ -69,67 +104,87 @@ func (c *Code) ShardSize(valueLen int) int { return c.Stripes(valueLen) }
 // Because the code is systematic, shard i < k is byte i, i+k, i+2k, ... of
 // the (padded) value.
 func (c *Code) Encode(value []byte) ([][]byte, error) {
+	return c.EncodeInto(nil, value)
+}
+
+// EncodeInto is Encode with caller-owned shard storage (returned slices
+// alias dst; see mbr.Code.EncodeInto for the aliasing rules).
+func (c *Code) EncodeInto(dst [][]byte, value []byte) ([][]byte, error) {
 	n, k := c.params.N, c.params.K
-	padded := erasure.PadToStripes(value, k)
-	stripes := len(padded) / k
-	shards := make([][]byte, n)
-	for i := range shards {
-		shards[i] = make([]byte, stripes)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.padded = erasure.PadToStripesInto(s.padded, value, k)
+	stripes := len(s.padded) / k
+	if cap(dst) < n {
+		dst = make([][]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = erasure.GrowSlice(dst[i], stripes)
+		clear(dst[i])
 	}
 	// Gather the value into k "data lanes" so each shard is one
 	// matrix-vector product over long vectors rather than per-stripe work.
-	lanes := make([][]byte, k)
+	s.growLanes(k, stripes)
 	for j := 0; j < k; j++ {
-		lanes[j] = make([]byte, stripes)
-		for s := 0; s < stripes; s++ {
-			lanes[j][s] = padded[s*k+j]
+		for st := 0; st < stripes; st++ {
+			s.lanes[j][st] = s.padded[st*k+j]
 		}
 	}
 	for i := 0; i < n; i++ {
 		row := c.enc.Row(i)
 		for j, coeff := range row {
-			gf.AddMulSlice(coeff, lanes[j], shards[i])
+			gf.AddMulSlice(coeff, s.lanes[j], dst[i])
 		}
 	}
-	return shards, nil
+	return dst, nil
 }
 
 // Decode reconstructs a value of the given original length from at least k
 // shards with distinct indices.
 func (c *Code) Decode(valueLen int, shards []erasure.Shard) ([]byte, error) {
+	return c.DecodeInto(nil, valueLen, shards)
+}
+
+// DecodeInto is Decode into caller-owned storage; the returned value
+// aliases dst (see mbr.Code.DecodeInto for retention rules).
+func (c *Code) DecodeInto(dst []byte, valueLen int, shards []erasure.Shard) ([]byte, error) {
 	n, k := c.params.N, c.params.K
 	if len(shards) < k {
 		return nil, fmt.Errorf("%w: have %d, need %d", erasure.ErrShortShards, len(shards), k)
 	}
 	shards = shards[:k]
-	idx := make([]int, k)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.idx = erasure.GrowInts(s.idx, k)
 	stripes := c.Stripes(valueLen)
 	for i, sh := range shards {
-		idx[i] = sh.Index
+		s.idx[i] = sh.Index
 		if len(sh.Data) != stripes {
 			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, sh.Index, len(sh.Data), stripes)
 		}
 	}
-	if err := erasure.CheckDistinct(idx, n); err != nil {
+	if err := erasure.CheckDistinct(s.idx, n); err != nil {
 		return nil, err
 	}
-	inv, err := c.enc.SelectRows(idx).Inverse()
+	s.sel = c.enc.SelectRowsInto(s.idx, s.sel)
+	inv, err := s.sel.Inverse()
 	if err != nil {
-		return nil, fmt.Errorf("rs: decode matrix for shards %v: %w", idx, err)
+		return nil, fmt.Errorf("rs: decode matrix for shards %v: %w", s.idx, err)
 	}
 	// Recover the k data lanes, then interleave back into the value.
-	lanes := make([][]byte, k)
+	s.growLanes(k, stripes)
 	for j := 0; j < k; j++ {
-		lanes[j] = make([]byte, stripes)
 		row := inv.Row(j)
 		for i, coeff := range row {
-			gf.AddMulSlice(coeff, shards[i].Data, lanes[j])
+			gf.AddMulSlice(coeff, shards[i].Data, s.lanes[j])
 		}
 	}
-	out := make([]byte, stripes*k)
-	for s := 0; s < stripes; s++ {
+	out := erasure.GrowSlice(dst, stripes*k)
+	for st := 0; st < stripes; st++ {
 		for j := 0; j < k; j++ {
-			out[s*k+j] = lanes[j][s]
+			out[st*k+j] = s.lanes[j][st]
 		}
 	}
 	if valueLen > len(out) {

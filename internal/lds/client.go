@@ -45,11 +45,47 @@ func (k OpKind) String() string {
 // operation's goroutine after the operation finishes; keep it cheap.
 type OpObserver func(op OpKind, d time.Duration, payloadBytes int, err error)
 
+// respSet tracks which servers have been counted in the current client
+// phase without per-phase allocation: stamp[i] == seq means server i is
+// counted. Resetting bumps seq, an O(1) wipe. Indices are group-local
+// (0..n1-1 — the namespace view translates gateway-wide ids before
+// protocol code sees them), so a slice the size of the layer suffices.
+type respSet struct {
+	stamp []uint64
+	seq   uint64
+	n     int
+}
+
+func (r *respSet) reset(size int) {
+	if cap(r.stamp) < size {
+		r.stamp = make([]uint64, size)
+	} else {
+		r.stamp = r.stamp[:size]
+	}
+	r.seq++
+	r.n = 0
+}
+
+// add marks server i counted and reports whether it was new. Out-of-range
+// indices (not a well-formed group-local id) are never counted.
+func (r *respSet) add(i int32) bool {
+	if i < 0 || int(i) >= len(r.stamp) || r.stamp[i] == r.seq {
+		return false
+	}
+	r.stamp[i] = r.seq
+	r.n++
+	return true
+}
+
+func (r *respSet) count() int { return r.n }
+
 // clientCore is the machinery shared by Writer and Reader: a mailbox fed by
 // the transport handler and a per-client operation sequence. Clients are
 // well-formed (one operation at a time, paper Section II-a), so a single
 // response channel suffices; responses from superseded operations are
-// filtered by OpID.
+// filtered by OpID. phase is the quorum-membership scratch reused by every
+// sequential client phase (pooled clients in the gateway recycle it
+// automatically on checkout).
 type clientCore struct {
 	params Params
 	id     wire.ProcID
@@ -57,6 +93,7 @@ type clientCore struct {
 	inbox  chan wire.Envelope
 	opSeq  uint64
 	obs    OpObserver
+	phase  respSet
 }
 
 func newClientCore(params Params, id wire.ProcID) clientCore {
@@ -175,18 +212,15 @@ func (w *Writer) write(ctx context.Context, value []byte) (tag.Tag, error) {
 	if err := w.core.sendAllL1(wire.QueryTag{OpID: opGet}); err != nil {
 		return tag.Tag{}, err
 	}
-	var (
-		maxTag    tag.Tag
-		responded = make(map[int32]bool, w.core.params.WriteQuorum())
-	)
+	var maxTag tag.Tag
+	w.core.phase.reset(w.core.params.N1)
 	err := w.core.collect(ctx, func(env wire.Envelope) bool {
 		m, ok := env.Msg.(wire.QueryTagResp)
-		if !ok || m.OpID != opGet || responded[env.From.Index] {
+		if !ok || m.OpID != opGet || !w.core.phase.add(env.From.Index) {
 			return false
 		}
-		responded[env.From.Index] = true
 		maxTag = tag.Max(maxTag, m.Tag)
-		return len(responded) >= w.core.params.WriteQuorum()
+		return w.core.phase.count() >= w.core.params.WriteQuorum()
 	})
 	if err != nil {
 		return tag.Tag{}, fmt.Errorf("get-tag: %w", err)
@@ -198,16 +232,15 @@ func (w *Writer) write(ctx context.Context, value []byte) (tag.Tag, error) {
 	if err := w.core.sendAllL1(wire.PutData{OpID: opPut, Tag: tw, Value: value}); err != nil {
 		return tag.Tag{}, err
 	}
-	acked := make(map[int32]bool, w.core.params.WriteQuorum())
+	w.core.phase.reset(w.core.params.N1)
 	err = w.core.collect(ctx, func(env wire.Envelope) bool {
 		// ACKs may arrive via the direct path (carrying OpID) or via the
 		// broadcast-threshold path (OpID 0); the tag identifies the write.
 		m, ok := env.Msg.(wire.PutDataResp)
-		if !ok || m.Tag != tw || acked[env.From.Index] {
+		if !ok || m.Tag != tw || !w.core.phase.add(env.From.Index) {
 			return false
 		}
-		acked[env.From.Index] = true
-		return len(acked) >= w.core.params.WriteQuorum()
+		return w.core.phase.count() >= w.core.params.WriteQuorum()
 	})
 	if err != nil {
 		return tag.Tag{}, fmt.Errorf("put-data: %w", err)
@@ -215,10 +248,16 @@ func (w *Writer) write(ctx context.Context, value []byte) (tag.Tag, error) {
 	return tw, nil
 }
 
-// Reader is an LDS read client (paper, Fig. 1 right).
+// Reader is an LDS read client (paper, Fig. 1 right). values, coded and
+// csFree are the get-data phase's collection state, reused across
+// operations (maps are cleared, codedSets recycled through the free
+// list) so a read allocates only what escapes it: the decoded value.
 type Reader struct {
-	core clientCore
-	code erasure.Regenerating
+	core   clientCore
+	code   erasure.Regenerating
+	values map[tag.Tag][]byte
+	coded  map[tag.Tag]*codedSet
+	csFree []*codedSet
 }
 
 // NewReader creates a reader with the given positive reader id.
@@ -254,8 +293,44 @@ func (r *Reader) SetObserver(obs OpObserver) { r.core.obs = obs }
 // codedSet accumulates coded elements for one tag during get-data.
 type codedSet struct {
 	shards   []erasure.Shard
-	seen     map[int32]bool
+	seen     respSet
 	valueLen int
+}
+
+// takeCodedSet checks a reset codedSet out of the reader's free list.
+func (r *Reader) takeCodedSet() *codedSet {
+	var cs *codedSet
+	if n := len(r.csFree); n > 0 {
+		cs = r.csFree[n-1]
+		r.csFree[n-1] = nil
+		r.csFree = r.csFree[:n-1]
+	} else {
+		cs = &codedSet{}
+	}
+	cs.shards = cs.shards[:0]
+	cs.seen.reset(r.core.params.N1)
+	cs.valueLen = 0
+	return cs
+}
+
+// resetGetData clears the get-data collection state, recycling codedSets.
+// Shard Data references from the previous operation are dropped here, so
+// nothing pins a prior read's coded elements beyond the next operation's
+// start.
+func (r *Reader) resetGetData() {
+	if r.values == nil {
+		r.values = make(map[tag.Tag][]byte)
+		r.coded = make(map[tag.Tag]*codedSet)
+		return
+	}
+	clear(r.values)
+	for t, cs := range r.coded {
+		for i := range cs.shards {
+			cs.shards[i].Data = nil
+		}
+		r.csFree = append(r.csFree, cs)
+		delete(r.coded, t)
+	}
 }
 
 // Read performs one read operation, returning the value and its tag.
@@ -275,18 +350,15 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 	if err := r.core.sendAllL1(wire.QueryCommTag{OpID: opQ}); err != nil {
 		return nil, tag.Tag{}, err
 	}
-	var (
-		treq      tag.Tag
-		responded = make(map[int32]bool, quorum)
-	)
+	var treq tag.Tag
+	r.core.phase.reset(r.core.params.N1)
 	err := r.core.collect(ctx, func(env wire.Envelope) bool {
 		m, ok := env.Msg.(wire.QueryCommTagResp)
-		if !ok || m.OpID != opQ || responded[env.From.Index] {
+		if !ok || m.OpID != opQ || !r.core.phase.add(env.From.Index) {
 			return false
 		}
-		responded[env.From.Index] = true
 		treq = tag.Max(treq, m.Tag)
-		return len(responded) >= quorum
+		return r.core.phase.count() >= quorum
 	})
 	if err != nil {
 		return nil, tag.Tag{}, fmt.Errorf("get-commited-tag: %w", err)
@@ -301,10 +373,9 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 	if err := r.core.sendAllL1(wire.QueryData{OpID: opG, Req: treq}); err != nil {
 		return nil, tag.Tag{}, err
 	}
+	r.resetGetData()
+	r.core.phase.reset(r.core.params.N1) // distinct responders (any class)
 	var (
-		answered   = make(map[int32]bool, r.core.params.N1)
-		values     = make(map[tag.Tag][]byte)
-		coded      = make(map[tag.Tag]*codedSet)
 		readTag    tag.Tag
 		readValue  []byte
 		haveResult bool
@@ -314,21 +385,20 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 		if !ok || m.OpID != opG {
 			return false
 		}
-		answered[env.From.Index] = true
+		r.core.phase.add(env.From.Index)
 		switch m.Class {
 		case wire.PayloadValue:
 			if !m.Tag.Less(treq) {
-				values[m.Tag] = m.Data
+				r.values[m.Tag] = m.Data
 			}
 		case wire.PayloadCoded:
 			if !m.Tag.Less(treq) {
-				cs := coded[m.Tag]
+				cs := r.coded[m.Tag]
 				if cs == nil {
-					cs = &codedSet{seen: make(map[int32]bool)}
-					coded[m.Tag] = cs
+					cs = r.takeCodedSet()
+					r.coded[m.Tag] = cs
 				}
-				if !cs.seen[env.From.Index] {
-					cs.seen[env.From.Index] = true
+				if cs.seen.add(env.From.Index) {
 					cs.valueLen = int(m.ValueLen)
 					cs.shards = append(cs.shards, erasure.Shard{
 						Index: int(env.From.Index), // L1 code index is the server index
@@ -340,7 +410,7 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 			// A failed regeneration still counts toward the f1+k distinct
 			// responders; the server will answer again when it can.
 		}
-		if len(answered) < quorum {
+		if r.core.phase.count() < quorum {
 			return false
 		}
 		// Candidate with the highest tag wins; prefer a direct value over
@@ -351,12 +421,12 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 			bestCoded *codedSet
 			found     bool
 		)
-		for t, v := range values {
+		for t, v := range r.values {
 			if !found || bestTag.Less(t) {
 				bestTag, bestValue, bestCoded, found = t, v, nil, true
 			}
 		}
-		for t, cs := range coded {
+		for t, cs := range r.coded {
 			if len(cs.shards) < r.core.params.K {
 				continue
 			}
@@ -368,6 +438,9 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 			return false
 		}
 		if bestCoded != nil {
+			// Decode into a fresh buffer (nil dst): the value escapes to
+			// the application, so it must not share storage with any
+			// reader scratch.
 			v, err := r.code.Decode(bestCoded.valueLen, bestCoded.shards)
 			if err != nil {
 				// A decode failure cannot happen with k distinct correct
@@ -394,14 +467,13 @@ func (r *Reader) read(ctx context.Context) ([]byte, tag.Tag, error) {
 	if err := r.core.sendAllL1(wire.PutTag{OpID: opP, Tag: readTag}); err != nil {
 		return nil, tag.Tag{}, err
 	}
-	ptAcks := make(map[int32]bool, quorum)
+	r.core.phase.reset(r.core.params.N1)
 	err = r.core.collect(ctx, func(env wire.Envelope) bool {
 		m, ok := env.Msg.(wire.PutTagResp)
-		if !ok || m.OpID != opP || ptAcks[env.From.Index] {
+		if !ok || m.OpID != opP || !r.core.phase.add(env.From.Index) {
 			return false
 		}
-		ptAcks[env.From.Index] = true
-		return len(ptAcks) >= quorum
+		return r.core.phase.count() >= quorum
 	})
 	if err != nil {
 		return nil, tag.Tag{}, fmt.Errorf("put-tag: %w", err)

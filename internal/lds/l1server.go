@@ -39,13 +39,15 @@ type tagHelpers struct {
 // regenState is the per-reader regeneration bookkeeping: K[r] plus
 // readCounter[r], bound to the reader's operation id so stragglers from an
 // earlier operation of the same reader cannot corrupt a later one.
+// States are recycled through L1Server.regenFree, so the maps inside are
+// long-lived and cleared between uses rather than reallocated.
 type regenState struct {
 	opID uint64
 	// seen tracks which L2 servers have contributed; the channel model
 	// permits duplication, and a duplicated helper must neither count
 	// twice toward the n2-f2 quorum nor appear twice in a helper set
 	// handed to Regenerate.
-	seen   map[int32]bool
+	seen   respSet
 	perTag map[tag.Tag]*tagHelpers
 }
 
@@ -93,8 +95,17 @@ type L1Server struct {
 	index  int // j in [0, n1); also the server's code symbol index
 	id     wire.ProcID
 	code   erasure.Regenerating
-	node   transport.Node
-	bcast  *broadcast.Broadcaster
+
+	// bound is the transport attachment published by Bind. Real transports
+	// (tcpnet) start delivering to Handle from their own goroutine as soon
+	// as the server is registered, which may race with Bind in the booting
+	// goroutine -- so Bind publishes through an atomic and Handle caches the
+	// load into the plain fields below (safe: transports invoke Handle
+	// sequentially from a single goroutine). Messages arriving before Bind
+	// are dropped, which the lossy-channel model already permits.
+	bound atomic.Pointer[l1Binding]
+	node  transport.Node
+	bcast *broadcast.Broadcaster
 
 	// State variables of Fig. 2.
 	list          map[tag.Tag]*listEntry     // L, tag -> value or bot
@@ -117,6 +128,16 @@ type L1Server struct {
 	inflightAcks    map[int32]struct{}
 	inflightElems   int
 	offloadHigh     tag.Tag
+
+	// Per-server reusable scratch. None of it crosses the transport: the
+	// coded shards and batch element slices that do travel (and that the
+	// simulated transport hands to L2 by reference) are always freshly
+	// allocated; only the bookkeeping around them is recycled.
+	l2Idx     []int                // code indices n1..n1+n2-1, fixed at boot
+	perServer [][]wire.CodeElem    // drainOffload's outer headers (inner slices stay fresh)
+	ackFree   []map[int32]struct{} // cleared ack-set maps awaiting reuse
+	regenFree []*regenState        // cleared regeneration states awaiting reuse
+	thFree    []*tagHelpers        // cleared helper accumulators awaiting reuse
 
 	// offloadDepth gauges the pipeline occupancy (queued + in-flight
 	// elements); atomic so samplers can read it live.
@@ -165,12 +186,24 @@ func NewL1ServerSeeded(params Params, index int, code erasure.Regenerating, seed
 		gamma:         make(map[wire.ProcID]gammaEntry),
 		regen:         make(map[wire.ProcID]*regenState),
 		offloads:      make(map[tag.Tag]map[int32]struct{}),
+		l2Idx:         make([]int, params.N2),
+		perServer:     make([][]wire.CodeElem, params.N2),
+	}
+	for i := range s.l2Idx {
+		s.l2Idx[i] = params.L2CodeIndex(i)
 	}
 	return s, nil
 }
 
 // ID returns the server's process id.
 func (s *L1Server) ID() wire.ProcID { return s.id }
+
+// l1Binding bundles the node and broadcaster so Bind can publish both in
+// one atomic store (see the bound field).
+type l1Binding struct {
+	node  transport.Node
+	bcast *broadcast.Broadcaster
+}
 
 // Bind attaches the transport node and builds the broadcast primitive; it
 // must be called before traffic flows.
@@ -179,8 +212,7 @@ func (s *L1Server) Bind(node transport.Node) error {
 	if err != nil {
 		return err
 	}
-	s.node = node
-	s.bcast = b
+	s.bound.Store(&l1Binding{node: node, bcast: b})
 	return nil
 }
 
@@ -235,6 +267,13 @@ func (s *L1Server) Bookkeeping() L1Bookkeeping {
 
 // Handle dispatches one incoming message; it is the transport handler.
 func (s *L1Server) Handle(env wire.Envelope) {
+	if s.node == nil {
+		b := s.bound.Load()
+		if b == nil {
+			return // not bound yet; the transport model permits loss
+		}
+		s.node, s.bcast = b.node, b.bcast
+	}
 	switch m := env.Msg.(type) {
 	case wire.QueryTag:
 		s.onQueryTag(env.From, m)
@@ -383,7 +422,7 @@ func (s *L1Server) onQueryData(from wire.ProcID, m wire.QueryData) {
 // satisfies, and prune superseded bookkeeping.
 func (s *L1Server) onPutTag(from wire.ProcID, m wire.PutTag) {
 	delete(s.gamma, from)
-	delete(s.regen, from)
+	s.releaseRegen(from)
 	if s.tc.Less(m.Tag) {
 		s.tc = m.Tag
 		if e, ok := s.list[m.Tag]; ok && e.hasValue {
@@ -420,6 +459,7 @@ func (s *L1Server) creditAck(from wire.ProcID, t tag.Tag) {
 		acks[from.Index] = struct{}{}
 		if len(acks) >= s.params.L2Quorum() {
 			delete(s.offloads, t) // fired; later acks for t are ignored
+			s.putAckSet(acks)
 			if e, ok := s.list[t]; ok && e.hasValue {
 				s.dropValue(e)
 			}
@@ -429,6 +469,7 @@ func (s *L1Server) creditAck(from wire.ProcID, t tag.Tag) {
 		s.inflightAcks[from.Index] = struct{}{}
 		if len(s.inflightAcks) >= s.params.L2Quorum() {
 			s.offloadInflight = false
+			s.putAckSet(s.inflightAcks)
 			s.inflightAcks = nil
 			s.inflightElems = 0
 			s.updateOffloadDepth()
@@ -443,13 +484,12 @@ func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
 	if st == nil || st.opID != m.OpID {
 		return // stale helper from a finished or superseded regeneration
 	}
-	if st.seen[from.Index] {
+	if !st.seen.add(from.Index) {
 		return // duplicated delivery (the model permits duplication)
 	}
-	st.seen[from.Index] = true
 	th := st.perTag[m.Tag]
 	if th == nil {
-		th = &tagHelpers{}
+		th = s.takeTagHelpers()
 		st.perTag[m.Tag] = th
 	}
 	th.helpers = append(th.helpers, erasure.Helper{
@@ -457,11 +497,12 @@ func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
 		Data:  m.Helper,
 	})
 	th.valueLen = int(m.ValueLen)
-	if len(st.seen) < s.params.L2Quorum() {
+	if st.seen.count() < s.params.L2Quorum() {
 		return
 	}
 	// All awaited responses are in: regenerate the highest possible tag.
 	delete(s.regen, m.Reader) // clear K[r]; the reader stays registered
+	defer s.putRegenState(st) // recycle once the regeneration attempt ends
 	g, registered := s.gamma[m.Reader]
 	if !registered || g.opID != m.OpID {
 		return // served via Gamma in the meantime
@@ -489,6 +530,89 @@ func (s *L1Server) onSendHelperElem(from wire.ProcID, m wire.SendHelperElem) {
 	})
 }
 
+// --- per-server scratch recycling -------------------------------------------
+//
+// The helpers below keep steady-state operation handling allocation-free:
+// the small maps and states that earlier versions made per operation are
+// cleared and shelved on free lists instead. Everything recycled here is
+// private to the server actor; nothing that crosses the transport (coded
+// shards, batch element slices, helper data) is ever recycled.
+
+// takeAckSet returns an empty per-tag ack set, reusing a cleared one when
+// available.
+func (s *L1Server) takeAckSet() map[int32]struct{} {
+	if n := len(s.ackFree); n > 0 {
+		m := s.ackFree[n-1]
+		s.ackFree[n-1] = nil
+		s.ackFree = s.ackFree[:n-1]
+		return m
+	}
+	return make(map[int32]struct{}, s.params.L2Quorum())
+}
+
+// putAckSet clears an ack set and shelves it for reuse.
+func (s *L1Server) putAckSet(m map[int32]struct{}) {
+	if m == nil {
+		return
+	}
+	clear(m)
+	s.ackFree = append(s.ackFree, m)
+}
+
+// takeRegenState returns a reset regeneration state bound to opID.
+func (s *L1Server) takeRegenState(opID uint64) *regenState {
+	var st *regenState
+	if n := len(s.regenFree); n > 0 {
+		st = s.regenFree[n-1]
+		s.regenFree[n-1] = nil
+		s.regenFree = s.regenFree[:n-1]
+	} else {
+		st = &regenState{perTag: make(map[tag.Tag]*tagHelpers)}
+	}
+	st.opID = opID
+	st.seen.reset(s.params.N2)
+	return st
+}
+
+// putRegenState recycles st and its helper accumulators, dropping every
+// reference to received helper data so the shelved scratch cannot pin it.
+func (s *L1Server) putRegenState(st *regenState) {
+	if st == nil {
+		return
+	}
+	for t, th := range st.perTag {
+		for i := range th.helpers {
+			th.helpers[i].Data = nil
+		}
+		th.helpers = th.helpers[:0]
+		th.valueLen = 0
+		s.thFree = append(s.thFree, th)
+		delete(st.perTag, t)
+	}
+	s.regenFree = append(s.regenFree, st)
+}
+
+// takeTagHelpers returns an empty helper accumulator, reusing one when
+// available.
+func (s *L1Server) takeTagHelpers() *tagHelpers {
+	if n := len(s.thFree); n > 0 {
+		th := s.thFree[n-1]
+		s.thFree[n-1] = nil
+		s.thFree = s.thFree[:n-1]
+		return th
+	}
+	return &tagHelpers{}
+}
+
+// releaseRegen unregisters and recycles the regeneration state of reader r,
+// if any.
+func (s *L1Server) releaseRegen(r wire.ProcID) {
+	if st, ok := s.regen[r]; ok {
+		delete(s.regen, r)
+		s.putRegenState(st)
+	}
+}
+
 // --- internal operations ----------------------------------------------------
 
 // offload hands a freshly committed (t, v) to the write-to-L2 pipeline.
@@ -506,7 +630,7 @@ func (s *L1Server) offload(t tag.Tag, e *listEntry) {
 			s.violations.Add(1)
 			return
 		}
-		s.offloads[t] = make(map[int32]struct{}, s.params.L2Quorum())
+		s.offloads[t] = s.takeAckSet()
 		for i, id := range s.params.L2IDs() {
 			s.send(id, wire.WriteCodeElem{Tag: t, Coded: shards[i], ValueLen: int32(len(e.value))})
 		}
@@ -532,7 +656,14 @@ func (s *L1Server) drainOffload() {
 	}
 	batch := s.offloadQueue
 	s.offloadQueue = nil
-	perServer := make([][]wire.CodeElem, s.params.N2)
+	// Reuse the outer header slice only: the inner element slices travel to
+	// L2 inside WriteCodeElemBatch messages (by reference on the simulated
+	// transport) and may still be in flight past the ack quorum, so they
+	// must be freshly allocated every round.
+	perServer := s.perServer
+	for i := range perServer {
+		perServer[i] = nil
+	}
 	elems := 0
 	var highest tag.Tag
 	for _, it := range batch {
@@ -541,7 +672,7 @@ func (s *L1Server) drainOffload() {
 			s.violations.Add(1)
 			continue
 		}
-		s.offloads[it.t] = make(map[int32]struct{}, s.params.L2Quorum())
+		s.offloads[it.t] = s.takeAckSet()
 		for i := range perServer {
 			perServer[i] = append(perServer[i], wire.CodeElem{
 				Tag:      it.t,
@@ -558,7 +689,7 @@ func (s *L1Server) drainOffload() {
 	}
 	s.offloadInflight = true
 	s.inflightTag = highest
-	s.inflightAcks = make(map[int32]struct{}, s.params.L2Quorum())
+	s.inflightAcks = s.takeAckSet()
 	s.inflightElems = elems
 	s.updateOffloadDepth()
 	for i, id := range s.params.L2IDs() {
@@ -574,11 +705,8 @@ func (s *L1Server) updateOffloadDepth() {
 // startRegenerate initiates regenerate-from-L2(r): query all L2 servers for
 // helper data toward this server's own coded element c_j.
 func (s *L1Server) startRegenerate(r wire.ProcID, opID uint64) {
-	s.regen[r] = &regenState{
-		opID:   opID,
-		seen:   make(map[int32]bool, s.params.N2),
-		perTag: make(map[tag.Tag]*tagHelpers),
-	}
+	s.putRegenState(s.regen[r]) // supersede any previous attempt by r
+	s.regen[r] = s.takeRegenState(opID)
 	for _, id := range s.params.L2IDs() {
 		s.send(id, wire.QueryCodeElem{Reader: r, OpID: opID})
 	}
@@ -609,7 +737,7 @@ func (s *L1Server) serveGamma(t tag.Tag, e *listEntry) {
 		}
 		s.sendValue(r, g.opID, t, e)
 		delete(s.gamma, r)
-		delete(s.regen, r)
+		s.releaseRegen(r)
 	}
 }
 
@@ -645,9 +773,10 @@ func (s *L1Server) pruneSuperseded() {
 			delete(s.commitCounter, t)
 		}
 	}
-	for t := range s.offloads {
+	for t, acks := range s.offloads {
 		if t.Less(s.tc) {
 			delete(s.offloads, t)
+			s.putAckSet(acks)
 		}
 	}
 }
@@ -688,12 +817,10 @@ func (s *L1Server) dropValue(e *listEntry) {
 
 // encodeL2 produces the n2 coded elements c_{n1}..c_{n1+n2-1} of value.
 func (s *L1Server) encodeL2(value []byte) ([][]byte, error) {
-	idx := make([]int, s.params.N2)
-	for i := range idx {
-		idx[i] = s.params.L2CodeIndex(i)
-	}
 	if enc, ok := s.code.(nodesEncoder); ok {
-		return enc.EncodeNodes(value, idx)
+		// The shards go to L2, which retains them by reference: EncodeNodes
+		// (not an Into variant) so every round's output is freshly allocated.
+		return enc.EncodeNodes(value, s.l2Idx)
 	}
 	all, err := s.code.Encode(value)
 	if err != nil {

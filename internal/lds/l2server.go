@@ -24,7 +24,12 @@ type L2Server struct {
 	index  int // i in [0, n2); code symbol index is n1 + i
 	id     wire.ProcID
 	code   erasure.Regenerating
-	node   transport.Node
+
+	// bound is the transport attachment published by Bind; same scheme as
+	// L1Server.bound (real transports may invoke Handle concurrently with
+	// Bind, so the handler goroutine caches the atomic load into node).
+	bound atomic.Pointer[l2Binding]
+	node  transport.Node
 
 	// State variables (t, c) plus the original value length, which decoding
 	// ultimately needs because shards are padded to whole stripes.
@@ -99,8 +104,14 @@ func NewL2ServerSeeded(params Params, index int, code erasure.Regenerating, valu
 // ID returns the server's process id.
 func (s *L2Server) ID() wire.ProcID { return s.id }
 
+// l2Binding wraps the node so Bind can publish it through an atomic pointer
+// (transport.Node is an interface; atomic.Pointer needs a concrete type).
+type l2Binding struct {
+	node transport.Node
+}
+
 // Bind attaches the transport node; must be called before traffic flows.
-func (s *L2Server) Bind(node transport.Node) { s.node = node }
+func (s *L2Server) Bind(node transport.Node) { s.bound.Store(&l2Binding{node: node}) }
 
 // Index returns the L2 server index i in [0, n2).
 func (s *L2Server) Index() int { return s.index }
@@ -210,6 +221,13 @@ func (s *L2Server) StoredBytes() int64 { return s.storedBytes.Load() }
 
 // Handle dispatches one incoming message; it is the transport handler.
 func (s *L2Server) Handle(env wire.Envelope) {
+	if s.node == nil {
+		b := s.bound.Load()
+		if b == nil {
+			return // not bound yet; the transport model permits loss
+		}
+		s.node = b.node
+	}
 	switch m := env.Msg.(type) {
 	case wire.WriteCodeElem:
 		s.onWriteCodeElem(env.From, m)

@@ -31,6 +31,35 @@ func New(rows, cols int) *Matrix {
 	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
 }
 
+// Reshape reinitializes m to a zeroed rows x cols matrix, reusing the
+// backing storage when its capacity allows. It is the scratch-reuse
+// primitive behind the erasure codes' allocation-free stripe loops.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]byte, n)
+	} else {
+		m.data = m.data[:n]
+		clear(m.data)
+	}
+	m.rows, m.cols = rows, cols
+}
+
+// Reuse returns m reshaped to rows x cols (zeroed), allocating a new
+// matrix only when m is nil. The idiom for lazily built scratch:
+//
+//	s.tmp = matrix.Reuse(s.tmp, k, d)
+func Reuse(m *Matrix, rows, cols int) *Matrix {
+	if m == nil {
+		return New(rows, cols)
+	}
+	m.Reshape(rows, cols)
+	return m
+}
+
 // FromRows builds a matrix from row slices, which must all have equal length.
 // The data is copied.
 func FromRows(rows [][]byte) (*Matrix, error) {
@@ -118,10 +147,16 @@ func (m *Matrix) String() string {
 
 // Mul returns m * o.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
+	return m.MulInto(o, nil)
+}
+
+// MulInto computes m * o into out (reshaped as needed; allocated when
+// nil), returning out. out must not alias m or o.
+func (m *Matrix) MulInto(o, out *Matrix) *Matrix {
 	if m.cols != o.rows {
 		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
 	}
-	out := New(m.rows, o.cols)
+	out = Reuse(out, m.rows, o.cols)
 	for r := 0; r < m.rows; r++ {
 		mRow := m.Row(r)
 		outRow := out.Row(r)
@@ -134,10 +169,18 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 
 // MulVec returns m * v for a column vector v of length m.Cols().
 func (m *Matrix) MulVec(v []byte) []byte {
+	return m.MulVecInto(v, make([]byte, m.rows))
+}
+
+// MulVecInto computes m * v into out, which must have length m.Rows()
+// and must not alias v. It returns out.
+func (m *Matrix) MulVecInto(v, out []byte) []byte {
 	if m.cols != len(v) {
 		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(v)))
 	}
-	out := make([]byte, m.rows)
+	if len(out) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecInto out length %d, want %d", len(out), m.rows))
+	}
 	for r := 0; r < m.rows; r++ {
 		out[r] = gf.Dot(m.Row(r), v)
 	}
@@ -146,7 +189,13 @@ func (m *Matrix) MulVec(v []byte) []byte {
 
 // Transpose returns the transposed matrix.
 func (m *Matrix) Transpose() *Matrix {
-	out := New(m.cols, m.rows)
+	return m.TransposeInto(nil)
+}
+
+// TransposeInto computes the transpose into out (reshaped as needed;
+// allocated when nil), returning out. out must not alias m.
+func (m *Matrix) TransposeInto(out *Matrix) *Matrix {
+	out = Reuse(out, m.cols, m.rows)
 	for r := 0; r < m.rows; r++ {
 		for c := 0; c < m.cols; c++ {
 			out.Set(c, r, m.At(r, c))
@@ -159,7 +208,13 @@ func (m *Matrix) Transpose() *Matrix {
 // given order. Row indices may repeat; callers that need full rank must pass
 // distinct indices.
 func (m *Matrix) SelectRows(idx []int) *Matrix {
-	out := New(len(idx), m.cols)
+	return m.SelectRowsInto(idx, nil)
+}
+
+// SelectRowsInto writes the given rows of m into out (reshaped as
+// needed; allocated when nil), returning out. out must not alias m.
+func (m *Matrix) SelectRowsInto(idx []int, out *Matrix) *Matrix {
+	out = Reuse(out, len(idx), m.cols)
 	for i, r := range idx {
 		copy(out.Row(i), m.Row(r))
 	}
@@ -181,10 +236,16 @@ func (m *Matrix) SelectCols(idx []int) *Matrix {
 
 // ColRange returns columns [lo, hi) of m as a new matrix.
 func (m *Matrix) ColRange(lo, hi int) *Matrix {
+	return m.ColRangeInto(lo, hi, nil)
+}
+
+// ColRangeInto writes columns [lo, hi) of m into out (reshaped as
+// needed; allocated when nil), returning out. out must not alias m.
+func (m *Matrix) ColRangeInto(lo, hi int, out *Matrix) *Matrix {
 	if lo < 0 || hi > m.cols || lo >= hi {
 		panic(fmt.Sprintf("matrix: invalid column range [%d, %d) of %d", lo, hi, m.cols))
 	}
-	out := New(m.rows, hi-lo)
+	out = Reuse(out, m.rows, hi-lo)
 	for r := 0; r < m.rows; r++ {
 		copy(out.Row(r), m.Row(r)[lo:hi])
 	}
@@ -199,6 +260,14 @@ func (m *Matrix) Add(o *Matrix) *Matrix {
 	out := m.Clone()
 	gf.AddSlice(o.data, out.data)
 	return out
+}
+
+// AddInPlace sets m += o elementwise (XOR over GF(2^8)).
+func (m *Matrix) AddInPlace(o *Matrix) {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic("matrix: AddInPlace shape mismatch")
+	}
+	gf.AddSlice(o.data, m.data)
 }
 
 // Scale returns c * m.

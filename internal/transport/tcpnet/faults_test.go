@@ -246,7 +246,7 @@ func TestUnknownKindSkipsFrameKeepsConnection(t *testing.T) {
 		From: wire.ProcID{Role: wire.RoleL1, Index: 0},
 		To:   idB,
 		Msg:  wire.PutData{OpID: 1, Tag: tag.Tag{Z: 1, W: 1}, Value: []byte("after unknown")},
-	})
+	}).B
 	// A well-framed envelope body: the valid frame's From+To (4 bytes:
 	// two 1-byte roles with 1-byte varint indices), then an unregistered
 	// kind byte and junk.
@@ -294,7 +294,7 @@ func TestTornFrameDropsOnlyThatConnection(t *testing.T) {
 		From: wire.ProcID{Role: wire.RoleL1, Index: 0},
 		To:   idB,
 		Msg:  wire.PutData{OpID: 1, Tag: tag.Tag{Z: 1, W: 1}, Value: []byte("whole frame")},
-	})
+	}).B
 
 	// A frame torn mid-body: length prefix promises more than arrives.
 	torn, err := net.Dial("tcp", host.Addr())

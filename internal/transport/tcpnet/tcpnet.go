@@ -391,7 +391,7 @@ func (n *Network) senderFor(addr string) (*sender, error) {
 	if s, ok := n.senders[addr]; ok {
 		return s, nil
 	}
-	s := &sender{net: n, addr: addr, q: make(chan []byte, n.opts.SendQueue)}
+	s := &sender{net: n, addr: addr, q: make(chan *wire.Frame, n.opts.SendQueue)}
 	n.senders[addr] = s
 	n.wg.Add(1)
 	go s.loop()
@@ -529,7 +529,7 @@ func (nd *node) loop() {
 type sender struct {
 	net  *Network
 	addr string
-	q    chan []byte
+	q    chan *wire.Frame
 
 	mu   sync.Mutex // guards conn handoff between loop and closeConn
 	conn net.Conn
@@ -540,18 +540,30 @@ type sender struct {
 	// after the frame is fully handled.
 	pending      atomic.Int64
 	noDialBefore time.Time // dial backoff deadline after a failed attempt
+
+	// batch/bufs are the sender goroutine's private scratch for draining
+	// the queue into one vectored write.
+	batch []*wire.Frame
+	bufs  net.Buffers
 }
 
-// enqueue commits a frame to the sender's queue. It blocks only when the
-// queue is full toward a live-but-slow peer (backpressure); a dead peer's
-// queue keeps draining via drops, and Close wakes all waiters.
-func (s *sender) enqueue(frame []byte) error {
+// maxWriteBatch bounds how many queued frames one vectored write may
+// coalesce; comfortably under the kernel's IOV_MAX.
+const maxWriteBatch = 64
+
+// enqueue commits a frame to the sender's queue, taking ownership of it
+// (the frame returns to the pool after the write or drop). It blocks only
+// when the queue is full toward a live-but-slow peer (backpressure); a
+// dead peer's queue keeps draining via drops, and Close wakes all
+// waiters.
+func (s *sender) enqueue(f *wire.Frame) error {
 	s.pending.Add(1)
 	select {
-	case s.q <- frame:
+	case s.q <- f:
 		return nil
 	case <-s.net.closeCtx.Done():
 		s.pending.Add(-1)
+		wire.PutFrame(f)
 		return ErrClosed
 	}
 }
@@ -561,45 +573,62 @@ func (s *sender) loop() {
 	defer s.closeConn()
 	for {
 		select {
-		case frame := <-s.q:
-			s.write(frame)
-			s.pending.Add(-1)
+		case f := <-s.q:
+			// Coalesce everything already queued behind f into one
+			// vectored write: under load the queue is deep and the
+			// syscall cost amortizes across the whole batch.
+			s.batch = append(s.batch[:0], f)
+		fill:
+			for len(s.batch) < maxWriteBatch {
+				select {
+				case f := <-s.q:
+					s.batch = append(s.batch, f)
+				default:
+					break fill
+				}
+			}
+			s.write(s.batch)
+			for i, f := range s.batch {
+				wire.PutFrame(f)
+				s.batch[i] = nil
+			}
+			s.pending.Add(-int64(len(s.batch)))
 		case <-s.net.closeCtx.Done():
 			return
 		}
 	}
 }
 
-// write pushes one frame, establishing the connection if needed. Failures
-// drop the frame and count it; the peer is crashed as far as the protocol
-// is concerned until a later dial succeeds.
-func (s *sender) write(frame []byte) {
+// write pushes one batch of frames, establishing the connection if
+// needed. Failures drop the whole batch and count it; the peer is crashed
+// as far as the protocol is concerned until a later dial succeeds.
+func (s *sender) write(batch []*wire.Frame) {
 	conn := s.current()
 	if conn == nil {
 		if time.Now().Before(s.noDialBefore) {
-			s.net.dropped.Add(1)
+			s.net.dropped.Add(uint64(len(batch)))
 			return
 		}
 		var err error
 		if conn, err = s.dial(); err != nil {
 			s.noDialBefore = time.Now().Add(s.net.opts.RedialBackoff)
-			s.net.dropped.Add(1)
+			s.net.dropped.Add(uint64(len(batch)))
 			return
 		}
 		s.noDialBefore = time.Time{}
 	}
-	if err := s.writeConn(conn, frame); err != nil {
+	if err := s.writeConn(conn, batch); err != nil {
 		// One immediate redial: the remote may have restarted.
 		s.closeConn()
 		conn, err = s.dial()
 		if err != nil {
 			s.noDialBefore = time.Now().Add(s.net.opts.RedialBackoff)
-			s.net.dropped.Add(1)
+			s.net.dropped.Add(uint64(len(batch)))
 			return
 		}
-		if err = s.writeConn(conn, frame); err != nil {
+		if err = s.writeConn(conn, batch); err != nil {
 			s.closeConn()
-			s.net.dropped.Add(1)
+			s.net.dropped.Add(uint64(len(batch)))
 			return
 		}
 		s.net.redials.Add(1)
@@ -629,12 +658,25 @@ func (s *sender) current() net.Conn {
 	return s.conn
 }
 
-// writeConn writes one frame under the write deadline. The deadline (and
+// writeConn writes one batch under the write deadline. Multi-frame
+// batches go out as a single vectored write (writev on TCP connections),
+// so each length-prefixed frame is written straight from its pooled
+// buffer without re-assembly into a contiguous block. The deadline (and
 // closeConn closing the socket concurrently) bounds how long the sender
 // can be stuck on a stalled or dead connection.
-func (s *sender) writeConn(conn net.Conn, frame []byte) error {
+func (s *sender) writeConn(conn net.Conn, batch []*wire.Frame) error {
 	conn.SetWriteDeadline(time.Now().Add(s.net.opts.WriteTimeout))
-	_, err := conn.Write(frame)
+	if len(batch) == 1 {
+		_, err := conn.Write(batch[0].B)
+		return err
+	}
+	// Rebuilt per attempt: WriteTo consumes the buffer list in place.
+	s.bufs = s.bufs[:0]
+	for _, f := range batch {
+		s.bufs = append(s.bufs, f.B)
+	}
+	bufs := s.bufs
+	_, err := bufs.WriteTo(conn)
 	return err
 }
 
@@ -651,12 +693,16 @@ func (s *sender) closeConn() {
 	}
 }
 
-func encodeFrame(env wire.Envelope) []byte {
-	body := wire.EncodeEnvelope(env)
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame, uint32(len(body)))
-	copy(frame[4:], body)
-	return frame
+// encodeFrame encodes env once, directly into a pooled frame: 4-byte
+// length prefix reserved up front, envelope appended behind it, prefix
+// patched afterwards. No intermediate body buffer, no copy. The frame
+// returns to the pool after the sender writes it (or drops it).
+func encodeFrame(env wire.Envelope) *wire.Frame {
+	f := wire.GetFrame()
+	f.B = append(f.B, 0, 0, 0, 0)
+	f.B = wire.AppendEnvelope(f.B, env)
+	binary.BigEndian.PutUint32(f.B, uint32(len(f.B)-4))
+	return f
 }
 
 // errSkipFrame wraps a decode failure of a frame that was consumed whole:
@@ -673,11 +719,17 @@ func readFrame(r io.Reader) (wire.Envelope, error) {
 	if size > maxFrameSize {
 		return wire.Envelope{}, fmt.Errorf("%w: %d bytes", ErrFrameSize, size)
 	}
+	// The body buffer is fresh per frame and handed off to the decoded
+	// message wholesale (alias decode): payload fields point into it
+	// instead of being copied out one by one. It is never pooled —
+	// several message kinds retain their payloads indefinitely (see the
+	// retention rules in wire/messages.go), so recycling it would
+	// corrupt stored state.
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return wire.Envelope{}, err
 	}
-	env, err := wire.DecodeEnvelope(body)
+	env, err := wire.DecodeEnvelopeAlias(body)
 	if err != nil {
 		return wire.Envelope{}, fmt.Errorf("%w: %v", errSkipFrame, err)
 	}

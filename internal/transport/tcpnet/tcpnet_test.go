@@ -183,6 +183,11 @@ func TestFullLDSClusterOverTCP(t *testing.T) {
 	for _, id := range params.L2IDs() {
 		book[id] = hosts[1].Addr()
 	}
+	// The client entries go in before any Register: the registered servers'
+	// node loops read the shared book concurrently (resolve), so it must be
+	// frozen before the first server goroutine exists.
+	book[wire.ProcID{Role: wire.RoleWriter, Index: 1}] = hosts[2].Addr()
+	book[wire.ProcID{Role: wire.RoleReader, Index: 1}] = hosts[2].Addr()
 
 	for i := 0; i < params.N1; i++ {
 		srv, err := lds.NewL1Server(params, i, code)
@@ -213,7 +218,6 @@ func TestFullLDSClusterOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	book[w.ID()] = hosts[2].Addr()
 	wnode, err := hosts[2].Register(w.ID(), w.Handle)
 	if err != nil {
 		t.Fatal(err)
@@ -224,7 +228,6 @@ func TestFullLDSClusterOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	book[r.ID()] = hosts[2].Addr()
 	rnode, err := hosts[2].Register(r.ID(), r.Handle)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,31 @@ import "github.com/lds-storage/lds/internal/tag"
 // per-client operation sequence number) so responses of one operation can
 // never be mistaken for another's under non-FIFO links; OpID is metadata in
 // the cost model, exactly like tags.
+//
+// # Retention rules (who may alias a decoded frame, and for how long)
+//
+// DecodeAlias/DecodeEnvelopeAlias return messages whose []byte fields
+// alias the input buffer, so the buffer's lifetime must cover the
+// consumer's retention of those fields. The protocol's consumers retain
+// as follows:
+//
+//   - Indefinite retention: PutData.Value and SendHelperElem.Helper (the
+//     L1 server stores them in its per-tag list until offload/pruning),
+//     WriteCodeElem.Coded and CodeElem.Coded in WriteCodeElemBatch (the
+//     L2 server adopts the slice into its store and keeps it until a
+//     newer tag replaces it).
+//   - Operation-scoped retention: QueryDataResp.Data (the reader holds
+//     values/coded elements until its quorum completes; a decoded value
+//     it returns to the application escapes the operation entirely).
+//   - No retention: every other message — tags, acks, pings and counters
+//     are copied into fixed-width struct fields by the decoders, and
+//     string fields (control.go addresses) copy on conversion.
+//
+// The TCP read loop allocates a fresh body buffer per frame and never
+// recycles it, so alias-decoding there is safe for every class above.
+// Any future consumer that pools read-side buffers must restrict the
+// pooling to frames whose message kinds fall in the "no retention"
+// class, or switch those kinds to the cloning Decode.
 
 // PayloadClass describes what a QueryDataResp carries back to a reader.
 type PayloadClass uint8

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Role identifies the kind of a process in the two-layer system.
@@ -157,15 +158,37 @@ type Envelope struct {
 // requires.
 var ErrTruncated = errors.New("wire: truncated message")
 
-// Encode serializes kind byte + body.
+// Encode serializes kind byte + body into a fresh buffer.
 func Encode(m Message) []byte {
-	b := make([]byte, 1, 1+16)
-	b[0] = byte(m.Kind())
+	return AppendEncode(make([]byte, 0, 1+16), m)
+}
+
+// AppendEncode appends kind byte + body to b and returns the extended
+// slice; the append-style form of Encode for callers that reuse buffers.
+func AppendEncode(b []byte, m Message) []byte {
+	b = append(b, byte(m.Kind()))
 	return m.AppendTo(b)
 }
 
-// Decode parses a message produced by Encode.
+// Decode parses a message produced by Encode. The returned message owns
+// its memory: b may be modified or reused immediately after Decode
+// returns. (Internally the input is cloned once; consumers on hot paths
+// that can honor the aliasing rules should use DecodeAlias instead.)
 func Decode(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	return DecodeAlias(append(make([]byte, 0, len(b)), b...))
+}
+
+// DecodeAlias parses a message produced by Encode without copying:
+// byte-slice fields of the returned message alias b directly. The caller
+// must not modify or recycle b for as long as the decoded message (or
+// anything that retains its fields — see the retention notes on each
+// message type in messages.go) is live. Decoders that convert to string
+// or fixed-width scalars copy by construction, so only []byte fields
+// alias.
+func DecodeAlias(b []byte) (Message, error) {
 	if len(b) < 1 {
 		return nil, ErrTruncated
 	}
@@ -177,17 +200,31 @@ func Decode(b []byte) (Message, error) {
 	return dec(b[1:])
 }
 
-// EncodeEnvelope serializes a full envelope (for the TCP transport).
+// EncodeEnvelope serializes a full envelope (for the TCP transport) into
+// a fresh buffer.
 func EncodeEnvelope(env Envelope) []byte {
-	b := make([]byte, 0, 32)
-	b = appendProcID(b, env.From)
-	b = appendProcID(b, env.To)
-	b = append(b, byte(env.Msg.Kind()))
-	return env.Msg.AppendTo(b)
+	return AppendEnvelope(make([]byte, 0, 32), env)
 }
 
-// DecodeEnvelope parses an envelope produced by EncodeEnvelope.
+// AppendEnvelope appends the envelope encoding to b and returns the
+// extended slice; the append-style form of EncodeEnvelope.
+func AppendEnvelope(b []byte, env Envelope) []byte {
+	b = appendProcID(b, env.From)
+	b = appendProcID(b, env.To)
+	return AppendEncode(b, env.Msg)
+}
+
+// DecodeEnvelope parses an envelope produced by EncodeEnvelope. Like
+// Decode, the result owns its memory.
 func DecodeEnvelope(b []byte) (Envelope, error) {
+	return DecodeEnvelopeAlias(append(make([]byte, 0, len(b)), b...))
+}
+
+// DecodeEnvelopeAlias is the zero-copy form of DecodeEnvelope: byte-slice
+// fields of the decoded message alias b (see DecodeAlias). The TCP read
+// loop uses it on its per-frame body buffer, which it never reuses, so
+// the alias is safe there regardless of message retention.
+func DecodeEnvelopeAlias(b []byte) (Envelope, error) {
 	var env Envelope
 	var err error
 	env.From, b, err = readProcID(b)
@@ -198,8 +235,31 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 	if err != nil {
 		return env, err
 	}
-	env.Msg, err = Decode(b)
+	env.Msg, err = DecodeAlias(b)
 	return env, err
+}
+
+// Frame is a pooled, reusable buffer for encoded messages. Senders
+// check one out, AppendEnvelope/AppendEncode into F.B, write the bytes,
+// and hand the frame back; the pool makes steady-state sending
+// allocation-free. A frame must never be returned while a DecodeAlias
+// result (or anything retaining its fields) still references F.B.
+type Frame struct {
+	B []byte
+}
+
+var framePool = sync.Pool{
+	New: func() any { return &Frame{B: make([]byte, 0, 512)} },
+}
+
+// GetFrame checks a zero-length frame out of the pool.
+func GetFrame() *Frame { return framePool.Get().(*Frame) }
+
+// PutFrame resets a frame and returns it to the pool. The caller
+// relinquishes F.B entirely.
+func PutFrame(f *Frame) {
+	f.B = f.B[:0]
+	framePool.Put(f)
 }
 
 type decoder func(body []byte) (Message, error)
@@ -257,6 +317,10 @@ func appendBytes(b, data []byte) []byte {
 	return append(b, data...)
 }
 
+// readBytes reads a length-prefixed byte field. The returned field
+// ALIASES b (full-capacity-clipped, so appends cannot clobber the rest
+// of the frame); ownership is decided one level up — Decode clones the
+// whole frame once, DecodeAlias passes the caller's buffer through.
 func readBytes(b []byte) ([]byte, []byte, error) {
 	n, b, err := readUvarint(b)
 	if err != nil {
@@ -265,9 +329,7 @@ func readBytes(b []byte) ([]byte, []byte, error) {
 	if uint64(len(b)) < n {
 		return nil, nil, ErrTruncated
 	}
-	out := make([]byte, n)
-	copy(out, b[:n])
-	return out, b[n:], nil
+	return b[:n:n], b[n:], nil
 }
 
 func appendProcID(b []byte, p ProcID) []byte {
