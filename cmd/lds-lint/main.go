@@ -1,0 +1,79 @@
+// Command lds-lint runs the repository's invariant analyzers
+// (internal/analysis) over a set of packages and exits non-zero when any
+// invariant is violated. CI runs it over ./... as a required job.
+//
+// Usage:
+//
+//	lds-lint [-analyzers frameown,retention,...] [packages]
+//
+// With no package arguments it analyzes ./... relative to the current
+// directory. Diagnostics print one per line as file:line:col: analyzer:
+// message, the format editors and CI annotations understand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/lds-storage/lds/internal/analysis"
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func main() {
+	var (
+		only = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list = flag.Bool("list", false, "list the available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lds-lint [-analyzers a,b] [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the lds invariant analyzers over the given packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lds-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lds-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lds-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lds-lint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

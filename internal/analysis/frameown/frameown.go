@@ -1,0 +1,658 @@
+// Package frameown enforces the pooled-frame ownership rules of
+// internal/wire (PR 7's zero-copy wire path): a *wire.Frame checked out
+// of the pool with GetFrame is owned by exactly one goroutine, reaches
+// exactly one PutFrame (or one ownership handoff — a channel send, a
+// return, or storage into a function-local collection), and is never
+// touched again after either. Violations are silent corruption under
+// load: a frame read after PutFrame may already be another sender's
+// buffer, and a double put hands the same frame to two owners.
+//
+// The analyzer is function-local and checks two layers:
+//
+//  1. Ownership of frames acquired in the function (f := wire.GetFrame()):
+//     use after PutFrame, use after a handoff, releasing twice, releasing
+//     after a handoff, and frames that are neither released nor handed
+//     off on any path (a pool leak).
+//  2. A type-based escape rule for ANY expression of type *wire.Frame or
+//     a frame's .B buffer, however obtained: storing one into a struct
+//     field, map/slice element reached through a field, or package-level
+//     variable is flagged. Fields outlive the write that fills them, so a
+//     field alias survives PutFrame and pins (or corrupts) a buffer the
+//     pool may already have handed to someone else. Locals, channel
+//     sends, call arguments and returns are the legitimate borrow/handoff
+//     forms and stay allowed.
+//
+// Approximations (documented, deliberate): states merge conservatively at
+// control-flow joins (a frame released on only some branches is not
+// reported further), and laundering a frame through an intermediate local
+// before a field store is not tracked. The analyzer under-reports rather
+// than false-positives.
+package frameown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+// Analyzer is the frameown checker.
+var Analyzer = &lint.Analyzer{
+	Name: "frameown",
+	Doc:  "enforce wire.Frame pool ownership: one PutFrame per GetFrame, no use after release/handoff, no frame or frame-buffer stored in fields",
+	Run:  run,
+}
+
+const wirePkg = "internal/wire"
+
+type state int
+
+const (
+	live state = iota
+	released
+	transferred
+	mixed // differs across merged branches; checking stops, leak suppressed
+)
+
+// frameState is the ownership record of one tracked frame variable.
+// Aliased variables (g := f) share one record.
+type frameState struct {
+	st         state
+	acquirePos token.Pos
+	deferRel   bool
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, vars: map[types.Object]*frameState{}}
+			w.walkStmts(fd.Body.List)
+			w.finish(w.vars)
+		}
+		// Function literals get the same treatment, independently: frames
+		// they acquire are theirs to release.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				w := &walker{pass: pass, vars: map[types.Object]*frameState{}}
+				w.walkStmts(fl.Body.List)
+				w.finish(w.vars)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type walker struct {
+	pass *lint.Pass
+	vars map[types.Object]*frameState
+}
+
+// finish reports leaks for frames still live in vars.
+func (w *walker) finish(vars map[types.Object]*frameState) {
+	seen := map[*frameState]bool{}
+	for _, fs := range vars {
+		if seen[fs] {
+			continue
+		}
+		seen[fs] = true
+		if fs.st == live && !fs.deferRel {
+			w.pass.Reportf(fs.acquirePos, "frame from wire.GetFrame is never released with wire.PutFrame or handed off; it leaks from the pool")
+		}
+	}
+}
+
+// snapshot copies the variable states so a branch can be walked
+// speculatively.
+func (w *walker) snapshot() map[types.Object]*frameState {
+	m := make(map[types.Object]*frameState, len(w.vars))
+	clones := map[*frameState]*frameState{}
+	for obj, fs := range w.vars {
+		c, ok := clones[fs]
+		if !ok {
+			cp := *fs
+			c = &cp
+			clones[fs] = c
+		}
+		m[obj] = c
+	}
+	return m
+}
+
+// mergeBranches folds the final states of alternative branches back into
+// w.vars. An object acquired inside a branch (absent from pre) is
+// leak-checked at the branch boundary — its scope ended there. For
+// objects present before the branch, agreeing outcomes are kept and
+// disagreeing ones become mixed (checking stops; the analyzer
+// under-reports at joins rather than guessing a path). When the branches
+// are not exhaustive (if without else, switch without covering cases,
+// loop bodies that may not run), the pre-branch state is one more
+// possible outcome.
+func (w *walker) mergeBranches(pre map[types.Object]*frameState, branches []map[types.Object]*frameState, exhaustive bool) {
+	for _, br := range branches {
+		for obj, fs := range br {
+			if _, existed := pre[obj]; !existed {
+				// Scoped to the branch: settle its account now.
+				w.finish(map[types.Object]*frameState{obj: fs})
+			}
+		}
+	}
+	for obj, fs := range pre {
+		var sts []state
+		if !exhaustive {
+			sts = append(sts, fs.st)
+		}
+		for _, br := range branches {
+			if bfs, ok := br[obj]; ok {
+				sts = append(sts, bfs.st)
+			}
+		}
+		if len(sts) == 0 {
+			continue
+		}
+		agreed := true
+		for _, st := range sts[1:] {
+			if st != sts[0] {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			fs.st = sts[0]
+		} else {
+			fs.st = mixed
+		}
+	}
+	w.vars = pre
+}
+
+func (w *walker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.putFrame(call) {
+			return
+		}
+		w.checkUses(s.X)
+	case *ast.DeferStmt:
+		if w.deferPutFrame(s.Call) {
+			return
+		}
+		w.transferArgs(s.Call)
+	case *ast.GoStmt:
+		w.transferArgs(s.Call)
+	case *ast.SendStmt:
+		w.checkUses(s.Chan)
+		if fs := w.trackedIdent(s.Value); fs != nil {
+			w.useCheck(s.Value.Pos(), fs)
+			fs.st = transferred
+		} else {
+			w.checkUses(s.Value)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if fs := w.trackedIdent(r); fs != nil {
+				w.useCheck(r.Pos(), fs)
+				fs.st = transferred
+			} else {
+				w.checkUses(r)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.checkUses(s.Cond)
+		pre := w.snapshot()
+		w.walkStmts(s.Body.List)
+		thenFinal := w.vars
+		var branches []map[types.Object]*frameState
+		branches = append(branches, thenFinal)
+		exhaustive := false
+		if s.Else != nil {
+			w.vars = cloneFrom(pre)
+			w.walkStmt(s.Else)
+			branches = append(branches, w.vars)
+			exhaustive = true
+		}
+		w.mergeBranches(pre, branches, exhaustive)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.walkBranchy(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkUses(s.Cond)
+		}
+		pre := w.snapshot()
+		w.walkStmts(s.Body.List)
+		if s.Post != nil {
+			w.walkStmt(s.Post)
+		}
+		w.mergeBranches(pre, []map[types.Object]*frameState{w.vars}, false)
+	case *ast.RangeStmt:
+		w.checkUses(s.X)
+		pre := w.snapshot()
+		w.walkStmts(s.Body.List)
+		w.mergeBranches(pre, []map[types.Object]*frameState{w.vars}, false)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		w.checkUses(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkUses(v)
+					}
+				}
+			}
+		}
+	default:
+		// Branch/flow statements with no frame-relevant payload.
+	}
+}
+
+// walkBranchy handles switch/type-switch/select: each clause is an
+// alternative branch over a snapshot.
+func (w *walker) walkBranchy(s ast.Stmt) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.checkUses(s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	pre := w.snapshot()
+	var branches []map[types.Object]*frameState
+	for _, clause := range body.List {
+		w.vars = cloneFrom(pre)
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.checkUses(e)
+			}
+			w.walkStmts(c.Body)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm)
+			}
+			w.walkStmts(c.Body)
+		}
+		branches = append(branches, w.vars)
+	}
+	w.mergeBranches(pre, branches, false)
+}
+
+func cloneFrom(pre map[types.Object]*frameState) map[types.Object]*frameState {
+	m := make(map[types.Object]*frameState, len(pre))
+	clones := map[*frameState]*frameState{}
+	for obj, fs := range pre {
+		c, ok := clones[fs]
+		if !ok {
+			cp := *fs
+			c = &cp
+			clones[fs] = c
+		}
+		m[obj] = c
+	}
+	return m
+}
+
+// assign handles acquisitions, aliases, moves and the escape rule.
+func (w *walker) assign(s *ast.AssignStmt) {
+	// Escape rule first: a frame-typed expression (or a frame's .B)
+	// stored through a field or into a package-level variable outlives
+	// its owner's write and survives PutFrame.
+	for i, lhs := range s.Lhs {
+		if !w.isEscapingLHS(lhs) {
+			continue
+		}
+		rhs := s.Rhs
+		if len(s.Lhs) == len(s.Rhs) {
+			rhs = s.Rhs[i : i+1]
+		}
+		for _, r := range rhs {
+			if pos, desc, found := w.findFrameExpr(r); found {
+				w.pass.Reportf(pos, "%s stored into %s: pooled frames and their buffers must not be retained in fields or globals (they outlive PutFrame)", desc, types.ExprString(lhs))
+			}
+		}
+	}
+
+	// Ownership transitions.
+	for i, rhs := range s.Rhs {
+		var lhs ast.Expr
+		if len(s.Lhs) == len(s.Rhs) {
+			lhs = s.Lhs[i]
+		}
+		rhs = ast.Unparen(rhs)
+		// Acquisition: v := wire.GetFrame().
+		if call, ok := rhs.(*ast.CallExpr); ok && lhs != nil {
+			if lint.IsPkgFunc(lint.CalleeOf(w.pass.Info, call), wirePkg, "GetFrame") {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := w.lhsObj(id); obj != nil {
+						w.vars[obj] = &frameState{st: live, acquirePos: s.Pos()}
+					}
+					continue
+				}
+			}
+		}
+		if fs := w.trackedIdent(rhs); fs != nil {
+			w.useCheck(rhs.Pos(), fs)
+			if id, ok := lhs.(*ast.Ident); ok {
+				// Alias: both names share the ownership record. A
+				// package-level variable is not an alias but an escape
+				// (already reported above): ownership moved.
+				if obj := w.lhsObj(id); obj != nil {
+					if v, isVar := obj.(*types.Var); isVar && pkgLevel(v) {
+						fs.st = transferred
+					} else {
+						w.vars[obj] = fs
+					}
+				}
+			} else {
+				// Stored into a collection or through a pointer: ownership
+				// moved with it.
+				fs.st = transferred
+			}
+			continue
+		}
+		// A tracked frame nested inside the RHS (append(batch, f),
+		// &T{f: f}, ...) whose result is stored: ownership moves into the
+		// containing value. Exception: f.B = append(f.B, ...) mutates the
+		// frame's own buffer in place — no move.
+		w.checkUses(rhs)
+		if lhs != nil && !w.isFrameFieldLHS(lhs) {
+			for _, fs := range w.nestedTracked(rhs) {
+				fs.st = transferred
+			}
+		}
+	}
+	// LHS index/selector expressions evaluate their bases.
+	for _, lhs := range s.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			w.checkUses(lhs)
+		}
+	}
+}
+
+// lhsObj resolves the object an assignment target identifier denotes.
+func (w *walker) lhsObj(id *ast.Ident) types.Object {
+	if id.Name == "_" {
+		return nil
+	}
+	if obj := w.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.Info.Uses[id]
+}
+
+// putFrame handles wire.PutFrame(v) calls, returning true if the call was
+// one.
+func (w *walker) putFrame(call *ast.CallExpr) bool {
+	if !lint.IsPkgFunc(lint.CalleeOf(w.pass.Info, call), wirePkg, "PutFrame") {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return true
+	}
+	arg := ast.Unparen(call.Args[0])
+	fs := w.trackedIdent(arg)
+	if fs == nil {
+		w.checkUses(arg)
+		return true
+	}
+	switch fs.st {
+	case released:
+		w.pass.Reportf(call.Pos(), "frame released twice: this PutFrame repeats an earlier release")
+	case transferred:
+		w.pass.Reportf(call.Pos(), "frame released after it was handed off: the new owner releases it, not this function")
+	}
+	fs.st = released
+	return true
+}
+
+// deferPutFrame handles defer wire.PutFrame(v).
+func (w *walker) deferPutFrame(call *ast.CallExpr) bool {
+	if !lint.IsPkgFunc(lint.CalleeOf(w.pass.Info, call), wirePkg, "PutFrame") {
+		return false
+	}
+	if len(call.Args) == 1 {
+		if fs := w.trackedIdent(ast.Unparen(call.Args[0])); fs != nil {
+			if fs.deferRel {
+				w.pass.Reportf(call.Pos(), "frame released twice: a deferred PutFrame for it already exists")
+			}
+			fs.deferRel = true
+		}
+	}
+	return true
+}
+
+// transferArgs marks tracked frames passed to go/defer calls as handed
+// off: the call runs after (or concurrently with) the current statement
+// order, so the caller must stop touching them.
+func (w *walker) transferArgs(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if fs := w.trackedIdent(ast.Unparen(arg)); fs != nil {
+			w.useCheck(arg.Pos(), fs)
+			fs.st = transferred
+		} else {
+			w.checkUses(arg)
+		}
+	}
+}
+
+// trackedIdent returns the ownership record when e is an identifier for a
+// tracked frame.
+func (w *walker) trackedIdent(e ast.Expr) *frameState {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return w.vars[obj]
+}
+
+// useCheck reports reads of frames that are no longer owned.
+func (w *walker) useCheck(pos token.Pos, fs *frameState) {
+	switch fs.st {
+	case released:
+		w.pass.Reportf(pos, "use of frame after wire.PutFrame: the pool may already have handed its buffer to another sender")
+	case transferred:
+		w.pass.Reportf(pos, "use of frame after it was handed off: ownership moved with the send/store")
+	}
+}
+
+// checkUses walks an expression reporting uses of dead frames; function
+// literals capturing a tracked frame transfer it (the closure may outlive
+// the statement order).
+func (w *walker) checkUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			for obj, fs := range w.vars {
+				if capturedIn(w.pass.Info, n, obj) {
+					fs.st = transferred
+				}
+			}
+			return false
+		case *ast.Ident:
+			if obj := w.pass.Info.Uses[n]; obj != nil {
+				if fs := w.vars[obj]; fs != nil {
+					w.useCheck(n.Pos(), fs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// nestedTracked returns tracked frames referenced anywhere inside e.
+func (w *walker) nestedTracked(e ast.Expr) []*frameState {
+	var out []*frameState
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil {
+				if fs := w.vars[obj]; fs != nil {
+					out = append(out, fs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isEscapingLHS reports whether an assignment target outlives the
+// function's frame ownership: a field selector (on anything), an index
+// expression whose base involves a field or global, or a package-level
+// variable.
+func (w *walker) isEscapingLHS(lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// f.B = ... on a frame the function owns is the frame's own
+		// buffer, not an escape.
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if t := w.pass.Info.Types[base].Type; t != nil && isFrameType(t) {
+				return false
+			}
+		}
+		return true
+	case *ast.IndexExpr:
+		return w.isEscapingLHS(lhs.X)
+	case *ast.StarExpr:
+		return w.isEscapingLHS(lhs.X)
+	case *ast.Ident:
+		obj := w.lhsObj(lhs)
+		if v, ok := obj.(*types.Var); ok {
+			return pkgLevel(v)
+		}
+		return false
+	}
+	return false
+}
+
+// isFrameFieldLHS reports whether lhs is a field of a frame value itself
+// (f.B = ...): writing the frame's own buffer is mutation, not a store
+// that moves ownership.
+func (w *walker) isFrameFieldLHS(lhs ast.Expr) bool {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := w.pass.Info.Types[sel.X].Type
+	return t != nil && isFrameType(t)
+}
+
+// findFrameExpr locates the first frame-typed expression (or frame
+// buffer selector) inside e whose alias would survive in e's value.
+// Call results are fresh — clone(f.B) stored into a field is fine — with
+// one exception: built-in append propagates the aliases of its first
+// argument and of appended elements. A spread final argument
+// (append(dst, f.B...)) copies the elements and is safe unless the
+// elements themselves are frames.
+func (w *walker) findFrameExpr(e ast.Expr) (token.Pos, string, bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if t := w.pass.Info.Types[e].Type; t != nil && isFrameType(t) {
+			return e.Pos(), "pooled frame", true
+		}
+	case *ast.SelectorExpr:
+		if t := w.pass.Info.Types[e.X].Type; t != nil && isFrameType(t) && e.Sel.Name == "B" {
+			return e.Pos(), "frame buffer (.B)", true
+		}
+		if t := w.pass.Info.Types[ast.Expr(e)].Type; t != nil && isFrameType(t) {
+			return e.Pos(), "pooled frame", true
+		}
+	case *ast.CallExpr:
+		if !lint.IsBuiltinAppend(w.pass.Info, e) {
+			return token.NoPos, "", false
+		}
+		for i, arg := range e.Args {
+			if i > 0 && i == len(e.Args)-1 && e.Ellipsis.IsValid() {
+				// Spread: elements are copied; only frame-typed elements
+				// keep an alias alive.
+				if sl, ok := w.pass.Info.Types[arg].Type.Underlying().(*types.Slice); ok && isFrameType(sl.Elem()) {
+					return arg.Pos(), "pooled frames (spread)", true
+				}
+				continue
+			}
+			if pos, desc, found := w.findFrameExpr(arg); found {
+				return pos, desc, found
+			}
+		}
+	case *ast.SliceExpr:
+		return w.findFrameExpr(e.X)
+	case *ast.IndexExpr:
+		return w.findFrameExpr(e.X)
+	case *ast.UnaryExpr:
+		return w.findFrameExpr(e.X)
+	case *ast.StarExpr:
+		return w.findFrameExpr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if pos, desc, found := w.findFrameExpr(elt); found {
+				return pos, desc, found
+			}
+		}
+	}
+	return token.NoPos, "", false
+}
+
+func isFrameType(t types.Type) bool {
+	return lint.IsNamed(t, wirePkg, "Frame")
+}
+
+func pkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// capturedIn reports whether obj is referenced inside the function
+// literal.
+func capturedIn(info *types.Info, fl *ast.FuncLit, obj types.Object) bool {
+	captured := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			captured = true
+		}
+		return !captured
+	})
+	return captured
+}

@@ -1,0 +1,11 @@
+package frameown
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestFrameown(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

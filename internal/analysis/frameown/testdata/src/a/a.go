@@ -1,0 +1,124 @@
+// Fixture for the frameown analyzer: pooled-frame ownership, positive
+// and negative cases. Imports the real wire package so the analyzer sees
+// the same types it sees in production.
+package a
+
+import "github.com/lds-storage/lds/internal/wire"
+
+type holder struct {
+	f    *wire.Frame
+	buf  []byte
+	many []*wire.Frame
+}
+
+var global *wire.Frame
+
+// --- violations ---
+
+func useAfterPut() []byte {
+	f := wire.GetFrame()
+	f.B = append(f.B, 1, 2, 3)
+	wire.PutFrame(f)
+	return f.B // want "use of frame after wire.PutFrame"
+}
+
+func doublePut() {
+	f := wire.GetFrame()
+	wire.PutFrame(f)
+	wire.PutFrame(f) // want "frame released twice"
+}
+
+func putAfterSend(ch chan *wire.Frame) {
+	f := wire.GetFrame()
+	ch <- f
+	wire.PutFrame(f) // want "released after it was handed off"
+}
+
+func useAfterSend(ch chan *wire.Frame) int {
+	f := wire.GetFrame()
+	ch <- f
+	return len(f.B) // want "use of frame after it was handed off"
+}
+
+func leak() {
+	f := wire.GetFrame() // want "never released"
+	f.B = append(f.B, 1)
+}
+
+func escapeFrameField(h *holder) {
+	f := wire.GetFrame()
+	h.f = f // want "pooled frame stored into h.f"
+}
+
+func escapeBufField(h *holder, f *wire.Frame) {
+	h.buf = f.B // want "frame buffer .+ stored into h.buf"
+}
+
+func escapeViaAppend(h *holder, f *wire.Frame) {
+	h.many = append(h.many, f) // want "pooled frame stored into h.many"
+}
+
+func escapeGlobal() {
+	f := wire.GetFrame()
+	global = f // want "pooled frame stored into global"
+}
+
+func escapeUntrackedOrigin(h *holder, ch chan *wire.Frame) {
+	// The frame came from a channel, not GetFrame: the type-based escape
+	// rule still applies.
+	f := <-ch
+	h.f = f // want "pooled frame stored into h.f"
+}
+
+// --- allowed ---
+
+func straightLine() {
+	f := wire.GetFrame()
+	f.B = append(f.B, 1)
+	wire.PutFrame(f)
+}
+
+func deferred() []byte {
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	f.B = append(f.B, 1)
+	return append([]byte(nil), f.B...)
+}
+
+func handoffSend(ch chan *wire.Frame) {
+	f := wire.GetFrame()
+	f.B = append(f.B, 1)
+	ch <- f
+}
+
+func handoffReturn() *wire.Frame {
+	f := wire.GetFrame()
+	f.B = append(f.B, 1)
+	return f
+}
+
+func cloneIntoField(h *holder, f *wire.Frame) {
+	// A call result is a fresh value; append with a spread copies bytes.
+	h.buf = append(h.buf[:0], f.B...)
+}
+
+func localBatch(fs []*wire.Frame) {
+	// Locals may collect frames: the batch and its frames die together.
+	batch := make([]*wire.Frame, 0, 8)
+	for _, f := range fs {
+		batch = append(batch, f)
+	}
+	for _, f := range batch {
+		wire.PutFrame(f)
+	}
+}
+
+func releasedOnOnePath(drop bool) *wire.Frame {
+	// Conservative merge: released on one branch only, checking stops.
+	f := wire.GetFrame()
+	if drop {
+		wire.PutFrame(f)
+		return nil
+	}
+	return f
+}

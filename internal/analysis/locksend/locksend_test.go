@@ -1,0 +1,11 @@
+package locksend
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestLocksend(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

@@ -1,0 +1,16 @@
+// Package other is outside the gated packages: the same patterns draw no
+// diagnostics here.
+package other
+
+import "sync"
+
+type thing struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (t *thing) sendUnderLockUngated() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ch <- 1 // not a gated package: allowed (e.g. test harness code)
+}

@@ -1,0 +1,323 @@
+// Package retention enforces the aliasing contract of the zero-copy
+// decoders in internal/wire: the []byte fields of a message produced by
+// DecodeAlias/DecodeEnvelopeAlias alias the caller's buffer, so a caller
+// may only store those fields (or the whole message) into retaining
+// structures — struct fields, maps, package-level variables — after
+// cloning. Which fields alias, and how long downstream consumers keep
+// them, is not prose anymore: the analyzer shares the machine-readable
+// table wire.AliasFields with the wire package's documentation and
+// tests.
+//
+// Mechanics (function-local taint): the results of DecodeAlias and
+// DecodeEnvelopeAlias are tainted, taint follows plain assignments, type
+// assertions and type-switch bindings, and a diagnostic fires when
+//
+//   - a tainted message (or envelope) value itself, or
+//   - a raw selector of one of its table-listed alias fields
+//
+// is assigned into a field, an element of a field-reached container, or
+// a package-level variable. Passing a tainted value to a function,
+// returning it, or storing a transformed value (any call result — a
+// clone, append(dst, v...), a conversion) is allowed: transformations
+// copy, and handing the value on transfers the buffer-lifetime obligation
+// to a caller the analyzer will check in its own right when it decodes.
+//
+// When the analyzed package is internal/wire itself, the analyzer
+// additionally verifies the table's shape: every entry must name an
+// existing struct with an existing []byte field, so the table cannot
+// drift from the message definitions it classifies.
+package retention
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// Analyzer is the retention checker.
+var Analyzer = &lint.Analyzer{
+	Name: "retention",
+	Doc:  "alias-backed fields of DecodeAlias/DecodeEnvelopeAlias results must be cloned before being stored into retaining structures (table: wire.AliasFields)",
+	Run:  run,
+}
+
+const wirePkg = "internal/wire"
+
+func run(pass *lint.Pass) error {
+	if lint.PathHasSuffix(pass.Pkg.Path(), wirePkg) {
+		checkTable(pass)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTable validates wire.AliasFields against the analyzed wire
+// package: a stale entry means the table and the message structs have
+// diverged.
+func checkTable(pass *lint.Pass) {
+	for _, af := range wire.AliasFields {
+		obj := pass.Pkg.Scope().Lookup(af.Type)
+		if obj == nil {
+			pass.Reportf(pass.Files[0].Pos(), "wire.AliasFields names type %s which %s does not declare", af.Type, pass.Pkg.Path())
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(obj.Pos(), "wire.AliasFields entry %s.%s: %s is not a struct", af.Type, af.Field, af.Type)
+			continue
+		}
+		found := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == af.Field {
+				found = true
+				if !isByteSlice(f.Type()) {
+					pass.Reportf(f.Pos(), "wire.AliasFields entry %s.%s is not a []byte field", af.Type, af.Field)
+				}
+			}
+		}
+		if !found {
+			pass.Reportf(obj.Pos(), "wire.AliasFields names field %s.%s which the struct does not have", af.Type, af.Field)
+		}
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkFunc runs the taint pass over one function body.
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// Pass 1 (to a fixed point): collect tainted bindings. Assignments
+	// appear in source order, but taint can flow through type switches
+	// whose bindings are Implicits; two rounds cover the function-local
+	// chains that occur in practice.
+	for range 2 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !taintedExpr(pass, tainted, rhs) {
+						continue
+					}
+					var lhs ast.Expr
+					if len(n.Lhs) == len(n.Rhs) {
+						lhs = n.Lhs[i]
+					} else if len(n.Lhs) > 0 {
+						lhs = n.Lhs[0] // v, ok := x.(T) / v, err := Decode...
+					}
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := pass.Info.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				// switch m := msg.(type): each clause binds an implicit
+				// object for m; taint them all when msg is tainted.
+				var subject ast.Expr
+				switch st := n.Assign.(type) {
+				case *ast.AssignStmt:
+					if ta, ok := st.Rhs[0].(*ast.TypeAssertExpr); ok {
+						subject = ta.X
+					}
+				case *ast.ExprStmt:
+					if ta, ok := st.X.(*ast.TypeAssertExpr); ok {
+						subject = ta.X
+					}
+				}
+				if subject != nil && taintedExpr(pass, tainted, subject) {
+					for _, clause := range n.Body.List {
+						if obj := pass.Info.Implicits[clause]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag retaining stores of raw tainted values.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if !retainingLHS(pass, lhs) {
+				continue
+			}
+			rhs := as.Rhs
+			if len(as.Lhs) == len(as.Rhs) {
+				rhs = as.Rhs[i : i+1]
+			}
+			for _, r := range rhs {
+				if bad, why := rawAliasIn(pass, tainted, r); bad != nil {
+					pass.Reportf(bad.Pos(), "%s stored into %s without cloning: it aliases a DecodeAlias buffer (retention table: wire.AliasFields)", why, types.ExprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e yields an alias-decoded value: a call to
+// an aliasing decoder, a tainted identifier, a selector/assert chain off
+// one.
+func taintedExpr(pass *lint.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		obj := lint.CalleeOf(pass.Info, e)
+		return lint.IsPkgFunc(obj, wirePkg, "DecodeAlias") || lint.IsPkgFunc(obj, wirePkg, "DecodeEnvelopeAlias")
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.TypeAssertExpr:
+		return taintedExpr(pass, tainted, e.X)
+	case *ast.SelectorExpr:
+		// env.Msg of a tainted envelope is tainted.
+		return taintedExpr(pass, tainted, e.X)
+	}
+	return false
+}
+
+// retainingLHS reports whether an assignment target retains beyond the
+// function: a struct field, an element of a container reached through a
+// field or global, or a package-level variable.
+func retainingLHS(pass *lint.Pass, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		switch base := ast.Unparen(lhs.X).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			return true
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[base].(*types.Var); ok {
+				return v.Parent() != nil && v.Parent().Parent() == types.Universe
+			}
+		}
+		return false
+	case *ast.StarExpr:
+		return true // store through a pointer: the pointee's lifetime is unknown
+	case *ast.Ident:
+		if v, ok := objOf(pass, lhs).(*types.Var); ok {
+			return v.Parent() != nil && v.Parent().Parent() == types.Universe
+		}
+	}
+	return false
+}
+
+func objOf(pass *lint.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// rawAliasIn finds a raw (uncloned) tainted value inside e that would be
+// retained by storing e: the tainted message/envelope itself, or a
+// table-listed alias field selected from one. Call results are fresh
+// values — descending into call arguments would flag clones — except
+// append, whose result aliases its non-spread slice arguments.
+func rawAliasIn(pass *lint.Pass, tainted map[types.Object]bool, e ast.Expr) (ast.Expr, string) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil && tainted[obj] {
+			return e, fmt.Sprintf("alias-decoded value %s", e.Name)
+		}
+	case *ast.SelectorExpr:
+		if field, cls, ok := aliasFieldSel(pass, tainted, e); ok {
+			return e, fmt.Sprintf("%s field %s (%s retention)", field, types.ExprString(e), cls)
+		}
+		// env.Msg and similar: retaining the inner message retains its
+		// alias fields.
+		if taintedExpr(pass, tainted, e) {
+			return e, fmt.Sprintf("alias-decoded value %s", types.ExprString(e))
+		}
+	case *ast.TypeAssertExpr:
+		if taintedExpr(pass, tainted, e.X) {
+			return e, "alias-decoded value"
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			inner := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				inner = kv.Value
+			}
+			if bad, why := rawAliasIn(pass, tainted, inner); bad != nil {
+				return bad, why
+			}
+		}
+	case *ast.CallExpr:
+		if lint.IsBuiltinAppend(pass.Info, e) {
+			// append(dst, src...) copies src's bytes, but append(list, v)
+			// stores v itself: the first argument's backing array and every
+			// non-spread element flow into the result.
+			for i, arg := range e.Args {
+				if i > 0 && i == len(e.Args)-1 && e.Ellipsis.IsValid() {
+					continue
+				}
+				if bad, why := rawAliasIn(pass, tainted, arg); bad != nil {
+					return bad, why
+				}
+			}
+		}
+	case *ast.SliceExpr:
+		return rawAliasIn(pass, tainted, e.X)
+	}
+	return nil, ""
+}
+
+// aliasFieldSel matches a selector m.F where m is tainted and (type of
+// m, F) is listed in wire.AliasFields.
+func aliasFieldSel(pass *lint.Pass, tainted map[types.Object]bool, sel *ast.SelectorExpr) (string, wire.RetentionClass, bool) {
+	if !taintedBase(pass, tainted, sel.X) {
+		return "", 0, false
+	}
+	t := pass.Info.Types[sel.X].Type
+	named := lint.NamedType(t)
+	if named == nil || named.Obj().Pkg() == nil || !lint.PathHasSuffix(named.Obj().Pkg().Path(), wirePkg) {
+		return "", 0, false
+	}
+	cls, ok := wire.AliasFieldClass(named.Obj().Name(), sel.Sel.Name)
+	if !ok {
+		return "", 0, false
+	}
+	return named.Obj().Name(), cls, true
+}
+
+// taintedBase is taintedExpr without the field-selector recursion: the
+// base of an alias-field selector must itself be a tainted binding (or a
+// chain of assert/Msg selectors off one).
+func taintedBase(pass *lint.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	return taintedExpr(pass, tainted, e)
+}

@@ -1,0 +1,11 @@
+package retention
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestRetention(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

@@ -1,0 +1,107 @@
+// Fixture for the retention analyzer: storing alias-backed fields of
+// DecodeAlias/DecodeEnvelopeAlias results into retaining structures.
+package a
+
+import "github.com/lds-storage/lds/internal/wire"
+
+type server struct {
+	val    []byte
+	msg    wire.Message
+	byTag  map[uint64][]byte
+	values [][]byte
+}
+
+var lastValue []byte
+
+// --- violations ---
+
+func storeRawField(s *server, buf []byte) {
+	m, err := wire.DecodeAlias(buf)
+	if err != nil {
+		return
+	}
+	switch m := m.(type) {
+	case wire.PutData:
+		s.val = m.Value // want "PutData field m.Value .+ stored into s.val without cloning"
+	}
+}
+
+func storeRawIntoMap(s *server, buf []byte) {
+	m, err := wire.DecodeAlias(buf)
+	if err != nil {
+		return
+	}
+	if pd, ok := m.(wire.PutData); ok {
+		s.byTag[pd.OpID] = pd.Value // want "PutData field pd.Value .+ stored into .+ without cloning"
+	}
+}
+
+func storeWholeMessage(s *server, buf []byte) {
+	m, err := wire.DecodeAlias(buf)
+	if err != nil {
+		return
+	}
+	s.msg = m // want "alias-decoded value m stored into s.msg without cloning"
+}
+
+func storeIntoGlobal(buf []byte) {
+	env, err := wire.DecodeEnvelopeAlias(buf)
+	if err != nil {
+		return
+	}
+	if pd, ok := env.Msg.(wire.PutData); ok {
+		lastValue = pd.Value // want "PutData field pd.Value .+ stored into lastValue without cloning"
+	}
+}
+
+func storeViaAppendElem(s *server, buf []byte) {
+	m, _ := wire.DecodeAlias(buf)
+	if qd, ok := m.(wire.QueryDataResp); ok {
+		s.values = append(s.values, qd.Data) // want "QueryDataResp field qd.Data .+ stored into s.values without cloning"
+	}
+}
+
+// --- allowed ---
+
+func storeCloned(s *server, buf []byte) {
+	m, err := wire.DecodeAlias(buf)
+	if err != nil {
+		return
+	}
+	switch m := m.(type) {
+	case wire.PutData:
+		s.val = append([]byte(nil), m.Value...) // clone: fresh backing array
+	}
+}
+
+func localUseOnly(buf []byte) int {
+	m, err := wire.DecodeAlias(buf)
+	if err != nil {
+		return 0
+	}
+	if pd, ok := m.(wire.PutData); ok {
+		v := pd.Value // locals don't retain past the buffer's lifetime here
+		return len(v)
+	}
+	return 0
+}
+
+func passOn(handle func(wire.Message), buf []byte) {
+	m, _ := wire.DecodeAlias(buf)
+	handle(m) // handing on transfers the obligation, not a retention
+}
+
+func cloningDecoderIsFine(s *server, buf []byte) {
+	m, err := wire.Decode(buf) // Decode clones up front; nothing aliases
+	if err != nil {
+		return
+	}
+	s.msg = m
+}
+
+func nonAliasFieldIsFine(s *server, buf []byte) {
+	m, _ := wire.DecodeAlias(buf)
+	if pd, ok := m.(wire.PutData); ok {
+		s.byTag[pd.OpID] = nil // OpID is fixed-width, copied by the decoder
+	}
+}

@@ -1,0 +1,56 @@
+// Fixture for walorder rule 2: in functions that fsync the WAL and apply
+// to in-memory state, the apply must follow a Sync.
+package catalog
+
+type wal struct{}
+
+func (*wal) Write(b []byte) error { return nil }
+func (*wal) Sync() error          { return nil }
+
+type rec struct{}
+
+type memState struct{}
+
+func (*memState) apply(r rec) {}
+
+type file struct {
+	wal   *wal
+	state *memState
+}
+
+// --- violations ---
+
+func (f *file) applyBeforeSync(r rec, b []byte) error {
+	if err := f.wal.Write(b); err != nil {
+		return err
+	}
+	f.state.apply(r) // want "state apply before the WAL fsync"
+	return f.wal.Sync()
+}
+
+func (f *file) assignBeforeSync(st *memState, b []byte) error {
+	f.state = st // want "state assignment before the WAL fsync"
+	if err := f.wal.Write(b); err != nil {
+		return err
+	}
+	return f.wal.Sync()
+}
+
+// --- allowed ---
+
+func (f *file) appendRecord(r rec, b []byte) error {
+	if err := f.wal.Write(b); err != nil {
+		return err
+	}
+	if err := f.wal.Sync(); err != nil {
+		return err
+	}
+	f.state.apply(r)
+	return nil
+}
+
+func (f *file) applyOnly(r rec) {
+	// No fsync in this function (e.g. replay from an already-durable
+	// log): rule 2 does not apply.
+	f.state.apply(r)
+}

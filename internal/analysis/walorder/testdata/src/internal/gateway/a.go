@@ -1,0 +1,59 @@
+// Fixture for walorder rule 1: a generation bump must be logged before
+// any publish. The directory's import path ends in internal/gateway so
+// the package gate applies.
+package gateway
+
+import "github.com/lds-storage/lds/internal/wire"
+
+type rec struct{ Gen uint64 }
+
+type info struct{ gen uint64 }
+
+type mgr struct {
+	gen    uint64
+	groups map[int32]*info
+	log    func(rec)
+}
+
+func (m *mgr) serveNode(g wire.GroupServe) {}
+
+// --- violations ---
+
+func (m *mgr) publishBeforeLog(ns int32) {
+	m.gen++
+	m.groups[ns] = &info{gen: m.gen} // want "routing-table store before the catalog append"
+	m.log(rec{Gen: m.gen})
+}
+
+func (m *mgr) pushBeforeLog(ns int32) {
+	m.gen++
+	m.serveNode(wire.GroupServe{ // want "serveNode push before the catalog append" "wire.GroupServe message before the catalog append"
+		Group: ns,
+		Gen:   m.gen,
+	})
+	m.log(rec{Gen: m.gen})
+}
+
+// --- allowed ---
+
+func (m *mgr) logThenPublish(ns int32) {
+	m.gen++
+	if m.log != nil {
+		m.log(rec{Gen: m.gen}) // conditional logging still counts
+	}
+	m.groups[ns] = &info{gen: m.gen}
+	m.serveNode(wire.GroupServe{Group: ns, Gen: m.gen})
+}
+
+func (m *mgr) publishWithoutBump(ns int32) {
+	// No generation advance in this function: re-publishing existing
+	// state (e.g. a retry at the same generation) needs no new record.
+	m.groups[ns] = &info{gen: m.gen}
+}
+
+func (m *mgr) restoreAssignsGen(next uint64, ns int32) {
+	// Assignment (not ++) is the restore path: the state being installed
+	// is already durable.
+	m.gen = next
+	m.groups[ns] = &info{gen: m.gen}
+}

@@ -1,0 +1,199 @@
+// Package walorder enforces write-ahead ordering: durable intent is
+// logged and fsync'd before the state it describes is published. Two
+// rules, matching the two write-ahead sites in the repo:
+//
+// Rule 1 (internal/gateway): in any function that advances the routing
+// generation (a `.gen++` increment), the new generation must not be
+// published — stored into the `groups` routing table, packed into a
+// wire.GroupServe control message, or pushed at a node via serveNode —
+// until a catalog append (`log`, `logRecord`, or `Append` call) has been
+// issued. The gateway's crash story (PR 5) depends on this: a node must
+// never observe a generation the catalog could forget. Plain assignments
+// to `.gen` are deliberately not treated as advances: the one site that
+// assigns (the catalog restore path) replays state that is already
+// durable, which is the opposite situation.
+//
+// Rule 2 (internal/catalog): in any function that both fsyncs the WAL
+// (`Sync` call) and applies to the in-memory state (an `apply` call or a
+// `.state` assignment), the apply must come after a Sync. Applying first
+// would let readers observe records a crash can still lose.
+//
+// The analysis is source-order within one function body (a statement
+// earlier in the text is treated as happening earlier), which matches
+// the straight-line shape of the real write-ahead sites; conditional
+// logging (`if m.log != nil { m.log(...) }`) counts as logging. This is
+// an under-approximation of true dominance, chosen to keep zero false
+// positives on the tree the rule was extracted from.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+// Analyzer is the walorder checker.
+var Analyzer = &lint.Analyzer{
+	Name: "walorder",
+	Doc:  "generation publishes must follow the catalog append (gateway); state applies must follow the WAL fsync (catalog)",
+	Run:  run,
+}
+
+type eventKind uint8
+
+const (
+	evGenBump eventKind = iota // .gen++ / .gen = ...
+	evLog                      // log / logRecord / Append call
+	evPublish                  // groups store, GroupServe literal, serveNode call
+	evSync                     // wal Sync call
+	evApply                    // state apply call / .state assignment
+)
+
+type event struct {
+	kind eventKind
+	pos  token.Pos
+	what string
+}
+
+func run(pass *lint.Pass) error {
+	gateway := lint.PathHasSuffix(pass.Pkg.Path(), "internal/gateway")
+	catalog := lint.PathHasSuffix(pass.Pkg.Path(), "internal/catalog")
+	if !gateway && !catalog {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			events := collect(fn.Body)
+			if gateway {
+				checkGateway(pass, events)
+			}
+			if catalog {
+				checkCatalog(pass, events)
+			}
+		}
+	}
+	return nil
+}
+
+// collect gathers the ordering-relevant events of one function body,
+// sorted by source position.
+func collect(body *ast.BlockStmt) []event {
+	var events []event
+	add := func(kind eventKind, pos token.Pos, what string) {
+		events = append(events, event{kind: kind, pos: pos, what: what})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if selName(n.X) == "gen" {
+				add(evGenBump, n.Pos(), "generation bump")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if selName(lhs) == "state" {
+					add(evApply, lhs.Pos(), "state assignment")
+				}
+				// m.groups[ns] = info — publish into the routing table.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && selName(ix.X) == "groups" {
+					add(evPublish, lhs.Pos(), "routing-table store")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "log", "logRecord", "Append":
+				add(evLog, n.Pos(), "catalog append")
+			case "serveNode":
+				add(evPublish, n.Pos(), "serveNode push")
+			case "Sync":
+				add(evSync, n.Pos(), "WAL fsync")
+			case "apply":
+				add(evApply, n.Pos(), "state apply")
+			}
+		case *ast.CompositeLit:
+			if named := namedOf(n); named == "GroupServe" {
+				add(evPublish, n.Pos(), "wire.GroupServe message")
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// checkGateway enforces rule 1: in functions that bump the generation,
+// every publish after the bump needs a preceding catalog append.
+func checkGateway(pass *lint.Pass, events []event) {
+	bumpAt := token.NoPos
+	logged := false
+	for _, ev := range events {
+		switch ev.kind {
+		case evGenBump:
+			if bumpAt == token.NoPos {
+				bumpAt = ev.pos
+				logged = false
+			}
+		case evLog:
+			logged = true
+		case evPublish:
+			if bumpAt != token.NoPos && ev.pos > bumpAt && !logged {
+				pass.Reportf(ev.pos, "%s before the catalog append: the generation must be durable before any node can observe it (write-ahead order)", ev.what)
+			}
+		}
+	}
+}
+
+// checkCatalog enforces rule 2: in functions that both fsync and apply,
+// each apply needs a preceding Sync.
+func checkCatalog(pass *lint.Pass, events []event) {
+	hasSync := false
+	for _, ev := range events {
+		if ev.kind == evSync {
+			hasSync = true
+			break
+		}
+	}
+	if !hasSync {
+		return
+	}
+	synced := false
+	for _, ev := range events {
+		switch ev.kind {
+		case evSync:
+			synced = true
+		case evApply:
+			if !synced {
+				pass.Reportf(ev.pos, "%s before the WAL fsync: a crash could lose the record a reader already observed (write-ahead order)", ev.what)
+			}
+		}
+	}
+}
+
+// selName returns the selector field name of e when e is x.f, else "".
+func selName(e ast.Expr) string {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// namedOf returns the type name of a composite literal when it names a
+// type (possibly package-qualified), else "".
+func namedOf(lit *ast.CompositeLit) string {
+	switch t := ast.Unparen(lit.Type).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,11 @@
+package walorder
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestWalorder(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

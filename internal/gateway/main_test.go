@@ -1,0 +1,12 @@
+package gateway
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/leaktest"
+)
+
+// TestMain fails the suite if any goroutine outlives the tests: gateway
+// shutdown must reap the control-plane scheduler, pingers and per-group
+// servers it spawned.
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

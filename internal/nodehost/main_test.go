@@ -1,0 +1,11 @@
+package nodehost
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/leaktest"
+)
+
+// TestMain fails the suite if any goroutine outlives the tests: a node
+// host's Close must stop its listener, group servers and control loop.
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

@@ -1,0 +1,12 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/leaktest"
+)
+
+// TestMain fails the suite if any goroutine outlives the tests: a sender
+// loop or accept loop surviving Network.Close is exactly the kind of bug
+// this package can grow.
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

@@ -540,11 +540,6 @@ type sender struct {
 	// after the frame is fully handled.
 	pending      atomic.Int64
 	noDialBefore time.Time // dial backoff deadline after a failed attempt
-
-	// batch/bufs are the sender goroutine's private scratch for draining
-	// the queue into one vectored write.
-	batch []*wire.Frame
-	bufs  net.Buffers
 }
 
 // maxWriteBatch bounds how many queued frames one vectored write may
@@ -571,28 +566,35 @@ func (s *sender) enqueue(f *wire.Frame) error {
 func (s *sender) loop() {
 	defer s.net.wg.Done()
 	defer s.closeConn()
+	// The drain scratch lives on the goroutine's own stack, allocated once
+	// per sender, never in a field: a field would keep aliases to pooled
+	// frame buffers reachable after PutFrame returns them (the pool may
+	// already have handed them to another sender). lds-lint's frameown
+	// analyzer enforces this.
+	batch := make([]*wire.Frame, 0, maxWriteBatch)
+	scratch := make(net.Buffers, 0, maxWriteBatch)
 	for {
 		select {
 		case f := <-s.q:
 			// Coalesce everything already queued behind f into one
 			// vectored write: under load the queue is deep and the
 			// syscall cost amortizes across the whole batch.
-			s.batch = append(s.batch[:0], f)
+			batch = append(batch[:0], f)
 		fill:
-			for len(s.batch) < maxWriteBatch {
+			for len(batch) < maxWriteBatch {
 				select {
 				case f := <-s.q:
-					s.batch = append(s.batch, f)
+					batch = append(batch, f)
 				default:
 					break fill
 				}
 			}
-			s.write(s.batch)
-			for i, f := range s.batch {
+			s.write(batch, scratch)
+			for i, f := range batch {
 				wire.PutFrame(f)
-				s.batch[i] = nil
+				batch[i] = nil
 			}
-			s.pending.Add(-int64(len(s.batch)))
+			s.pending.Add(-int64(len(batch)))
 		case <-s.net.closeCtx.Done():
 			return
 		}
@@ -602,7 +604,7 @@ func (s *sender) loop() {
 // write pushes one batch of frames, establishing the connection if
 // needed. Failures drop the whole batch and count it; the peer is crashed
 // as far as the protocol is concerned until a later dial succeeds.
-func (s *sender) write(batch []*wire.Frame) {
+func (s *sender) write(batch []*wire.Frame, scratch net.Buffers) {
 	conn := s.current()
 	if conn == nil {
 		if time.Now().Before(s.noDialBefore) {
@@ -617,7 +619,7 @@ func (s *sender) write(batch []*wire.Frame) {
 		}
 		s.noDialBefore = time.Time{}
 	}
-	if err := s.writeConn(conn, batch); err != nil {
+	if err := s.writeConn(conn, batch, scratch); err != nil {
 		// One immediate redial: the remote may have restarted.
 		s.closeConn()
 		conn, err = s.dial()
@@ -626,7 +628,7 @@ func (s *sender) write(batch []*wire.Frame) {
 			s.net.dropped.Add(uint64(len(batch)))
 			return
 		}
-		if err = s.writeConn(conn, batch); err != nil {
+		if err = s.writeConn(conn, batch, scratch); err != nil {
 			s.closeConn()
 			s.net.dropped.Add(uint64(len(batch)))
 			return
@@ -664,19 +666,22 @@ func (s *sender) current() net.Conn {
 // buffer without re-assembly into a contiguous block. The deadline (and
 // closeConn closing the socket concurrently) bounds how long the sender
 // can be stuck on a stalled or dead connection.
-func (s *sender) writeConn(conn net.Conn, batch []*wire.Frame) error {
+func (s *sender) writeConn(conn net.Conn, batch []*wire.Frame, scratch net.Buffers) error {
 	conn.SetWriteDeadline(time.Now().Add(s.net.opts.WriteTimeout))
 	if len(batch) == 1 {
 		_, err := conn.Write(batch[0].B)
 		return err
 	}
 	// Rebuilt per attempt: WriteTo consumes the buffer list in place.
-	s.bufs = s.bufs[:0]
+	bufs := scratch[:0]
 	for _, f := range batch {
-		s.bufs = append(s.bufs, f.B)
+		bufs = append(bufs, f.B)
 	}
-	bufs := s.bufs
+	full := bufs
 	_, err := bufs.WriteTo(conn)
+	// Drop the buffer aliases before the caller releases the frames:
+	// scratch is reused for the next batch and must not pin this one.
+	clear(full)
 	return err
 }
 

@@ -12,20 +12,28 @@ import "github.com/lds-storage/lds/internal/tag"
 //
 // DecodeAlias/DecodeEnvelopeAlias return messages whose []byte fields
 // alias the input buffer, so the buffer's lifetime must cover the
-// consumer's retention of those fields. The protocol's consumers retain
-// as follows:
+// consumer's retention of those fields. The authoritative, per-field
+// classification is the machine-readable table AliasFields in
+// retention.go — the retention analyzer (internal/analysis/retention)
+// and the wire tests both consume it, so it cannot drift from either the
+// message structs or the enforcement. In prose, the classes are:
 //
-//   - Indefinite retention: PutData.Value and SendHelperElem.Helper (the
-//     L1 server stores them in its per-tag list until offload/pruning),
-//     WriteCodeElem.Coded and CodeElem.Coded in WriteCodeElemBatch (the
-//     L2 server adopts the slice into its store and keeps it until a
-//     newer tag replaces it).
-//   - Operation-scoped retention: QueryDataResp.Data (the reader holds
-//     values/coded elements until its quorum completes; a decoded value
-//     it returns to the application escapes the operation entirely).
-//   - No retention: every other message — tags, acks, pings and counters
-//     are copied into fixed-width struct fields by the decoders, and
-//     string fields (control.go addresses) copy on conversion.
+//   - Indefinite retention (RetainForever): PutData.Value and
+//     SendHelperElem.Helper (the L1 server stores them in its per-tag
+//     list until offload/pruning), WriteCodeElem.Coded and CodeElem.Coded
+//     in WriteCodeElemBatch (the L2 server adopts the slice into its
+//     store and keeps it until a newer tag replaces it), and
+//     ElemRepair.Coded (L2Server.InstallRepair adopts a repaired element
+//     exactly like a written one).
+//   - Operation-scoped retention (RetainOp): QueryDataResp.Data (the
+//     reader holds values/coded elements until its quorum completes; a
+//     decoded value it returns to the application escapes the operation
+//     entirely) and ElemFetchResp.Data (a donor element lives for one
+//     repair round).
+//   - No retention: every message kind without an AliasFields entry —
+//     tags, acks, pings and counters are copied into fixed-width struct
+//     fields by the decoders, and string fields (control.go addresses)
+//     copy on conversion.
 //
 // The TCP read loop allocates a fresh body buffer per frame and never
 // recycles it, so alias-decoding there is safe for every class above.

@@ -1,0 +1,96 @@
+package wire
+
+// This file is the machine-readable form of the retention rules that
+// messages.go states in prose. It exists so tooling and documentation
+// share one source of truth: the retention analyzer in
+// internal/analysis/retention imports AliasFields to know which decoded
+// fields alias the input buffer of DecodeAlias/DecodeEnvelopeAlias (and
+// how long consumers keep them), and TestAliasFieldsCoverMessages
+// cross-checks the table against the actual message structs so a new
+// []byte field cannot ship without a declared class.
+
+// RetentionClass says how long the protocol's consumers may retain one
+// alias-backed message field, and therefore how long the decode buffer
+// must stay untouched when the field was produced by an aliasing decoder.
+type RetentionClass uint8
+
+const (
+	// RetainOp: the field is held at most for the lifetime of one
+	// client operation (a reader's quorum collection, one repair round)
+	// and must be cloned if it escapes the operation.
+	RetainOp RetentionClass = iota + 1
+	// RetainForever: a server adopts the slice into durable state (the
+	// L1 per-tag list, the L2 element store) and keeps it until a newer
+	// tag replaces it. The decode buffer is lost to the consumer for
+	// good: it must never be pooled or reused.
+	RetainForever
+)
+
+// String returns the class name used in diagnostics and docs.
+func (c RetentionClass) String() string {
+	switch c {
+	case RetainOp:
+		return "operation-scoped"
+	case RetainForever:
+		return "indefinite"
+	default:
+		return "unknown"
+	}
+}
+
+// AliasField names one []byte field of a message struct that aliases the
+// decode buffer after DecodeAlias/DecodeEnvelopeAlias, with the retention
+// class of its consumers. Fields of messages not listed here (and string
+// or fixed-width fields of any message) copy during decoding and retain
+// nothing.
+type AliasField struct {
+	Type  string // message (or element) struct name in this package
+	Field string
+	Class RetentionClass
+}
+
+// AliasFields is the retention table. Every []byte field reachable from
+// a registered message type must appear here; the wire tests enforce
+// that, and the retention analyzer reports any entry that names a type or
+// field this package no longer declares, so the table can drift in
+// neither direction.
+var AliasFields = []AliasField{
+	// The write path: L1 servers store the value in their per-tag list
+	// until offload and pruning; L2 servers adopt coded elements into
+	// their element store until a newer tag replaces them.
+	{Type: "PutData", Field: "Value", Class: RetainForever},
+	{Type: "WriteCodeElem", Field: "Coded", Class: RetainForever},
+	{Type: "CodeElem", Field: "Coded", Class: RetainForever}, // the batched WriteCodeElemBatch element
+	// The read path: helpers accumulate in the L1 per-tag regeneration
+	// state, which outlives any one read (it is pruned as the committed
+	// tag advances); QueryDataResp data is held until the reader's quorum
+	// completes (a value returned to the application escapes the
+	// operation and with it the protocol's scope).
+	{Type: "SendHelperElem", Field: "Helper", Class: RetainForever},
+	{Type: "QueryDataResp", Field: "Data", Class: RetainOp},
+	// The repair plane (PR 6, classified here as of the lds-lint PR —
+	// the prose rules predated these messages): a fetched donor element
+	// lives for one repair round, but a repaired element is adopted by
+	// L2Server.InstallRepair exactly like a written one.
+	{Type: "ElemFetchResp", Field: "Data", Class: RetainOp},
+	{Type: "ElemRepair", Field: "Coded", Class: RetainForever},
+	// The ABD baseline mirrors the LDS write/read split: the server
+	// adopts an update's value (s.value = m.Value), the reader holds
+	// response values until its quorum resolves.
+	{Type: "ABDUpdate", Field: "Value", Class: RetainForever},
+	{Type: "ABDQueryResp", Field: "Value", Class: RetainOp},
+	// The control plane: a GroupServe seed value is adopted by the node's
+	// seeded servers for the group's lifetime.
+	{Type: "GroupServe", Field: "Value", Class: RetainForever},
+}
+
+// AliasFieldClass looks up the retention class for typeName.fieldName,
+// returning ok=false for fields that do not alias.
+func AliasFieldClass(typeName, fieldName string) (RetentionClass, bool) {
+	for _, af := range AliasFields {
+		if af.Type == typeName && af.Field == fieldName {
+			return af.Class, true
+		}
+	}
+	return 0, false
+}

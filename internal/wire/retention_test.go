@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAliasFieldsCoverMessages cross-checks the machine-readable
+// retention table against the actual message structs, in both
+// directions: every []byte field reachable from a registered message
+// must carry a declared retention class (a new payload field cannot ship
+// unclassified), and every table entry must correspond to a field that
+// still exists (the table cannot outlive a refactor). The retention
+// analyzer performs the structural half of this check against the
+// type-checked wire package; this test ties the table to the runtime
+// taxonomy in allMessages.
+func TestAliasFieldsCoverMessages(t *testing.T) {
+	seen := map[string]bool{}
+	visited := map[reflect.Type]bool{}
+	var walk func(rt reflect.Type)
+	walk = func(rt reflect.Type) {
+		if rt.Kind() != reflect.Struct || visited[rt] {
+			return
+		}
+		visited[rt] = true
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			ft := f.Type
+			if ft.Kind() == reflect.Slice && ft.Elem().Kind() == reflect.Uint8 {
+				if _, ok := AliasFieldClass(rt.Name(), f.Name); !ok {
+					t.Errorf("%s.%s is a []byte message field with no retention class in AliasFields; classify it (see retention.go)", rt.Name(), f.Name)
+				}
+				seen[rt.Name()+"."+f.Name] = true
+				continue
+			}
+			switch ft.Kind() {
+			case reflect.Slice, reflect.Array, reflect.Pointer:
+				walk(ft.Elem())
+			case reflect.Struct:
+				walk(ft)
+			}
+		}
+	}
+	for _, m := range allMessages() {
+		walk(reflect.TypeOf(m))
+	}
+	for _, af := range AliasFields {
+		if !seen[af.Type+"."+af.Field] {
+			t.Errorf("AliasFields entry %s.%s does not match any []byte field reachable from allMessages; remove or fix the entry", af.Type, af.Field)
+		}
+	}
+}
+
+// TestRetentionClassString pins the diagnostic names the analyzer and
+// docs print.
+func TestRetentionClassString(t *testing.T) {
+	if got := RetainOp.String(); got != "operation-scoped" {
+		t.Errorf("RetainOp.String() = %q", got)
+	}
+	if got := RetainForever.String(); got != "indefinite" {
+		t.Errorf("RetainForever.String() = %q", got)
+	}
+	if got := RetentionClass(0).String(); got != "unknown" {
+		t.Errorf("RetentionClass(0).String() = %q", got)
+	}
+}
