@@ -8,7 +8,8 @@
 //	lds-bench -exp fig6
 //
 // Experiments: write-cost, read-cost, storage, latency, offload, rebalance,
-// tcpgateway, hotpath, fig6, msr-ablation, abd, faults, repair, all.
+// tcpgateway, hotpath, fig6, msr-ablation, abd, faults, repair,
+// multigateway, all.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -47,7 +49,7 @@ const valueSize = 4096
 var baselineFlag *string
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,hotpath,fig6,msr-ablation,abd,faults,repair,all")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: write-cost,read-cost,storage,latency,offload,rebalance,tcpgateway,hotpath,fig6,msr-ablation,abd,faults,repair,multigateway,all")
 	baselineFlag = flag.String("baseline", "", "hotpath only: baseline JSON to guard allocs/op against (>10% over fails)")
 	flag.Parse()
 
@@ -80,6 +82,57 @@ func main() {
 	run("abd", abdComparison)
 	run("faults", faults)
 	run("repair", repairBench)
+	run("multigateway", multiGateway)
+}
+
+// multiGateway compares aggregate throughput of one fleet member against
+// two members splitting the same shards over the same node fleet, and
+// records the rows in BENCH_multigateway.json. On a multi-core host the
+// two-member column should win by >= 1.6x (each member runs its shards'
+// coding and framing on its own cores); on a single core the fleet can
+// only reshuffle the same CPU between members, so the ratio hovers
+// around 1x and the JSON note says so.
+func multiGateway() error {
+	p := params([4]int{4, 5, 1, 1})
+	const (
+		valueSize    = 2048
+		keys         = 16
+		clients      = 8
+		opsPerClient = 100
+		nodes        = 3
+	)
+	res, err := experiments.MeasureMultiGateway(p, valueSize, keys, clients, opsPerClient, nodes)
+	if err != nil {
+		return err
+	}
+	cores := runtime.NumCPU()
+	if cores < 2 {
+		res.Note = fmt.Sprintf("measured on %d CPU core(s): members contend for the same core, so the dual/single ratio understates multi-core scaling", cores)
+	}
+	fmt.Printf("Aggregate ops/s through one vs two fleet members (n1=%d n2=%d, %dB values,\n", p.N1, p.N2, valueSize)
+	fmt.Printf("%d keys, %d writer+%d reader clients x %d ops rotating over the members,\n", keys, clients, clients, opsPerClient)
+	fmt.Printf("%d node processes, loopback, %d CPU cores):\n", nodes, cores)
+	fmt.Printf("  %-10s %10s %12s %12s %12s %12s\n", "fleet", "ops/s", "write mean", "write p99", "read mean", "read p99")
+	row := func(pr experiments.GatewayProfile) {
+		fmt.Printf("  %-10s %10.0f %12v %12v %12v %12v\n", pr.Backend, pr.OpsPerSec,
+			pr.Write.Mean.Round(time.Microsecond), pr.Write.P99.Round(time.Microsecond),
+			pr.Read.Mean.Round(time.Microsecond), pr.Read.P99.Round(time.Microsecond))
+	}
+	row(res.Single)
+	row(res.Dual)
+	fmt.Printf("  dual/single ops/s ratio: %.2f\n", res.Speedup())
+	if res.Note != "" {
+		fmt.Printf("  note: %s\n", res.Note)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_multigateway.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_multigateway.json")
+	return nil
 }
 
 // repairBench compares the repair bandwidth of the regenerating helper

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/history"
+)
+
+// leasesView mirrors the GET /v1/leases payload (gateway.FleetInfo).
+type leasesView struct {
+	ID        int32  `json:"id"`
+	Advertise string `json:"advertise"`
+	Leases    []struct {
+		Shard int   `json:"shard"`
+		Owner int32 `json:"owner"`
+		Held  bool  `json:"held"`
+		Local bool  `json:"local"`
+	} `json:"leases"`
+}
+
+func getLeases(t *testing.T, base string) leasesView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/leases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/leases: status %d", resp.StatusCode)
+	}
+	var v leasesView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// shardOf reads the owning shard of a key from the X-LDS-Shard header of
+// a seed write, recording the write so the key's history stays complete.
+func shardOf(t *testing.T, kv httpKV, rec *history.Recorder, key string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, kv.base+"/v1/kv/"+key, strings.NewReader(key+"/seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := kv.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("seed PUT %s: status %d", key, resp.StatusCode)
+	}
+	tg, err := parseTag(resp.Header.Get("X-LDS-Tag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Add(history.Op{Kind: history.OpWrite, Client: 1,
+		Start: start, End: time.Now(), Tag: tg, Value: key + "/seed"})
+	var shard int
+	if _, err := fmt.Sscan(resp.Header.Get("X-LDS-Shard"), &shard); err != nil {
+		t.Fatalf("shard header: %v", err)
+	}
+	return shard
+}
+
+// TestTwoGatewaysKillOne is the fleet tentpole's acceptance test, end to
+// end and multi-process: two lds-gateway children share one lds-node
+// fleet, a lease directory and each other's catalog paths. A concurrent
+// HTTP workload writes and reads through both front doors (operations
+// arriving at a non-owner take the peer-forwarding path); then one
+// gateway is SIGKILLed — no shutdown of any kind — and the workload
+// continues against the survivor alone, which must claim the dead
+// member's leases, adopt its catalog and node-held groups, and serve the
+// whole keyspace. Every key's combined history must satisfy the paper's
+// atomicity conditions, which it cannot if failover lost a committed
+// write or resurrected a stale one.
+func TestTwoGatewaysKillOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping child-process e2e (needs go build)")
+	}
+	const leaseTTL = time.Second
+
+	nodes := make([]*childProc, 3)
+	specJSON := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startChild(t, fmt.Sprintf("lds-node %d", i+1), nodeBin,
+			"-node", fmt.Sprint(i+1), "-listen", "127.0.0.1:0")
+		specJSON[i] = fmt.Sprintf(`{"id": %d, "addr": %q}`, i+1, nodes[i].addr)
+	}
+	topoPath := filepath.Join(t.TempDir(), "topology.json")
+	topo := fmt.Sprintf(`{"shards": [
+		{"backend": "tcp", "nodes": [%s]},
+		{"backend": "tcp", "nodes": [%s]}
+	]}`, strings.Join(specJSON, ","), strings.Join(specJSON, ","))
+	if err := os.WriteFile(topoPath, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := t.TempDir()
+	catA, catB := filepath.Join(base, "cat-a"), filepath.Join(base, "cat-b")
+	leaseDir := filepath.Join(base, "leases")
+
+	common := []string{"-listen", "127.0.0.1:0", "-topology", topoPath,
+		"-n1", "3", "-n2", "4", "-f1", "1", "-f2", "1",
+		"-lease-ttl", leaseTTL.String(), "-lease-dir", leaseDir}
+
+	// Member 1 boots knowing member 2 only by id and catalog path — its
+	// address is learned from member 2's announcements, which is the
+	// documented bootstrap for members behind ephemeral ports.
+	gwA := startChild(t, "lds-gateway 1", gwBin, append(common,
+		"-catalog", catA, "-gateway-id", "1", "-peer", "2=="+catB)...)
+	kvA := httpKV{base: "http://" + gwA.addr, client: &http.Client{Timeout: 60 * time.Second}}
+	advA := getLeases(t, kvA.base).Advertise
+	if advA == "" {
+		t.Fatal("member 1 advertises no peer-plane address")
+	}
+	gwB := startChild(t, "lds-gateway 2", gwBin, append(common,
+		"-catalog", catB, "-gateway-id", "2", "-peer", "1="+advA+"="+catA)...)
+	kvB := httpKV{base: "http://" + gwB.addr, client: &http.Client{Timeout: 60 * time.Second}}
+
+	// Seed keys until both shards are covered, so the post-kill phase
+	// provably spans shards the survivor owned all along and shards it
+	// has to claim from the corpse.
+	var (
+		keyNames  []string
+		recorders []*history.Recorder
+		covered   = map[int]bool{}
+	)
+	for i := 0; len(keyNames) < 4 || len(covered) < 2; i++ {
+		if i >= 32 {
+			t.Fatalf("no shard coverage after %d seed keys (shards hit: %v)", i, covered)
+		}
+		key := fmt.Sprintf("mg-%d", i)
+		rec := history.NewRecorder()
+		covered[shardOf(t, kvA, rec, key)] = true
+		keyNames = append(keyNames, key)
+		recorders = append(recorders, rec)
+	}
+
+	const opsPerClient = 4
+	var phase int
+	runPhase := func(kvs ...httpKV) {
+		t.Helper()
+		phase++
+		var wg sync.WaitGroup
+		var failed sync.Map
+		for ki := range keyNames {
+			key, rec := keyNames[ki], recorders[ki]
+			for gi, kv := range kvs {
+				cid := int32(phase*100 + gi*10)
+				wg.Add(2)
+				go func(kv httpKV, cid int32) {
+					defer wg.Done()
+					for op := 0; op < opsPerClient; op++ {
+						value := fmt.Sprintf("%s/p%d/c%d/%d", key, phase, cid, op)
+						start := time.Now()
+						tg, err := kv.put(key, value)
+						if err != nil {
+							failed.Store(key, fmt.Errorf("put %d: %w", op, err))
+							return
+						}
+						rec.Add(history.Op{Kind: history.OpWrite, Client: cid,
+							Start: start, End: time.Now(), Tag: tg, Value: value})
+					}
+				}(kv, cid)
+				go func(kv httpKV, cid int32) {
+					defer wg.Done()
+					for op := 0; op < opsPerClient; op++ {
+						start := time.Now()
+						v, tg, err := kv.get(key)
+						if err != nil {
+							failed.Store(key, fmt.Errorf("get %d: %w", op, err))
+							return
+						}
+						rec.Add(history.Op{Kind: history.OpRead, Client: -cid,
+							Start: start, End: time.Now(), Tag: tg, Value: v})
+					}
+				}(kv, cid)
+			}
+		}
+		wg.Wait()
+		failed.Range(func(k, v any) bool {
+			t.Fatalf("phase %d: operation on key %v failed: %v", phase, k, v)
+			return false
+		})
+	}
+
+	// Phase 1: both members serve concurrently; keys owned by the other
+	// member exercise the forwarding path in both directions.
+	runPhase(kvA, kvB)
+
+	// SIGKILL member 1 mid-fleet: no lease release, no catalog close, no
+	// group retires — exactly what a machine loss leaves behind.
+	killed := time.Now()
+	if err := gwA.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	gwA.cmd.Wait()
+
+	// Phase 2: the survivor alone. Operations on the dead member's shards
+	// park in the forwarder until the lease lapses and the survivor
+	// claims and adopts them; nothing here re-points clients manually.
+	runPhase(kvB)
+
+	// The survivor must hold every shard lease; the workload above forced
+	// the claims, so this converges within roughly a lease term of it.
+	deadline := time.Now().Add(15 * leaseTTL)
+	for {
+		v := getLeases(t, kvB.base)
+		n := 0
+		for _, l := range v.Leases {
+			if l.Held && l.Owner == 2 && l.Local {
+				n++
+			}
+		}
+		if n == len(v.Leases) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never absorbed all shards: %+v", v.Leases)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("survivor held all leases %s after SIGKILL", time.Since(killed).Round(10*time.Millisecond))
+
+	// Every key — including those seeded and last written through the
+	// dead member — must read back through the survivor, and the combined
+	// two-phase history must be atomic with unique write values.
+	for ki, rec := range recorders {
+		if _, _, err := kvB.get(keyNames[ki]); err != nil {
+			t.Errorf("key %s unreadable after failover: %v", keyNames[ki], err)
+		}
+		ops := rec.Ops()
+		if want := 1 + 2*opsPerClient*3; len(ops) != want {
+			t.Fatalf("key %d: recorded %d ops, want %d", ki, len(ops), want)
+		}
+		for _, v := range history.Verify(ops) {
+			t.Errorf("key %s: %v", keyNames[ki], v)
+		}
+		for _, v := range history.VerifyUniqueValues(ops, "") {
+			t.Errorf("key %s: %v", keyNames[ki], v)
+		}
+	}
+}

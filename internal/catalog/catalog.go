@@ -85,6 +85,20 @@ const (
 	TypeGroupServe
 	// TypeGroupRetire forgets a remote group.
 	TypeGroupRetire
+	// TypeNSQuarantine permanently fences a namespace out of this catalog's
+	// allocator: it never joins the free list, recycle records for it are
+	// ignored, and the gateway's restore-time leak sweep skips it. A fleet
+	// peer writes it into a dead gateway's catalog when it adopts that
+	// namespace's group during lease failover, so the original owner —
+	// restarted later — can never recycle or re-issue an id whose group the
+	// adopter now serves (see docs/ARCHITECTURE.md, "Shard ownership").
+	TypeNSQuarantine
+	// TypeGenFloor raises NextGen to at least Gen. A failover adopter logs
+	// it into its own catalog before re-serving a dead peer's groups: their
+	// generations came from the peer's counter, and without the floor the
+	// adopter (or its own restart) could re-issue a generation some node
+	// still holds for different state.
+	TypeGenFloor
 )
 
 // String names the record type.
@@ -108,6 +122,10 @@ func (t Type) String() string {
 		return "group-serve"
 	case TypeGroupRetire:
 		return "group-retire"
+	case TypeNSQuarantine:
+		return "ns-quarantine"
+	case TypeGenFloor:
+		return "gen-floor"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -183,6 +201,10 @@ type State struct {
 	// restarted gateway resumes its incarnation allocator here so no
 	// generation a node might hold is ever re-issued.
 	NextGen uint64 `json:"next_gen"`
+	// Quarantine lists namespaces fenced out of the allocator for good
+	// (TypeNSQuarantine): adopted away by a fleet peer during failover,
+	// they are never free, never recycled and never swept.
+	Quarantine []int32 `json:"quarantine,omitempty"`
 }
 
 // newState returns an empty state with allocated maps.
@@ -198,6 +220,7 @@ func newState() State {
 func (s *State) clone() State {
 	out := *s
 	out.FreeNS = append([]int32(nil), s.FreeNS...)
+	out.Quarantine = append([]int32(nil), s.Quarantine...)
 	out.Placement = make(map[string]int, len(s.Placement))
 	for k, v := range s.Placement {
 		out.Placement[k] = v
@@ -229,15 +252,38 @@ func (s *State) normalize() {
 	if s.Groups == nil {
 		s.Groups = make(map[int32]Group)
 	}
+	quar := make(map[int32]bool, len(s.Quarantine))
+	q := s.Quarantine[:0]
+	for _, ns := range s.Quarantine {
+		if ns >= 0 && !quar[ns] {
+			quar[ns] = true
+			q = append(q, ns)
+			if ns >= s.NextNS {
+				s.NextNS = ns + 1
+			}
+		}
+	}
+	s.Quarantine = q
 	seen := make(map[int32]bool, len(s.FreeNS))
 	free := s.FreeNS[:0]
 	for _, ns := range s.FreeNS {
-		if ns >= 0 && ns < s.NextNS && !seen[ns] {
+		if ns >= 0 && ns < s.NextNS && !seen[ns] && !quar[ns] {
 			seen[ns] = true
 			free = append(free, ns)
 		}
 	}
 	s.FreeNS = free
+}
+
+// Quarantined reports whether ns was fenced out of this catalog's
+// allocator by a TypeNSQuarantine record.
+func (s *State) Quarantined(ns int32) bool {
+	for _, q := range s.Quarantine {
+		if q == ns {
+			return true
+		}
+	}
+	return false
 }
 
 // noteAllocated folds "namespace ns is in use" into the allocator view:
@@ -272,6 +318,9 @@ func (s *State) apply(r Record) {
 		if r.NS >= s.NextNS {
 			s.NextNS = r.NS + 1
 		}
+		if s.Quarantined(r.NS) {
+			return // adopted away: the id is the adopter's now, never free here
+		}
 		for _, ns := range s.FreeNS {
 			if ns == r.NS {
 				return // already free: a replayed duplicate
@@ -299,6 +348,15 @@ func (s *State) apply(r Record) {
 		}
 	case TypeGroupRetire:
 		delete(s.Groups, r.NS)
+	case TypeNSQuarantine:
+		s.noteAllocated(r.NS) // covers the id and pulls it off the free list
+		if !s.Quarantined(r.NS) {
+			s.Quarantine = append(s.Quarantine, r.NS)
+		}
+	case TypeGenFloor:
+		if r.Gen > s.NextGen {
+			s.NextGen = r.Gen
+		}
 	}
 }
 
@@ -416,27 +474,46 @@ func acquireLock(dir string) (*os.File, error) {
 // found. Replay cannot fail: the first bad frame silently ends the log
 // (the crash model's torn tail), which is why there is no error result.
 func decodeWAL(data []byte) (records []Record) {
-	off := 0
-	for {
-		if len(data)-off < 8 {
-			return records // torn or absent header: end of log
-		}
-		size := binary.LittleEndian.Uint32(data[off:])
-		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if size > uint32(len(data)-off-8) {
-			return records // torn payload
-		}
-		payload := data[off+8 : off+8+int(size)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			return records // corrupt frame: treat as torn tail
-		}
+	for _, payload := range decodeFrames(data) {
 		var r Record
 		if err := json.Unmarshal(payload, &r); err != nil {
 			return records // undecodable frame: torn tail
 		}
 		records = append(records, r)
+	}
+	return records
+}
+
+// decodeFrames splits CRC-framed WAL data into payloads, stopping at the
+// first torn or corrupt frame (the crash model's torn tail). Shared by
+// the routing WAL above and the lease store's log (lease.go).
+func decodeFrames(data []byte) (payloads [][]byte) {
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			return payloads // torn or absent header: end of log
+		}
+		size := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if size > uint32(len(data)-off-8) {
+			return payloads // torn payload
+		}
+		payload := data[off+8 : off+8+int(size)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads // corrupt frame: treat as torn tail
+		}
+		payloads = append(payloads, payload)
 		off += 8 + int(size)
 	}
+}
+
+// encodeFrame appends one CRC frame ([len][crc32][payload]) to buf.
+func encodeFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
 }
 
 // State returns a deep copy of the materialized state.
@@ -469,11 +546,7 @@ func (f *File) Append(recs ...Record) error {
 		if err != nil {
 			return fmt.Errorf("catalog: encode %v record: %w", r.Type, err)
 		}
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, payload...)
+		buf = encodeFrame(buf, payload)
 	}
 	if _, err := f.wal.Write(buf); err != nil {
 		f.rollbackLocked(err)

@@ -333,3 +333,76 @@ func TestMissingSnapshot(t *testing.T) {
 		t.Errorf("NextNS = %d, want 1 (replayed from WAL alone)", st.NextNS)
 	}
 }
+
+// TestQuarantineAndGenFloor: the failover-adoption records. A quarantined
+// namespace must never rejoin the free list (even through a later recycle
+// record), and a gen floor must pull NextGen up without ever lowering it.
+func TestQuarantineAndGenFloor(t *testing.T) {
+	f := open(t)
+	nodes := []wire.NodeAddr{{ID: 1, Addr: "127.0.0.1:7101"}}
+	if err := f.Append(
+		Record{Type: TypeNSAlloc, NS: 0},
+		Record{Type: TypeGroupServe, NS: 0, Gen: 3, Nodes: nodes},
+		Record{Type: TypeObjectSet, Key: "stolen", NS: 0, Shard: 0},
+		// The adopting peer's transfer: forget the binding and group,
+		// then fence the namespace for good.
+		Record{Type: TypeObjectDel, Key: "stolen"},
+		Record{Type: TypeGroupRetire, NS: 0},
+		Record{Type: TypeNSQuarantine, NS: 0},
+		// A racing recycle of the quarantined id must be ignored.
+		Record{Type: TypeNSRecycle, NS: 0},
+		// The adopter's own catalog would carry the floor; here it just
+		// proves replay semantics (NextGen was 4 from the gen-3 serve).
+		Record{Type: TypeGenFloor, Gen: 9},
+		Record{Type: TypeGenFloor, Gen: 2}, // lower floor: no effect
+	); err != nil {
+		t.Fatal(err)
+	}
+	st := reopen(t, f).State()
+	if len(st.FreeNS) != 0 {
+		t.Errorf("FreeNS = %v, want empty (0 is quarantined)", st.FreeNS)
+	}
+	if !st.Quarantined(0) {
+		t.Error("namespace 0 not quarantined after replay")
+	}
+	if st.NextNS != 1 {
+		t.Errorf("NextNS = %d, want 1 (quarantine keeps the id covered)", st.NextNS)
+	}
+	if st.NextGen != 9 {
+		t.Errorf("NextGen = %d, want 9 (the floor)", st.NextGen)
+	}
+	if _, live := st.Groups[0]; live {
+		t.Error("group 0 still live after transfer")
+	}
+}
+
+// TestQuarantineSnapshotRoundTrip: quarantine must survive compaction
+// (the snapshot) and normalize must keep the free list disjoint from it
+// even for hand-edited snapshots.
+func TestQuarantineSnapshotRoundTrip(t *testing.T) {
+	f := open(t)
+	if err := f.Append(
+		Record{Type: TypeNSAlloc, NS: 0},
+		Record{Type: TypeNSAlloc, NS: 1},
+		Record{Type: TypeNSQuarantine, NS: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := reopen(t, f).State()
+	if !st.Quarantined(1) {
+		t.Error("quarantine lost across compaction")
+	}
+
+	// normalize: a free list entry that is also quarantined is dropped.
+	s := State{NextNS: 4, FreeNS: []int32{2, 3}, Quarantine: []int32{3, 3}}
+	s.normalize()
+	if len(s.FreeNS) != 1 || s.FreeNS[0] != 2 {
+		t.Errorf("normalized FreeNS = %v, want [2]", s.FreeNS)
+	}
+	if len(s.Quarantine) != 1 || s.Quarantine[0] != 3 {
+		t.Errorf("normalized Quarantine = %v, want [3]", s.Quarantine)
+	}
+}

@@ -1,0 +1,415 @@
+// Lease store: the fleet's shard-ownership ground truth.
+//
+// A multi-gateway deployment (docs/OPERATIONS.md, "Multi-gateway fleets")
+// splits the keyspace's shards among N gateway processes. Which gateway
+// owns a shard is decided here, in a single lease directory shared by the
+// fleet — not by the peer protocol, whose LeaseClaim/LeaseRenew messages
+// are mere announcements of what this store already made durable. The
+// write-ahead rule for generations extends to ownership: a claim is
+// fsync'd before any peer can learn it, so no crash or message reordering
+// can produce two gateways that both believe they own a shard.
+//
+// Unlike the routing catalog (one writer process, exclusive flock held
+// for the process lifetime), the lease store is mutated by every gateway
+// of the fleet, so it takes a *blocking* exclusive flock per operation:
+// lock, re-read snapshot+WAL, validate the transition against the
+// freshest state, append one fsync'd frame, unlock. The flock serializes
+// fleet-wide, which makes the validation sound: a claim can only succeed
+// over a shard that is free, expired, or already the caller's.
+//
+// Leases use wall-clock expiry. The fleet shares one lease directory and
+// therefore (in this repo's deployments) one machine or one
+// clock-disciplined cluster; TTLs are seconds while clock skew is
+// microseconds, and the runbook says to keep it that way.
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// Lease is one shard's ownership entry: who holds it, the fencing epoch
+// (bumped by every change of ownership), and when it lapses. The zero
+// Lease means the shard has never been claimed.
+type Lease struct {
+	Owner int32 `json:"owner"`
+	// Epoch fences stale owners: every successful Claim bumps it, and
+	// Renew/Release require the caller to present the epoch it was
+	// granted, so a gateway that lost its lease (and had it re-granted
+	// to a peer) can never extend or release the successor's lease.
+	Epoch uint64 `json:"epoch"`
+	// Expiry is the lapse instant in Unix nanoseconds; a lease with
+	// Expiry <= now is expired and claimable by anyone.
+	Expiry int64 `json:"expiry"`
+}
+
+// Held reports whether the lease is live at instant now (Unix nanos).
+func (l Lease) Held(now int64) bool { return l.Epoch != 0 && l.Expiry > now }
+
+// LeaseOp discriminates lease-log records.
+type LeaseOp uint8
+
+// Lease operations. The zero value is invalid.
+const (
+	// LeaseOpClaim grants a shard to a new (or re-claiming) owner,
+	// bumping the epoch. Valid only over a free, expired or same-owner
+	// lease.
+	LeaseOpClaim LeaseOp = iota + 1
+	// LeaseOpRenew extends the expiry of a lease the caller still holds;
+	// the epoch is unchanged.
+	LeaseOpRenew
+	// LeaseOpRelease lapses the caller's lease immediately (a graceful
+	// shutdown), leaving the epoch in place for the next claim to bump.
+	LeaseOpRelease
+)
+
+// String names the operation.
+func (op LeaseOp) String() string {
+	switch op {
+	case LeaseOpClaim:
+		return "claim"
+	case LeaseOpRenew:
+		return "renew"
+	case LeaseOpRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("lease-op(%d)", uint8(op))
+	}
+}
+
+// LeaseRecord is one lease-log entry: the operation, the resulting lease,
+// and the wall-clock instant the store decided it (At), kept so Verify
+// can re-check every transition's precondition after the fact.
+type LeaseRecord struct {
+	Op     LeaseOp `json:"op"`
+	Shard  int32   `json:"shard"`
+	Owner  int32   `json:"owner"`
+	Epoch  uint64  `json:"epoch"`
+	Expiry int64   `json:"expiry"`
+	At     int64   `json:"at"`
+}
+
+// ErrLeaseHeld is returned by Claim when another owner's live lease
+// covers the shard.
+var ErrLeaseHeld = errors.New("catalog: lease held by another owner")
+
+// ErrLeaseLost is returned by Renew and Release when the caller's
+// (owner, epoch) no longer matches the stored lease: ownership moved on,
+// and the caller must stop serving the shard.
+var ErrLeaseLost = errors.New("catalog: lease lost")
+
+// defaultLeaseCompactBytes is the WAL size past which a mutation folds
+// the log into the snapshot. Generous, because the WAL since the last
+// compaction is exactly the history Verify can audit.
+const defaultLeaseCompactBytes = 4 << 20
+
+// LeaseStore is a shared lease directory. The zero value is unusable;
+// call OpenLeaseStore. A LeaseStore holds no file descriptors between
+// calls and is safe for concurrent use within and across processes: every
+// operation takes the directory's blocking exclusive flock, re-reads the
+// state, validates, appends one fsync'd frame and unlocks.
+type LeaseStore struct {
+	dir string
+	// now is the clock and compactBytes the compaction threshold, both
+	// swappable by tests.
+	now          func() int64
+	compactBytes int64
+}
+
+// OpenLeaseStore creates (or reuses) the lease directory at dir. Unlike
+// catalog.Open it takes no long-lived lock — the store is shared by the
+// whole fleet — and performs one read pass to fail fast on an unreadable
+// directory.
+func OpenLeaseStore(dir string) (*LeaseStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: lease store: %w", err)
+	}
+	s := &LeaseStore{
+		dir:          dir,
+		now:          func() int64 { return time.Now().UnixNano() },
+		compactBytes: defaultLeaseCompactBytes,
+	}
+	if _, err := s.Snapshot(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory path.
+func (s *LeaseStore) Dir() string { return s.dir }
+
+// Claim grants shard to owner for ttl, bumping the epoch, if the current
+// lease is free, expired, or already owner's. Otherwise it returns the
+// live lease and ErrLeaseHeld. The grant is fsync'd before Claim returns:
+// only after that may the caller announce it to peers or serve the shard.
+func (s *LeaseStore) Claim(shard, owner int32, ttl time.Duration) (Lease, error) {
+	var granted Lease
+	err := s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Held(now) && cur.Owner != owner {
+			granted = cur
+			return LeaseRecord{}, fmt.Errorf("%w: shard %d owner %d epoch %d for %s",
+				ErrLeaseHeld, shard, cur.Owner, cur.Epoch, time.Duration(cur.Expiry-now))
+		}
+		granted = Lease{Owner: owner, Epoch: cur.Epoch + 1, Expiry: now + int64(ttl)}
+		return LeaseRecord{Op: LeaseOpClaim, Shard: shard, Owner: owner,
+			Epoch: granted.Epoch, Expiry: granted.Expiry, At: now}, nil
+	})
+	return granted, err
+}
+
+// Renew extends owner's lease on shard to now+ttl. The caller must
+// present the epoch it was granted; a mismatch (or a different owner)
+// returns ErrLeaseLost and the caller must stop serving the shard.
+func (s *LeaseStore) Renew(shard, owner int32, epoch uint64, ttl time.Duration) (Lease, error) {
+	var renewed Lease
+	err := s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch {
+			return LeaseRecord{}, fmt.Errorf("%w: shard %d now owner %d epoch %d",
+				ErrLeaseLost, shard, cur.Owner, cur.Epoch)
+		}
+		expiry := now + int64(ttl)
+		if expiry < cur.Expiry {
+			expiry = cur.Expiry // never shorten a grant
+		}
+		renewed = Lease{Owner: owner, Epoch: epoch, Expiry: expiry}
+		return LeaseRecord{Op: LeaseOpRenew, Shard: shard, Owner: owner,
+			Epoch: epoch, Expiry: expiry, At: now}, nil
+	})
+	return renewed, err
+}
+
+// Release lapses owner's lease on shard immediately, so peers can claim
+// it without waiting out the TTL (graceful shutdown). Releasing a lease
+// the caller no longer holds returns ErrLeaseLost, which releasers may
+// ignore: either way the caller is not the owner anymore.
+func (s *LeaseStore) Release(shard, owner int32, epoch uint64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch {
+			return LeaseRecord{}, fmt.Errorf("%w: shard %d now owner %d epoch %d",
+				ErrLeaseLost, shard, cur.Owner, cur.Epoch)
+		}
+		return LeaseRecord{Op: LeaseOpRelease, Shard: shard, Owner: owner,
+			Epoch: epoch, Expiry: now, At: now}, nil
+	})
+}
+
+// Snapshot returns the current lease table (a private copy).
+func (s *LeaseStore) Snapshot() (map[int32]Lease, error) {
+	lock, err := s.lockDir()
+	if err != nil {
+		return nil, err
+	}
+	defer lock.Close()
+	leases, _, _, err := s.loadLocked()
+	return leases, err
+}
+
+// mutate runs one serialized read-validate-append cycle: flock, replay,
+// let fn validate and produce the record, append+fsync, unlock. fn's
+// error aborts with nothing written.
+func (s *LeaseStore) mutate(fn func(leases map[int32]Lease, now int64) (LeaseRecord, error)) error {
+	lock, err := s.lockDir()
+	if err != nil {
+		return err
+	}
+	defer lock.Close()
+	leases, _, walSize, err := s.loadLocked()
+	if err != nil {
+		return err
+	}
+	rec, err := fn(leases, s.now())
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("catalog: lease encode: %w", err)
+	}
+	frame := encodeFrame(nil, payload)
+	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("catalog: lease wal: %w", err)
+	}
+	if _, err := wal.Write(frame); err != nil {
+		wal.Close()
+		return fmt.Errorf("catalog: lease wal append: %w", err)
+	}
+	// The write-ahead rule: the record is durable before mutate returns,
+	// and the caller only announces (or acts on) a lease after mutate
+	// returns. A torn tail from a crash mid-append loses a record no one
+	// ever learned of.
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return fmt.Errorf("catalog: lease wal fsync: %w", err)
+	}
+	if err := wal.Close(); err != nil {
+		return fmt.Errorf("catalog: lease wal: %w", err)
+	}
+	if walSize+int64(len(frame)) >= s.compactBytes {
+		leases[rec.Shard] = Lease{Owner: rec.Owner, Epoch: rec.Epoch, Expiry: rec.Expiry}
+		if err := s.compactLocked(leases); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lockDir takes the blocking exclusive flock on dir/lock. Closing the
+// returned file releases it.
+func (s *LeaseStore) lockDir() (*os.File, error) {
+	lf, err := os.OpenFile(filepath.Join(s.dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: lease lock: %w", err)
+	}
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("catalog: lease lock: %w", err)
+	}
+	return lf, nil
+}
+
+// leaseSnapshot is the JSON snapshot file layout.
+type leaseSnapshot struct {
+	Leases map[int32]Lease `json:"leases,omitempty"`
+}
+
+// loadLocked replays snapshot + WAL into the lease table; flock held.
+// Also returns the replayed WAL records (the auditable history since the
+// last compaction) and the WAL's byte size.
+func (s *LeaseStore) loadLocked() (map[int32]Lease, []LeaseRecord, int64, error) {
+	var snap leaseSnapshot
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, nil, 0, fmt.Errorf("catalog: lease snapshot: %w", err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return nil, nil, 0, fmt.Errorf("catalog: lease snapshot: %w", err)
+	}
+	leases := snap.Leases
+	if leases == nil {
+		leases = make(map[int32]Lease)
+	}
+	walData, err := os.ReadFile(filepath.Join(s.dir, walName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, 0, fmt.Errorf("catalog: lease wal: %w", err)
+	}
+	var records []LeaseRecord
+	for _, payload := range decodeFrames(walData) {
+		var r LeaseRecord
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break // undecodable frame: torn tail
+		}
+		records = append(records, r)
+		leases[r.Shard] = Lease{Owner: r.Owner, Epoch: r.Epoch, Expiry: r.Expiry}
+	}
+	return leases, records, int64(len(walData)), nil
+}
+
+// compactLocked folds the table into a fresh snapshot (temp + fsync +
+// rename + dir fsync, as the routing catalog does) and truncates the WAL;
+// flock held.
+func (s *LeaseStore) compactLocked(leases map[int32]Lease) error {
+	data, err := json.MarshalIndent(leaseSnapshot{Leases: leases}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalog: lease snapshot encode: %w", err)
+	}
+	tmpPath := filepath.Join(s.dir, snapshotName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("catalog: lease snapshot: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: lease snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: lease snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: lease snapshot: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("catalog: lease snapshot rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.dir, walName), 0); err != nil {
+		return fmt.Errorf("catalog: lease wal truncate: %w", err)
+	}
+	return nil
+}
+
+// Verify audits the lease log since the last compaction: starting from
+// the snapshot it re-checks every record's precondition — a claim only
+// over a free, expired or same-owner lease with the epoch bumped by
+// exactly one; renew and release only by the holder at an unchanged
+// epoch. Any violation means two gateways were granted overlapping
+// ownership, which the flock-serialized mutate path is built to make
+// impossible; the chaos and e2e tests call Verify as their no-dual-
+// ownership oracle.
+func (s *LeaseStore) Verify() error {
+	lock, err := s.lockDir()
+	if err != nil {
+		return err
+	}
+	defer lock.Close()
+	var snap leaseSnapshot
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("catalog: lease snapshot: %w", err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return fmt.Errorf("catalog: lease snapshot: %w", err)
+	}
+	leases := snap.Leases
+	if leases == nil {
+		leases = make(map[int32]Lease)
+	}
+	walData, err := os.ReadFile(filepath.Join(s.dir, walName))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("catalog: lease wal: %w", err)
+	}
+	for i, payload := range decodeFrames(walData) {
+		var r LeaseRecord
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break // torn tail ends the auditable log
+		}
+		cur := leases[r.Shard]
+		switch r.Op {
+		case LeaseOpClaim:
+			if cur.Held(r.At) && cur.Owner != r.Owner {
+				return fmt.Errorf("catalog: lease log %d: claim of shard %d by %d overlaps %d's lease (epoch %d, %s left)",
+					i, r.Shard, r.Owner, cur.Owner, cur.Epoch, time.Duration(cur.Expiry-r.At))
+			}
+			if r.Epoch != cur.Epoch+1 {
+				return fmt.Errorf("catalog: lease log %d: claim of shard %d skips epoch %d -> %d",
+					i, r.Shard, cur.Epoch, r.Epoch)
+			}
+		case LeaseOpRenew, LeaseOpRelease:
+			if cur.Owner != r.Owner || cur.Epoch != r.Epoch {
+				return fmt.Errorf("catalog: lease log %d: %v of shard %d by %d/%d but lease is %d/%d",
+					i, r.Op, r.Shard, r.Owner, r.Epoch, cur.Owner, cur.Epoch)
+			}
+		default:
+			return fmt.Errorf("catalog: lease log %d: unknown op %v", i, r.Op)
+		}
+		leases[r.Shard] = Lease{Owner: r.Owner, Epoch: r.Epoch, Expiry: r.Expiry}
+	}
+	return nil
+}

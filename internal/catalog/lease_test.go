@@ -1,0 +1,347 @@
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets lease tests advance wall time without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	t   int64
+	tck int64
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: 1_000_000_000} }
+
+// now ticks by a nanosecond per read so no two operations share an
+// instant (the store records At per mutation).
+func (c *fakeClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tck++
+	return c.t + c.tck
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t += int64(d)
+}
+
+func openTestLeaseStore(t *testing.T, dir string) (*LeaseStore, *fakeClock) {
+	t.Helper()
+	s, err := OpenLeaseStore(dir)
+	if err != nil {
+		t.Fatalf("OpenLeaseStore: %v", err)
+	}
+	clk := newFakeClock()
+	s.now = clk.now
+	return s, clk
+}
+
+func TestLeaseClaimRenewRelease(t *testing.T) {
+	s, _ := openTestLeaseStore(t, t.TempDir())
+	const ttl = time.Second
+
+	l, err := s.Claim(0, 1, ttl)
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if l.Owner != 1 || l.Epoch != 1 {
+		t.Fatalf("claimed lease = %+v, want owner 1 epoch 1", l)
+	}
+
+	// A live lease blocks other owners and reports the holder.
+	held, err := s.Claim(0, 2, ttl)
+	if !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("Claim over live lease: err = %v, want ErrLeaseHeld", err)
+	}
+	if held.Owner != 1 || held.Epoch != 1 {
+		t.Fatalf("blocking lease = %+v, want owner 1 epoch 1", held)
+	}
+
+	// Renew extends without changing the epoch; the wrong epoch is fenced.
+	r, err := s.Renew(0, 1, 1, ttl)
+	if err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if r.Epoch != 1 || r.Expiry < l.Expiry {
+		t.Fatalf("renewed lease = %+v (was %+v)", r, l)
+	}
+	if _, err := s.Renew(0, 1, 7, ttl); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Renew with stale epoch: err = %v, want ErrLeaseLost", err)
+	}
+	if _, err := s.Renew(0, 2, 1, ttl); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Renew by non-owner: err = %v, want ErrLeaseLost", err)
+	}
+
+	// Release opens the shard to the next claim, which bumps the epoch.
+	if err := s.Release(0, 1, 1); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	l2, err := s.Claim(0, 2, ttl)
+	if err != nil {
+		t.Fatalf("Claim after release: %v", err)
+	}
+	if l2.Owner != 2 || l2.Epoch != 2 {
+		t.Fatalf("lease after release = %+v, want owner 2 epoch 2", l2)
+	}
+
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestLeaseExpiryFailover(t *testing.T) {
+	s, clk := openTestLeaseStore(t, t.TempDir())
+	const ttl = time.Second
+
+	if _, err := s.Claim(3, 1, ttl); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if _, err := s.Claim(3, 2, ttl); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("early claim: err = %v, want ErrLeaseHeld", err)
+	}
+
+	// Past the TTL the shard is anyone's; the epoch fences the old owner.
+	clk.advance(2 * ttl)
+	l, err := s.Claim(3, 2, ttl)
+	if err != nil {
+		t.Fatalf("Claim after expiry: %v", err)
+	}
+	if l.Owner != 2 || l.Epoch != 2 {
+		t.Fatalf("failover lease = %+v, want owner 2 epoch 2", l)
+	}
+	if _, err := s.Renew(3, 1, 1, ttl); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale owner renew: err = %v, want ErrLeaseLost", err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestLeaseReclaimByOwner: re-claiming one's own live lease (a restarted
+// gateway with the same id) succeeds and bumps the epoch.
+func TestLeaseReclaimByOwner(t *testing.T) {
+	s, _ := openTestLeaseStore(t, t.TempDir())
+	if _, err := s.Claim(0, 1, time.Second); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	l, err := s.Claim(0, 1, time.Second)
+	if err != nil {
+		t.Fatalf("re-Claim: %v", err)
+	}
+	if l.Epoch != 2 {
+		t.Fatalf("re-claimed epoch = %d, want 2", l.Epoch)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestLeaseStoreSharedHandles drives one directory through two separate
+// LeaseStore handles, as two gateway processes would: every mutation
+// re-reads disk, so each handle always validates against the freshest
+// state.
+func TestLeaseStoreSharedHandles(t *testing.T) {
+	dir := t.TempDir()
+	a, clkA := openTestLeaseStore(t, dir)
+	b, err := OpenLeaseStore(dir)
+	if err != nil {
+		t.Fatalf("second OpenLeaseStore: %v", err)
+	}
+	b.now = clkA.now // share the clock
+
+	if _, err := a.Claim(0, 1, time.Second); err != nil {
+		t.Fatalf("a.Claim: %v", err)
+	}
+	if _, err := b.Claim(0, 2, time.Second); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("b.Claim through second handle: err = %v, want ErrLeaseHeld", err)
+	}
+	snap, err := b.Snapshot()
+	if err != nil {
+		t.Fatalf("b.Snapshot: %v", err)
+	}
+	if got := snap[0]; got.Owner != 1 || got.Epoch != 1 {
+		t.Fatalf("snapshot through second handle = %+v, want owner 1 epoch 1", got)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestLeaseStoreConcurrentClaims races many goroutines (each with its own
+// handle, as separate processes would have) claiming the same shards;
+// the flock-serialized store must grant each epoch exactly once and the
+// audit log must stay coherent.
+func TestLeaseStoreConcurrentClaims(t *testing.T) {
+	dir := t.TempDir()
+	base, _ := openTestLeaseStore(t, dir)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(owner int32) {
+			defer wg.Done()
+			s, err := OpenLeaseStore(dir)
+			if err != nil {
+				t.Errorf("OpenLeaseStore: %v", err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				l, err := s.Claim(int32(i%2), owner, 50*time.Millisecond)
+				if err != nil {
+					if !errors.Is(err, ErrLeaseHeld) {
+						t.Errorf("Claim: %v", err)
+					}
+					continue
+				}
+				// Renew once, then let the lease lapse or lose it.
+				if _, err := s.Renew(int32(i%2), owner, l.Epoch, 50*time.Millisecond); err != nil &&
+					!errors.Is(err, ErrLeaseLost) {
+					t.Errorf("Renew: %v", err)
+				}
+			}
+		}(int32(w + 1))
+	}
+	wg.Wait()
+	if err := base.Verify(); err != nil {
+		t.Fatalf("Verify after concurrent claims: %v", err)
+	}
+}
+
+// TestLeaseStoreReload reopens the directory and checks the table
+// survived; then tears the WAL mid-frame and checks replay stops at the
+// torn tail instead of failing.
+func TestLeaseStoreReload(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestLeaseStore(t, dir)
+	if _, err := s.Claim(0, 1, time.Hour); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if _, err := s.Claim(1, 2, time.Hour); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+
+	re, err := OpenLeaseStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	snap, err := re.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap[0].Owner != 1 || snap[1].Owner != 2 {
+		t.Fatalf("reloaded table = %+v", snap)
+	}
+
+	// Tear the second record's frame: the first claim must survive.
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := OpenLeaseStore(dir)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	snap, err = torn.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot torn: %v", err)
+	}
+	if snap[0].Owner != 1 {
+		t.Fatalf("first record lost to torn tail: %+v", snap)
+	}
+	if l, ok := snap[1]; ok && l.Owner == 2 {
+		t.Fatalf("torn record replayed: %+v", l)
+	}
+	if err := torn.Verify(); err != nil {
+		t.Fatalf("Verify on torn log: %v", err)
+	}
+}
+
+// TestLeaseStoreCompaction drops the threshold so a few records trigger
+// compaction, and checks the table survives the fold and the WAL resets.
+func TestLeaseStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestLeaseStore(t, dir)
+	s.compactBytes = 1 // every mutation compacts
+
+	if _, err := s.Claim(0, 1, time.Hour); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if _, err := s.Claim(1, 2, time.Hour); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("wal after compaction: size %v err %v, want empty", fi, err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap[0].Owner != 1 || snap[1].Owner != 2 {
+		t.Fatalf("table after compaction = %+v", snap)
+	}
+	re, err := OpenLeaseStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	snap, err = re.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot after reopen: %v", err)
+	}
+	if snap[0].Owner != 1 || snap[1].Owner != 2 {
+		t.Fatalf("reloaded compacted table = %+v", snap)
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestLeaseVerifyCatchesOverlap forges a WAL whose second claim overlaps
+// a live lease (the violation Verify exists to catch) and checks Verify
+// rejects it.
+func TestLeaseVerifyCatchesOverlap(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestLeaseStore(t, dir)
+	if _, err := s.Claim(0, 1, time.Hour); err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	// Forge an overlapping claim directly into the WAL, bypassing the
+	// store's validation.
+	snapAfter, _ := s.Snapshot()
+	forged := LeaseRecord{Op: LeaseOpClaim, Shard: 0, Owner: 2,
+		Epoch: snapAfter[0].Epoch + 1, Expiry: snapAfter[0].Expiry + int64(time.Hour),
+		At: snapAfter[0].Expiry - int64(30*time.Minute)}
+	payload, err := json.Marshal(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Write(encodeFrame(nil, payload)); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	err = s.Verify()
+	if err == nil {
+		t.Fatal("Verify accepted an overlapping claim")
+	}
+	if !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("Verify error = %v, want overlap report", err)
+	}
+}

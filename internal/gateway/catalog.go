@@ -140,8 +140,17 @@ func (g *Gateway) restoreFromCatalog(st catalog.State) (*RestoreInfo, error) {
 	// fsync for the whole reconciliation instead of one per record.
 	var recs []catalog.Record
 
-	// Namespace allocator.
-	g.ns.next = st.NextNS
+	// Namespace allocator. A fleet member cannot trust the global NextNS:
+	// adopted groups raise it into other members' slices (noteAllocated
+	// runs for every GroupServe/ObjectSet), and resuming there would mint
+	// namespaces a live peer owns. It rescans its own slice instead;
+	// namespaces allocated but never used are re-minted, which is safe
+	// because node state only ever exists under a durable GroupServe.
+	if g.fleet != nil {
+		g.ns.next = g.fleet.restoreNext(&st)
+	} else {
+		g.ns.next = st.NextNS
+	}
 	g.ns.free = append([]int32(nil), st.FreeNS...)
 
 	// Placement pins; pins onto shards that no longer exist are dropped.
@@ -283,8 +292,16 @@ func (g *Gateway) restoreFromCatalog(st catalog.State) (*RestoreInfo, error) {
 	for _, ns := range g.ns.free {
 		free[ns] = true
 	}
-	for ns := int32(0); ns < g.ns.next; ns++ {
-		if !free[ns] && !live[ns] {
+	// The sweep covers this gateway's own allocation range (its fleet
+	// slice, or everything when single); quarantined namespaces were
+	// adopted away by a fleet peer and are the adopter's now — recycling
+	// one would hand out an id whose group another gateway serves.
+	sweepLo := int32(0)
+	if g.fleet != nil {
+		sweepLo = g.fleet.nsLo
+	}
+	for ns := sweepLo; ns < g.ns.next; ns++ {
+		if !free[ns] && !live[ns] && !st.Quarantined(ns) {
 			g.ns.free = append(g.ns.free, ns)
 			recs = append(recs, catalog.Record{Type: catalog.TypeNSRecycle, NS: ns})
 		}

@@ -169,6 +169,13 @@ type Config struct {
 	// naive-repair override for experiments. Nil disables the background
 	// loop but explicit ScrubRemote/RepairRemote calls always work.
 	Repair *RepairOptions
+	// Fleet, when non-nil, makes this gateway one member of a multi-gateway
+	// fleet fronting one node fleet: shard ownership is partitioned by
+	// leases in the shared store, operations on shards owned elsewhere are
+	// forwarded to the owner, and a member that stops renewing fails over
+	// to a survivor (see fleet.go). Requires Catalog and an all-tcp
+	// Topology; keyspace reshaping (Resize, MigrateKey) is disabled.
+	Fleet *FleetConfig
 }
 
 // group is the backend-agnostic surface of one key's LDS cluster: pooled
@@ -256,6 +263,9 @@ type Gateway struct {
 	// topology has TCP shards, it owns the gateway's tcpnet listener, the
 	// provisioning control plane and the remote-group registry.
 	remote *remoteManager
+	// fleet is the multi-gateway runtime (leases, forwarding, failover);
+	// non-nil iff Config.Fleet was set.
+	fleet *fleet
 
 	// route is the key→shard control plane. Its lock orders strictly
 	// before any shard's lock (route.mu → shard.mu); nothing takes
@@ -402,6 +412,20 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		g.remote.log = g.logRecord
 	}
+	if cfg.Fleet != nil {
+		// Built (and validated) before the restore so the namespace
+		// allocator can be confined to this member's slice; started at the
+		// end of New, once the restored state it would adopt into exists.
+		g.fleet, err = newFleet(g, *cfg.Fleet)
+		if err != nil {
+			g.net.Close()
+			if g.remote != nil {
+				g.remote.close()
+			}
+			return nil, err
+		}
+		g.ns.next = g.fleet.nsLo
+	}
 	g.route.ring = ring
 	g.route.placement = make(map[string]int)
 	g.route.migrating = make(map[string]bool)
@@ -442,6 +466,15 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Repair != nil && cfg.Repair.Interval > 0 && g.remote != nil {
 		g.repairStopped = make(chan struct{})
 		go g.repairLoop(cfg.Repair.Interval)
+	}
+	if g.fleet != nil {
+		if err := g.fleet.start(); err != nil {
+			// The fleet never ran; tear the rest down through the normal
+			// close path (detaching, since fleet mode implies a catalog).
+			g.fleet = nil
+			g.Close()
+			return nil, err
+		}
 	}
 	return g, nil
 }
@@ -706,6 +739,13 @@ func (g *Gateway) Ensure(ctx context.Context, keys ...string) error {
 	ctx, cancel := g.opContext(ctx)
 	defer cancel()
 	for _, key := range keys {
+		if f := g.fleet; f != nil {
+			if sh := g.ShardFor(key); !f.owns(sh) {
+				// Ensure is an owner-side provisioning step, not a client
+				// operation; creating the group here would race the owner's.
+				return fmt.Errorf("gateway: ensure %q: shard %d is leased to another fleet gateway", key, sh)
+			}
+		}
 		for {
 			if err := ctx.Err(); err != nil {
 				return g.opErr(fmt.Errorf("gateway: ensure %q: %w", key, err))
@@ -732,7 +772,20 @@ func (g *Gateway) Ensure(ctx context.Context, keys ...string) error {
 	return nil
 }
 
-// Put writes value under key and returns the tag of the write.
+// Put writes value under key and returns the tag of the write. On a fleet
+// member the operation runs locally only if this gateway holds the key's
+// shard lease; otherwise it is forwarded to the owner (see fleet.go), so
+// every fleet member is a full front door for the whole keyspace.
+func (g *Gateway) Put(ctx context.Context, key string, value []byte) (tag.Tag, error) {
+	if f := g.fleet; f != nil {
+		if sh := g.ShardFor(key); !f.owns(sh) {
+			return g.forwardPut(ctx, key, sh, value)
+		}
+	}
+	return g.putLocal(ctx, key, value)
+}
+
+// putLocal executes a write on this gateway's own groups.
 //
 // Ordering matters here: the key's pooled client is checked out before
 // the shard's semaphore token, so an operation parked behind a hot key's
@@ -741,7 +794,7 @@ func (g *Gateway) Ensure(ctx context.Context, keys ...string) error {
 // shard siblings. A client checked out of a retired pool (the key's group
 // was migrated away between lookup and checkout) is returned and the
 // lookup retried against the key's new home.
-func (g *Gateway) Put(ctx context.Context, key string, value []byte) (tag.Tag, error) {
+func (g *Gateway) putLocal(ctx context.Context, key string, value []byte) (tag.Tag, error) {
 	if err := g.beginOp(); err != nil {
 		return tag.Tag{}, err
 	}
@@ -774,8 +827,19 @@ func (g *Gateway) Put(ctx context.Context, key string, value []byte) (tag.Tag, e
 }
 
 // Get reads the value stored under key and the tag it was written under.
-// Pool-before-semaphore ordering and retired-pool retry as in Put.
+// Fleet routing as in Put: non-owned shards are forwarded to the owner.
 func (g *Gateway) Get(ctx context.Context, key string) ([]byte, tag.Tag, error) {
+	if f := g.fleet; f != nil {
+		if sh := g.ShardFor(key); !f.owns(sh) {
+			return g.forwardGet(ctx, key, sh)
+		}
+	}
+	return g.getLocal(ctx, key)
+}
+
+// getLocal executes a read on this gateway's own groups.
+// Pool-before-semaphore ordering and retired-pool retry as in putLocal.
+func (g *Gateway) getLocal(ctx context.Context, key string) ([]byte, tag.Tag, error) {
 	if err := g.beginOp(); err != nil {
 		return nil, tag.Tag{}, err
 	}
@@ -872,6 +936,12 @@ func (g *Gateway) Close() error {
 	g.closeStop()
 	if g.repairStopped != nil {
 		<-g.repairStopped // the background repair loop is off the transport
+	}
+	if g.fleet != nil {
+		// Stop renewing and (on a graceful stop) release the leases, so a
+		// surviving peer claims the shards without waiting out the TTL.
+		// In-flight forwards were unblocked by closeStop above.
+		g.fleet.stopAndRelease()
 	}
 	g.inflight.Wait()
 	detach := g.cfg.Catalog != nil

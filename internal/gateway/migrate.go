@@ -47,6 +47,9 @@ var (
 // independently. While a Resize drain is running, MigrateKey returns
 // ErrResizing.
 func (g *Gateway) MigrateKey(ctx context.Context, key string, to int) error {
+	if g.fleet != nil {
+		return ErrFleetStatic
+	}
 	if err := g.beginOp(); err != nil {
 		return err
 	}
@@ -217,6 +220,9 @@ func (g *Gateway) placeRecsLocked(key string, sh int) []catalog.Record {
 // un-drained keys simply remain pinned to their old shards and keep
 // serving — and a later Resize to the same shard count resumes the drain.
 func (g *Gateway) Resize(ctx context.Context, n int) error {
+	if g.fleet != nil {
+		return ErrFleetStatic
+	}
 	if err := g.beginOp(); err != nil {
 		return err
 	}

@@ -1,0 +1,12 @@
+package multiobj
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/leaktest"
+)
+
+// The multi-object experiment drives a full gateway (writer pools, shard
+// workers, storage samplers) from concurrent load goroutines; the leak
+// check proves every run's machinery tears down with it.
+func TestMain(m *testing.M) { leaktest.VerifyTestMain(m) }

@@ -1,0 +1,312 @@
+package transport_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// fakeNetwork is a minimal base Network that records registrations and
+// sends in base index space, so tests can observe the namespace view's
+// boundary translation directly instead of inferring it through a real
+// transport.
+type fakeNetwork struct {
+	mu       sync.Mutex
+	handlers map[wire.ProcID]transport.Handler
+	sends    []sendRec
+	closed   bool
+
+	crashes []wire.ProcID // set only when used through fakeCrashNetwork
+}
+
+type sendRec struct {
+	from, to wire.ProcID
+	msg      wire.Message
+}
+
+func newFakeNetwork() *fakeNetwork {
+	return &fakeNetwork{handlers: make(map[wire.ProcID]transport.Handler)}
+}
+
+func (f *fakeNetwork) Register(id wire.ProcID, h transport.Handler) (transport.Node, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.handlers[id]; dup {
+		return nil, errors.New("fake: duplicate registration")
+	}
+	f.handlers[id] = h
+	return &fakeNode{net: f, id: id}, nil
+}
+
+func (f *fakeNetwork) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// deliver invokes the handler registered for a base-space id.
+func (f *fakeNetwork) deliver(env wire.Envelope) bool {
+	f.mu.Lock()
+	h := f.handlers[env.To]
+	f.mu.Unlock()
+	if h == nil {
+		return false
+	}
+	h(env)
+	return true
+}
+
+func (f *fakeNetwork) registered(id wire.ProcID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.handlers[id] != nil
+}
+
+type fakeNode struct {
+	net *fakeNetwork
+	id  wire.ProcID
+}
+
+func (n *fakeNode) ID() wire.ProcID { return n.id }
+
+func (n *fakeNode) Send(to wire.ProcID, msg wire.Message) error {
+	n.net.mu.Lock()
+	defer n.net.mu.Unlock()
+	n.net.sends = append(n.net.sends, sendRec{from: n.id, to: to, msg: msg})
+	return nil
+}
+
+func (n *fakeNode) Close() error {
+	n.net.mu.Lock()
+	defer n.net.mu.Unlock()
+	delete(n.net.handlers, n.id)
+	return nil
+}
+
+// fakeCrashNetwork adds the optional Crasher and Idler surfaces.
+type fakeCrashNetwork struct {
+	*fakeNetwork
+	idleErr error
+}
+
+func (f *fakeCrashNetwork) Crash(id wire.ProcID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashes = append(f.crashes, id)
+}
+
+func (f *fakeCrashNetwork) WaitIdle(time.Duration) error { return f.idleErr }
+
+func TestNamespaceGroupRange(t *testing.T) {
+	base := newFakeNetwork()
+	for _, g := range []int32{0, 1, transport.MaxNamespaceGroups - 1} {
+		n, err := transport.Namespace(base, g)
+		if err != nil {
+			t.Errorf("Namespace(%d): %v", g, err)
+			continue
+		}
+		if got := n.Group(); got != g {
+			t.Errorf("Namespace(%d).Group() = %d", g, got)
+		}
+	}
+	for _, g := range []int32{-1, transport.MaxNamespaceGroups, math.MaxInt32} {
+		if _, err := transport.Namespace(base, g); err == nil {
+			t.Errorf("Namespace(%d): want error, got nil", g)
+		}
+	}
+}
+
+// TestNamespaceStrideOverflow pins the arithmetic headroom the namespace
+// scheme depends on: the top index of the top allowed group must fit in
+// an int32, and the cap must lie within one group of the true ceiling —
+// growing either constant without rechecking the arithmetic fails here.
+func TestNamespaceStrideOverflow(t *testing.T) {
+	const top = int64(transport.MaxNamespaceGroups-1)*transport.NamespaceStride + transport.NamespaceStride - 1
+	if top > math.MaxInt32 {
+		t.Fatalf("top index %d overflows int32", top)
+	}
+	// Two groups past the cap is guaranteed overflow territory (the cap
+	// itself may leave at most one group of slack to the int32 ceiling).
+	if over := top + 2*transport.NamespaceStride; over <= math.MaxInt32 {
+		t.Fatalf("MaxNamespaceGroups leaves more than one group of slack (index %d still fits int32)", over)
+	}
+
+	// The top group's offsets must survive the real int32 arithmetic:
+	// register the highest legal index and check the base-space id.
+	base := newFakeNetwork()
+	n, err := transport.Namespace(base, transport.MaxNamespaceGroups-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := n.Register(wire.ProcID{Role: wire.RoleL1, Index: transport.NamespaceStride - 1}, func(wire.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	want := wire.ProcID{Role: wire.RoleL1, Index: int32(top)}
+	if !base.registered(want) {
+		t.Fatalf("top-group registration did not land on base id %v", want)
+	}
+}
+
+func TestNamespaceRegisterBounds(t *testing.T) {
+	n, err := transport.Namespace(newFakeNetwork(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := func(wire.Envelope) {}
+	for _, idx := range []int32{-1, transport.NamespaceStride, transport.NamespaceStride + 5} {
+		if _, err := n.Register(wire.ProcID{Role: wire.RoleL1, Index: idx}, handler); err == nil {
+			t.Errorf("Register(index %d): want error, got nil", idx)
+		}
+	}
+	if _, err := n.Register(wire.ProcID{Role: wire.RoleL1, Index: 0}, nil); err == nil {
+		t.Error("Register(nil handler): want error, got nil")
+	}
+}
+
+// TestNamespaceTranslation checks both directions of the boundary: a node
+// registered through the view sends into base index space, and deliveries
+// arriving in base space reach the handler with group-local addresses.
+func TestNamespaceTranslation(t *testing.T) {
+	const group = 5
+	base := newFakeNetwork()
+	n, err := transport.Namespace(base, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []wire.Envelope
+	nd, err := n.Register(wire.ProcID{Role: wire.RoleL1, Index: 3}, func(env wire.Envelope) {
+		got = append(got, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := nd.ID(); id.Index != 3 {
+		t.Errorf("node ID is %v, want group-local index 3", id)
+	}
+
+	if err := nd.Send(wire.ProcID{Role: wire.RoleL2, Index: 1}, wire.NodePing{Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	const offset = group * transport.NamespaceStride
+	if len(base.sends) != 1 {
+		t.Fatalf("base recorded %d sends, want 1", len(base.sends))
+	}
+	if want := (wire.ProcID{Role: wire.RoleL2, Index: offset + 1}); base.sends[0].to != want {
+		t.Errorf("send translated to %v, want %v", base.sends[0].to, want)
+	}
+	if want := (wire.ProcID{Role: wire.RoleL1, Index: offset + 3}); base.sends[0].from != want {
+		t.Errorf("send originated from %v, want %v", base.sends[0].from, want)
+	}
+
+	ok := base.deliver(wire.Envelope{
+		From: wire.ProcID{Role: wire.RoleL2, Index: offset + 2},
+		To:   wire.ProcID{Role: wire.RoleL1, Index: offset + 3},
+		Msg:  wire.NodePing{Seq: 10},
+	})
+	if !ok {
+		t.Fatal("no handler at the translated base id")
+	}
+	if len(got) != 1 {
+		t.Fatalf("handler saw %d envelopes, want 1", len(got))
+	}
+	if want := (wire.ProcID{Role: wire.RoleL2, Index: 2}); got[0].From != want {
+		t.Errorf("delivered From = %v, want group-local %v", got[0].From, want)
+	}
+	if want := (wire.ProcID{Role: wire.RoleL1, Index: 3}); got[0].To != want {
+		t.Errorf("delivered To = %v, want group-local %v", got[0].To, want)
+	}
+}
+
+// TestNamespaceDisjoint registers the same group-local id in two groups
+// and checks the base network sees two distinct endpoints.
+func TestNamespaceDisjoint(t *testing.T) {
+	base := newFakeNetwork()
+	id := wire.ProcID{Role: wire.RoleL1, Index: 0}
+	for _, g := range []int32{1, 2} {
+		n, err := transport.Namespace(base, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Register(id, func(wire.Envelope) {}); err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+	}
+	for _, g := range []int32{1, 2} {
+		baseID := wire.ProcID{Role: wire.RoleL1, Index: g * transport.NamespaceStride}
+		if !base.registered(baseID) {
+			t.Errorf("group %d registration missing at base id %v", g, baseID)
+		}
+	}
+}
+
+// TestNamespaceCloseScope: closing a view unregisters only its own nodes
+// and leaves the base network (and sibling views) running.
+func TestNamespaceCloseScope(t *testing.T) {
+	base := newFakeNetwork()
+	mk := func(g int32) *transport.NamespacedNetwork {
+		n, err := transport.Namespace(base, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Register(wire.ProcID{Role: wire.RoleL1, Index: 0}, func(wire.Envelope) {}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a, b := mk(1), mk(2)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if base.registered(wire.ProcID{Role: wire.RoleL1, Index: 1 * transport.NamespaceStride}) {
+		t.Error("closed view's node still registered on the base")
+	}
+	if !base.registered(wire.ProcID{Role: wire.RoleL1, Index: 2 * transport.NamespaceStride}) {
+		t.Error("sibling view's node was unregistered")
+	}
+	if base.closed {
+		t.Error("view Close closed the base network")
+	}
+	// A recycled group id registers cleanly after Close.
+	if _, err := transport.Namespace(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNamespaceOptionalSurfaces: Crash and WaitIdle forward to the base
+// network when it has them (translated into base index space) and degrade
+// gracefully when it does not.
+func TestNamespaceOptionalSurfaces(t *testing.T) {
+	plain, err := transport.Namespace(newFakeNetwork(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Crash(wire.ProcID{Role: wire.RoleL1, Index: 0}) // must not panic
+	if err := plain.WaitIdle(time.Millisecond); err == nil {
+		t.Error("WaitIdle on a base without an idler: want error, got nil")
+	}
+
+	crashBase := &fakeCrashNetwork{fakeNetwork: newFakeNetwork()}
+	n, err := transport.Namespace(crashBase, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Crash(wire.ProcID{Role: wire.RoleL1, Index: 4})
+	want := wire.ProcID{Role: wire.RoleL1, Index: 3*transport.NamespaceStride + 4}
+	if len(crashBase.crashes) != 1 || crashBase.crashes[0] != want {
+		t.Errorf("Crash forwarded as %v, want [%v]", crashBase.crashes, want)
+	}
+	if err := n.WaitIdle(time.Millisecond); err != nil {
+		t.Errorf("WaitIdle through an idler base: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/transport"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+func TestLatencyClass(t *testing.T) {
+	m := transport.LatencyModel{
+		Tau0: 1 * time.Millisecond,
+		Tau1: 2 * time.Millisecond,
+		Tau2: 3 * time.Millisecond,
+	}
+	cases := []struct {
+		from, to wire.Role
+		want     time.Duration
+	}{
+		// tau0: L1 <-> L1.
+		{wire.RoleL1, wire.RoleL1, m.Tau0},
+		// tau2: the cross-layer links, both directions.
+		{wire.RoleL1, wire.RoleL2, m.Tau2},
+		{wire.RoleL2, wire.RoleL1, m.Tau2},
+		// tau1: client <-> L1, both directions, both client roles.
+		{wire.RoleWriter, wire.RoleL1, m.Tau1},
+		{wire.RoleReader, wire.RoleL1, m.Tau1},
+		{wire.RoleL1, wire.RoleWriter, m.Tau1},
+		{wire.RoleL1, wire.RoleReader, m.Tau1},
+		// Links the paper's model does not name fall back to tau1.
+		{wire.RoleWriter, wire.RoleReader, m.Tau1},
+		{wire.RoleL2, wire.RoleL2, m.Tau1},
+		{wire.RoleControl, wire.RoleControl, m.Tau1},
+	}
+	for _, c := range cases {
+		if got := m.Class(c.from, c.to); got != c.want {
+			t.Errorf("Class(%v, %v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := transport.Uniform(5 * time.Millisecond)
+	if m.Tau0 != 5*time.Millisecond || m.Tau1 != 5*time.Millisecond || m.Tau2 != 5*time.Millisecond {
+		t.Errorf("Uniform(5ms) = %+v", m)
+	}
+	if m.Jitter != 0 {
+		t.Errorf("Uniform sets jitter %v, want 0", m.Jitter)
+	}
+	if m.IsZero() {
+		t.Error("Uniform(5ms).IsZero() = true")
+	}
+}
+
+func TestLatencyIsZero(t *testing.T) {
+	cases := []struct {
+		name string
+		m    transport.LatencyModel
+		want bool
+	}{
+		{"zero value", transport.LatencyModel{}, true},
+		{"jitter only", transport.LatencyModel{Jitter: 0.5}, true},
+		{"tau0", transport.LatencyModel{Tau0: time.Nanosecond}, false},
+		{"tau1", transport.LatencyModel{Tau1: time.Nanosecond}, false},
+		{"tau2", transport.LatencyModel{Tau2: time.Nanosecond}, false},
+		{"chaos", transport.LatencyModel{ChaosMax: time.Nanosecond}, false},
+	}
+	for _, c := range cases {
+		if got := c.m.IsZero(); got != c.want {
+			t.Errorf("%s: IsZero() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

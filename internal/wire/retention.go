@@ -82,6 +82,12 @@ var AliasFields = []AliasField{
 	// The control plane: a GroupServe seed value is adopted by the node's
 	// seeded servers for the group's lifetime.
 	{Type: "GroupServe", Field: "Value", Class: RetainForever},
+	// The gateway peer plane (PR 9): a forwarded put's value lives for
+	// the one operation the owner executes on the origin's behalf; a
+	// forwarded get's result is returned to the waiting client and
+	// escapes the operation with it (the QueryDataResp rule).
+	{Type: "PeerForward", Field: "Value", Class: RetainOp},
+	{Type: "PeerForwardResp", Field: "Value", Class: RetainOp},
 }
 
 // AliasFieldClass looks up the retention class for typeName.fieldName,
