@@ -99,6 +99,15 @@ const (
 	// adopter (or its own restart) could re-issue a generation some node
 	// still holds for different state.
 	TypeGenFloor
+	// TypeForwardDone records that a forwarded put from a fleet peer
+	// (identified by Origin and its sequence number Seq) was executed here
+	// under Tag, on shard Shard. Logged write-ahead of the forward
+	// response, it survives both a gateway restart and — transferred by
+	// failover adoption — the gateway's death, so a retransmitted forward
+	// replays the recorded tag at the successor instead of re-applying the
+	// put (a re-applied put would mint a second, later tag for the same
+	// write: a phantom). Kept per origin up to a cap; see State.Forwards.
+	TypeForwardDone
 )
 
 // String names the record type.
@@ -126,6 +135,8 @@ func (t Type) String() string {
 		return "ns-quarantine"
 	case TypeGenFloor:
 		return "gen-floor"
+	case TypeForwardDone:
+		return "forward-done"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -157,6 +168,19 @@ type Record struct {
 	N2    int32           `json:"n2,omitempty"`
 	F1    int32           `json:"f1,omitempty"`
 	F2    int32           `json:"f2,omitempty"`
+	// Origin and Seq identify a forwarded operation for TypeForwardDone:
+	// the fleet id of the gateway the operation entered at, and that
+	// gateway's sequence number for it.
+	Origin int32  `json:"origin,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+}
+
+// ForwardExec is one executed forwarded put in the materialized state:
+// the tag the write committed under and the shard it landed on (the
+// filter failover adoption transfers records by).
+type ForwardExec struct {
+	Shard int     `json:"shard"`
+	Tag   tag.Tag `json:"tag"`
 }
 
 // Object is a key's group binding in the materialized state.
@@ -205,7 +229,18 @@ type State struct {
 	// (TypeNSQuarantine): adopted away by a fleet peer during failover,
 	// they are never free, never recycled and never swept.
 	Quarantine []int32 `json:"quarantine,omitempty"`
+	// Forwards is the duplicate-suppression record of executed forwarded
+	// puts, by origin gateway then sequence number, capped at
+	// MaxForwardsPerOrigin newest entries per origin (origins number their
+	// forwards from a boot-time clock seed, so higher seq means newer).
+	Forwards map[int32]map[uint64]ForwardExec `json:"forwards,omitempty"`
 }
+
+// MaxForwardsPerOrigin bounds State.Forwards per origin gateway: enough to
+// cover every forward an origin can have in flight or retransmitting, so
+// dropping the oldest entries past it never forgets a forward whose origin
+// might still retransmit.
+const MaxForwardsPerOrigin = 1024
 
 // newState returns an empty state with allocated maps.
 func newState() State {
@@ -235,6 +270,16 @@ func (s *State) clone() State {
 		g.Nodes = append([]wire.NodeAddr(nil), v.Nodes...)
 		g.Value = append([]byte(nil), v.Value...)
 		out.Groups[k] = g
+	}
+	if s.Forwards != nil {
+		out.Forwards = make(map[int32]map[uint64]ForwardExec, len(s.Forwards))
+		for origin, per := range s.Forwards {
+			cp := make(map[uint64]ForwardExec, len(per))
+			for seq, ex := range per {
+				cp[seq] = ex
+			}
+			out.Forwards[origin] = cp
+		}
 	}
 	return out
 }
@@ -356,6 +401,25 @@ func (s *State) apply(r Record) {
 	case TypeGenFloor:
 		if r.Gen > s.NextGen {
 			s.NextGen = r.Gen
+		}
+	case TypeForwardDone:
+		if s.Forwards == nil {
+			s.Forwards = make(map[int32]map[uint64]ForwardExec)
+		}
+		per := s.Forwards[r.Origin]
+		if per == nil {
+			per = make(map[uint64]ForwardExec)
+			s.Forwards[r.Origin] = per
+		}
+		per[r.Seq] = ForwardExec{Shard: r.Shard, Tag: r.Tag}
+		for len(per) > MaxForwardsPerOrigin {
+			oldest := r.Seq
+			for seq := range per {
+				if seq < oldest {
+					oldest = seq
+				}
+			}
+			delete(per, oldest)
 		}
 	}
 }

@@ -34,8 +34,9 @@ import (
 )
 
 // Lease is one shard's ownership entry: who holds it, the fencing epoch
-// (bumped by every change of ownership), and when it lapses. The zero
-// Lease means the shard has never been claimed.
+// (bumped by every change of ownership), when it lapses, and whose
+// durable state the shard's data currently lives in. The zero Lease means
+// the shard has never been claimed.
 type Lease struct {
 	Owner int32 `json:"owner"`
 	// Epoch fences stale owners: every successful Claim bumps it, and
@@ -46,6 +47,14 @@ type Lease struct {
 	// Expiry is the lapse instant in Unix nanoseconds; a lease with
 	// Expiry <= now is expired and claimable by anyone.
 	Expiry int64 `json:"expiry"`
+	// DataOwner is the gateway whose catalog holds the shard's durable
+	// state. Claim grants the *lease* but leaves DataOwner on the previous
+	// holder; only Adopt — called by a claimant once it has durably
+	// adopted that holder's catalog records — moves it. Separating the
+	// two means an aborted claim (Release before Adopt, e.g. because the
+	// previous owner's catalog was still flocked) never erases whom the
+	// next claimant must adopt from.
+	DataOwner int32 `json:"data_owner"`
 }
 
 // Held reports whether the lease is live at instant now (Unix nanos).
@@ -66,6 +75,10 @@ const (
 	// LeaseOpRelease lapses the caller's lease immediately (a graceful
 	// shutdown), leaving the epoch in place for the next claim to bump.
 	LeaseOpRelease
+	// LeaseOpAdopt moves the shard's data ownership to the lease holder:
+	// the claimant has durably copied the previous data owner's catalog
+	// records for the shard into its own catalog and may now serve it.
+	LeaseOpAdopt
 )
 
 // String names the operation.
@@ -77,6 +90,8 @@ func (op LeaseOp) String() string {
 		return "renew"
 	case LeaseOpRelease:
 		return "release"
+	case LeaseOpAdopt:
+		return "adopt"
 	default:
 		return fmt.Sprintf("lease-op(%d)", uint8(op))
 	}
@@ -86,12 +101,13 @@ func (op LeaseOp) String() string {
 // and the wall-clock instant the store decided it (At), kept so Verify
 // can re-check every transition's precondition after the fact.
 type LeaseRecord struct {
-	Op     LeaseOp `json:"op"`
-	Shard  int32   `json:"shard"`
-	Owner  int32   `json:"owner"`
-	Epoch  uint64  `json:"epoch"`
-	Expiry int64   `json:"expiry"`
-	At     int64   `json:"at"`
+	Op        LeaseOp `json:"op"`
+	Shard     int32   `json:"shard"`
+	Owner     int32   `json:"owner"`
+	Epoch     uint64  `json:"epoch"`
+	Expiry    int64   `json:"expiry"`
+	DataOwner int32   `json:"data_owner"`
+	At        int64   `json:"at"`
 }
 
 // ErrLeaseHeld is returned by Claim when another owner's live lease
@@ -147,6 +163,9 @@ func (s *LeaseStore) Dir() string { return s.dir }
 // lease is free, expired, or already owner's. Otherwise it returns the
 // live lease and ErrLeaseHeld. The grant is fsync'd before Claim returns:
 // only after that may the caller announce it to peers or serve the shard.
+// The granted lease's DataOwner is unchanged (the previous holder's, whom
+// the claimant must adopt from before serving — see Adopt); a virgin
+// shard's DataOwner is the claimant, since no durable state exists yet.
 func (s *LeaseStore) Claim(shard, owner int32, ttl time.Duration) (Lease, error) {
 	var granted Lease
 	err := s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
@@ -156,9 +175,13 @@ func (s *LeaseStore) Claim(shard, owner int32, ttl time.Duration) (Lease, error)
 			return LeaseRecord{}, fmt.Errorf("%w: shard %d owner %d epoch %d for %s",
 				ErrLeaseHeld, shard, cur.Owner, cur.Epoch, time.Duration(cur.Expiry-now))
 		}
-		granted = Lease{Owner: owner, Epoch: cur.Epoch + 1, Expiry: now + int64(ttl)}
+		dataOwner := cur.DataOwner
+		if cur.Epoch == 0 {
+			dataOwner = owner
+		}
+		granted = Lease{Owner: owner, Epoch: cur.Epoch + 1, Expiry: now + int64(ttl), DataOwner: dataOwner}
 		return LeaseRecord{Op: LeaseOpClaim, Shard: shard, Owner: owner,
-			Epoch: granted.Epoch, Expiry: granted.Expiry, At: now}, nil
+			Epoch: granted.Epoch, Expiry: granted.Expiry, DataOwner: dataOwner, At: now}, nil
 	})
 	return granted, err
 }
@@ -178,9 +201,9 @@ func (s *LeaseStore) Renew(shard, owner int32, epoch uint64, ttl time.Duration) 
 		if expiry < cur.Expiry {
 			expiry = cur.Expiry // never shorten a grant
 		}
-		renewed = Lease{Owner: owner, Epoch: epoch, Expiry: expiry}
+		renewed = Lease{Owner: owner, Epoch: epoch, Expiry: expiry, DataOwner: cur.DataOwner}
 		return LeaseRecord{Op: LeaseOpRenew, Shard: shard, Owner: owner,
-			Epoch: epoch, Expiry: expiry, At: now}, nil
+			Epoch: epoch, Expiry: expiry, DataOwner: cur.DataOwner, At: now}, nil
 	})
 	return renewed, err
 }
@@ -188,7 +211,10 @@ func (s *LeaseStore) Renew(shard, owner int32, epoch uint64, ttl time.Duration) 
 // Release lapses owner's lease on shard immediately, so peers can claim
 // it without waiting out the TTL (graceful shutdown). Releasing a lease
 // the caller no longer holds returns ErrLeaseLost, which releasers may
-// ignore: either way the caller is not the owner anymore.
+// ignore: either way the caller is not the owner anymore. DataOwner is
+// preserved: releasing says "I stop serving", not "my catalog forgot the
+// data" — an aborted failover claim releases without adopting, and the
+// next claimant must still adopt from the original data owner.
 func (s *LeaseStore) Release(shard, owner int32, epoch uint64) error {
 	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
 		cur := leases[shard]
@@ -197,8 +223,88 @@ func (s *LeaseStore) Release(shard, owner int32, epoch uint64) error {
 				ErrLeaseLost, shard, cur.Owner, cur.Epoch)
 		}
 		return LeaseRecord{Op: LeaseOpRelease, Shard: shard, Owner: owner,
-			Epoch: epoch, Expiry: now, At: now}, nil
+			Epoch: epoch, Expiry: now, DataOwner: cur.DataOwner, At: now}, nil
 	})
+}
+
+// Adopt records that owner — who must still hold shard's lease at epoch —
+// has durably adopted the previous data owner's catalog records for the
+// shard, moving DataOwner to owner. Callers order it write-ahead within
+// the failover: after the adopted records are fsync'd into the claimant's
+// own catalog, before they are drained from the previous owner's (so a
+// crash anywhere leaves DataOwner pointing at a catalog that still holds
+// the records).
+func (s *LeaseStore) Adopt(shard, owner int32, epoch uint64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch || !cur.Held(now) {
+			return LeaseRecord{}, fmt.Errorf("%w: shard %d now owner %d epoch %d",
+				ErrLeaseLost, shard, cur.Owner, cur.Epoch)
+		}
+		return LeaseRecord{Op: LeaseOpAdopt, Shard: shard, Owner: owner,
+			Epoch: epoch, Expiry: cur.Expiry, DataOwner: owner, At: now}, nil
+	})
+}
+
+// ErrMembershipMismatch is returned by EnsureMembership when the lease
+// directory was initialized by a fleet with a different membership: two
+// members whose -peer lists disagree would compute overlapping namespace-
+// allocation slices and could mint the same namespace, so the mismatching
+// member must not start.
+var ErrMembershipMismatch = errors.New("catalog: lease store initialized by a fleet with different membership")
+
+// membershipName is the file recording the fleet fingerprint within the
+// lease directory.
+const membershipName = "membership"
+
+// EnsureMembership records desc — a canonical fingerprint of the fleet's
+// membership (sorted member ids, shard count) — in the lease directory,
+// or validates it against the one already recorded. The first member to
+// start writes it (atomically, under the store flock); every later
+// member, and every member on every restart, must present the identical
+// fingerprint or it refuses to start. Reconfiguring a fleet therefore
+// requires stopping every member and deleting the membership file, which
+// is the point: a half-updated -peer list silently repartitions the
+// namespace-allocation slices.
+func (s *LeaseStore) EnsureMembership(desc string) error {
+	lock, err := s.lockDir()
+	if err != nil {
+		return err
+	}
+	defer lock.Close()
+	path := filepath.Join(s.dir, membershipName)
+	existing, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if string(existing) != desc {
+			return fmt.Errorf("%w: store has %q, this member computes %q (fix the -peer lists, or stop the whole fleet and delete %s to reconfigure)",
+				ErrMembershipMismatch, string(existing), desc, path)
+		}
+		return nil
+	case os.IsNotExist(err):
+	default:
+		return fmt.Errorf("catalog: lease membership: %w", err)
+	}
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("catalog: lease membership: %w", err)
+	}
+	if _, err := tmp.Write([]byte(desc)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: lease membership write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: lease membership fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: lease membership: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("catalog: lease membership rename: %w", err)
+	}
+	return syncDir(s.dir)
 }
 
 // Snapshot returns the current lease table (a private copy).
@@ -254,7 +360,7 @@ func (s *LeaseStore) mutate(fn func(leases map[int32]Lease, now int64) (LeaseRec
 		return fmt.Errorf("catalog: lease wal: %w", err)
 	}
 	if walSize+int64(len(frame)) >= s.compactBytes {
-		leases[rec.Shard] = Lease{Owner: rec.Owner, Epoch: rec.Epoch, Expiry: rec.Expiry}
+		leases[rec.Shard] = Lease{Owner: rec.Owner, Epoch: rec.Epoch, Expiry: rec.Expiry, DataOwner: rec.DataOwner}
 		if err := s.compactLocked(leases); err != nil {
 			return err
 		}
@@ -311,7 +417,7 @@ func (s *LeaseStore) loadLocked() (map[int32]Lease, []LeaseRecord, int64, error)
 			break // undecodable frame: torn tail
 		}
 		records = append(records, r)
-		leases[r.Shard] = Lease{Owner: r.Owner, Epoch: r.Epoch, Expiry: r.Expiry}
+		leases[r.Shard] = Lease{Owner: r.Owner, Epoch: r.Epoch, Expiry: r.Expiry, DataOwner: r.DataOwner}
 	}
 	return leases, records, int64(len(walData)), nil
 }
@@ -401,15 +507,36 @@ func (s *LeaseStore) Verify() error {
 				return fmt.Errorf("catalog: lease log %d: claim of shard %d skips epoch %d -> %d",
 					i, r.Shard, cur.Epoch, r.Epoch)
 			}
+			want := cur.DataOwner
+			if cur.Epoch == 0 {
+				want = r.Owner
+			}
+			if r.DataOwner != want {
+				return fmt.Errorf("catalog: lease log %d: claim of shard %d moves data owner %d -> %d without an adopt",
+					i, r.Shard, cur.DataOwner, r.DataOwner)
+			}
 		case LeaseOpRenew, LeaseOpRelease:
 			if cur.Owner != r.Owner || cur.Epoch != r.Epoch {
 				return fmt.Errorf("catalog: lease log %d: %v of shard %d by %d/%d but lease is %d/%d",
 					i, r.Op, r.Shard, r.Owner, r.Epoch, cur.Owner, cur.Epoch)
 			}
+			if r.DataOwner != cur.DataOwner {
+				return fmt.Errorf("catalog: lease log %d: %v of shard %d moves data owner %d -> %d",
+					i, r.Op, r.Shard, cur.DataOwner, r.DataOwner)
+			}
+		case LeaseOpAdopt:
+			if cur.Owner != r.Owner || cur.Epoch != r.Epoch || !cur.Held(r.At) {
+				return fmt.Errorf("catalog: lease log %d: adopt of shard %d by %d/%d but lease is %d/%d",
+					i, r.Shard, r.Owner, r.Epoch, cur.Owner, cur.Epoch)
+			}
+			if r.DataOwner != r.Owner {
+				return fmt.Errorf("catalog: lease log %d: adopt of shard %d sets data owner %d, not the holder %d",
+					i, r.Shard, r.DataOwner, r.Owner)
+			}
 		default:
 			return fmt.Errorf("catalog: lease log %d: unknown op %v", i, r.Op)
 		}
-		leases[r.Shard] = Lease{Owner: r.Owner, Epoch: r.Epoch, Expiry: r.Expiry}
+		leases[r.Shard] = Lease{Owner: r.Owner, Epoch: r.Epoch, Expiry: r.Expiry, DataOwner: r.DataOwner}
 	}
 	return nil
 }

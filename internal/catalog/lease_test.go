@@ -345,3 +345,125 @@ func TestLeaseVerifyCatchesOverlap(t *testing.T) {
 		t.Fatalf("Verify error = %v, want overlap report", err)
 	}
 }
+
+// TestLeaseDataOwnerTransfer exercises the lease-holder/data-owner split
+// that failover adoption rests on: Claim moves only the lease, Release
+// preserves the data owner (an aborted failover must retry adoption
+// against the original peer, not shortcut into "nothing to adopt"), and
+// only an explicit Adopt — by the live holder at the granted epoch —
+// moves data ownership.
+func TestLeaseDataOwnerTransfer(t *testing.T) {
+	s, clk := openTestLeaseStore(t, t.TempDir())
+	const ttl = time.Second
+
+	// A virgin claim owns its (empty) data outright.
+	l, err := s.Claim(0, 1, ttl)
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if l.DataOwner != 1 {
+		t.Fatalf("virgin claim DataOwner = %d, want 1", l.DataOwner)
+	}
+
+	// Failover claim: the lease moves, the data does not.
+	clk.advance(2 * ttl)
+	l, err = s.Claim(0, 2, ttl)
+	if err != nil {
+		t.Fatalf("failover Claim: %v", err)
+	}
+	if l.Owner != 2 || l.DataOwner != 1 {
+		t.Fatalf("failover lease = %+v, want owner 2 data owner 1", l)
+	}
+
+	// Aborted adoption: Release keeps DataOwner pointing at the peer, so
+	// the next claim is told to adopt again.
+	if err := s.Release(0, 2, l.Epoch); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	l, err = s.Claim(0, 2, ttl)
+	if err != nil {
+		t.Fatalf("re-Claim: %v", err)
+	}
+	if l.DataOwner != 1 {
+		t.Fatalf("DataOwner after release/re-claim = %d, want 1 (release must not launder data ownership)", l.DataOwner)
+	}
+
+	// Adopt is fenced: only the live holder at the granted epoch may move
+	// data ownership.
+	if err := s.Adopt(0, 1, l.Epoch); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Adopt by non-holder: err = %v, want ErrLeaseLost", err)
+	}
+	if err := s.Adopt(0, 2, l.Epoch+7); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Adopt at wrong epoch: err = %v, want ErrLeaseLost", err)
+	}
+	if err := s.Adopt(0, 2, l.Epoch); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap[0].DataOwner != 2 {
+		t.Fatalf("DataOwner after Adopt = %d, want 2", snap[0].DataOwner)
+	}
+
+	// A later lapse-and-reclaim by the adopter really is nothing-to-adopt.
+	clk.advance(2 * ttl)
+	l, err = s.Claim(0, 2, ttl)
+	if err != nil {
+		t.Fatalf("reclaim after adopt: %v", err)
+	}
+	if l.DataOwner != 2 {
+		t.Fatalf("DataOwner after reclaim = %d, want 2", l.DataOwner)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	// The whole history — including DataOwner transitions — survives a
+	// reload from disk.
+	re, err := OpenLeaseStore(s.Dir())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	snap, err = re.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot after reopen: %v", err)
+	}
+	if snap[0].Owner != 2 || snap[0].DataOwner != 2 {
+		t.Fatalf("reloaded lease = %+v, want owner 2 data owner 2", snap[0])
+	}
+}
+
+// TestLeaseMembershipFingerprint: the first member to touch a lease
+// directory pins the fleet's membership; members computing a different
+// fingerprint are refused (inconsistent -peer lists would carve
+// overlapping namespace slices).
+func TestLeaseMembershipFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestLeaseStore(t, dir)
+	const desc = "members=1,2 shards=2"
+	if err := s.EnsureMembership(desc); err != nil {
+		t.Fatalf("first EnsureMembership: %v", err)
+	}
+	// Idempotent for an agreeing member, through the same and a second
+	// handle (a second process).
+	if err := s.EnsureMembership(desc); err != nil {
+		t.Fatalf("repeat EnsureMembership: %v", err)
+	}
+	s2, _ := openTestLeaseStore(t, dir)
+	if err := s2.EnsureMembership(desc); err != nil {
+		t.Fatalf("second handle EnsureMembership: %v", err)
+	}
+	// A member with a different view of the fleet must be refused.
+	for _, bad := range []string{"members=1,2,3 shards=2", "members=1,2 shards=4"} {
+		err := s2.EnsureMembership(bad)
+		if !errors.Is(err, ErrMembershipMismatch) {
+			t.Fatalf("EnsureMembership(%q): err = %v, want ErrMembershipMismatch", bad, err)
+		}
+	}
+	// The refusal left the pinned fingerprint intact.
+	if err := s.EnsureMembership(desc); err != nil {
+		t.Fatalf("EnsureMembership after refusals: %v", err)
+	}
+}

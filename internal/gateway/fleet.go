@@ -13,7 +13,11 @@ package gateway
 // lease table in memory and refresh it from announcements (wire.LeaseClaim
 // / wire.LeaseRenew, accepted only with non-regressing epochs) and from
 // direct store reads; the cache routes requests, the store decides
-// ownership.
+// ownership. One asymmetry is load-bearing: a lease naming THIS gateway
+// enters the cache only from the renew loop, after any failover adoption
+// completed — never from a store refresh or an announcement, which would
+// otherwise flip owns() in the window between a claim being granted and
+// the claimed shard's data being adopted.
 //
 // A gateway serves a shard's keys locally only while its cached lease on
 // that shard is held and its own. Operations on shards owned elsewhere are
@@ -37,14 +41,18 @@ package gateway
 // # Failover
 //
 // The renew loop (every TTL/3) renews owned shards and watches the rest.
-// A shard whose lease has lapsed is claimed; if the lapsed lease belonged
-// to another gateway, the claimant adopts that gateway's durable state
-// before publishing ownership:
+// A shard whose lease has lapsed is claimed. The lease store tracks two
+// owners per shard: the lease holder (who may serve) and the *data owner*
+// (whose catalog holds the shard's durable state). Claim moves only the
+// former; a claimant whose grant says the data lives elsewhere adopts
+// that gateway's durable state before publishing ownership:
 //
-//	claim shards (store, fsync'd)
-//	open the dead peer's catalog        — ErrLocked ⇒ peer alive ⇒ release, retry later
+//	claim shards (store, fsync'd; DataOwner still the previous holder)
+//	open the data owner's catalog       — ErrLocked ⇒ peer alive ⇒ release, retry later
 //	append adopted bindings to OWN catalog (GroupServe under the peer's
 //	  generations, GenFloor at the peer's allocator, ObjectSet per key)
+//	install the adopted groups and objects in memory
+//	Store.Adopt (fsync'd)               — the data owner is us from here on
 //	append the transfer to the PEER catalog (NSQuarantine first, then
 //	  GroupRetire and ObjectDel) — a restarted peer neither re-adopts the
 //	  moved groups nor ever re-issues their namespaces
@@ -55,7 +63,13 @@ package gateway
 // Writing the own-catalog records first (while still holding the peer
 // catalog's flock) means a crash mid-adoption leaves the groups referenced
 // by at least one catalog — duplicate references converge at the next
-// failover, lost references would be silent data loss.
+// failover, lost references would be silent data loss. Store.Adopt sits
+// between the two appends for the same reason: at every instant DataOwner
+// points at a catalog that verifiably holds the records, so an aborted
+// claim (released after a failed adoption — the previous owner was alive,
+// say) leaves DataOwner untouched and the next claim, by anyone including
+// the aborted claimant itself, retries the adoption against the original
+// peer rather than concluding there is nothing to adopt.
 //
 // # Namespace partitioning
 //
@@ -71,6 +85,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -248,12 +264,20 @@ func newFleet(g *Gateway, cfg FleetConfig) (*fleet, error) {
 		ttl = defaultLeaseTTL
 	}
 	return &fleet{
-		g:             g,
-		cfg:           cfg,
-		ttl:           ttl,
-		ids:           ids,
-		nsLo:          int32(rank) * span,
-		nsHi:          int32(rank)*span + span,
+		g:    g,
+		cfg:  cfg,
+		ttl:  ttl,
+		ids:  ids,
+		nsLo: int32(rank) * span,
+		nsHi: int32(rank)*span + span,
+		// Sequence numbers must be unique per origin across process
+		// restarts, not just within one: executed forwards are remembered
+		// by (origin, seq) — in peers' memory and, for puts, durably in
+		// their catalogs — and a restarted origin that re-counted from
+		// zero would collide with its previous incarnation's numbers and
+		// be answered with a dead operation's recorded response. Seeding
+		// from the boot clock keeps each boot's range disjoint.
+		seq:           uint64(time.Now().UnixNano()),
 		leases:        make(map[int32]catalog.Lease),
 		addrs:         addrs,
 		pending:       make(map[uint64]chan wire.PeerForwardResp),
@@ -262,6 +286,18 @@ func newFleet(g *Gateway, cfg FleetConfig) (*fleet, error) {
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
 	}, nil
+}
+
+// membershipDesc is this member's canonical fleet fingerprint: the sorted
+// member ids (the input of the namespace-slice partition) and the shard
+// count (the key space of the lease table). Compared byte-for-byte across
+// members by LeaseStore.EnsureMembership.
+func (f *fleet) membershipDesc() string {
+	parts := make([]string, len(f.ids))
+	for i, id := range f.ids {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return fmt.Sprintf("members=%s shards=%d", strings.Join(parts, ","), len(f.g.cfg.Topology.Shards))
 }
 
 // rankOf returns a gateway id's rank in the sorted fleet, or -1.
@@ -319,6 +355,15 @@ func (f *fleet) start() error {
 		// shards the fleet's all-tcp rule cannot cover.
 		return fmt.Errorf("gateway: catalog resumed %d shards but the fleet topology describes %d; fleet mode requires them equal", got, want)
 	}
+	// Membership gate: every member must agree on the id set (which sizes
+	// the disjoint namespace-allocation slices) and the shard count (which
+	// keys the lease table). The store records the first member's view and
+	// refuses mismatching joiners — a -peer list typo would otherwise
+	// silently overlap two members' slices and let them mint the same
+	// namespace.
+	if err := f.cfg.Store.EnsureMembership(f.membershipDesc()); err != nil {
+		return fmt.Errorf("gateway: fleet membership: %w", err)
+	}
 	net := f.cfg.Net
 	if net == nil {
 		if f.g.remote == nil {
@@ -326,6 +371,10 @@ func (f *fleet) start() error {
 		}
 		net = f.g.remote.net
 	}
+	// Forwards this gateway executed in a previous incarnation are replayed
+	// from the catalog, not re-executed: origins may still be
+	// retransmitting them.
+	f.primeForwards(f.g.cfg.Catalog.State().Forwards)
 	node, err := net.Register(peerProcID(f.cfg.ID), f.handlePeer)
 	if err != nil {
 		return fmt.Errorf("gateway: fleet peer endpoint: %w", err)
@@ -405,32 +454,16 @@ func (f *fleet) tick(boot bool) error {
 	now := time.Now().UnixNano()
 	shards := int32(f.g.Shards())
 
-	// Renew what the store says we own. Our own unexpired leases are
-	// trusted even fresh off a restart: the catalog restore that just ran
-	// re-adopted everything our catalog holds, which is exactly the state
-	// those leases cover.
+	// One pass over the shards: renew what we hold (trusted even fresh off
+	// a restart — the catalog restore that just ran re-adopted everything
+	// our catalog holds, which is exactly the state our leases with
+	// DataOwner == us cover), note what peers hold, claim what lapsed.
+	// Shards whose grant says the durable state lives in another gateway's
+	// catalog — a fresh failover claim, or a lease we hold because a
+	// previous incarnation crashed after claiming but before adopting —
+	// are grouped per data owner so each dead peer's catalog is adopted
+	// once, and published only after that adoption.
 	var announce []wire.Message
-	for s := int32(0); s < shards; s++ {
-		l := snap[s]
-		if l.Owner != f.cfg.ID || !l.Held(now) {
-			continue
-		}
-		renewed, err := f.cfg.Store.Renew(s, f.cfg.ID, l.Epoch, f.ttl)
-		if err != nil {
-			// Fenced: someone claimed over us. Their adoption could only
-			// have proceeded if our catalog flock was free, so this is a
-			// cache-level demotion, not a conflict; drop the shard and let
-			// forwarding route to the new owner.
-			f.dropOwned(s)
-			continue
-		}
-		f.noteLease(s, renewed, "")
-		announce = append(announce, wire.LeaseRenew{Shard: s, Owner: f.cfg.ID,
-			Epoch: renewed.Epoch, Expiry: renewed.Expiry, ReplyAddr: f.advertise()})
-	}
-
-	// Claim what lapsed (or was never claimed). Shards last owned by a
-	// peer are grouped so each dead peer's catalog is adopted once.
 	type claimed struct {
 		shard int32
 		lease catalog.Lease
@@ -438,40 +471,66 @@ func (f *fleet) tick(boot bool) error {
 	perPeer := make(map[int32][]claimed)
 	for s := int32(0); s < shards; s++ {
 		l := snap[s]
-		if l.Held(now) {
+		switch {
+		case l.Owner == f.cfg.ID && l.Held(now):
+			renewed, err := f.cfg.Store.Renew(s, f.cfg.ID, l.Epoch, f.ttl)
+			if err != nil {
+				// Fenced: someone claimed over us. Their adoption could only
+				// have proceeded if our catalog flock was free, so this is a
+				// cache-level demotion, not a conflict; drop the shard and
+				// let forwarding route to the new owner.
+				f.dropOwned(s)
+				continue
+			}
+			if renewed.DataOwner != f.cfg.ID {
+				// Held but never adopted (we crashed mid-failover between
+				// Claim and Adopt): the renewal keeps the fence, the
+				// adoption below finishes the job, and only then is the
+				// shard published.
+				perPeer[renewed.DataOwner] = append(perPeer[renewed.DataOwner], claimed{s, renewed})
+				continue
+			}
+			f.noteLease(s, renewed, "")
+			announce = append(announce, wire.LeaseRenew{Shard: s, Owner: f.cfg.ID,
+				Epoch: renewed.Epoch, Expiry: renewed.Expiry, ReplyAddr: f.advertise()})
+		case l.Held(now):
 			f.noteLease(s, l, "")
-			continue
+		default:
+			if boot && l.Epoch == 0 && f.preferredOwner(s) != f.cfg.ID {
+				// Fresh fleet: leave unclaimed shards to their preferred
+				// owner for the first round; the steady-state loop takes
+				// anything still unowned a tick later.
+				continue
+			}
+			granted, err := f.cfg.Store.Claim(s, f.cfg.ID, f.ttl)
+			if err != nil {
+				continue // raced with another claimant; its announcement will arrive
+			}
+			if granted.DataOwner == f.cfg.ID {
+				// Virgin shard, or data our own catalog already holds (a
+				// graceful release, or a lapsed lease we had fully
+				// adopted): nothing to adopt.
+				f.noteLease(s, granted, "")
+				announce = append(announce, wire.LeaseClaim{Shard: s, Owner: f.cfg.ID,
+					Epoch: granted.Epoch, Expiry: granted.Expiry, ReplyAddr: f.advertise()})
+				continue
+			}
+			perPeer[granted.DataOwner] = append(perPeer[granted.DataOwner], claimed{s, granted})
 		}
-		if boot && l.Epoch == 0 && f.preferredOwner(s) != f.cfg.ID {
-			// Fresh fleet: leave unclaimed shards to their preferred owner
-			// for the first round; the steady-state loop takes anything
-			// still unowned a tick later.
-			continue
-		}
-		granted, err := f.cfg.Store.Claim(s, f.cfg.ID, f.ttl)
-		if err != nil {
-			continue // raced with another claimant; its announcement will arrive
-		}
-		if l.Epoch == 0 || l.Owner == f.cfg.ID {
-			// Virgin shard, or our own lapsed lease: nothing to adopt.
-			f.noteLease(s, granted, "")
-			announce = append(announce, wire.LeaseClaim{Shard: s, Owner: f.cfg.ID,
-				Epoch: granted.Epoch, Expiry: granted.Expiry, ReplyAddr: f.advertise()})
-			continue
-		}
-		perPeer[l.Owner] = append(perPeer[l.Owner], claimed{s, granted})
 	}
 
 	// Failover: adopt each dead peer's durable state for the shards just
 	// claimed, and only then publish ownership. A claim whose adoption
-	// cannot proceed (peer alive, catalog unreachable) is released — the
-	// cache never says "mine" for a shard whose state was not adopted.
+	// cannot proceed (peer alive, catalog unreachable) is released — with
+	// DataOwner untouched, so the next claim retries the adoption — and
+	// the cache never says "mine" for a shard whose state was not adopted.
 	for peer, claims := range perPeer {
-		shardSet := make(map[int]bool, len(claims))
+		epochs := make(map[int32]uint64, len(claims))
 		for _, c := range claims {
-			shardSet[int(c.shard)] = true
+			epochs[c.shard] = c.lease.Epoch
 		}
-		if err := f.adoptPeer(peer, shardSet); err != nil {
+		adopted, err := f.adoptPeer(peer, epochs)
+		if err != nil {
 			for _, c := range claims {
 				f.cfg.Store.Release(c.shard, f.cfg.ID, c.lease.Epoch)
 			}
@@ -481,6 +540,10 @@ func (f *fleet) tick(boot bool) error {
 			continue
 		}
 		for _, c := range claims {
+			if !adopted[c.shard] {
+				continue // fenced mid-adoption; whoever fenced us re-adopts
+			}
+			c.lease.DataOwner = f.cfg.ID
 			f.noteLease(c.shard, c.lease, "")
 			announce = append(announce, wire.LeaseClaim{Shard: c.shard, Owner: f.cfg.ID,
 				Epoch: c.lease.Epoch, Expiry: c.lease.Expiry, ReplyAddr: f.advertise()})
@@ -581,13 +644,21 @@ func (f *fleet) owns(s int) bool {
 }
 
 // refresh reloads the lease cache from the store — the slow path taken
-// when forwarding finds no live owner or was told NotOwner.
+// when forwarding finds no live owner or was told NotOwner. Leases the
+// store records for THIS gateway are skipped: the store shows a claim the
+// instant it is granted, before the failover adoption that makes the
+// shard servable, and folding it in would flip owns() early — serving an
+// un-adopted shard mints fresh groups over the dead peer's data. Self-
+// ownership enters the cache only through tick, after adoption.
 func (f *fleet) refresh() {
 	snap, err := f.cfg.Store.Snapshot()
 	if err != nil {
 		return
 	}
 	for s, l := range snap {
+		if l.Owner == f.cfg.ID {
+			continue
+		}
 		f.noteLease(s, l, "")
 	}
 }
@@ -682,11 +753,31 @@ func (f *fleet) forwardOp(ctx context.Context, shard int, op uint8, key string, 
 		f.mu.Unlock()
 		switch {
 		case l.Owner == f.cfg.ID && l.Held(now):
+			// Ownership arrived here mid-wait (we claimed the shard from
+			// the owner we were forwarding to). If that owner executed
+			// this very forward before dying, its durable record came
+			// over with the adoption — replay it rather than applying
+			// the operation a second time.
+			f.mu.Lock()
+			e, ok := f.dedup[forwardKey{origin: f.cfg.ID, seq: seq}]
+			var done bool
+			var recorded wire.PeerForwardResp
+			if ok {
+				done, recorded = e.done, e.resp
+			}
+			f.mu.Unlock()
+			if done {
+				return recorded, true, nil
+			}
 			return wire.PeerForwardResp{}, false, nil
 		case l.Held(now):
-			if err := f.node.Send(peerProcID(l.Owner), msg); err != nil {
-				return wire.PeerForwardResp{}, true, fmt.Errorf("gateway: forward to gateway %d: %w", l.Owner, err)
-			}
+			// A Send failure is a dropped frame, not a failed operation: a
+			// transport that reports dead peers synchronously (channet does,
+			// tcpnet often cannot) surfaces it exactly when the owner has
+			// died with its lease outstanding — the case forwarding must
+			// ride out, not fail. The retry ticker re-resolves ownership
+			// once the lease lapses; ctx bounds the wait either way.
+			f.node.Send(peerProcID(l.Owner), msg)
 		default:
 			// No live owner known: one store read per retry interval, then
 			// wait — the renew loop (ours or a peer's) claims it.
@@ -768,10 +859,16 @@ func (g *Gateway) forwardGet(ctx context.Context, key string, shard int) ([]byte
 func (f *fleet) handlePeer(env wire.Envelope) {
 	switch msg := env.Msg.(type) {
 	case wire.LeaseClaim:
-		f.noteLease(msg.Shard, catalog.Lease{Owner: msg.Owner, Epoch: msg.Epoch, Expiry: msg.Expiry}, msg.ReplyAddr)
+		// Announcements naming US as owner are dropped (not just redundant:
+		// self-ownership must only enter the cache via tick, post-adoption).
+		if msg.Owner != f.cfg.ID {
+			f.noteLease(msg.Shard, catalog.Lease{Owner: msg.Owner, Epoch: msg.Epoch, Expiry: msg.Expiry}, msg.ReplyAddr)
+		}
 		f.node.Send(env.From, wire.LeaseClaimResp{Seq: msg.Seq, Shard: msg.Shard})
 	case wire.LeaseRenew:
-		f.noteLease(msg.Shard, catalog.Lease{Owner: msg.Owner, Epoch: msg.Epoch, Expiry: msg.Expiry}, msg.ReplyAddr)
+		if msg.Owner != f.cfg.ID {
+			f.noteLease(msg.Shard, catalog.Lease{Owner: msg.Owner, Epoch: msg.Epoch, Expiry: msg.Expiry}, msg.ReplyAddr)
+		}
 		f.node.Send(env.From, wire.LeaseRenewResp{Seq: msg.Seq, Shard: msg.Shard})
 	case wire.LeaseClaimResp, wire.LeaseRenewResp:
 		// Announcements are fire-and-forget; the acks exist so a future
@@ -824,19 +921,25 @@ func (f *fleet) handleForward(from wire.ProcID, msg wire.PeerForward) {
 
 // evictForwardsLocked bounds the dedup cache, oldest completed entries
 // first; in-flight entries are kept (evicting one would allow a duplicate
-// execution). Callers hold f.mu.
+// execution). unrecordForward keeps dedupQ and dedup in lockstep, but the
+// lookups here still take the two-value form: a stale queue key must skip,
+// not panic. Callers hold f.mu.
 func (f *fleet) evictForwardsLocked() {
 	for len(f.dedup) > forwardDedupCap && len(f.dedupQ) > 0 {
 		k := f.dedupQ[0]
 		e, ok := f.dedup[k]
-		if ok && !e.done {
+		if !ok {
+			f.dedupQ = f.dedupQ[1:] // stale key: its entry was unrecorded
+			continue
+		}
+		if !e.done {
 			// Oldest entry still executing: rotate it to the back and stop
 			// rather than spin — the cache briefly exceeds its cap.
 			if len(f.dedupQ) == 1 {
 				return
 			}
 			f.dedupQ = append(f.dedupQ[1:], k)
-			if !f.dedup[f.dedupQ[0]].done {
+			if next, ok := f.dedup[f.dedupQ[0]]; ok && !next.done {
 				return
 			}
 			continue
@@ -844,6 +947,44 @@ func (f *fleet) evictForwardsLocked() {
 		f.dedupQ = f.dedupQ[1:]
 		delete(f.dedup, k)
 	}
+}
+
+// primeForwards folds durable forward-execution records — from this
+// gateway's own catalog at boot, or from a dead peer's at failover
+// adoption — into the in-memory dedup cache as completed entries, so
+// retransmits of forwards a previous incarnation (or the dead peer)
+// already executed replay the recorded tag.
+func (f *fleet) primeForwards(fw map[int32]map[uint64]catalog.ForwardExec) {
+	f.mu.Lock()
+	for origin, per := range fw {
+		for seq, ex := range per {
+			k := forwardKey{origin: origin, seq: seq}
+			if _, ok := f.dedup[k]; ok {
+				continue
+			}
+			f.dedup[k] = &forwardEntry{done: true, resp: wire.PeerForwardResp{Seq: seq, Tag: ex.Tag}}
+			f.dedupQ = append(f.dedupQ, k)
+		}
+	}
+	f.evictForwardsLocked()
+	f.mu.Unlock()
+}
+
+// unrecordForward withdraws an in-flight dedup entry — NotOwner and failed
+// executions answer per-retransmit and must not be replayed — from both
+// the map and the eviction queue, so NotOwner/error churn can neither
+// grow dedupQ without bound nor leave stale keys for eviction to trip
+// over. Linear in the queue, which the dedup cap bounds.
+func (f *fleet) unrecordForward(key forwardKey) {
+	f.mu.Lock()
+	delete(f.dedup, key)
+	for i, k := range f.dedupQ {
+		if k == key {
+			f.dedupQ = append(f.dedupQ[:i], f.dedupQ[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
 }
 
 // executeForward runs one forwarded operation locally and responds. The
@@ -855,9 +996,7 @@ func (f *fleet) executeForward(from wire.ProcID, key forwardKey, e *forwardEntry
 	if !f.owns(g.ShardFor(msg.Key)) {
 		resp.NotOwner = true
 		// Unrecord: ownership answers are per-retransmit (see above).
-		f.mu.Lock()
-		delete(f.dedup, key)
-		f.mu.Unlock()
+		f.unrecordForward(key)
 		f.node.Send(from, resp)
 		return
 	}
@@ -870,6 +1009,19 @@ func (f *fleet) executeForward(from wire.ProcID, key forwardKey, e *forwardEntry
 			resp.Err = err.Error()
 		} else {
 			resp.Tag = t
+			// Durable dedup, write-ahead of the response: should this
+			// gateway die with the response in flight, the record rides
+			// the catalog to the failover successor (or to this gateway's
+			// own restart) and the origin's retransmit replays the tag
+			// instead of re-applying the put under a new one. The only
+			// remaining double-apply window is a crash between the write
+			// committing at the nodes and this fsync — microseconds,
+			// versus the whole response round-trip without the record. A
+			// failing catalog degrades to in-memory dedup (logRecord
+			// retains the error for CatalogErr) rather than failing the
+			// operation.
+			g.logRecord(catalog.Record{Type: catalog.TypeForwardDone,
+				Origin: key.origin, Seq: key.seq, Shard: g.ShardFor(msg.Key), Tag: t})
 		}
 	case wire.PeerOpGet:
 		v, t, err := g.getLocal(ctx, msg.Key)
@@ -887,9 +1039,7 @@ func (f *fleet) executeForward(from wire.ProcID, key forwardKey, e *forwardEntry
 		// its client) retries the operation afresh, and pinning a transient
 		// error as this seq's permanent answer would make the retry loop
 		// return it forever.
-		f.mu.Lock()
-		delete(f.dedup, key)
-		f.mu.Unlock()
+		f.unrecordForward(key)
 		f.node.Send(from, resp)
 		return
 	}
@@ -902,14 +1052,17 @@ func (f *fleet) executeForward(from wire.ProcID, key forwardKey, e *forwardEntry
 
 // --- failover adoption ------------------------------------------------------
 
-// adoptPeer moves the durable state a dead peer held for the given shards
-// into this gateway: catalog bindings, remote-group registry entries,
-// gateway-side objects, and the node-side re-adoption handshake. See the
-// file header for the ordering argument.
-func (f *fleet) adoptPeer(peerID int32, shards map[int]bool) error {
-	infos, err := f.adoptDurable(peerID, shards)
+// adoptPeer moves the durable state a dead peer held for the claimed
+// shards (a shard → granted-epoch map) into this gateway: catalog
+// bindings, remote-group registry entries, gateway-side objects, the
+// lease store's data-ownership transfer, and the node-side re-adoption
+// handshake. It returns the shards whose Store.Adopt succeeded — a shard
+// fenced mid-adoption is omitted and must not be published. See the file
+// header for the ordering argument.
+func (f *fleet) adoptPeer(peerID int32, claims map[int32]uint64) (map[int32]bool, error) {
+	infos, adopted, err := f.adoptDurable(peerID, claims)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Node handshake, outside adoptMu (it holds no gateway state, only
 	// at-least-once RPCs): re-serve every adopted group under its unchanged
@@ -936,26 +1089,31 @@ func (f *fleet) adoptPeer(peerID int32, shards map[int]bool) error {
 			ncancel()
 		}
 	}
-	return nil
+	return adopted, nil
 }
 
 // adoptDurable is adoptPeer's serialized half: everything that moves
 // catalog records and gateway state, up to (not including) the node
-// handshake. It returns the adopted groups' registry entries.
-func (f *fleet) adoptDurable(peerID int32, shards map[int]bool) (map[int32]*remoteGroupInfo, error) {
+// handshake. It returns the adopted groups' registry entries and the set
+// of shards whose data ownership actually transferred.
+func (f *fleet) adoptDurable(peerID int32, claims map[int32]uint64) (map[int32]*remoteGroupInfo, map[int32]bool, error) {
 	f.adoptMu.Lock()
 	defer f.adoptMu.Unlock()
 	g := f.g
+	shards := make(map[int]bool, len(claims))
+	for s := range claims {
+		shards[int(s)] = true
+	}
 	dir := f.cfg.PeerCatalog(peerID)
 	if dir == "" {
-		return nil, fmt.Errorf("gateway: no catalog directory known for peer gateway %d", peerID)
+		return nil, nil, fmt.Errorf("gateway: no catalog directory known for peer gateway %d", peerID)
 	}
 	peerCat, err := catalog.Open(dir)
 	if err != nil {
 		if errors.Is(err, catalog.ErrLocked) {
-			return nil, fmt.Errorf("%w (gateway %d)", errPeerAlive, peerID)
+			return nil, nil, fmt.Errorf("%w (gateway %d)", errPeerAlive, peerID)
 		}
-		return nil, fmt.Errorf("gateway: open peer gateway %d catalog: %w", peerID, err)
+		return nil, nil, fmt.Errorf("gateway: open peer gateway %d catalog: %w", peerID, err)
 	}
 	defer peerCat.Close()
 	st := peerCat.State()
@@ -971,16 +1129,16 @@ func (f *fleet) adoptDurable(peerID int32, shards map[int]bool) (map[int32]*remo
 	}
 	var objs []adoptedObj
 	nsSet := make(map[int32]bool)
-	var lost []string
+	lost := make(map[string]int)
 	for key, o := range st.Objects {
 		if !shards[o.Shard] {
 			continue
 		}
 		if o.Shard >= g.Shards() {
-			return nil, fmt.Errorf("gateway: peer gateway %d binds key %q to shard %d, beyond this gateway's %d shards (mismatched fleet topologies?)", peerID, key, o.Shard, g.Shards())
+			return nil, nil, fmt.Errorf("gateway: peer gateway %d binds key %q to shard %d, beyond this gateway's %d shards (mismatched fleet topologies?)", peerID, key, o.Shard, g.Shards())
 		}
 		if _, held := st.Groups[o.NS]; !held {
-			lost = append(lost, key)
+			lost[key] = o.Shard
 			continue
 		}
 		objs = append(objs, adoptedObj{key, o})
@@ -996,7 +1154,7 @@ func (f *fleet) adoptDurable(peerID int32, shards map[int]bool) (map[int32]*remo
 	for _, ns := range nss {
 		grp := st.Groups[ns]
 		if int(grp.N1) != p.N1 || int(grp.N2) != p.N2 || int(grp.F1) != p.F1 || int(grp.F2) != p.F2 {
-			return nil, fmt.Errorf("gateway: peer gateway %d group %d has geometry (n1=%d,n2=%d,f1=%d,f2=%d), this gateway runs (n1=%d,n2=%d,f1=%d,f2=%d); refusing adoption",
+			return nil, nil, fmt.Errorf("gateway: peer gateway %d group %d has geometry (n1=%d,n2=%d,f1=%d,f2=%d), this gateway runs (n1=%d,n2=%d,f1=%d,f2=%d); refusing adoption",
 				peerID, ns, grp.N1, grp.N2, grp.F1, grp.F2, p.N1, p.N2, p.F1, p.F2)
 		}
 	}
@@ -1022,35 +1180,30 @@ func (f *fleet) adoptDurable(peerID int32, shards map[int]bool) (map[int32]*remo
 			ownRecs = append(ownRecs, catalog.Record{Type: catalog.TypePlace, Key: ao.key, Shard: sh})
 		}
 	}
+	// Forward-execution records ride along: a put the dead peer executed
+	// whose response never reached its origin will be retransmitted — to
+	// us, as the shard's next owner — and must be answered with the
+	// recorded tag, not re-applied. (Replaying a committed response is
+	// correct regardless of who owns the shard by then, so these are
+	// filtered only by the claimed shards, not by adoption's outcome.)
+	transferred := make(map[int32]map[uint64]catalog.ForwardExec)
+	for origin, per := range st.Forwards {
+		for seq, ex := range per {
+			if !shards[ex.Shard] {
+				continue
+			}
+			ownRecs = append(ownRecs, catalog.Record{Type: catalog.TypeForwardDone,
+				Origin: origin, Seq: seq, Shard: ex.Shard, Tag: ex.Tag})
+			if transferred[origin] == nil {
+				transferred[origin] = make(map[uint64]catalog.ForwardExec)
+			}
+			transferred[origin][seq] = ex
+		}
+	}
 	if err := g.logRecord(ownRecs...); err != nil {
-		return nil, fmt.Errorf("gateway: adopting gateway %d: own catalog: %w", peerID, err)
+		return nil, nil, fmt.Errorf("gateway: adopting gateway %d: own catalog: %w", peerID, err)
 	}
-
-	// Transfer out of the peer catalog. Quarantines lead the batch: if a
-	// crash tears its tail, the namespaces are already fenced while the
-	// bindings they protect are at worst still present — duplicate, not
-	// dangling.
-	var peerRecs []catalog.Record
-	for _, ns := range nss {
-		peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeNSQuarantine, NS: ns})
-	}
-	for _, ns := range nss {
-		peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeGroupRetire, NS: ns})
-	}
-	for _, ao := range objs {
-		peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeObjectDel, Key: ao.key})
-		if _, pinned := st.Placement[ao.key]; pinned {
-			peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeUnplace, Key: ao.key})
-		}
-	}
-	for _, key := range lost {
-		peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeObjectDel, Key: key})
-	}
-	if len(peerRecs) > 0 {
-		if err := peerCat.Append(peerRecs...); err != nil {
-			return nil, fmt.Errorf("gateway: adopting gateway %d: peer catalog: %w", peerID, err)
-		}
-	}
+	f.primeForwards(transferred)
 
 	// Registry: the adopted generations enter the remote-group table, and
 	// the incarnation allocator jumps past everything the peer ever
@@ -1074,17 +1227,20 @@ func (f *fleet) adoptDurable(peerID int32, shards map[int]bool) (map[int32]*remo
 
 	// Gateway-side objects: pools and resolver entries around the adopted
 	// namespaces, installed directly (the lease, not the router, brought
-	// these keys here).
+	// these keys here). Installed before the data-ownership transfer so
+	// that from the instant a shard is adoptable-by-no-one-else it is also
+	// servable here — and a duplicate install (a retried adoption) is
+	// skipped by the exists check.
 	for _, ao := range objs {
 		sh := g.shardList()[ao.obj.Shard]
 		grp, err := newRemoteGroup(m, ao.obj.NS)
 		if err != nil {
-			return nil, fmt.Errorf("gateway: adopt %q: %w", ao.key, err)
+			return nil, nil, fmt.Errorf("gateway: adopt %q: %w", ao.key, err)
 		}
 		obj, err := newObject(grp, ao.obj.NS, g.cfg.PoolSize, sh.observe)
 		if err != nil {
 			grp.Detach()
-			return nil, fmt.Errorf("gateway: adopt %q: %w", ao.key, err)
+			return nil, nil, fmt.Errorf("gateway: adopt %q: %w", ao.key, err)
 		}
 		sh.mu.Lock()
 		if _, exists := sh.objects[ao.key]; exists {
@@ -1101,5 +1257,69 @@ func (f *fleet) adoptDurable(peerID int32, shards map[int]bool) (map[int32]*remo
 		}
 	}
 
-	return infos, nil
+	// Data-ownership transfer: with the records durable in our catalog
+	// (and the peer's still intact), flip each claimed shard's DataOwner
+	// to us. A shard whose lease lapsed mid-adoption fails here and is
+	// dropped — whoever fenced us finds DataOwner still pointing at the
+	// peer's untouched catalog and re-adopts; our copies sit idle.
+	adopted := make(map[int32]bool, len(claims))
+	for s, epoch := range claims {
+		if err := f.cfg.Store.Adopt(s, f.cfg.ID, epoch); err == nil {
+			adopted[s] = true
+		}
+	}
+
+	// Transfer out of the peer catalog — only the shards whose data
+	// ownership moved; a namespace is drained only when every shard it
+	// binds keys for was adopted (in practice namespaces are per-key, so
+	// per-shard). Quarantines lead the batch: if a crash tears its tail,
+	// the namespaces are already fenced while the bindings they protect
+	// are at worst still present — duplicate, not dangling.
+	nsDrained := make(map[int32]bool, len(nss))
+	for _, ns := range nss {
+		nsDrained[ns] = true
+	}
+	for _, ao := range objs {
+		if !adopted[int32(ao.obj.Shard)] {
+			nsDrained[ao.obj.NS] = false
+		}
+	}
+	var peerRecs []catalog.Record
+	for _, ns := range nss {
+		if nsDrained[ns] {
+			peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeNSQuarantine, NS: ns})
+		}
+	}
+	for _, ns := range nss {
+		if nsDrained[ns] {
+			peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeGroupRetire, NS: ns})
+		}
+	}
+	for _, ao := range objs {
+		if !adopted[int32(ao.obj.Shard)] {
+			continue
+		}
+		peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeObjectDel, Key: ao.key})
+		if _, pinned := st.Placement[ao.key]; pinned {
+			peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeUnplace, Key: ao.key})
+		}
+	}
+	for key, sh := range lost {
+		if adopted[int32(sh)] {
+			peerRecs = append(peerRecs, catalog.Record{Type: catalog.TypeObjectDel, Key: key})
+		}
+	}
+	if len(peerRecs) > 0 {
+		if err := peerCat.Append(peerRecs...); err != nil {
+			return nil, nil, fmt.Errorf("gateway: adopting gateway %d: peer catalog: %w", peerID, err)
+		}
+	}
+
+	// Restrict the node handshake to the groups that actually moved.
+	for ns := range infos {
+		if !nsDrained[ns] {
+			delete(infos, ns)
+		}
+	}
+	return infos, adopted, nil
 }

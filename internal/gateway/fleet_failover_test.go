@@ -1,0 +1,344 @@
+package gateway
+
+// Regression tests for the failover-adoption and forward-dedup seams: an
+// aborted adoption must not launder data ownership, executed forwards
+// must survive the owner's death, and the dedup bookkeeping must stay
+// bounded and panic-free under NotOwner churn.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/lds-storage/lds/internal/catalog"
+	"github.com/lds-storage/lds/internal/transport/channet"
+	"github.com/lds-storage/lds/internal/transport/faultnet"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// TestFleetReclaimAfterAbortedAdoption pins the claim-release-reclaim
+// seam: member 1 dies but its catalog flock lingers (a wedged process, or
+// an unmounting filesystem), so the survivor's claims abort with
+// errPeerAlive and are released. Those releases must not make the
+// survivor the store's last recorded owner in a way that lets a later
+// reclaim skip adoption — when the flock finally frees, the next claim
+// must still adopt the dead member's groups and serve its keys.
+func TestFleetReclaimAfterAbortedAdoption(t *testing.T) {
+	const ttl = 600 * time.Millisecond
+	h := startFleetPair(t, ttl)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	owners := waitOwned(t, h.gwB, 5*time.Second)
+	keys := keysPerShard(h.gwA)
+	var shardsOfA []int
+	for sh, owner := range owners {
+		if owner == 1 {
+			shardsOfA = append(shardsOfA, sh)
+		}
+	}
+	if len(shardsOfA) == 0 {
+		t.Fatal("member 1 owns no shards; the test needs something to fail over")
+	}
+	vals := make(map[string]string)
+	for _, sh := range shardsOfA {
+		key := keys[sh]
+		vals[key] = key + "/pre-crash"
+		if _, err := h.gwA.Put(ctx, key, []byte(vals[key])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill member 1 but keep its catalog flock held — the survivor's
+	// adoption attempts must abort (peer "alive") and release the claim.
+	h.gwA.fleet.releaseOnStop = false
+	if err := h.gwA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Across several claim-abort-release rounds: the survivor never
+	// publishes the shard (its cache must not say "mine" without the
+	// adoption), and the store never records a data-ownership transfer.
+	deadline := time.Now().Add(4 * ttl)
+	for time.Now().Before(deadline) {
+		for _, sh := range shardsOfA {
+			if h.gwB.fleet.owns(sh) {
+				t.Fatalf("survivor serves shard %d while the dead member's catalog is still locked", sh)
+			}
+		}
+		snap, err := h.gwB.fleet.cfg.Store.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shardsOfA {
+			if d := snap[int32(sh)].DataOwner; d != 1 {
+				t.Fatalf("shard %d data owner = %d during aborted adoptions, want 1", sh, d)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The flock frees (the wedged process finally dies); the very next
+	// claim must take the adoption path, not the nothing-to-adopt one.
+	if err := h.catA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	end := time.Now().Add(10 * ttl)
+	for {
+		owners = waitOwned(t, h.gwB, 10*ttl)
+		all := true
+		for _, owner := range owners {
+			if owner != 2 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("survivor never absorbed the dead member's shards: %v", owners)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, sh := range shardsOfA {
+		key := keys[sh]
+		v, _, err := h.gwB.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("get %q after delayed failover: %v (adoption was skipped)", key, err)
+		}
+		if string(v) != vals[key] {
+			st := h.catB.State()
+			snap, _ := h.gwB.fleet.cfg.Store.Snapshot()
+			t.Logf("debug: catB objects=%v groups=%d lease=%+v", st.Objects, len(st.Groups), snap[int32(sh)])
+			t.Errorf("get %q after delayed failover = %q, want %q", key, v, vals[key])
+		}
+	}
+	if err := h.gwB.fleet.cfg.Store.Verify(); err != nil {
+		t.Errorf("lease store verification: %v", err)
+	}
+}
+
+// TestForwardReplayAfterFailover pins the durable forward dedup: the
+// owner executes a forwarded put but every response is lost, the owner
+// dies, and the origin's retransmission must resolve — after it claims
+// and adopts the shard itself — by replaying the dead owner's recorded
+// tag, not by applying the put a second time under a new one.
+func TestForwardReplayAfterFailover(t *testing.T) {
+	const ttl = 600 * time.Millisecond
+	_, specs, _ := startCountingHosts(t, 3)
+	leaseDir, catDirA, catDirB := t.TempDir(), t.TempDir(), t.TempDir()
+	dirFor := func(id int32) string {
+		if id == 1 {
+			return catDirA
+		}
+		return catDirB
+	}
+	// Forward responses never arrive; everything else flows. The origin
+	// can then only complete its put by becoming the owner.
+	base := channet.New(channet.Options{})
+	fnet := faultnet.New(base, faultnet.Options{
+		Seed: 7,
+		PerKind: map[wire.Kind]faultnet.Rule{
+			wire.KindPeerForwardResp: {Drop: 1.0},
+		},
+	})
+	t.Cleanup(func() { fnet.Close() })
+	newMember := func(id int32, cat *catalog.File) *Gateway {
+		store, err := catalog.OpenLeaseStore(leaseDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(Config{
+			Params:  testParams(t, 3, 4, 1, 1),
+			Catalog: cat,
+			Topology: &Topology{Shards: []ShardSpec{
+				{Backend: BackendTCP, Nodes: specs},
+				{Backend: BackendTCP, Nodes: specs},
+			}},
+			Fleet: &FleetConfig{
+				ID:          id,
+				Peers:       []PeerSpec{{ID: 3 - id}},
+				LeaseTTL:    ttl,
+				Store:       store,
+				PeerCatalog: dirFor,
+				Net:         fnet,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		return g
+	}
+	catA := openCatalog(t, catDirA)
+	gwA := newMember(1, catA)
+	catB := openCatalog(t, catDirB)
+	gwB := newMember(2, catB)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	owners := waitOwned(t, gwB, 5*time.Second)
+	var shardOfA int = -1
+	for sh, owner := range owners {
+		if owner == 1 {
+			shardOfA = sh
+		}
+	}
+	if shardOfA < 0 {
+		t.Fatal("member 1 owns no shard")
+	}
+	key := keysPerShard(gwB)[shardOfA]
+	const val = "forwarded-once"
+
+	type putResult struct {
+		tg  tag1
+		err error
+	}
+	done := make(chan putResult, 1)
+	go func() {
+		tg, err := gwB.Put(ctx, key, []byte(val))
+		done <- putResult{tag1{val, tg}, err}
+	}()
+
+	// Wait for the owner to execute the forward and commit its durable
+	// record; the response is dropped, so the origin keeps retransmitting.
+	var recorded catalog.ForwardExec
+	var recordedSeq uint64
+	execDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if per := catA.State().Forwards[2]; len(per) == 1 {
+			for seq, ex := range per {
+				recordedSeq, recorded = seq, ex
+			}
+			break
+		}
+		if time.Now().After(execDeadline) {
+			t.Fatal("owner never recorded the forwarded put")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The owner dies with the response undeliverable — the worst-case
+	// window the durable record exists for.
+	gwA.fleet.releaseOnStop = false
+	if err := gwA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := catA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("put through failover: %v", res.err)
+	}
+	if res.tg.tg != recorded.Tag {
+		t.Fatalf("put resolved with tag %v, want the dead owner's recorded %v (the put was applied twice)",
+			res.tg.tg, recorded.Tag)
+	}
+	v, tg, err := gwB.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != val || tg != recorded.Tag {
+		t.Fatalf("get after replay = %q tag %v, want %q tag %v", v, tg, val, recorded.Tag)
+	}
+	// The record itself rode the adoption into the survivor's catalog.
+	if ex, ok := catB.State().Forwards[2][recordedSeq]; !ok || ex.Tag != recorded.Tag {
+		t.Errorf("survivor's catalog lacks the transferred forward record (got %+v, %v)", ex, ok)
+	}
+}
+
+// TestFleetMembershipMismatch: the first member pins the fleet's
+// membership in the lease directory; a member booted with a different
+// -peer list must be refused outright instead of carving an overlapping
+// namespace slice.
+func TestFleetMembershipMismatch(t *testing.T) {
+	_, specs, _ := startCountingHosts(t, 3)
+	leaseDir := t.TempDir()
+	build := func(id int32, peers []PeerSpec) (*Gateway, error) {
+		store, err := catalog.OpenLeaseStore(leaseDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := openCatalog(t, t.TempDir())
+		g, err := New(Config{
+			Params:  testParams(t, 3, 4, 1, 1),
+			Catalog: cat,
+			Topology: &Topology{Shards: []ShardSpec{
+				{Backend: BackendTCP, Nodes: specs},
+				{Backend: BackendTCP, Nodes: specs},
+			}},
+			Fleet: &FleetConfig{
+				ID:          id,
+				Peers:       peers,
+				LeaseTTL:    time.Second,
+				Store:       store,
+				PeerCatalog: func(int32) string { return "" },
+			},
+		})
+		if err == nil {
+			t.Cleanup(func() { g.Close() })
+		}
+		return g, err
+	}
+	if _, err := build(1, []PeerSpec{{ID: 2}}); err != nil {
+		t.Fatalf("first member: %v", err)
+	}
+	// Member 2 agreeing on {1,2} is admitted.
+	if _, err := build(2, []PeerSpec{{ID: 1}}); err != nil {
+		t.Fatalf("agreeing member: %v", err)
+	}
+	// A member whose -peer list implies {2,3} must be refused.
+	if _, err := build(3, []PeerSpec{{ID: 2}}); !errors.Is(err, catalog.ErrMembershipMismatch) {
+		t.Fatalf("disagreeing member: err = %v, want ErrMembershipMismatch", err)
+	}
+}
+
+// TestForwardDedupStaleQueueKeys: eviction over a queue holding keys
+// whose entries were unrecorded (NotOwner and failed executions) must
+// skip them, not dereference nil — including on the rotate-in-flight
+// path, whose next-head peek reads the map too.
+func TestForwardDedupStaleQueueKeys(t *testing.T) {
+	f := &fleet{dedup: make(map[forwardKey]*forwardEntry)}
+	for seq := uint64(0); seq < 10; seq++ { // stale: queued, no entry
+		f.dedupQ = append(f.dedupQ, forwardKey{origin: 9, seq: seq})
+	}
+	inflight := forwardKey{origin: 9, seq: 10}
+	f.dedup[inflight] = &forwardEntry{}
+	f.dedupQ = append(f.dedupQ, inflight)
+	f.dedupQ = append(f.dedupQ, forwardKey{origin: 9, seq: 11}) // stale after the rotate
+	for seq := uint64(12); seq < forwardDedupCap+50; seq++ {
+		k := forwardKey{origin: 9, seq: seq}
+		f.dedup[k] = &forwardEntry{done: true}
+		f.dedupQ = append(f.dedupQ, k)
+	}
+	f.mu.Lock()
+	f.evictForwardsLocked()
+	f.mu.Unlock()
+	if len(f.dedup) > forwardDedupCap {
+		t.Errorf("dedup cache holds %d entries, cap %d", len(f.dedup), forwardDedupCap)
+	}
+	if e, ok := f.dedup[inflight]; !ok || e.done {
+		t.Error("in-flight entry was evicted")
+	}
+}
+
+// TestForwardUnrecordBoundsQueue: a gateway that mostly rejects forwards
+// (NotOwner churn) must not leak queue slots — unrecording removes the
+// key from both the map and the queue.
+func TestForwardUnrecordBoundsQueue(t *testing.T) {
+	f := &fleet{dedup: make(map[forwardKey]*forwardEntry)}
+	for seq := uint64(0); seq < 4*forwardDedupCap; seq++ {
+		k := forwardKey{origin: 3, seq: seq}
+		f.mu.Lock()
+		f.dedup[k] = &forwardEntry{}
+		f.dedupQ = append(f.dedupQ, k)
+		f.mu.Unlock()
+		f.unrecordForward(k)
+	}
+	if len(f.dedup) != 0 || len(f.dedupQ) != 0 {
+		t.Fatalf("after churn: %d map entries, %d queued keys, want 0/0", len(f.dedup), len(f.dedupQ))
+	}
+}
