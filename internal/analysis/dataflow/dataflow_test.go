@@ -1,0 +1,166 @@
+package dataflow
+
+import (
+	"go/types"
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+// loadTable builds the summary table over the fixture package set.
+func loadTable(t *testing.T) (*Table, *lint.Package) {
+	t.Helper()
+	pkgs, err := lint.LoadFixture("testdata/src")
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture loaded %d packages, want 1", len(pkgs))
+	}
+	return For(&lint.Pass{AllPkgs: pkgs}), pkgs[0]
+}
+
+// sumOf resolves a fixture function or method ("name" or "Type.name")
+// and returns its summary.
+func sumOf(t *testing.T, table *Table, pkg *lint.Package, name string) *Summary {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("fixture does not declare %s", name)
+	}
+	s := table.Of(obj)
+	if s == nil {
+		t.Fatalf("no summary for %s", name)
+	}
+	return s
+}
+
+func methodSumOf(t *testing.T, table *Table, pkg *lint.Package, typeName, method string) *Summary {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(typeName)
+	if obj == nil {
+		t.Fatalf("fixture does not declare type %s", typeName)
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("%s is not a named type", typeName)
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			s := table.Of(m)
+			if s == nil {
+				t.Fatalf("no summary for %s.%s", typeName, method)
+			}
+			return s
+		}
+	}
+	t.Fatalf("type %s has no method %s", typeName, method)
+	return nil
+}
+
+func TestParamEffects(t *testing.T) {
+	table, pkg := loadTable(t)
+	cases := []struct {
+		fn    string
+		param int
+		want  Effect
+	}{
+		{"release", 0, Releases},
+		{"releaseVia", 0, Releases},
+		{"keepVia", 1, Retains},
+		{"handoff", 0, HandsOff},
+		{"handoff", 1, Borrows},
+		{"borrow", 0, Borrows},
+		{"passThrough", 0, Borrows},
+		{"keepInClosure", 1, Retains},
+		{"recurse", 0, Borrows},
+		{"ping", 0, Releases},
+		{"pong", 0, Releases},
+	}
+	for _, c := range cases {
+		s := sumOf(t, table, pkg, c.fn)
+		if got := s.Params[c.param]; got != c.want {
+			t.Errorf("%s param %d: got %v, want %v", c.fn, c.param, got, c.want)
+		}
+	}
+	if s := methodSumOf(t, table, pkg, "holder", "keep"); s.Params[0] != Retains {
+		t.Errorf("holder.keep param 0: got %v, want %v", s.Params[0], Retains)
+	}
+}
+
+func TestReturnsFresh(t *testing.T) {
+	table, pkg := loadTable(t)
+	for fn, want := range map[string]bool{
+		"fresh":      true,
+		"freshVia":   true,
+		"maybeFresh": false,
+		"release":    false,
+	} {
+		if got := sumOf(t, table, pkg, fn).ReturnsFresh; got != want {
+			t.Errorf("%s ReturnsFresh = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+func TestLeaseBits(t *testing.T) {
+	table, pkg := loadTable(t)
+	for fn, want := range map[string]bool{
+		"durable":    true,
+		"durableVia": true,
+		"fenced":     false,
+	} {
+		if got := sumOf(t, table, pkg, fn).LeaseDurable; got != want {
+			t.Errorf("%s LeaseDurable = %v, want %v", fn, got, want)
+		}
+	}
+	for fn, want := range map[string]bool{
+		"fenced":    true,
+		"fencedVia": true,
+		"unfenced":  false,
+	} {
+		if got := sumOf(t, table, pkg, fn).EpochFence; got != want {
+			t.Errorf("%s EpochFence = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+func TestJoins(t *testing.T) {
+	table, pkg := loadTable(t)
+	for method, want := range map[string]bool{
+		"loop":         true,
+		"signal":       true,
+		"viaDefer":     true,
+		"viaPlainCall": false,
+		"launches":     false,
+	} {
+		if got := methodSumOf(t, table, pkg, "worker", method).Joins; got != want {
+			t.Errorf("worker.%s Joins = %v, want %v", method, got, want)
+		}
+	}
+}
+
+// TestIntrinsics checks the axioms hold even for callees resolved purely
+// through export data (the fixture imports the real wire package).
+func TestIntrinsics(t *testing.T) {
+	table, pkg := loadTable(t)
+	wirePkg := findImport(t, pkg, "internal/wire")
+	get := wirePkg.Scope().Lookup("GetFrame")
+	if s := table.Of(get); s == nil || !s.ReturnsFresh {
+		t.Errorf("wire.GetFrame intrinsic: got %+v, want ReturnsFresh", s)
+	}
+	put := wirePkg.Scope().Lookup("PutFrame")
+	if s := table.Of(put); s == nil || len(s.Params) == 0 || s.Params[0] != Releases {
+		t.Errorf("wire.PutFrame intrinsic: got %+v, want param 0 Releases", s)
+	}
+}
+
+func findImport(t *testing.T, pkg *lint.Package, suffix string) *types.Package {
+	t.Helper()
+	for _, imp := range pkg.Types.Imports() {
+		if lint.PathHasSuffix(imp.Path(), suffix) {
+			return imp
+		}
+	}
+	t.Fatalf("fixture does not import %s", suffix)
+	return nil
+}

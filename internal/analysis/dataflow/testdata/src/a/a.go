@@ -1,0 +1,118 @@
+// Package a is the dataflow summary fixture: small functions whose
+// summaries the test asserts exactly, importing the real wire and
+// catalog packages through export data.
+package a
+
+import (
+	"sync"
+
+	"github.com/lds-storage/lds/internal/catalog"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+// --- parameter effects -------------------------------------------------
+
+func release(f *wire.Frame) { wire.PutFrame(f) }
+
+func releaseVia(f *wire.Frame) { release(f) }
+
+type holder struct {
+	f  *wire.Frame
+	ch chan *wire.Frame
+}
+
+func (h *holder) keep(f *wire.Frame) { h.f = f }
+
+func keepVia(h *holder, f *wire.Frame) { h.keep(f) }
+
+func handoff(f *wire.Frame, ch chan *wire.Frame) { ch <- f }
+
+func borrow(f *wire.Frame) int { return len(f.B) }
+
+// returning a parameter keeps ownership with the caller: Borrows.
+func passThrough(f *wire.Frame) *wire.Frame { return f }
+
+// a closure that stores a captured parameter escapes it for the
+// enclosing function too.
+func keepInClosure(h *holder, f *wire.Frame) {
+	run(func() { h.f = f })
+}
+
+func run(fn func()) { fn() }
+
+// recursion settles at the conservative fixpoint: no effect beyond what
+// the body itself shows.
+func recurse(f *wire.Frame) { recurse(f) }
+
+// mutual recursion likewise, with the release visible on one side.
+func ping(f *wire.Frame, n int) {
+	if n == 0 {
+		wire.PutFrame(f)
+		return
+	}
+	pong(f, n-1)
+}
+
+func pong(f *wire.Frame, n int) { ping(f, n) }
+
+// --- fresh returns -----------------------------------------------------
+
+func fresh() *wire.Frame { return wire.GetFrame() }
+
+func freshVia() *wire.Frame { return fresh() }
+
+// one borrowed return poisons freshness: the caller cannot assume it
+// owns the result.
+func maybeFresh(f *wire.Frame) *wire.Frame {
+	if f != nil {
+		return f
+	}
+	return wire.GetFrame()
+}
+
+// --- lease durability and fences ---------------------------------------
+
+func durable(s *catalog.LeaseStore) { s.Release(0, 1, 2) }
+
+func durableVia(s *catalog.LeaseStore) { durable(s) }
+
+func fenced(cur catalog.Lease, epoch uint64) bool { return cur.Epoch == epoch }
+
+func fencedVia(cur catalog.Lease, epoch uint64) bool { return fenced(cur, epoch) }
+
+func unfenced(cur catalog.Lease) int32 { return cur.Owner }
+
+// --- joinability -------------------------------------------------------
+
+type worker struct {
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (w *worker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *worker) signal() { w.wg.Done() }
+
+// joinability propagates through a deferred call...
+func (w *worker) viaDefer() { defer w.signal() }
+
+// ...but not through a plain call: calling into something that signals
+// some other WaitGroup does not make this goroutine joinable.
+func (w *worker) viaPlainCall() { w.signal() }
+
+// a goroutine launched inside the body is not this function's join
+// evidence.
+func (w *worker) launches() {
+	go func() {
+		<-w.stop
+	}()
+}

@@ -7,10 +7,11 @@
 // load: a frame read after PutFrame may already be another sender's
 // buffer, and a double put hands the same frame to two owners.
 //
-// The analyzer is function-local and checks two layers:
+// The analyzer checks three layers:
 //
-//  1. Ownership of frames acquired in the function (f := wire.GetFrame()):
-//     use after PutFrame, use after a handoff, releasing twice, releasing
+//  1. Ownership of frames acquired in the function — f := wire.GetFrame()
+//     or any callee whose dataflow summary says it ReturnsFresh: use
+//     after PutFrame, use after a handoff, releasing twice, releasing
 //     after a handoff, and frames that are neither released nor handed
 //     off on any path (a pool leak).
 //  2. A type-based escape rule for ANY expression of type *wire.Frame or
@@ -20,13 +21,23 @@
 //     field alias survives PutFrame and pins (or corrupts) a buffer the
 //     pool may already have handed to someone else. Locals, channel
 //     sends, call arguments and returns are the legitimate borrow/handoff
-//     forms and stay allowed.
+//     forms and stay allowed. Buffer aliases laundered through
+//     intermediate locals (b := f.B; ...; h.buf = b) are tracked by a
+//     taint on the local, so the store is flagged wherever the alias was
+//     made.
+//  3. Interprocedural call effects via internal/analysis/dataflow: a
+//     frame passed to a callee that releases it counts as this
+//     function's release, one passed to a callee that hands it off may
+//     not be touched again, and one passed to a callee that retains it
+//     (stores it beyond the call) is an escape reported at the call
+//     site.
 //
 // Approximations (documented, deliberate): states merge conservatively at
 // control-flow joins (a frame released on only some branches is not
-// reported further), and laundering a frame through an intermediate local
-// before a field store is not tracked. The analyzer under-reports rather
-// than false-positives.
+// reported further), calls through function values and interfaces have
+// no summary and count as borrows, and a buffer taint is never cleared
+// by reassignment. The analyzer under-reports rather than
+// false-positives.
 package frameown
 
 import (
@@ -34,6 +45,7 @@ import (
 	"go/token"
 	"go/types"
 
+	"github.com/lds-storage/lds/internal/analysis/dataflow"
 	"github.com/lds-storage/lds/internal/analysis/lint"
 )
 
@@ -64,13 +76,14 @@ type frameState struct {
 }
 
 func run(pass *lint.Pass) error {
+	sums := dataflow.For(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w := &walker{pass: pass, vars: map[types.Object]*frameState{}}
+			w := &walker{pass: pass, sums: sums, vars: map[types.Object]*frameState{}, taint: map[types.Object]bool{}}
 			w.walkStmts(fd.Body.List)
 			w.finish(w.vars)
 		}
@@ -78,7 +91,7 @@ func run(pass *lint.Pass) error {
 		// they acquire are theirs to release.
 		ast.Inspect(file, func(n ast.Node) bool {
 			if fl, ok := n.(*ast.FuncLit); ok {
-				w := &walker{pass: pass, vars: map[types.Object]*frameState{}}
+				w := &walker{pass: pass, sums: sums, vars: map[types.Object]*frameState{}, taint: map[types.Object]bool{}}
 				w.walkStmts(fl.Body.List)
 				w.finish(w.vars)
 			}
@@ -90,7 +103,14 @@ func run(pass *lint.Pass) error {
 
 type walker struct {
 	pass *lint.Pass
+	sums *dataflow.Table
 	vars map[types.Object]*frameState
+	// taint marks locals aliasing a pooled frame's buffer (b := f.B and
+	// derivations): storing one into a field or global is the same escape
+	// as storing f.B directly. Taint is never cleared — conservative, but
+	// reassigning a buffer local to launder it is exactly the pattern the
+	// taint exists to catch.
+	taint map[types.Object]bool
 }
 
 // finish reports leaks for frames still live in vars.
@@ -190,9 +210,9 @@ func (w *walker) walkStmt(s ast.Stmt) {
 		if w.deferPutFrame(s.Call) {
 			return
 		}
-		w.transferArgs(s.Call)
+		w.transferArgs(s.Call, true)
 	case *ast.GoStmt:
-		w.transferArgs(s.Call)
+		w.transferArgs(s.Call, false)
 	case *ast.SendStmt:
 		w.checkUses(s.Chan)
 		if fs := w.trackedIdent(s.Value); fs != nil {
@@ -346,6 +366,22 @@ func (w *walker) assign(s *ast.AssignStmt) {
 		}
 	}
 
+	// Buffer taint: a local assigned a frame's buffer (or anything
+	// aliasing one) becomes an alias the escape rule must keep seeing.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || w.isEscapingLHS(lhs) {
+				continue
+			}
+			if _, _, found := w.findFrameExpr(s.Rhs[i]); found {
+				if obj := w.lhsObj(id); obj != nil {
+					w.taint[obj] = true
+				}
+			}
+		}
+	}
+
 	// Ownership transitions.
 	for i, rhs := range s.Rhs {
 		var lhs ast.Expr
@@ -353,13 +389,15 @@ func (w *walker) assign(s *ast.AssignStmt) {
 			lhs = s.Lhs[i]
 		}
 		rhs = ast.Unparen(rhs)
-		// Acquisition: v := wire.GetFrame().
+		// Acquisition: v := wire.GetFrame(), or any callee whose summary
+		// promises a freshly-owned frame.
 		if call, ok := rhs.(*ast.CallExpr); ok && lhs != nil {
-			if lint.IsPkgFunc(lint.CalleeOf(w.pass.Info, call), wirePkg, "GetFrame") {
+			if w.returnsFreshFrame(call) {
 				if id, ok := lhs.(*ast.Ident); ok {
 					if obj := w.lhsObj(id); obj != nil {
 						w.vars[obj] = &frameState{st: live, acquirePos: s.Pos()}
 					}
+					w.checkUses(call)
 					continue
 				}
 			}
@@ -382,6 +420,12 @@ func (w *walker) assign(s *ast.AssignStmt) {
 				// moved with it.
 				fs.st = transferred
 			}
+			continue
+		}
+		// A call with a known summary states exactly what happens to each
+		// argument; checkUses applies those effects and nothing else moves.
+		if call, ok := rhs.(*ast.CallExpr); ok && w.sums.CalleeSummary(w.pass.Info, call) != nil {
+			w.checkUses(rhs)
 			continue
 		}
 		// A tracked frame nested inside the RHS (append(batch, f),
@@ -457,10 +501,24 @@ func (w *walker) deferPutFrame(call *ast.CallExpr) bool {
 
 // transferArgs marks tracked frames passed to go/defer calls as handed
 // off: the call runs after (or concurrently with) the current statement
-// order, so the caller must stop touching them.
-func (w *walker) transferArgs(call *ast.CallExpr) {
-	for _, arg := range call.Args {
+// order, so the caller must stop touching them. Exception: a deferred
+// call to a callee that releases the frame is a deferred release, like
+// defer wire.PutFrame(f) — the frame stays usable until the function
+// returns.
+func (w *walker) transferArgs(call *ast.CallExpr, deferred bool) {
+	var cs *dataflow.Summary
+	if deferred {
+		cs = w.sums.CalleeSummary(w.pass.Info, call)
+	}
+	for i, arg := range call.Args {
 		if fs := w.trackedIdent(ast.Unparen(arg)); fs != nil {
+			if cs != nil && i < len(cs.Params) && cs.Params[i] == dataflow.Releases {
+				if fs.deferRel {
+					w.pass.Reportf(arg.Pos(), "frame released twice: a deferred release for it already exists")
+				}
+				fs.deferRel = true
+				continue
+			}
 			w.useCheck(arg.Pos(), fs)
 			fs.st = transferred
 		} else {
@@ -495,7 +553,8 @@ func (w *walker) useCheck(pos token.Pos, fs *frameState) {
 
 // checkUses walks an expression reporting uses of dead frames; function
 // literals capturing a tracked frame transfer it (the closure may outlive
-// the statement order).
+// the statement order), and calls with a dataflow summary apply their
+// per-argument effects.
 func (w *walker) checkUses(e ast.Expr) {
 	if e == nil {
 		return
@@ -509,6 +568,10 @@ func (w *walker) checkUses(e ast.Expr) {
 				}
 			}
 			return false
+		case *ast.CallExpr:
+			if w.applyCallEffects(n) {
+				return false
+			}
 		case *ast.Ident:
 			if obj := w.pass.Info.Uses[n]; obj != nil {
 				if fs := w.vars[obj]; fs != nil {
@@ -518,6 +581,48 @@ func (w *walker) checkUses(e ast.Expr) {
 		}
 		return true
 	})
+}
+
+// applyCallEffects applies a summarized callee's per-parameter effects to
+// tracked frame arguments, reporting retention escapes at the call site.
+// It returns true when it handled the call (and its subtree) itself;
+// unknown callees return false and fall back to the plain borrow walk.
+func (w *walker) applyCallEffects(call *ast.CallExpr) bool {
+	cs := w.sums.CalleeSummary(w.pass.Info, call)
+	if cs == nil {
+		return false
+	}
+	w.checkUses(call.Fun)
+	for i, arg := range call.Args {
+		fs := w.trackedIdent(arg)
+		eff := dataflow.Borrows
+		if i < len(cs.Params) {
+			eff = cs.Params[i]
+		}
+		if fs == nil || eff == dataflow.Borrows {
+			w.checkUses(arg)
+			continue
+		}
+		w.useCheck(arg.Pos(), fs)
+		switch eff {
+		case dataflow.Releases:
+			fs.st = released
+		case dataflow.HandsOff:
+			fs.st = transferred
+		case dataflow.Retains:
+			w.pass.Reportf(arg.Pos(), "frame passed to %s, which retains it beyond the call: the alias outlives PutFrame", calleeName(w.pass.Info, call))
+			fs.st = transferred // one report; stop tracking
+		}
+	}
+	return true
+}
+
+// calleeName renders the called function for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if obj := lint.CalleeOf(info, call); obj != nil {
+		return obj.Name()
+	}
+	return types.ExprString(call.Fun)
 }
 
 // nestedTracked returns tracked frames referenced anywhere inside e.
@@ -591,6 +696,9 @@ func (w *walker) findFrameExpr(e ast.Expr) (token.Pos, string, bool) {
 		if t := w.pass.Info.Types[e].Type; t != nil && isFrameType(t) {
 			return e.Pos(), "pooled frame", true
 		}
+		if obj := w.pass.Info.Uses[e]; obj != nil && w.taint[obj] {
+			return e.Pos(), "frame buffer (via local alias)", true
+		}
 	case *ast.SelectorExpr:
 		if t := w.pass.Info.Types[e.X].Type; t != nil && isFrameType(t) && e.Sel.Name == "B" {
 			return e.Pos(), "frame buffer (.B)", true
@@ -634,6 +742,17 @@ func (w *walker) findFrameExpr(e ast.Expr) (token.Pos, string, bool) {
 		}
 	}
 	return token.NoPos, "", false
+}
+
+// returnsFreshFrame reports whether the call hands its caller a
+// freshly-owned pooled frame to track: wire.GetFrame itself, or any
+// callee whose dataflow summary proves every return is fresh.
+func (w *walker) returnsFreshFrame(call *ast.CallExpr) bool {
+	if t := w.pass.Info.Types[ast.Expr(call)].Type; t == nil || !isFrameType(t) {
+		return false
+	}
+	cs := w.sums.CalleeSummary(w.pass.Info, call)
+	return cs != nil && cs.ReturnsFresh
 }
 
 func isFrameType(t types.Type) bool {

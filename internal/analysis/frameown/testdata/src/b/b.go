@@ -1,0 +1,104 @@
+// Package b is the frameown v2 fixture: the two escape gaps the PR 8
+// analyzer documented as not tracked (intermediate-local buffer
+// laundering, callee-retained handoff) plus ownership flowing through
+// callee summaries — releases, handoffs and fresh returns. The v1
+// analyzer reported nothing on the gap cases; every `want` below exists
+// because the dataflow summary layer closed them.
+package b
+
+import "github.com/lds-storage/lds/internal/wire"
+
+type holder struct {
+	f   *wire.Frame
+	buf []byte
+}
+
+// Release is a summarized releasing callee: param 0 ends in PutFrame.
+func Release(f *wire.Frame) { wire.PutFrame(f) }
+
+// keep is a summarized retaining callee; the store inside it is the
+// type-rule escape v1 already caught.
+func keep(h *holder, f *wire.Frame) {
+	h.f = f // want "pooled frame stored into h.f"
+}
+
+// pass is a summarized handing-off callee.
+func pass(f *wire.Frame, ch chan *wire.Frame) { ch <- f }
+
+// NewFrame returns a freshly-owned frame: callers must release it.
+func NewFrame() *wire.Frame { return wire.GetFrame() }
+
+// --- gap 1: intermediate-local laundering -------------------------------
+
+// v1 tracked h.buf = f.B but not the same store laundered through a
+// local.
+func launderBuf(h *holder) {
+	f := wire.GetFrame()
+	b := f.B
+	h.buf = b // want "frame buffer \\(via local alias\\) stored into h.buf"
+}
+
+func launderSliced(h *holder, f *wire.Frame) {
+	b := f.B[4:]
+	h.buf = b // want "frame buffer \\(via local alias\\) stored into h.buf"
+}
+
+// an explicit copy breaks the alias; storing it is fine.
+func launderSafeCopy(h *holder, f *wire.Frame) {
+	b := append([]byte(nil), f.B...)
+	h.buf = b
+}
+
+// --- gap 2: callee-retained handoff --------------------------------------
+
+// v1 saw keep(h, f) as a plain borrow; the summary knows keep stores f.
+func retainViaCallee(h *holder) {
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	keep(h, f) // want "frame passed to keep, which retains it beyond the call"
+}
+
+// --- ownership through callee summaries ----------------------------------
+
+func releaseViaCallee() {
+	f := wire.GetFrame()
+	Release(f)
+}
+
+func useAfterCalleeRelease() {
+	f := wire.GetFrame()
+	Release(f)
+	_ = f.B // want "use of frame after wire.PutFrame"
+}
+
+func doubleReleaseViaCallee() {
+	f := wire.GetFrame()
+	Release(f)
+	wire.PutFrame(f) // want "frame released twice"
+}
+
+// a deferred releasing callee behaves like defer wire.PutFrame(f): the
+// frame stays usable until return.
+func deferredCalleeRelease() {
+	f := wire.GetFrame()
+	defer Release(f)
+	f.B = append(f.B, 1)
+}
+
+func handoffViaCallee(ch chan *wire.Frame) {
+	f := wire.GetFrame()
+	pass(f, ch)
+	wire.PutFrame(f) // want "frame released after it was handed off"
+}
+
+// --- returned ownership ---------------------------------------------------
+
+func leakFreshReturn() {
+	f := NewFrame() // want "never released"
+	_ = f
+}
+
+func releaseFreshReturn() {
+	f := NewFrame()
+	wire.PutFrame(f)
+}

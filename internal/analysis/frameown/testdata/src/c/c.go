@@ -1,0 +1,25 @@
+// Package c checks that frameown's dataflow summaries cross package
+// boundaries: the helpers live in fixture package b.
+package c
+
+import (
+	"b"
+
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+func releaseAcross() {
+	f := wire.GetFrame()
+	b.Release(f)
+}
+
+func useAfterAcross() {
+	f := wire.GetFrame()
+	b.Release(f)
+	_ = f.B // want "use of frame after wire.PutFrame"
+}
+
+func leakAcross() {
+	f := b.NewFrame() // want "never released"
+	_ = f
+}

@@ -1,0 +1,11 @@
+package goexit
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestGoexit(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

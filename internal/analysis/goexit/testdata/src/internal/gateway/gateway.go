@@ -1,0 +1,76 @@
+// Package gateway is the goexit fixture: every joinability idiom the
+// repo uses — done-channel close, WaitGroup.Done, stop-channel select,
+// range-over-channel — plus the orphans the analyzer must reject.
+package gateway
+
+import "sync"
+
+type svc struct {
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// loop is the renewLoop shape: signals completion by closing done,
+// terminates on the stop channel.
+func (s *svc) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *svc) startLoop() {
+	go s.loop()
+}
+
+// worker joins through a deferred WaitGroup.Done — the tcpnet shape.
+func (s *svc) worker() {
+	defer s.wg.Done()
+}
+
+func (s *svc) startWorker() {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *svc) startLitWorker() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// drain terminates when its channel closes: joinable by close(ch).
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func startDrain(ch chan int) {
+	go drain(ch)
+}
+
+// orphan neither signals completion nor watches a stop channel.
+func orphan(ch chan int) {
+	ch <- 1
+}
+
+func startOrphan(ch chan int) {
+	go orphan(ch) // want "goroutine orphan is not joinable"
+}
+
+func startOrphanLit(ch chan int) {
+	go func() { // want "goroutine the goroutine literal is not joinable"
+		ch <- 1
+	}()
+}
+
+// startIndirect launches through a function value: no resolvable
+// callee, documented skip.
+func startIndirect(fn func()) {
+	go fn()
+}

@@ -1,0 +1,242 @@
+// Package leasefence enforces the lease store's fencing discipline
+// (internal/catalog/lease.go): every mutation that builds a LeaseRecord
+// must first fence the observed epoch — compare .Epoch against what the
+// caller presented, or call Lease.Held — and DataOwner may only move
+// inside Adopt. Claim, Renew and Release must carry the observed lease's
+// DataOwner forward: a record that silently zeroes or rewrites it erases
+// whom the next claimant must adopt from, which is exactly the failover
+// corruption PR 9's adoption ordering exists to prevent.
+//
+// Mechanical rules, per function in internal/catalog (nested closures —
+// the mutate callbacks — are checked inside their enclosing function, in
+// source order):
+//
+//  1. A non-empty LeaseRecord composite literal must be preceded by a
+//     fence: an .Epoch comparison, a .Held call, or a call to a helper
+//     whose dataflow summary proves it fences. The empty LeaseRecord{}
+//     of an aborted mutation is exempt — nothing is logged.
+//  2. A non-empty LeaseRecord must set DataOwner explicitly, and outside
+//     a method named Adopt the value must trace to the observed lease:
+//     either a .DataOwner selector or a local initialized from one and
+//     re-assigned only under an .Epoch-guarded branch (the virgin-shard
+//     case in Claim, where no previous data owner exists).
+//
+// Approximations: source order stands in for control flow (a fence in a
+// dead branch satisfies rule 1), and only := / = assignments are traced
+// for rule 2. Under-reporting, as everywhere in lds-lint.
+package leasefence
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/lds-storage/lds/internal/analysis/dataflow"
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+// Analyzer is the leasefence checker.
+var Analyzer = &lint.Analyzer{
+	Name: "leasefence",
+	Doc:  "enforce lease-store fencing: LeaseRecord built only after an epoch fence, DataOwner moved only by Adopt",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.PathHasSuffix(pass.Pkg.Path(), "internal/catalog") {
+		return nil
+	}
+	sums := dataflow.For(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, sums, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, sums *dataflow.Table, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Collect fence and record positions, then gate each record on any
+	// fence preceding it in source order.
+	var fences []token.Pos
+	var records []*ast.CompositeLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if isComparison(x.Op) && (isFieldSel(x.X, "Epoch") || isFieldSel(x.Y, "Epoch")) {
+				fences = append(fences, x.Pos())
+			}
+		case *ast.CallExpr:
+			if isHeldCall(pass, x) {
+				fences = append(fences, x.Pos())
+			} else if cs := sums.CalleeSummary(info, x); cs != nil && cs.EpochFence {
+				fences = append(fences, x.Pos())
+			}
+		case *ast.CompositeLit:
+			if isLeaseRecord(pass, x) && len(x.Elts) > 0 {
+				records = append(records, x)
+			}
+		}
+		return true
+	})
+
+	for _, rec := range records {
+		// Rule 1: fenced before built. Source order approximates the
+		// closure's control flow: every real mutate callback validates
+		// before it constructs.
+		fenced := false
+		for _, f := range fences {
+			if f < rec.Pos() {
+				fenced = true
+				break
+			}
+		}
+		if !fenced {
+			pass.Reportf(rec.Pos(), "LeaseRecord built without fencing the observed epoch: compare .Epoch or call .Held before constructing the record")
+		}
+		checkDataOwner(pass, fd, rec)
+	}
+}
+
+// checkDataOwner enforces rule 2 on one record literal.
+func checkDataOwner(pass *lint.Pass, fd *ast.FuncDecl, rec *ast.CompositeLit) {
+	var value ast.Expr
+	for _, elt := range rec.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "DataOwner" {
+			value = kv.Value
+			break
+		}
+	}
+	if value == nil {
+		pass.Reportf(rec.Pos(), "LeaseRecord omits DataOwner: the zero value silently moves data ownership to gateway 0; carry the observed lease's DataOwner forward")
+		return
+	}
+	if fd.Name.Name == "Adopt" {
+		return // the one mutation allowed to move data ownership
+	}
+	if tracesToObserved(pass, fd, value) {
+		return
+	}
+	pass.Reportf(value.Pos(), "LeaseRecord changes DataOwner outside Adopt: only an epoch-fenced Adopt may move data ownership")
+}
+
+// tracesToObserved reports whether value preserves the observed lease's
+// DataOwner: a direct .DataOwner selector, or a local initialized from
+// one whose every other assignment sits under an .Epoch-guarded branch
+// (Claim's virgin-shard case).
+func tracesToObserved(pass *lint.Pass, fd *ast.FuncDecl, value ast.Expr) bool {
+	switch v := ast.Unparen(value).(type) {
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "DataOwner"
+	case *ast.Ident:
+		obj := pass.Info.Uses[v]
+		if obj == nil {
+			return false
+		}
+		initOK, bad := false, false
+		var walk func(n ast.Node, guarded bool)
+		walk = func(n ast.Node, guarded bool) {
+			if n == nil || bad {
+				return
+			}
+			switch x := n.(type) {
+			case *ast.IfStmt:
+				walk(x.Init, guarded)
+				g := guarded || mentionsEpoch(x.Cond)
+				walk(x.Body, g)
+				walk(x.Else, g)
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || resolve(pass, id) != obj {
+						continue
+					}
+					if i < len(x.Rhs) && isFieldSel(x.Rhs[i], "DataOwner") {
+						initOK = true
+					} else if !guarded {
+						bad = true
+					}
+				}
+				// The traced local may live inside a closure on the right-
+				// hand side (`err := s.mutate(func(...) {...})`): descend.
+				for _, rhs := range x.Rhs {
+					walk(rhs, guarded)
+				}
+			default:
+				ast.Inspect(n, func(c ast.Node) bool {
+					if c == nil || c == n {
+						return true
+					}
+					switch c.(type) {
+					case *ast.IfStmt, *ast.AssignStmt:
+						walk(c, guarded)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		walk(fd.Body, false)
+		return initOK && !bad
+	}
+	return false
+}
+
+func resolve(pass *lint.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// isFieldSel reports whether e is `<x>.<name>`.
+func isFieldSel(e ast.Expr, name string) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+// mentionsEpoch reports whether the condition touches an Epoch field.
+func mentionsEpoch(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Epoch" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isHeldCall matches `<lease>.Held(now)` on the catalog Lease type.
+func isHeldCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Held" {
+		return false
+	}
+	t := pass.Info.Types[sel.X].Type
+	return t != nil && lint.IsNamed(t, "internal/catalog", "Lease")
+}
+
+// isLeaseRecord matches a catalog LeaseRecord composite literal.
+func isLeaseRecord(pass *lint.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	return ok && lint.IsNamed(tv.Type, "internal/catalog", "LeaseRecord")
+}

@@ -1,0 +1,11 @@
+package leasefence
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestLeasefence(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

@@ -1,0 +1,168 @@
+// Package catalog is the leasefence fixture: a miniature lease store
+// whose good methods mirror the real internal/catalog shapes exactly —
+// Held-call and epoch-comparison fences, DataOwner carried forward, the
+// virgin-shard exception guarded by cur.Epoch — and whose bad methods
+// are the mutations the analyzer must reject.
+package catalog
+
+import "errors"
+
+type Lease struct {
+	Owner     int32
+	Epoch     uint64
+	Expiry    int64
+	DataOwner int32
+}
+
+func (l Lease) Held(now int64) bool { return l.Epoch != 0 && l.Expiry > now }
+
+type LeaseOp uint8
+
+type LeaseRecord struct {
+	Op        LeaseOp
+	Shard     int32
+	Owner     int32
+	Epoch     uint64
+	Expiry    int64
+	DataOwner int32
+}
+
+var (
+	errHeld = errors.New("held")
+	errLost = errors.New("lost")
+)
+
+type LeaseStore struct{}
+
+func (s *LeaseStore) mutate(fn func(leases map[int32]Lease, now int64) (LeaseRecord, error)) error {
+	return nil
+}
+
+// Claim mirrors the real store: a Held fence, DataOwner preserved, and
+// the virgin-shard rewrite guarded by cur.Epoch.
+func (s *LeaseStore) Claim(shard, owner int32, ttl int64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Held(now) && cur.Owner != owner {
+			return LeaseRecord{}, errHeld
+		}
+		dataOwner := cur.DataOwner
+		if cur.Epoch == 0 {
+			dataOwner = owner
+		}
+		return LeaseRecord{Op: 1, Shard: shard, Owner: owner, Epoch: cur.Epoch + 1,
+			Expiry: now + ttl, DataOwner: dataOwner}, nil
+	})
+}
+
+// ClaimTracked mirrors the real Claim exactly: the mutate closure sits
+// on the right-hand side of an assignment (not a return), and the
+// granted lease is captured through an outer local.
+func (s *LeaseStore) ClaimTracked(shard, owner int32, ttl int64) (Lease, error) {
+	var granted Lease
+	err := s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Held(now) && cur.Owner != owner {
+			return LeaseRecord{}, errHeld
+		}
+		dataOwner := cur.DataOwner
+		if cur.Epoch == 0 {
+			dataOwner = owner
+		}
+		granted = Lease{Owner: owner, Epoch: cur.Epoch + 1, Expiry: now + ttl, DataOwner: dataOwner}
+		return LeaseRecord{Op: 1, Shard: shard, Owner: owner, Epoch: granted.Epoch,
+			Expiry: granted.Expiry, DataOwner: dataOwner}, nil
+	})
+	return granted, err
+}
+
+// Renew mirrors the real store: an epoch-comparison fence, DataOwner
+// copied from the observed lease.
+func (s *LeaseStore) Renew(shard, owner int32, epoch uint64, ttl int64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch {
+			return LeaseRecord{}, errLost
+		}
+		return LeaseRecord{Op: 2, Shard: shard, Owner: owner, Epoch: epoch,
+			Expiry: now + ttl, DataOwner: cur.DataOwner}, nil
+	})
+}
+
+// Adopt is the one mutation allowed to move DataOwner — behind the full
+// fence.
+func (s *LeaseStore) Adopt(shard, owner int32, epoch uint64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch || !cur.Held(now) {
+			return LeaseRecord{}, errLost
+		}
+		return LeaseRecord{Op: 4, Shard: shard, Owner: owner, Epoch: epoch,
+			Expiry: cur.Expiry, DataOwner: owner}, nil
+	})
+}
+
+// validOwner is a fence helper: the dataflow summary layer proves it
+// compares epochs, so calling it satisfies the fence rule.
+func validOwner(cur Lease, owner int32, epoch uint64) bool {
+	return cur.Owner == owner && cur.Epoch == epoch
+}
+
+func (s *LeaseStore) ReleaseChecked(shard, owner int32, epoch uint64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if !validOwner(cur, owner, epoch) {
+			return LeaseRecord{}, errLost
+		}
+		return LeaseRecord{Op: 3, Shard: shard, Owner: owner, Epoch: epoch,
+			Expiry: now, DataOwner: cur.DataOwner}, nil
+	})
+}
+
+// --- violations ---------------------------------------------------------
+
+// RenewUnfenced logs the caller's word without validating it.
+func (s *LeaseStore) RenewUnfenced(shard, owner int32, epoch uint64, ttl int64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		return LeaseRecord{Op: 2, Shard: shard, Owner: owner, Epoch: epoch, // want "without fencing the observed epoch"
+			Expiry: now + ttl, DataOwner: owner}, nil // want "changes DataOwner outside Adopt"
+	})
+}
+
+// StealData is fenced but moves data ownership from a non-Adopt path.
+func (s *LeaseStore) StealData(shard, owner int32, epoch uint64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch {
+			return LeaseRecord{}, errLost
+		}
+		return LeaseRecord{Op: 3, Shard: shard, Owner: owner, Epoch: epoch, Expiry: now,
+			DataOwner: owner}, nil // want "changes DataOwner outside Adopt"
+	})
+}
+
+// DropData omits DataOwner, silently zeroing whom to adopt from.
+func (s *LeaseStore) DropData(shard, owner int32, epoch uint64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Owner != owner || cur.Epoch != epoch {
+			return LeaseRecord{}, errLost
+		}
+		return LeaseRecord{Op: 3, Shard: shard, Owner: owner, Epoch: epoch, Expiry: now}, nil // want "omits DataOwner"
+	})
+}
+
+// UnguardedRewrite initializes from the observed lease but rewrites it
+// without the virgin-shard epoch guard.
+func (s *LeaseStore) UnguardedRewrite(shard, owner int32, ttl int64) error {
+	return s.mutate(func(leases map[int32]Lease, now int64) (LeaseRecord, error) {
+		cur := leases[shard]
+		if cur.Held(now) && cur.Owner != owner {
+			return LeaseRecord{}, errHeld
+		}
+		dataOwner := cur.DataOwner
+		dataOwner = owner
+		return LeaseRecord{Op: 1, Shard: shard, Owner: owner, Epoch: cur.Epoch + 1, Expiry: now + ttl,
+			DataOwner: dataOwner}, nil // want "changes DataOwner outside Adopt"
+	})
+}

@@ -12,8 +12,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"testing"
 )
+
+// TB is the slice of testing.TB the fixture runner needs. *testing.T
+// satisfies it; the runner's own tests substitute a recorder so the
+// runner's failure modes (unmatched want, unexpected diagnostic) are
+// themselves testable.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
 
 // RunFixture is the analysistest-style driver: it loads every package
 // under srcDir (each directory holding .go files is one package, its
@@ -26,9 +35,9 @@ import (
 // regexp; lines without a want comment expect none. Fixture packages may
 // import each other by their srcDir-relative paths and anything the real
 // module can import by its usual path.
-func RunFixture(t *testing.T, a *Analyzer, srcDir string) {
+func RunFixture(t TB, a *Analyzer, srcDir string) {
 	t.Helper()
-	pkgs, err := loadFixture(srcDir)
+	pkgs, err := LoadFixture(srcDir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", srcDir, err)
 	}
@@ -54,7 +63,7 @@ type want struct {
 
 var wantArgRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-func collectWants(t *testing.T, pkgs []*Package) []*want {
+func collectWants(t TB, pkgs []*Package) []*want {
 	t.Helper()
 	var wants []*want
 	for _, pkg := range pkgs {
@@ -84,7 +93,7 @@ func collectWants(t *testing.T, pkgs []*Package) []*want {
 	return wants
 }
 
-func checkWants(t *testing.T, diags []Diagnostic, wants []*want) {
+func checkWants(t TB, diags []Diagnostic, wants []*want) {
 	t.Helper()
 	for _, d := range diags {
 		found := false
@@ -106,8 +115,11 @@ func checkWants(t *testing.T, diags []Diagnostic, wants []*want) {
 	}
 }
 
-// loadFixture type-checks the fixture tree under srcDir.
-func loadFixture(srcDir string) ([]*Package, error) {
+// LoadFixture type-checks the fixture tree under srcDir: each directory
+// holding .go files is one package whose import path is its srcDir-
+// relative path. Exported so summary-layer tests (internal/analysis/
+// dataflow) can build controlled call graphs without a real analyzer.
+func LoadFixture(srcDir string) ([]*Package, error) {
 	dirs, err := fixtureDirs(srcDir)
 	if err != nil {
 		return nil, err

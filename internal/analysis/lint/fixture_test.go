@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeTB records the fixture runner's complaints so the runner's own
+// failure modes are assertable.
+type fakeTB struct {
+	errors []string
+	fatal  string
+}
+
+type fatalSentinel struct{}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatal = fmt.Sprintf(format, args...)
+	panic(fatalSentinel{})
+}
+
+// toyAnalyzer flags every function whose name starts with "Bad".
+var toyAnalyzer = &Analyzer{
+	Name: "toy",
+	Doc:  "flag functions named Bad*",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "bad function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// writeFixture materializes a srcDir tree: map key is the path under
+// srcDir, value the file contents.
+func writeFixture(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runOnFixture drives RunFixture with the recorder, absorbing Fatalf's
+// sentinel panic.
+func runOnFixture(t *testing.T, files map[string]string) *fakeTB {
+	t.Helper()
+	tb := &fakeTB{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(fatalSentinel); !ok {
+					panic(r)
+				}
+			}
+		}()
+		RunFixture(tb, toyAnalyzer, writeFixture(t, files))
+	}()
+	return tb
+}
+
+func TestFixtureMatchedWant(t *testing.T) {
+	tb := runOnFixture(t, map[string]string{
+		"a/a.go": "package a\n\nfunc Bad() {} // want \"bad function Bad\"\n\nfunc Good() {}\n",
+	})
+	if len(tb.errors) != 0 || tb.fatal != "" {
+		t.Fatalf("clean fixture reported: errors=%q fatal=%q", tb.errors, tb.fatal)
+	}
+}
+
+func TestFixtureUnmatchedWantFails(t *testing.T) {
+	tb := runOnFixture(t, map[string]string{
+		"a/a.go": "package a\n\nfunc Good() {} // want \"bad function Good\"\n",
+	})
+	if len(tb.errors) != 1 || !strings.Contains(tb.errors[0], "expected diagnostic") {
+		t.Fatalf("unmatched want not reported: errors=%q", tb.errors)
+	}
+}
+
+func TestFixtureUnexpectedDiagnosticFails(t *testing.T) {
+	tb := runOnFixture(t, map[string]string{
+		"a/a.go": "package a\n\nfunc Bad() {}\n",
+	})
+	if len(tb.errors) != 1 || !strings.Contains(tb.errors[0], "unexpected diagnostic") {
+		t.Fatalf("unexpected diagnostic not reported: errors=%q", tb.errors)
+	}
+}
+
+func TestFixtureMultiFilePackage(t *testing.T) {
+	tb := runOnFixture(t, map[string]string{
+		"a/one.go": "package a\n\nfunc BadOne() {} // want \"bad function BadOne\"\n",
+		"a/two.go": "package a\n\nfunc BadTwo() {} // want \"bad function BadTwo\"\n\nfunc Good() {}\n",
+	})
+	if len(tb.errors) != 0 || tb.fatal != "" {
+		t.Fatalf("multi-file fixture reported: errors=%q fatal=%q", tb.errors, tb.fatal)
+	}
+	// And the runner still catches a want missing in one of the files.
+	tb = runOnFixture(t, map[string]string{
+		"a/one.go": "package a\n\nfunc BadOne() {} // want \"bad function BadOne\"\n",
+		"a/two.go": "package a\n\nfunc BadTwo() {}\n",
+	})
+	if len(tb.errors) != 1 || !strings.Contains(tb.errors[0], "unexpected diagnostic") {
+		t.Fatalf("multi-file miss not reported: errors=%q", tb.errors)
+	}
+}
+
+func TestFixtureCrossPackageImport(t *testing.T) {
+	tb := runOnFixture(t, map[string]string{
+		"a/a.go": "package a\n\nfunc Good() int { return 1 }\n",
+		"b/b.go": "package b\n\nimport \"a\"\n\nfunc Bad() int { return a.Good() } // want \"bad function Bad\"\n",
+	})
+	if len(tb.errors) != 0 || tb.fatal != "" {
+		t.Fatalf("cross-package fixture reported: errors=%q fatal=%q", tb.errors, tb.fatal)
+	}
+}

@@ -6,10 +6,15 @@
 // small slice of it the lds-lint suite needs: package loading (load.go,
 // built on `go list -export` plus the standard gc export-data importer),
 // the Analyzer/Pass contract, and an analysistest-style fixture runner
-// (fixture.go) driven by `// want "regexp"` comments. Analyzers are
-// purely function- and package-local — there is no cross-package fact
-// propagation — which is exactly the scope of the invariants they
-// enforce (see internal/analysis).
+// (fixture.go) driven by `// want "regexp"` comments.
+//
+// Analyzers report per package, but a Pass carries the whole loaded
+// package set (Pass.AllPkgs): interprocedural analyzers build
+// cross-package function summaries from it through
+// internal/analysis/dataflow instead of stopping at call boundaries.
+// Suppression comments (`//lds:ignore <analyzer> <reason>`, suppress.go)
+// are applied by the driver, not the fixture runner, so fixtures always
+// see the raw diagnostics.
 package lint
 
 import (
@@ -19,6 +24,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer describes one invariant checker.
@@ -39,6 +45,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// AllPkgs is the complete package set of this Run, in load order.
+	// Function-local analyzers ignore it; interprocedural ones hand it to
+	// dataflow.For, which memoizes one summary table per Run.
+	AllPkgs []*Package
 
 	diags *[]Diagnostic
 }
@@ -64,10 +75,32 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Stats records where a Run spent its time, for the lds-lint run
+// summary: a per-analyzer cost regression is visible the day it lands
+// instead of the month CI gets slow.
+type Stats struct {
+	// PerAnalyzer is the cumulative wall time each analyzer spent across
+	// all packages (the first interprocedural analyzer to run also pays
+	// for building the shared summary table).
+	PerAnalyzer map[string]time.Duration
+	// Order lists analyzer names in run order.
+	Order []string
+}
+
 // Run applies every analyzer to every package and returns the combined
 // diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithStats(pkgs, analyzers)
+	return diags, err
+}
+
+// RunWithStats is Run plus per-analyzer timing.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *Stats, error) {
 	var diags []Diagnostic
+	stats := &Stats{PerAnalyzer: make(map[string]time.Duration, len(analyzers))}
+	for _, a := range analyzers {
+		stats.Order = append(stats.Order, a.Name)
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -76,13 +109,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				AllPkgs:  pkgs,
 				diags:    &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			stats.PerAnalyzer[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
+	sortDiags(diags)
+	return diags, stats, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -96,7 +138,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 // PathHasSuffix reports whether pkgPath ends with the given slash-separated

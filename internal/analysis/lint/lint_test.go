@@ -10,9 +10,12 @@ import (
 // export files — the machinery both cmd/lds-lint and the fixture runner
 // stand on.
 func TestLoadRealPackage(t *testing.T) {
-	pkgs, err := Load(".", "github.com/lds-storage/lds/internal/wire")
+	pkgs, skips, err := Load(".", "github.com/lds-storage/lds/internal/wire")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
+	}
+	if len(skips) != 0 {
+		t.Fatalf("Load skipped %v, want none", skips)
 	}
 	if len(pkgs) != 1 {
 		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
@@ -34,7 +37,7 @@ func TestLoadRealPackage(t *testing.T) {
 // TestRunReportsSortedDiagnostics checks the Pass plumbing and the
 // stable output ordering with a trivial analyzer.
 func TestRunReportsSortedDiagnostics(t *testing.T) {
-	pkgs, err := Load(".", "github.com/lds-storage/lds/internal/analysis/lint")
+	pkgs, _, err := Load(".", "github.com/lds-storage/lds/internal/analysis/lint")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

@@ -86,35 +86,54 @@ func exportImporter(fset *token.FileSet, byPath map[string]*listedPkg) types.Imp
 	})
 }
 
+// Skip records one matched package the loader could not analyze and the
+// reason. Skips are never silent: the `go list -e` tolerance that keeps a
+// half-broken tree loadable must not let the lint job go green by
+// analyzing nothing, so drivers print every Skip as a warning and CI's
+// -strict flag turns any Skip into a hard error.
+type Skip struct {
+	Path   string
+	Reason string
+}
+
 // Load lists, parses and type-checks the packages matching patterns,
 // resolving their imports through compiler export data — no network, no
 // external dependencies. Test files are not part of `go list -export`
 // output, so analyzers see production code only.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+//
+// Matched packages that cannot be analyzed — a go list error, no Go
+// source, missing export data, a parse or type-check failure — are
+// returned as Skips rather than failing the whole run; the caller decides
+// whether a Skip is a warning or (under -strict) fatal.
+func Load(dir string, patterns ...string) ([]*Package, []Skip, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	byPath, roots, err := goList(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, byPath)
 	var pkgs []*Package
+	var skips []Skip
 	for _, lp := range roots {
 		if lp.Error != nil {
-			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+			skips = append(skips, Skip{Path: lp.ImportPath, Reason: lp.Error.Err})
+			continue
 		}
 		if len(lp.GoFiles) == 0 {
+			skips = append(skips, Skip{Path: lp.ImportPath, Reason: "no Go source files (test-only package?)"})
 			continue
 		}
 		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
 		if err != nil {
-			return nil, err
+			skips = append(skips, Skip{Path: lp.ImportPath, Reason: err.Error()})
+			continue
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return pkgs, nil
+	return pkgs, skips, nil
 }
 
 // checkPackage parses and type-checks one package from source.

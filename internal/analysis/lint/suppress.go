@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression support: `//lds:ignore <analyzer> <reason>` on (or on the
+// line directly above) a flagged line suppresses that analyzer's
+// diagnostics for the line. Suppressions are a pressure valve, not an
+// exit: every one is counted and printed in the run summary so they stay
+// auditable, and a bare `//lds:ignore` — no analyzer, or no reason — is
+// itself a finding (analyzer name "lds-ignore"). The fixture runner never
+// applies suppressions; only the lds-lint driver does, so fixtures always
+// exercise the raw analyzer.
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "lds:ignore"
+
+// IgnoreAnalyzer is the analyzer name under which malformed suppression
+// comments are reported.
+const IgnoreAnalyzer = "lds-ignore"
+
+// Suppression is one diagnostic silenced by an //lds:ignore comment.
+type Suppression struct {
+	// Diag is the silenced diagnostic.
+	Diag Diagnostic
+	// Reason is the justification text from the comment.
+	Reason string
+}
+
+// ignoreDirective is one parsed, well-formed //lds:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// Suppress partitions diags by the //lds:ignore comments in pkgs: kept
+// diagnostics, suppressed ones (with their reasons), and new diagnostics
+// for malformed or unused directives. A directive must name the analyzer
+// AND give a reason; it applies to that analyzer's findings on its own
+// line or the line below (the conventional "comment above the statement"
+// placement). A directive that suppresses nothing is reported too — a
+// stale ignore outlives the violation it excused and would silently
+// cover the next one.
+func Suppress(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppressed []Suppression, extra []Diagnostic) {
+	var directives []*ignoreDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := cutIgnore(c)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						extra = append(extra, Diagnostic{
+							Analyzer: IgnoreAnalyzer,
+							Pos:      pos,
+							Message:  fmt.Sprintf("bare //%s: a suppression must name the analyzer and give a reason (//%s <analyzer> <reason>)", ignorePrefix, ignorePrefix),
+						})
+						continue
+					}
+					directives = append(directives, &ignoreDirective{
+						pos:      pos,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		var match *ignoreDirective
+		for _, dir := range directives {
+			if dir.analyzer == d.Analyzer && dir.pos.Filename == d.Pos.Filename &&
+				(dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1) {
+				match = dir
+				break
+			}
+		}
+		if match != nil {
+			match.used = true
+			suppressed = append(suppressed, Suppression{Diag: d, Reason: match.reason})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			extra = append(extra, Diagnostic{
+				Analyzer: IgnoreAnalyzer,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("//%s %s suppresses nothing here: remove it, or it will silently cover the next %s finding", ignorePrefix, dir.analyzer, dir.analyzer),
+			})
+		}
+	}
+	sortDiags(kept)
+	sortDiags(extra)
+	return kept, suppressed, extra
+}
+
+// cutIgnore extracts the directive text of an //lds:ignore comment.
+func cutIgnore(c *ast.Comment) (string, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	// "//lds:ignoreX" is not a directive; "//lds:ignore" and
+	// "//lds:ignore foo" are.
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(text), true
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestSuppress(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"p/p.go": strings.Join([]string{
+			"package p",
+			"",
+			"func A() {} //lds:ignore toy covered by integration test", // line 3
+			"",                                  // line 4: a trailing directive also covers the next line
+			"func B() {}",                       // line 5: no directive, diag kept
+			"//lds:ignore toy justified above",  // line 6: applies to line 7
+			"func C() {}",                       // line 7
+			"func D() {} //lds:ignore",          // line 8: bare, itself a finding
+			"//lds:ignore toy stale suppressor", // line 9: matches nothing
+			"func E() {}",                       // line 10
+			"",
+		}, "\n"),
+	})
+	pkgs, err := LoadFixture(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+
+	diag := func(line int) Diagnostic {
+		return Diagnostic{
+			Analyzer: "toy",
+			Pos:      token.Position{Filename: file, Line: line, Column: 1},
+			Message:  "bad function",
+		}
+	}
+	kept, suppressed, extra := Suppress(pkgs, []Diagnostic{diag(3), diag(5), diag(7)})
+
+	if len(kept) != 1 || kept[0].Pos.Line != 5 {
+		t.Fatalf("kept = %v, want only the line-5 diagnostic", kept)
+	}
+	if len(suppressed) != 2 {
+		t.Fatalf("suppressed = %v, want 2", suppressed)
+	}
+	reasons := map[string]bool{}
+	for _, s := range suppressed {
+		reasons[s.Reason] = true
+	}
+	if !reasons["covered by integration test"] || !reasons["justified above"] {
+		t.Fatalf("suppression reasons = %v", reasons)
+	}
+	if len(extra) != 2 {
+		t.Fatalf("extra = %v, want bare-directive and stale-directive findings", extra)
+	}
+	for _, d := range extra {
+		if d.Analyzer != IgnoreAnalyzer {
+			t.Fatalf("extra finding under analyzer %q, want %q", d.Analyzer, IgnoreAnalyzer)
+		}
+	}
+	if !strings.Contains(extra[0].Message, "bare //lds:ignore") || extra[0].Pos.Line != 8 {
+		t.Fatalf("first extra = %v, want bare-directive at line 8", extra[0])
+	}
+	if !strings.Contains(extra[1].Message, "suppresses nothing") || extra[1].Pos.Line != 9 {
+		t.Fatalf("second extra = %v, want stale-directive at line 9", extra[1])
+	}
+}
+
+func TestSuppressWrongAnalyzerKeeps(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"p/p.go": "package p\n\nfunc A() {} //lds:ignore other not this analyzer\n",
+	})
+	pkgs, err := LoadFixture(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := pkgs[0].Fset.Position(pkgs[0].Files[0].Pos()).Filename
+	d := Diagnostic{Analyzer: "toy", Pos: token.Position{Filename: file, Line: 3}, Message: "x"}
+	kept, suppressed, extra := Suppress(pkgs, []Diagnostic{d})
+	if len(kept) != 1 || len(suppressed) != 0 {
+		t.Fatalf("kept=%v suppressed=%v: a directive for another analyzer must not apply", kept, suppressed)
+	}
+	// The directive matched nothing, so it is reported as stale.
+	if len(extra) != 1 || !strings.Contains(extra[0].Message, "suppresses nothing") {
+		t.Fatalf("extra = %v, want one stale-directive finding", extra)
+	}
+}

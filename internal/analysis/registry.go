@@ -6,9 +6,12 @@ package analysis
 
 import (
 	"github.com/lds-storage/lds/internal/analysis/frameown"
+	"github.com/lds-storage/lds/internal/analysis/goexit"
+	"github.com/lds-storage/lds/internal/analysis/leasefence"
 	"github.com/lds-storage/lds/internal/analysis/lint"
 	"github.com/lds-storage/lds/internal/analysis/locksend"
 	"github.com/lds-storage/lds/internal/analysis/retention"
+	"github.com/lds-storage/lds/internal/analysis/syncpublish"
 	"github.com/lds-storage/lds/internal/analysis/walorder"
 )
 
@@ -20,5 +23,8 @@ func All() []*lint.Analyzer {
 		retention.Analyzer,
 		locksend.Analyzer,
 		walorder.Analyzer,
+		leasefence.Analyzer,
+		syncpublish.Analyzer,
+		goexit.Analyzer,
 	}
 }

@@ -1,0 +1,180 @@
+// Package syncpublish enforces the gateway's write-ahead publication
+// discipline: durable state first, wire visibility second. Two rules,
+// both per function in internal/gateway, both using source order as the
+// stand-in for control flow:
+//
+//  1. In a function that performs a durable lease-store write (any call
+//     whose dataflow summary carries LeaseDurable — Store.Claim/Renew/
+//     Release/Adopt or a helper that transitively reaches them), every
+//     wire.LeaseClaim / wire.LeaseRenew composite literal must appear
+//     after such a call. Announcing ownership the store has not fsynced
+//     yet lets a crash strand peers routing to a lease that never
+//     existed. Functions with no durable call — pure builders, tests —
+//     are out of scope.
+//
+//  2. In a function that both records a TypeForwardDone catalog.Record
+//     and sends a wire.PeerForwardResp, every such record must be
+//     followed by a send: the dedup record is write-ahead of the ack, so
+//     a crash after the ack cannot lose the record and re-apply the put
+//     on retransmit (executeForward's invariant since PR 9). Early
+//     sends — the NotOwner refusal, error replies — are fine; what the
+//     rule rejects is the swap, where the last ack precedes the record.
+//
+// Approximations: source order ignores branches (a durable call in a
+// dead branch satisfies rule 1), sends are matched as any call to a
+// method named Send carrying a PeerForwardResp-typed argument, and
+// responses forwarded through variables of other types are invisible.
+// Under-reporting, as everywhere in lds-lint.
+package syncpublish
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/lds-storage/lds/internal/analysis/dataflow"
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+// Analyzer is the syncpublish checker.
+var Analyzer = &lint.Analyzer{
+	Name: "syncpublish",
+	Doc:  "enforce durable-before-visible: lease announcements after store writes, forward acks after dedup records",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.PathHasSuffix(pass.Pkg.Path(), "internal/gateway") {
+		return nil
+	}
+	sums := dataflow.For(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, sums, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, sums *dataflow.Table, fd *ast.FuncDecl) {
+	var (
+		durables  []token.Pos         // calls that fsync the lease store
+		announces []*ast.CompositeLit // wire.LeaseClaim / wire.LeaseRenew
+		records   []*ast.CompositeLit // catalog.Record{Type: TypeForwardDone, ...}
+		sends     []token.Pos         // PeerForwardResp handed to a Send
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if cs := sums.CalleeSummary(pass.Info, x); cs != nil && cs.LeaseDurable {
+				durables = append(durables, x.Pos())
+			}
+			if isRespSend(pass, x) {
+				sends = append(sends, x.Pos())
+			}
+		case *ast.CompositeLit:
+			if _, ok := announceName(pass, x); ok {
+				announces = append(announces, x)
+			}
+			if isForwardDoneRecord(pass, x) {
+				records = append(records, x)
+			}
+		}
+		return true
+	})
+
+	// Rule 1: announcements only after a durable store write.
+	if len(durables) > 0 {
+		for _, a := range announces {
+			ok := false
+			for _, d := range durables {
+				if d < a.Pos() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				name, _ := announceName(pass, a)
+				pass.Reportf(a.Pos(), "wire.%s built before any durable lease-store write: announce ownership only after the store call that grants it", name)
+			}
+		}
+	}
+
+	// Rule 2: every dedup record followed by an ack.
+	if len(records) > 0 && len(sends) > 0 {
+		for _, r := range records {
+			ok := false
+			for _, s := range sends {
+				if s > r.Pos() {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				pass.Reportf(r.Pos(), "TypeForwardDone record is not followed by a PeerForwardResp send: write the dedup record ahead of the ack, not after it")
+			}
+		}
+	}
+}
+
+// announceName matches a wire.LeaseClaim or wire.LeaseRenew composite
+// literal and returns the message name.
+func announceName(pass *lint.Pass, lit *ast.CompositeLit) (string, bool) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return "", false
+	}
+	for _, name := range []string{"LeaseClaim", "LeaseRenew"} {
+		if lint.IsNamed(tv.Type, "internal/wire", name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// isForwardDoneRecord matches catalog.Record{Type: TypeForwardDone, ...}.
+func isForwardDoneRecord(pass *lint.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !lint.IsNamed(tv.Type, "internal/catalog", "Record") {
+		return false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Type" {
+			continue
+		}
+		switch v := ast.Unparen(kv.Value).(type) {
+		case *ast.SelectorExpr:
+			return v.Sel.Name == "TypeForwardDone"
+		case *ast.Ident:
+			return v.Name == "TypeForwardDone"
+		}
+	}
+	return false
+}
+
+// isRespSend matches a call to a method named Send with an argument of
+// type wire.PeerForwardResp.
+func isRespSend(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" {
+		return false
+	}
+	for _, arg := range call.Args {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if lint.IsNamed(tv.Type, "internal/wire", "PeerForwardResp") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package syncpublish
+
+import (
+	"testing"
+
+	"github.com/lds-storage/lds/internal/analysis/lint"
+)
+
+func TestSyncpublish(t *testing.T) {
+	lint.RunFixture(t, Analyzer, "testdata/src")
+}

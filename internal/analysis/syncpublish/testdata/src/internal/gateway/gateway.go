@@ -1,0 +1,102 @@
+// Package gateway is the syncpublish fixture: miniature tick and
+// forward-execution shapes against the real wire and catalog packages.
+// Good functions mirror fleet.go's orderings; bad functions swap the
+// durable write and the wire visibility.
+package gateway
+
+import (
+	"time"
+
+	"github.com/lds-storage/lds/internal/catalog"
+	"github.com/lds-storage/lds/internal/wire"
+)
+
+var store *catalog.LeaseStore
+
+type node struct{}
+
+func (node) Send(to int32, m interface{}) {}
+
+var n node
+
+func sink(m interface{}) {}
+
+func cond() bool { return false }
+
+func logRecord(recs ...catalog.Record) error { return nil }
+
+// tickGood renews durably, then announces — fleet.tick's shape.
+func tickGood(shard int32) {
+	l, err := store.Renew(shard, 1, 7, time.Second)
+	if err != nil {
+		return
+	}
+	sink(wire.LeaseRenew{Shard: shard, Owner: 1, Epoch: l.Epoch, Expiry: l.Expiry})
+}
+
+// claimGood claims durably, then announces.
+func claimGood(shard int32) {
+	l, err := store.Claim(shard, 1, time.Second)
+	if err != nil {
+		return
+	}
+	sink(wire.LeaseClaim{Shard: shard, Owner: 1, Epoch: l.Epoch, Expiry: l.Expiry})
+}
+
+// adopt reaches the store through a helper; the summary layer carries
+// LeaseDurable across the call.
+func adopt(shard int32) error { return store.Adopt(shard, 1, 7) }
+
+func claimViaHelper(shard int32) {
+	if err := adopt(shard); err != nil {
+		return
+	}
+	sink(wire.LeaseClaim{Shard: shard, Owner: 1})
+}
+
+// builderOnly performs no durable write at all — out of rule 1's scope.
+func builderOnly(shard int32) wire.LeaseClaim {
+	return wire.LeaseClaim{Shard: shard, Owner: 1}
+}
+
+// tickSwapped announces a lease the store has not granted yet.
+func tickSwapped(shard int32) {
+	sink(wire.LeaseRenew{Shard: shard, Owner: 1}) // want "built before any durable lease-store write"
+	store.Renew(shard, 1, 7, time.Second)
+}
+
+// claimSwapped builds the announcement above the claim that backs it.
+func claimSwapped(shard int32) {
+	m := wire.LeaseClaim{Shard: shard, Owner: 1} // want "built before any durable lease-store write"
+	if _, err := store.Claim(shard, 1, time.Second); err != nil {
+		return
+	}
+	sink(m)
+}
+
+// forwardGood is executeForward's shape: early refusal sends are fine,
+// the success record is followed by the final ack.
+func forwardGood(from int32, seq uint64) {
+	resp := wire.PeerForwardResp{Seq: seq}
+	if cond() {
+		resp.NotOwner = true
+		n.Send(from, resp)
+		return
+	}
+	logRecord(catalog.Record{Type: catalog.TypeForwardDone, Origin: 1, Seq: seq})
+	n.Send(from, resp)
+}
+
+// recordOnly mirrors the adoption transfer: records ride the catalog
+// with no ack in sight — out of rule 2's scope.
+func recordOnly(seq uint64) {
+	logRecord(catalog.Record{Type: catalog.TypeForwardDone, Origin: 1, Seq: seq})
+}
+
+// forwardSwapped acks before the dedup record is durable: a crash in
+// between re-applies the put on retransmit.
+func forwardSwapped(from int32, seq uint64) {
+	resp := wire.PeerForwardResp{Seq: seq}
+	n.Send(from, resp)
+	logRecord(catalog.Record{Type: catalog.TypeForwardDone, Origin: 1, Seq: seq}) // want "not followed by a PeerForwardResp send"
+}

@@ -213,6 +213,11 @@ type fleet struct {
 	// the leases to expire exactly as a killed process would.
 	releaseOnStop bool
 
+	// fwdWG counts in-flight executeForward goroutines; stopAndRelease
+	// waits them out (each is bounded by forwardExecTimeout) so no forward
+	// outlives Close touching the catalog or pooled frames.
+	fwdWG sync.WaitGroup
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -397,6 +402,7 @@ func (f *fleet) start() error {
 func (f *fleet) stopAndRelease() {
 	close(f.stop)
 	<-f.done
+	f.fwdWG.Wait()
 	if f.node != nil {
 		f.node.Close()
 	}
@@ -916,6 +922,7 @@ func (f *fleet) handleForward(from wire.ProcID, msg wire.PeerForward) {
 	f.dedupQ = append(f.dedupQ, key)
 	f.evictForwardsLocked()
 	f.mu.Unlock()
+	f.fwdWG.Add(1)
 	go f.executeForward(from, key, e, msg)
 }
 
@@ -991,6 +998,7 @@ func (f *fleet) unrecordForward(key forwardKey) {
 // ownership gate runs here, not at the client API (putLocal/getLocal skip
 // the fleet gate): a forward must never be forwarded again.
 func (f *fleet) executeForward(from wire.ProcID, key forwardKey, e *forwardEntry, msg wire.PeerForward) {
+	defer f.fwdWG.Done()
 	g := f.g
 	resp := wire.PeerForwardResp{Seq: msg.Seq}
 	if !f.owns(g.ShardFor(msg.Key)) {
